@@ -1,0 +1,403 @@
+//! Multi-model routing (§3.5): "determine which LLM to ask at each step, to
+//! ensure a given accuracy overall, while keeping costs low."
+//!
+//! Two strategies from the crowdsourcing literature, transplanted:
+//!
+//! * [`ModelCascade`] — FrugalGPT-style tiering: ask the cheapest model
+//!   first and escalate to pricier tiers only when the cheap answer is not
+//!   confident (vote margin below threshold).
+//! * [`sequential_ask`] — CrowdScreen-style sequential probability
+//!   ratio testing: keep collecting votes (cheapest available source first)
+//!   until the posterior log-odds of one answer clears a threshold, then
+//!   stop. Items with high disagreement soak up more budget — exactly the
+//!   paper's "data items for which there is more disagreement … are more
+//!   valuable to spend money on".
+
+use std::sync::Arc;
+
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::LlmClient;
+
+use crate::corpus::Corpus;
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// One tier of a cascade: a client plus its (estimated) per-call accuracy on
+/// the task type, as measured on a validation set (§3.5).
+pub struct CascadeTier {
+    /// The model client for this tier.
+    pub client: Arc<LlmClient>,
+    /// Estimated probability this tier answers a unit task correctly.
+    pub accuracy: f64,
+    /// Votes to collect from this tier before judging confidence.
+    pub votes: u32,
+    /// Sampling temperature for decorrelating those votes.
+    pub temperature: f64,
+}
+
+/// Per-item result of a cascade run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeVerdict {
+    /// The final answer.
+    pub answer: bool,
+    /// Index of the deepest tier consulted.
+    pub deepest_tier: usize,
+    /// Total votes collected across tiers.
+    pub votes: u32,
+}
+
+/// A tiered cascade over yes/no unit tasks.
+pub struct ModelCascade {
+    tiers: Vec<CascadeTier>,
+    corpus: Corpus,
+    /// Minimum |yes − no| / total vote margin to accept a tier's verdict
+    /// without escalating.
+    margin_threshold: f64,
+    seed: u64,
+}
+
+impl ModelCascade {
+    /// Build a cascade over the given tiers (cheapest first).
+    ///
+    /// # Panics
+    /// Panics if `tiers` is empty.
+    pub fn new(tiers: Vec<CascadeTier>, corpus: Corpus) -> Self {
+        assert!(!tiers.is_empty(), "cascade needs at least one tier");
+        ModelCascade {
+            tiers,
+            corpus,
+            margin_threshold: 0.6,
+            seed: 0,
+        }
+    }
+
+    /// Set the escalation margin in `[0, 1]` (builder style). `0.6` means a
+    /// 4-to-1 vote (margin 0.6) is confident enough to stop.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin_threshold = margin.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the engine seed used for tier engines (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Answer one yes/no task, escalating through tiers until confident.
+    pub fn ask(&self, task: TaskDescriptor) -> Result<Outcome<CascadeVerdict>, EngineError> {
+        let mut meter = CostMeter::new();
+        let mut last = (false, 0usize, 0u32);
+        for (t, tier) in self.tiers.iter().enumerate() {
+            let engine = Engine::new(Arc::clone(&tier.client), self.corpus.clone())
+                .with_seed(self.seed ^ (t as u64) << 32);
+            let votes = tier.votes.max(1);
+            let mut yes = 0u32;
+            for s in 0..votes {
+                let resp = engine.run_sampled(task.clone(), tier.temperature, s)?;
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                if extract::yes_no(&resp.text)? {
+                    yes += 1;
+                }
+            }
+            let answer = yes * 2 > votes;
+            let margin = (2.0 * f64::from(yes) / f64::from(votes) - 1.0).abs();
+            last = (answer, t, last.2 + votes);
+            let is_last_tier = t + 1 == self.tiers.len();
+            if margin >= self.margin_threshold || is_last_tier {
+                break;
+            }
+        }
+        Ok(meter.into_outcome(CascadeVerdict {
+            answer: last.0,
+            deepest_tier: last.1,
+            votes: last.2,
+        }))
+    }
+
+    /// Answer a batch of tasks, returning verdicts in order.
+    pub fn ask_many(
+        &self,
+        tasks: Vec<TaskDescriptor>,
+    ) -> Result<Outcome<Vec<CascadeVerdict>>, EngineError> {
+        let mut meter = CostMeter::new();
+        let mut verdicts = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let out = self.ask(task)?;
+            meter.usage += out.usage;
+            meter.calls += out.calls;
+            meter.cost_usd += out.cost_usd;
+            verdicts.push(out.value);
+        }
+        Ok(meter.into_outcome(verdicts))
+    }
+}
+
+/// CrowdScreen-style sequential asking on one engine: collect votes one at a
+/// time (at `temperature`), updating posterior log-odds under the engine
+/// model's assumed per-call `accuracy`, and stop as soon as
+/// `|log-odds| >= threshold_log_odds` or `max_votes` is reached.
+///
+/// Returns `(answer, votes_used)` with cost accounting. With
+/// `threshold_log_odds = ln(19)` the stopping rule targets ~95% posterior
+/// confidence under the accuracy model.
+pub fn sequential_ask(
+    engine: &Engine,
+    task: TaskDescriptor,
+    accuracy: f64,
+    threshold_log_odds: f64,
+    max_votes: u32,
+    temperature: f64,
+) -> Result<Outcome<(bool, u32)>, EngineError> {
+    if !(0.5..1.0).contains(&accuracy) {
+        return Err(EngineError::InvalidInput(format!(
+            "sequential_ask needs accuracy in [0.5, 1.0), got {accuracy}"
+        )));
+    }
+    let step = (accuracy / (1.0 - accuracy)).ln();
+    let mut log_odds = 0.0f64;
+    let mut meter = CostMeter::new();
+    let mut votes = 0u32;
+    while votes < max_votes.max(1) {
+        let resp = engine.run_sampled(task.clone(), temperature, votes)?;
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        votes += 1;
+        if extract::yes_no(&resp.text)? {
+            log_odds += step;
+        } else {
+            log_odds -= step;
+        }
+        if log_odds.abs() >= threshold_log_odds {
+            break;
+        }
+    }
+    Ok(meter.into_outcome((log_odds >= 0.0, votes)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::{ItemId, WorldModel};
+
+    fn world_with_flags(n: usize) -> (WorldModel, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let ids = (0..n)
+            .map(|i| {
+                let id = w.add_item(format!("claim {i}"));
+                w.set_flag(id, "valid", i % 2 == 0);
+                id
+            })
+            .collect();
+        (w, ids)
+    }
+
+    fn client_with_accuracy(
+        world: &WorldModel,
+        accuracy: f64,
+        price_mult: f64,
+        seed: u64,
+    ) -> Arc<LlmClient> {
+        let mut profile = ModelProfile::gpt35_like().with_noise(NoiseProfile {
+            check_accuracy: accuracy,
+            malformed_rate: 0.0,
+            ..NoiseProfile::perfect()
+        });
+        profile.pricing = crowdprompt_oracle::Pricing::new(
+            0.0002 * price_mult,
+            0.0004 * price_mult,
+        );
+        profile.name = format!("tier-{price_mult}");
+        let llm = SimulatedLlm::new(profile, Arc::new(world.clone()), seed);
+        Arc::new(LlmClient::new(Arc::new(llm)).without_cache())
+    }
+
+    fn check(id: ItemId) -> TaskDescriptor {
+        TaskDescriptor::CheckPredicate {
+            item: id,
+            predicate: "valid".into(),
+        }
+    }
+
+    #[test]
+    fn confident_cheap_tier_never_escalates() {
+        let (w, ids) = world_with_flags(10);
+        let cheap = client_with_accuracy(&w, 1.0, 1.0, 1);
+        let pricey = client_with_accuracy(&w, 1.0, 100.0, 2);
+        let corpus = Corpus::from_world(&w, &ids);
+        let cascade = ModelCascade::new(
+            vec![
+                CascadeTier {
+                    client: cheap,
+                    accuracy: 1.0,
+                    votes: 3,
+                    temperature: 1.0,
+                },
+                CascadeTier {
+                    client: pricey,
+                    accuracy: 1.0,
+                    votes: 3,
+                    temperature: 1.0,
+                },
+            ],
+            corpus,
+        );
+        let out = cascade.ask_many(ids.iter().map(|id| check(*id)).collect()).unwrap();
+        for (v, (i, _)) in out.value.iter().zip(ids.iter().enumerate()) {
+            assert_eq!(v.deepest_tier, 0, "perfect cheap tier suffices");
+            assert_eq!(v.answer, i % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn unreliable_cheap_tier_escalates_and_recovers_accuracy() {
+        let (w, ids) = world_with_flags(40);
+        // A coin-flip cheap tier and an excellent expensive tier.
+        let cheap = client_with_accuracy(&w, 0.55, 1.0, 3);
+        let pricey = client_with_accuracy(&w, 0.98, 50.0, 4);
+        let corpus = Corpus::from_world(&w, &ids);
+        let cascade = ModelCascade::new(
+            vec![
+                CascadeTier {
+                    client: cheap,
+                    accuracy: 0.55,
+                    votes: 5,
+                    temperature: 1.0,
+                },
+                CascadeTier {
+                    client: Arc::clone(&pricey),
+                    accuracy: 0.98,
+                    votes: 3,
+                    temperature: 1.0,
+                },
+            ],
+            corpus,
+        )
+        .with_margin(0.8);
+        let out = cascade.ask_many(ids.iter().map(|id| check(*id)).collect()).unwrap();
+        let escalated = out.value.iter().filter(|v| v.deepest_tier == 1).count();
+        assert!(escalated > 10, "coin-flip tier should often escalate: {escalated}");
+        let correct = out
+            .value
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| v.answer == (i % 2 == 0))
+            .count();
+        assert!(
+            correct >= 34,
+            "cascade accuracy should approach the strong tier: {correct}/40"
+        );
+    }
+
+    #[test]
+    fn cascade_cheaper_than_always_asking_expensive_tier() {
+        let (w, ids) = world_with_flags(30);
+        let cheap = client_with_accuracy(&w, 0.9, 1.0, 5);
+        let pricey = client_with_accuracy(&w, 0.98, 50.0, 6);
+        let corpus = Corpus::from_world(&w, &ids);
+        let cascade = ModelCascade::new(
+            vec![
+                CascadeTier {
+                    client: cheap,
+                    accuracy: 0.9,
+                    votes: 3,
+                    temperature: 1.0,
+                },
+                CascadeTier {
+                    client: Arc::clone(&pricey),
+                    accuracy: 0.98,
+                    votes: 3,
+                    temperature: 1.0,
+                },
+            ],
+            Corpus::from_world(&w, &ids),
+        );
+        let cascade_out = cascade
+            .ask_many(ids.iter().map(|id| check(*id)).collect())
+            .unwrap();
+        // All-expensive comparison.
+        let engine = Engine::new(pricey, corpus);
+        let mut expensive_cost = 0.0;
+        for id in &ids {
+            for s in 0..3 {
+                let resp = engine.run_sampled(check(*id), 1.0, s).unwrap();
+                expensive_cost += engine.cost_of(resp.usage);
+            }
+        }
+        assert!(
+            cascade_out.cost_usd < expensive_cost * 0.6,
+            "cascade ${:.4} should undercut all-expensive ${:.4}",
+            cascade_out.cost_usd,
+            expensive_cost
+        );
+    }
+
+    #[test]
+    fn sequential_ask_stops_early_on_agreement() {
+        let (w, ids) = world_with_flags(2);
+        let client = client_with_accuracy(&w, 0.95, 1.0, 7);
+        let engine = Engine::new(client, Corpus::from_world(&w, &ids));
+        let out = sequential_ask(
+            &engine,
+            check(ids[0]),
+            0.9,
+            (19.0f64).ln(),
+            25,
+            1.0,
+        )
+        .unwrap();
+        let (answer, votes) = out.value;
+        assert!(answer, "item 0 is valid");
+        assert!(votes <= 4, "agreement should stop early, used {votes}");
+        assert_eq!(out.calls, u64::from(votes));
+    }
+
+    #[test]
+    fn sequential_ask_spends_more_on_disagreement() {
+        let (w, ids) = world_with_flags(2);
+        // Coin-flip oracle: votes disagree, log-odds random-walk slowly.
+        let flip = client_with_accuracy(&w, 0.5, 1.0, 8);
+        let engine = Engine::new(flip, Corpus::from_world(&w, &ids));
+        let mut total_votes = 0u32;
+        for trial in 0..10 {
+            let out = sequential_ask(
+                &engine,
+                TaskDescriptor::CheckPredicate {
+                    item: ids[trial % 2],
+                    predicate: "valid".into(),
+                },
+                0.75,
+                (19.0f64).ln(),
+                15,
+                1.0 + trial as f64 * 1e-9, // distinct fingerprints per trial
+            )
+            .unwrap();
+            total_votes += out.value.1;
+        }
+        assert!(
+            total_votes > 40,
+            "disagreement should consume votes: {total_votes}/150"
+        );
+    }
+
+    #[test]
+    fn sequential_ask_validates_accuracy() {
+        let (w, ids) = world_with_flags(1);
+        let client = client_with_accuracy(&w, 0.9, 1.0, 9);
+        let engine = Engine::new(client, Corpus::from_world(&w, &ids));
+        assert!(sequential_ask(&engine, check(ids[0]), 1.5, 1.0, 5, 0.0).is_err());
+        assert!(sequential_ask(&engine, check(ids[0]), 0.3, 1.0, 5, 0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_cascade_panics() {
+        let (w, ids) = world_with_flags(1);
+        let _ = ModelCascade::new(Vec::new(), Corpus::from_world(&w, &ids));
+    }
+}

@@ -1,0 +1,330 @@
+//! Internal-consistency enforcement (paper §3.3).
+//!
+//! Batches of interrelated unit tasks must respect global invariants:
+//! duplicate decisions must be transitive, and pairwise comparisons must
+//! admit a total order. LLMs violate both; this module repairs results
+//! after the fact:
+//!
+//! * [`UnionFind`] / transitive closure — flip "no" duplicate edges to "yes"
+//!   when a yes-path connects the pair.
+//! * [`repair_ranking`] — find an ordering minimizing disagreements with the
+//!   pairwise results (minimum feedback arc set on a tournament): exact
+//!   bitmask DP for small n, Copeland + local search beyond.
+
+/// Disjoint-set forest with path compression and union by size.
+///
+/// ```
+/// use crowdprompt_core::consistency::UnionFind;
+/// // A ~ C and B ~ C imply A ~ B (the paper's transitivity example).
+/// let mut uf = UnionFind::new(3);
+/// uf.union(0, 2);
+/// uf.union(1, 2);
+/// assert!(uf.connected(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Group elements by component, ordered by smallest member.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::HashMap;
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..self.parent.len() {
+            let r = self.find(i);
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|g| g[0]);
+        out
+    }
+}
+
+/// Count how many pairwise results an ordering disagrees with.
+///
+/// `wins(a, b)` is the oracle's claim "`a` ranks before `b`" for `a < b`
+/// index pairs; the ordering `order[pos] = item` is scored by counting pairs
+/// placed contrary to the claim.
+pub fn violations(order: &[usize], wins: &impl Fn(usize, usize) -> bool) -> u64 {
+    let n = order.len();
+    let mut pos = vec![0usize; n];
+    for (p, &item) in order.iter().enumerate() {
+        pos[item] = p;
+    }
+    let mut v = 0u64;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && wins(a, b) && pos[a] > pos[b] {
+                v += 1;
+            }
+        }
+    }
+    // Each unordered pair contributes per directed claim; when `wins` is a
+    // tournament (exactly one direction true), this counts each violated
+    // pair once.
+    v
+}
+
+/// Find an ordering of `0..n` minimizing disagreement with the pairwise
+/// results — the maximum-likelihood ranking under uniform comparison noise
+/// (Guo et al., §3.3).
+///
+/// Exact (bitmask DP over subsets) for `n <= exact_limit`; otherwise a
+/// Copeland-score seed refined by adjacent-swap local search.
+pub fn repair_ranking(
+    n: usize,
+    wins: &impl Fn(usize, usize) -> bool,
+    exact_limit: usize,
+) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= exact_limit.min(20) {
+        exact_min_feedback(n, wins)
+    } else {
+        greedy_ranking(n, wins)
+    }
+}
+
+fn exact_min_feedback(n: usize, wins: &impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    // wins_mask[v] = bitset of items v beats.
+    let wins_mask: Vec<u32> = (0..n)
+        .map(|v| {
+            let mut m = 0u32;
+            for u in 0..n {
+                if u != v && wins(v, u) {
+                    m |= 1 << u;
+                }
+            }
+            m
+        })
+        .collect();
+    let full = (1u32 << n) - 1;
+    let mut dp = vec![u32::MAX; (full + 1) as usize];
+    let mut choice = vec![usize::MAX; (full + 1) as usize];
+    dp[0] = 0;
+    for s in 1..=full {
+        let mut best = u32::MAX;
+        let mut best_v = usize::MAX;
+        let mut bits = s;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let prev = s & !(1 << v);
+            if dp[prev as usize] == u32::MAX {
+                continue;
+            }
+            // Placing v after all of `prev`: violations for every u already
+            // placed that v claims to beat.
+            let added = (wins_mask[v] & prev).count_ones();
+            let cand = dp[prev as usize] + added;
+            // Tie-break toward the *largest* v as the suffix element, which
+            // reconstructs to ascending index order on fully tied inputs.
+            if cand < best || (cand == best && (best_v == usize::MAX || v > best_v)) {
+                best = cand;
+                best_v = v;
+            }
+        }
+        dp[s as usize] = best;
+        choice[s as usize] = best_v;
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut s = full;
+    while s != 0 {
+        let v = choice[s as usize];
+        order.push(v);
+        s &= !(1 << v);
+    }
+    order.reverse();
+    order
+}
+
+fn greedy_ranking(n: usize, wins: &impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    // Copeland seed: sort by number of wins, descending.
+    let mut score = vec![0usize; n];
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && wins(a, b) {
+                score[a] += 1;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| score[b].cmp(&score[a]).then(a.cmp(&b)));
+    // Adjacent-swap local search (bounded passes; each pass is O(n)).
+    for _ in 0..n.max(8) {
+        let mut improved = false;
+        for i in 0..n - 1 {
+            let (a, b) = (order[i], order[i + 1]);
+            // Swapping helps iff the oracle says b beats a.
+            if wins(b, a) && !wins(a, b) {
+                order.swap(i, i + 1);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.components(), 3);
+        assert_eq!(uf.groups(), vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn union_find_transitivity_matches_paper_example() {
+        // A ~ C, B ~ C  =>  A ~ B even without a direct edge.
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 2);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 1));
+    }
+
+    #[test]
+    fn exact_repair_recovers_true_order_from_one_bad_edge() {
+        // True order 0 < 1 < 2 < 3; one flipped edge (3 beats 0).
+        let wins = |a: usize, b: usize| {
+            if (a, b) == (3, 0) {
+                return true;
+            }
+            if (a, b) == (0, 3) {
+                return false;
+            }
+            a < b
+        };
+        let order = repair_ranking(4, &wins, 12);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(violations(&order, &wins), 1);
+    }
+
+    #[test]
+    fn exact_repair_handles_cycle() {
+        // Rock-paper-scissors: 0>1, 1>2, 2>0 — any order has exactly 1
+        // violation; the DP must find one such order.
+        let wins = |a: usize, b: usize| matches!((a, b), (0, 1) | (1, 2) | (2, 0));
+        let order = repair_ranking(3, &wins, 12);
+        assert_eq!(violations(&order, &wins), 1);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_clean_tournaments() {
+        let wins = |a: usize, b: usize| a < b;
+        let exact = repair_ranking(10, &wins, 12);
+        let greedy = repair_ranking(10, &wins, 0); // force greedy path
+        assert_eq!(exact, greedy);
+        assert_eq!(violations(&greedy, &wins), 0);
+    }
+
+    #[test]
+    fn greedy_repairs_noisy_tournament_reasonably() {
+        // True order 0..20 with a few flipped edges.
+        let flipped = [(5usize, 1usize), (12, 3), (18, 10)];
+        let wins = move |a: usize, b: usize| {
+            if flipped.contains(&(a, b)) {
+                return true;
+            }
+            if flipped.contains(&(b, a)) {
+                return false;
+            }
+            a < b
+        };
+        let order = repair_ranking(20, &wins, 12);
+        let v = violations(&order, &wins);
+        assert!(v <= 3, "greedy should approach the 3-flip optimum, got {v}");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let wins = |_: usize, _: usize| false;
+        assert!(repair_ranking(0, &wins, 12).is_empty());
+        assert_eq!(repair_ranking(1, &wins, 12), vec![0]);
+    }
+
+    #[test]
+    fn exact_dp_tie_break_is_deterministic() {
+        // All comparisons false: any order is optimal; we expect identity.
+        let wins = |_: usize, _: usize| false;
+        assert_eq!(repair_ranking(4, &wins, 12), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The corpus: the *public* text of every item an engine may operate on.
+//!
+//! Architectural boundary: dataset generators produce a
+//! [`crowdprompt_oracle::WorldModel`] whose latent facts only the simulator
+//! and metrics may read. Item *texts*, by contrast, are what a production
+//! system would actually hold — so they are copied out into a [`Corpus`]
+//! and that is all the engine ever sees.
+
+use std::collections::HashMap;
+
+use crowdprompt_oracle::world::{ItemId, WorldModel};
+
+/// Item texts addressable by [`ItemId`].
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    texts: HashMap<ItemId, String>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy the texts of `items` out of a world model.
+    ///
+    /// # Panics
+    /// Panics if an item has no registered text.
+    pub fn from_world(world: &WorldModel, items: &[ItemId]) -> Self {
+        let mut texts = HashMap::with_capacity(items.len());
+        for &id in items {
+            let text = world
+                .text(id)
+                .unwrap_or_else(|| panic!("item {id} has no text in the world model"));
+            texts.insert(id, text.to_owned());
+        }
+        Corpus { texts }
+    }
+
+    /// Insert (or replace) one item's text.
+    pub fn insert(&mut self, id: ItemId, text: impl Into<String>) {
+        self.texts.insert(id, text.into());
+    }
+
+    /// The text of an item, if present.
+    pub fn text(&self, id: ItemId) -> Option<&str> {
+        self.texts.get(&id).map(String::as_str)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Whether the corpus knows this item.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.texts.contains_key(&id)
+    }
+
+    /// All item ids, sorted for determinism.
+    pub fn ids(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = self.texts.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Find the item whose text equals `text` exactly, if any.
+    ///
+    /// Used to map list-sort response lines back to items; O(n), but list
+    /// tasks are small by construction (context-window bound).
+    pub fn find_by_text(&self, text: &str) -> Option<ItemId> {
+        let mut hit: Option<ItemId> = None;
+        for (id, t) in &self.texts {
+            if t == text {
+                // Prefer the smallest id for determinism on duplicate texts.
+                hit = Some(match hit {
+                    Some(existing) if existing < *id => existing,
+                    _ => *id,
+                });
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_world_copies_texts() {
+        let mut w = WorldModel::new();
+        let a = w.add_item("alpha");
+        let b = w.add_item("beta");
+        w.set_score(a, 1.0); // latent — must not be visible via corpus
+        let c = Corpus::from_world(&w, &[a, b]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.text(a), Some("alpha"));
+        assert_eq!(c.text(b), Some("beta"));
+        assert!(c.contains(a));
+    }
+
+    #[test]
+    fn find_by_text_prefers_smallest_id() {
+        let mut c = Corpus::new();
+        c.insert(ItemId(5), "dup");
+        c.insert(ItemId(2), "dup");
+        c.insert(ItemId(9), "other");
+        assert_eq!(c.find_by_text("dup"), Some(ItemId(2)));
+        assert_eq!(c.find_by_text("missing"), None);
+    }
+
+    #[test]
+    fn ids_sorted() {
+        let mut c = Corpus::new();
+        c.insert(ItemId(3), "x");
+        c.insert(ItemId(1), "y");
+        assert_eq!(c.ids(), vec![ItemId(1), ItemId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no text")]
+    fn missing_text_panics() {
+        let w = WorldModel::new();
+        Corpus::from_world(&w, &[ItemId(99)]);
+    }
+}

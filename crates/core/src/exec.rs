@@ -1,0 +1,359 @@
+//! The execution engine: budget-guarded, parallel unit-task dispatch.
+
+use std::sync::Arc;
+
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::tokenizer::count_tokens;
+use crowdprompt_oracle::types::{CompletionRequest, CompletionResponse};
+use crowdprompt_oracle::LlmClient;
+
+use crate::budget::{Budget, BudgetTracker};
+use crate::corpus::Corpus;
+use crate::error::EngineError;
+use crate::template::{render, RenderOptions};
+use crate::trace::{Trace, TraceEvent};
+
+/// Executes unit tasks for the declarative operators.
+///
+/// Responsibilities:
+/// * render tasks into prompts over the engine's [`Corpus`],
+/// * estimate and admit each call against the [`BudgetTracker`],
+/// * dispatch through the [`LlmClient`] (with its caching and retries),
+///   fanning batches out across worker threads,
+/// * record actual spend.
+pub struct Engine {
+    client: Arc<LlmClient>,
+    corpus: Corpus,
+    budget: BudgetTracker,
+    parallelism: usize,
+    temperature: f64,
+    seed: u64,
+    render_opts: RenderOptions,
+    trace: Option<Arc<Trace>>,
+}
+
+impl Engine {
+    /// An engine over the given client and corpus with an unlimited budget,
+    /// temperature 0, and modest parallelism.
+    pub fn new(client: Arc<LlmClient>, corpus: Corpus) -> Self {
+        Engine {
+            client,
+            corpus,
+            budget: BudgetTracker::new(Budget::Unlimited),
+            parallelism: 8,
+            temperature: 0.0,
+            seed: 0,
+            render_opts: RenderOptions::default(),
+            trace: None,
+        }
+    }
+
+    /// Set the budget (builder style).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = BudgetTracker::new(budget);
+        self
+    }
+
+    /// Set worker parallelism for batch dispatch (builder style).
+    #[must_use]
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Set the sampling temperature used for calls (builder style).
+    #[must_use]
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Set the engine seed (drives tie-breaking randomness in operators).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the criterion label used when rendering prompts (builder style).
+    #[must_use]
+    pub fn with_criterion_label(mut self, label: impl Into<String>) -> Self {
+        self.render_opts = RenderOptions::with_criterion(label);
+        self
+    }
+
+    /// Attach a trace recorder: every completed call is logged (builder
+    /// style).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<Trace>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The engine's corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The engine's budget tracker.
+    pub fn budget(&self) -> &BudgetTracker {
+        &self.budget
+    }
+
+    /// The wrapped client.
+    pub fn client(&self) -> &Arc<LlmClient> {
+        &self.client
+    }
+
+    /// The engine seed (operators derive their tie-break RNGs from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current render options.
+    pub fn render_opts(&self) -> &RenderOptions {
+        &self.render_opts
+    }
+
+    /// Dollar cost of a usage under the engine's model pricing.
+    pub fn cost_of(&self, usage: crowdprompt_oracle::Usage) -> f64 {
+        self.client.model().pricing().cost_usd(usage)
+    }
+
+    fn estimate_completion_tokens(task: &TaskDescriptor) -> u32 {
+        match task {
+            TaskDescriptor::SortList { items, .. } => (items.len() as u32) * 8 + 16,
+            TaskDescriptor::CompareBatch { pairs, .. } => (pairs.len() as u32) * 4 + 8,
+            TaskDescriptor::GroupEntities { items } => (items.len() as u32) * 8 + 16,
+            _ => 24,
+        }
+    }
+
+    /// Render a task and estimate its cost, without budget admission.
+    fn render_and_estimate(
+        &self,
+        task: TaskDescriptor,
+    ) -> Result<(CompletionRequest, f64, u64), EngineError> {
+        let prompt = render(&task, &self.corpus, &self.render_opts)?;
+        let est_usage = crowdprompt_oracle::Usage {
+            prompt_tokens: count_tokens(&prompt),
+            completion_tokens: Self::estimate_completion_tokens(&task),
+        };
+        let est_usd = self.cost_of(est_usage);
+        let est_tokens = u64::from(est_usage.total());
+        Ok((
+            CompletionRequest::new(prompt, task).with_temperature(self.temperature),
+            est_usd,
+            est_tokens,
+        ))
+    }
+
+    fn build_request(&self, task: TaskDescriptor) -> Result<CompletionRequest, EngineError> {
+        let (request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+        // Budget admission on the estimate; actuals recorded after the call.
+        if !self.budget.admit(est_usd, est_tokens) {
+            return Err(EngineError::BudgetExceeded {
+                needed_usd: est_usd,
+                remaining_usd: self.budget.remaining_usd(),
+            });
+        }
+        Ok(request)
+    }
+
+    /// Execute one unit task.
+    pub fn run(&self, task: TaskDescriptor) -> Result<CompletionResponse, EngineError> {
+        let kind = task.kind();
+        let request = self.build_request(task)?;
+        let response = self.client.complete(&request)?;
+        self.record_spend(&response);
+        self.record_trace(kind, &response);
+        Ok(response)
+    }
+
+    /// Record actual spend for a response; cache hits are free.
+    fn record_spend(&self, response: &CompletionResponse) {
+        if !response.cached {
+            self.budget.record(
+                self.cost_of(response.usage),
+                u64::from(response.usage.total()),
+            );
+        }
+    }
+
+    fn record_trace(&self, kind: &'static str, response: &CompletionResponse) {
+        if let Some(trace) = &self.trace {
+            trace.record(TraceEvent {
+                kind,
+                usage: response.usage,
+                cost_usd: if response.cached {
+                    0.0
+                } else {
+                    self.cost_of(response.usage)
+                },
+                cached: response.cached,
+            });
+        }
+    }
+
+    /// Execute one unit task at an explicit sample index and temperature
+    /// (used by self-consistency voting).
+    pub fn run_sampled(
+        &self,
+        task: TaskDescriptor,
+        temperature: f64,
+        sample_index: u32,
+    ) -> Result<CompletionResponse, EngineError> {
+        let kind = task.kind();
+        let mut request = self.build_request(task)?;
+        request.temperature = temperature;
+        request.sample_index = sample_index;
+        let response = self.client.complete(&request)?;
+        self.record_spend(&response);
+        self.record_trace(kind, &response);
+        Ok(response)
+    }
+
+    /// Execute a batch of unit tasks across the engine's worker pool,
+    /// preserving order. Fails fast on the first hard error (transient
+    /// errors are already retried inside the client).
+    pub fn run_many(
+        &self,
+        tasks: Vec<TaskDescriptor>,
+    ) -> Result<Vec<CompletionResponse>, EngineError> {
+        // Admit the whole batch against the budget *cumulatively*: the i-th
+        // task must fit after the estimated spend of tasks 0..i, so a batch
+        // cannot be fully admitted against a budget it would blow through.
+        let mut requests = Vec::with_capacity(tasks.len());
+        let (mut pending_usd, mut pending_tokens) = (0.0f64, 0u64);
+        for task in tasks {
+            let (request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+            if !self
+                .budget
+                .admit(pending_usd + est_usd, pending_tokens + est_tokens)
+            {
+                return Err(EngineError::BudgetExceeded {
+                    needed_usd: est_usd,
+                    remaining_usd: self.budget.remaining_usd(),
+                });
+            }
+            pending_usd += est_usd;
+            pending_tokens += est_tokens;
+            requests.push(request);
+        }
+        let results = self.client.complete_many(&requests, self.parallelism);
+        let mut out = Vec::with_capacity(results.len());
+        for (r, request) in results.into_iter().zip(&requests) {
+            let resp = r.map_err(EngineError::from)?;
+            self.record_spend(&resp);
+            self.record_trace(request.task.kind(), &resp);
+            out.push(resp);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdprompt_oracle::model::ModelProfile;
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+
+    fn engine_with(n: usize, budget: Budget) -> (Engine, Vec<crowdprompt_oracle::ItemId>) {
+        let mut w = WorldModel::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let id = w.add_item(format!("item number {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                w.set_score(id, i as f64 / n as f64);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::gpt35_like(),
+            Arc::new(w),
+            7,
+        ));
+        let client = Arc::new(LlmClient::new(llm));
+        (Engine::new(client, corpus).with_budget(budget), ids)
+    }
+
+    fn check_task(id: crowdprompt_oracle::ItemId) -> TaskDescriptor {
+        TaskDescriptor::CheckPredicate {
+            item: id,
+            predicate: "p".into(),
+        }
+    }
+
+    #[test]
+    fn run_records_budget_spend() {
+        let (engine, ids) = engine_with(4, Budget::Unlimited);
+        let resp = engine.run(check_task(ids[0])).unwrap();
+        assert!(resp.usage.prompt_tokens > 0);
+        assert!(engine.budget().spent_tokens() > 0);
+        assert!(engine.budget().spent_usd() > 0.0);
+    }
+
+    #[test]
+    fn budget_refuses_before_dispatch() {
+        let (engine, ids) = engine_with(4, Budget::tokens(5));
+        match engine.run(check_task(ids[0])) {
+            Err(EngineError::BudgetExceeded { .. }) => {}
+            other => panic!("expected budget refusal, got {other:?}"),
+        }
+        // Nothing was spent.
+        assert_eq!(engine.budget().spent_tokens(), 0);
+    }
+
+    #[test]
+    fn run_many_preserves_order_and_spends() {
+        let (engine, ids) = engine_with(10, Budget::Unlimited);
+        let tasks: Vec<_> = ids.iter().map(|id| check_task(*id)).collect();
+        let out = engine.run_many(tasks).unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(engine.budget().spent_tokens() > 0);
+    }
+
+    #[test]
+    fn unknown_item_rejected_at_render() {
+        let (engine, _) = engine_with(2, Budget::Unlimited);
+        let err = engine
+            .run(check_task(crowdprompt_oracle::ItemId(999)))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownItem(_)));
+    }
+
+    #[test]
+    fn budget_exhausts_mid_batch() {
+        // A tight USD budget: some calls admitted, later ones refused.
+        let (engine, ids) = engine_with(30, Budget::usd(0.0002));
+        let tasks: Vec<_> = ids.iter().map(|id| check_task(*id)).collect();
+        let result = engine.run_many(tasks);
+        assert!(
+            matches!(result, Err(EngineError::BudgetExceeded { .. })),
+            "expected exhaustion, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_runs_decorrelate() {
+        let (engine, ids) = engine_with(2, Budget::Unlimited);
+        // Near-tie comparison at temperature 1 should not always agree.
+        let task = TaskDescriptor::Compare {
+            left: ids[0],
+            right: ids[1],
+            criterion: crowdprompt_oracle::task::SortCriterion::LatentScore,
+        };
+        let answers: std::collections::HashSet<String> = (0..32)
+            .map(|i| {
+                engine
+                    .run_sampled(task.clone(), 1.0, i)
+                    .unwrap()
+                    .text
+            })
+            .collect();
+        assert!(answers.len() > 1, "expected varied samples");
+    }
+}

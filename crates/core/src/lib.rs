@@ -1,0 +1,56 @@
+//! The declarative prompt engineering engine — the paper's primary
+//! contribution, built on crowdsourcing principles.
+//!
+//! Users declare *data processing operations* (sort, resolve, impute, filter,
+//! count, …) over item collections, together with a budget; the engine
+//! decomposes each operation into unit LLM tasks under a chosen (or
+//! auto-selected) strategy, orchestrates the calls, repairs inconsistencies,
+//! mixes in non-LLM proxies, and accounts for every token spent.
+//!
+//! Layer map (bottom-up):
+//!
+//! * [`budget`] — spend admission and tracking.
+//! * [`corpus`] — the public item texts the engine is allowed to see.
+//! * [`template`] — rendering unit tasks into prompts (with few-shot
+//!   example selection).
+//! * [`extract`] — robust answer extraction from free-text responses.
+//! * [`exec`] — the [`exec::Engine`]: budget-guarded, parallel task
+//!   execution over an [`crowdprompt_oracle::LlmClient`].
+//! * [`consistency`] — transitive closure and ranking repair (§3.3).
+//! * [`ops`] — the operators, each with multiple strategies (§3.1–3.4).
+//! * [`quality`] — majority vote, self-consistency, Dawid–Skene EM,
+//!   self-verification (§3.5).
+//! * [`cascade`] — multi-model routing: FrugalGPT-style tiering and
+//!   CrowdScreen-style sequential asking (§3.5).
+//! * [`proxy`] — LLM-trained cheap proxy models with
+//!   escalate-on-uncertainty filtering (§3.4).
+//! * [`optimize`] — validation-set strategy trials, Pareto frontiers, and
+//!   budget-aware strategy selection (§4).
+//! * [`workflow`] — multi-step pipelines under one budget.
+//! * [`session`] — the user-facing declarative API.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod cascade;
+pub mod consistency;
+pub mod corpus;
+pub mod error;
+pub mod exec;
+pub mod extract;
+pub mod ops;
+pub mod optimize;
+pub mod outcome;
+pub mod proxy;
+pub mod quality;
+pub mod session;
+pub mod template;
+pub mod trace;
+pub mod workflow;
+
+pub use budget::{Budget, BudgetTracker};
+pub use corpus::Corpus;
+pub use error::EngineError;
+pub use exec::Engine;
+pub use outcome::Outcome;
+pub use session::Session;

@@ -1,0 +1,95 @@
+//! Categorization: assign each item one label from a fixed set.
+
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// Assign each item one of `labels`, returning labels in input order.
+pub fn categorize(
+    engine: &Engine,
+    items: &[ItemId],
+    labels: &[String],
+) -> Result<Outcome<Vec<String>>, EngineError> {
+    if labels.is_empty() {
+        return Err(EngineError::InvalidInput(
+            "categorize requires at least one label".into(),
+        ));
+    }
+    let tasks: Vec<TaskDescriptor> = items
+        .iter()
+        .map(|id| TaskDescriptor::Classify {
+            item: *id,
+            labels: labels.to_vec(),
+        })
+        .collect();
+    let responses = engine.run_many(tasks)?;
+    let mut meter = CostMeter::new();
+    let mut out = Vec::with_capacity(items.len());
+    for resp in &responses {
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        out.push(extract::choice(&resp.text, labels)?);
+    }
+    Ok(meter.into_outcome(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn setup(noise: NoiseProfile) -> (Engine, Vec<ItemId>, Vec<String>) {
+        let labels = vec!["positive".to_owned(), "negative".to_owned(), "neutral".to_owned()];
+        let mut w = WorldModel::new();
+        let mut ids = Vec::new();
+        for i in 0..30 {
+            let id = w.add_item(format!("review {i}"));
+            w.set_attr(id, "label", labels[i % 3].clone());
+            ids.push(id);
+        }
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::gpt35_like().with_noise(noise);
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 31));
+        (Engine::new(Arc::new(LlmClient::new(llm)), corpus), ids, labels)
+    }
+
+    #[test]
+    fn perfect_oracle_recovers_labels() {
+        let (engine, ids, labels) = setup(NoiseProfile::perfect());
+        let out = categorize(&engine, &ids, &labels).unwrap();
+        for (i, label) in out.value.iter().enumerate() {
+            assert_eq!(label, &labels[i % 3]);
+        }
+        assert_eq!(out.calls as usize, ids.len());
+    }
+
+    #[test]
+    fn noisy_oracle_still_emits_valid_labels() {
+        let noise = NoiseProfile {
+            classify_accuracy: 0.5,
+            ..NoiseProfile::default()
+        };
+        let (engine, ids, labels) = setup(noise);
+        let out = categorize(&engine, &ids, &labels).unwrap();
+        for label in &out.value {
+            assert!(labels.contains(label));
+        }
+    }
+
+    #[test]
+    fn empty_labels_rejected() {
+        let (engine, ids, _) = setup(NoiseProfile::perfect());
+        assert!(matches!(
+            categorize(&engine, &ids, &[]),
+            Err(EngineError::InvalidInput(_))
+        ));
+    }
+}

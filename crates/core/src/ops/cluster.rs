@@ -1,0 +1,139 @@
+//! Clustering: a two-stage scheme after Jain et al. (§3.2) — discover
+//! groups on a seed batch, then assign the remaining items by comparing
+//! against group representatives.
+
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// Cluster `items` into duplicate groups.
+///
+/// Stage 1 sends the first `seed_size` items to a coarse
+/// [`TaskDescriptor::GroupEntities`] task, establishing the grouping scheme.
+/// Stage 2 assigns every remaining item by pairwise
+/// [`TaskDescriptor::SameEntity`] checks against one representative per
+/// group (first match wins; no match starts a new group).
+pub fn cluster(
+    engine: &Engine,
+    items: &[ItemId],
+    seed_size: usize,
+) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
+    if items.is_empty() {
+        return Ok(Outcome::free(Vec::new()));
+    }
+    let seed_size = seed_size.clamp(1, items.len());
+    let mut meter = CostMeter::new();
+
+    // Stage 1: coarse grouping of the seed batch.
+    let seed: Vec<ItemId> = items[..seed_size].to_vec();
+    let resp = engine.run(TaskDescriptor::GroupEntities { items: seed.clone() })?;
+    meter.add(resp.usage, engine.cost_of(resp.usage));
+    let parsed = extract::groups(&resp.text);
+    let mut groups: Vec<Vec<ItemId>> = Vec::new();
+    let mut assigned: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+    for member_texts in parsed {
+        let mut group = Vec::new();
+        for text in member_texts {
+            if let Some(id) = engine.corpus().find_by_text(&text) {
+                if seed.contains(&id) && !assigned.contains(&id) {
+                    assigned.insert(id);
+                    group.push(id);
+                }
+            }
+        }
+        if !group.is_empty() {
+            groups.push(group);
+        }
+    }
+    // Any seed item the response dropped becomes its own group.
+    for &id in &seed {
+        if !assigned.contains(&id) {
+            groups.push(vec![id]);
+        }
+    }
+
+    // Stage 2: assign the remainder against representatives.
+    for &id in &items[seed_size..] {
+        let mut placed = false;
+        for group in groups.iter_mut() {
+            let representative = group[0];
+            let resp = engine.run(TaskDescriptor::SameEntity {
+                left: id,
+                right: representative,
+            })?;
+            meter.add(resp.usage, engine.cost_of(resp.usage));
+            if extract::yes_no(&resp.text)? {
+                group.push(id);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            groups.push(vec![id]);
+        }
+    }
+    Ok(meter.into_outcome(groups))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn setup(n_clusters: usize, per_cluster: usize) -> (Engine, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let mut ids = Vec::new();
+        for c in 0..n_clusters {
+            for v in 0..per_cluster {
+                let id = w.add_item(format!("product listing {c:02} variant {v}"));
+                w.set_cluster(id, c as u64);
+                ids.push(id);
+            }
+        }
+        let corpus = Corpus::from_world(&w, &ids);
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::gpt35_like().with_noise(NoiseProfile::perfect()),
+            Arc::new(w),
+            53,
+        ));
+        (Engine::new(Arc::new(LlmClient::new(llm)), corpus), ids)
+    }
+
+    #[test]
+    fn perfect_oracle_recovers_clusters() {
+        let (engine, ids) = setup(4, 3);
+        let out = cluster(&engine, &ids, 6).unwrap();
+        assert_eq!(out.value.len(), 4);
+        let mut sizes: Vec<usize> = out.value.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3, 3, 3]);
+        // Every item appears exactly once.
+        let total: usize = out.value.iter().map(Vec::len).sum();
+        assert_eq!(total, ids.len());
+    }
+
+    #[test]
+    fn all_items_covered_even_with_small_seed() {
+        let (engine, ids) = setup(3, 4);
+        let out = cluster(&engine, &ids, 1).unwrap();
+        let total: usize = out.value.iter().map(Vec::len).sum();
+        assert_eq!(total, ids.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (engine, _) = setup(1, 2);
+        let out = cluster(&engine, &[], 5).unwrap();
+        assert!(out.value.is_empty());
+        assert_eq!(out.calls, 0);
+    }
+}

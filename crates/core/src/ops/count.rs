@@ -1,0 +1,152 @@
+//! Counting: how many items satisfy a predicate (paper §3.1, after Marcus
+//! et al.'s "Counting with the crowd").
+
+use crowdprompt_oracle::task::{CountMode, TaskDescriptor};
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// How to count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountStrategy {
+    /// Coarse: split items into batches of `batch_size` and ask the model to
+    /// eyeball-estimate each batch's count. O(n / batch) cheap tasks.
+    Eyeball {
+        /// Items per estimation prompt.
+        batch_size: usize,
+    },
+    /// Fine: check every item individually. O(n) tasks, higher accuracy.
+    PerItem,
+}
+
+/// Count how many of `items` satisfy `predicate`.
+pub fn count(
+    engine: &Engine,
+    items: &[ItemId],
+    predicate: &str,
+    strategy: CountStrategy,
+) -> Result<Outcome<u64>, EngineError> {
+    let mut meter = CostMeter::new();
+    match strategy {
+        CountStrategy::Eyeball { batch_size } => {
+            let batch_size = batch_size.max(1);
+            let tasks: Vec<TaskDescriptor> = items
+                .chunks(batch_size)
+                .map(|chunk| TaskDescriptor::CountPredicate {
+                    items: chunk.to_vec(),
+                    predicate: predicate.to_owned(),
+                    mode: CountMode::Eyeball,
+                })
+                .collect();
+            let responses = engine.run_many(tasks)?;
+            let mut total = 0u64;
+            for (resp, chunk) in responses.iter().zip(items.chunks(batch_size)) {
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                // Clamp implausible estimates to the batch size.
+                total += extract::count(&resp.text)?.min(chunk.len() as u64);
+            }
+            Ok(meter.into_outcome(total))
+        }
+        CountStrategy::PerItem => {
+            let tasks: Vec<TaskDescriptor> = items
+                .iter()
+                .map(|id| TaskDescriptor::CheckPredicate {
+                    item: *id,
+                    predicate: predicate.to_owned(),
+                })
+                .collect();
+            let responses = engine.run_many(tasks)?;
+            let mut total = 0u64;
+            for resp in &responses {
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                if extract::yes_no(&resp.text)? {
+                    total += 1;
+                }
+            }
+            Ok(meter.into_outcome(total))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn setup(n: usize, noise: NoiseProfile) -> (Engine, Vec<ItemId>, u64) {
+        let mut w = WorldModel::new();
+        let mut ids = Vec::new();
+        let mut truth = 0u64;
+        for i in 0..n {
+            let id = w.add_item(format!("record {i}"));
+            let flag = i % 4 == 0;
+            w.set_flag(id, "relevant", flag);
+            truth += u64::from(flag);
+            ids.push(id);
+        }
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::gpt35_like().with_noise(noise);
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 23));
+        let engine =
+            Engine::new(Arc::new(LlmClient::new(llm)), corpus).with_budget(Budget::Unlimited);
+        (engine, ids, truth)
+    }
+
+    #[test]
+    fn per_item_perfect_is_exact() {
+        let (engine, ids, truth) = setup(40, NoiseProfile::perfect());
+        let out = count(&engine, &ids, "relevant", CountStrategy::PerItem).unwrap();
+        assert_eq!(out.value, truth);
+        assert_eq!(out.calls as usize, ids.len());
+    }
+
+    #[test]
+    fn eyeball_is_cheaper_but_coarser() {
+        let (engine, ids, truth) = setup(80, NoiseProfile::default());
+        let coarse = count(
+            &engine,
+            &ids,
+            "relevant",
+            CountStrategy::Eyeball { batch_size: 20 },
+        )
+        .unwrap();
+        let fine = count(&engine, &ids, "relevant", CountStrategy::PerItem).unwrap();
+        assert_eq!(coarse.calls, 4);
+        assert_eq!(fine.calls, 80);
+        assert!(coarse.usage.total() < fine.usage.total());
+        // Both should land in a sane band around the truth.
+        let band = |v: u64| (v as i64 - truth as i64).unsigned_abs();
+        assert!(band(coarse.value) <= 15, "coarse {} vs {truth}", coarse.value);
+        assert!(band(fine.value) <= 10, "fine {} vs {truth}", fine.value);
+    }
+
+    #[test]
+    fn eyeball_perfect_is_exact() {
+        let (engine, ids, truth) = setup(30, NoiseProfile::perfect());
+        let out = count(
+            &engine,
+            &ids,
+            "relevant",
+            CountStrategy::Eyeball { batch_size: 10 },
+        )
+        .unwrap();
+        assert_eq!(out.value, truth);
+    }
+
+    #[test]
+    fn empty_input_is_zero_and_free() {
+        let (engine, _, _) = setup(4, NoiseProfile::perfect());
+        let out = count(&engine, &[], "relevant", CountStrategy::PerItem).unwrap();
+        assert_eq!(out.value, 0);
+        assert_eq!(out.calls, 0);
+    }
+}

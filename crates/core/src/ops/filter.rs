@@ -1,0 +1,307 @@
+//! Filtering: keep the items satisfying a predicate.
+//!
+//! §3.5's quality-control ideas apply directly here: a single per-item check
+//! is cheap but noisy; majority voting over repeated samples trades cost for
+//! accuracy (CrowdScreen-style).
+
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// How to filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterStrategy {
+    /// One check per item.
+    Single,
+    /// An odd number of independent samples per item at the given
+    /// temperature, majority wins.
+    MajorityVote {
+        /// Number of samples (should be odd).
+        votes: u32,
+        /// Sampling temperature for decorrelation (in hundredths, e.g. 70
+        /// for 0.7 — kept integral so the strategy stays `Copy + Eq`).
+        temperature_pct: u8,
+    },
+    /// One check per item, escalating to a majority vote only when the
+    /// model's answer confidence (its logprob analogue) falls below the
+    /// threshold — §3.5's "less confidence from each LLM" signal, spent
+    /// only where it matters.
+    ConfidenceGated {
+        /// Minimum confidence (percent, e.g. 70 for 0.70) to accept the
+        /// single answer.
+        min_confidence_pct: u8,
+        /// Votes for the escalation pass (should be odd).
+        votes: u32,
+    },
+}
+
+/// Filter `items` by `predicate`, returning the ids that pass, in input
+/// order.
+pub fn filter(
+    engine: &Engine,
+    items: &[ItemId],
+    predicate: &str,
+    strategy: FilterStrategy,
+) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+    let mut meter = CostMeter::new();
+    let mut kept = Vec::new();
+    match strategy {
+        FilterStrategy::Single => {
+            let tasks: Vec<TaskDescriptor> = items
+                .iter()
+                .map(|id| TaskDescriptor::CheckPredicate {
+                    item: *id,
+                    predicate: predicate.to_owned(),
+                })
+                .collect();
+            let responses = engine.run_many(tasks)?;
+            for (resp, id) in responses.iter().zip(items) {
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                if extract::yes_no(&resp.text)? {
+                    kept.push(*id);
+                }
+            }
+        }
+        FilterStrategy::ConfidenceGated {
+            min_confidence_pct,
+            votes,
+        } => {
+            let threshold = f64::from(min_confidence_pct) / 100.0;
+            let votes = votes.max(1);
+            // First pass: one call per item, keeping the confident answers.
+            let tasks: Vec<TaskDescriptor> = items
+                .iter()
+                .map(|id| TaskDescriptor::CheckPredicate {
+                    item: *id,
+                    predicate: predicate.to_owned(),
+                })
+                .collect();
+            let responses = engine.run_many(tasks)?;
+            let mut escalate: Vec<ItemId> = Vec::new();
+            let mut verdicts: Vec<(ItemId, bool)> = Vec::new();
+            for (resp, id) in responses.iter().zip(items) {
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                let answer = extract::yes_no(&resp.text)?;
+                if resp.confidence.unwrap_or(1.0) >= threshold {
+                    verdicts.push((*id, answer));
+                } else {
+                    escalate.push(*id);
+                }
+            }
+            // Escalation pass: majority vote at temperature 1 on the rest.
+            for &id in &escalate {
+                let mut yes = 0u32;
+                for s in 0..votes {
+                    let resp = engine.run_sampled(
+                        TaskDescriptor::CheckPredicate {
+                            item: id,
+                            predicate: predicate.to_owned(),
+                        },
+                        1.0,
+                        s,
+                    )?;
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    if extract::yes_no(&resp.text)? {
+                        yes += 1;
+                    }
+                }
+                verdicts.push((id, yes * 2 > votes));
+            }
+            let keep: std::collections::HashMap<ItemId, bool> =
+                verdicts.into_iter().collect();
+            for &id in items {
+                if keep.get(&id).copied().unwrap_or(false) {
+                    kept.push(id);
+                }
+            }
+        }
+        FilterStrategy::MajorityVote {
+            votes,
+            temperature_pct,
+        } => {
+            let votes = votes.max(1);
+            let temperature = f64::from(temperature_pct) / 100.0;
+            for &id in items {
+                let mut yes = 0u32;
+                for s in 0..votes {
+                    let resp = engine.run_sampled(
+                        TaskDescriptor::CheckPredicate {
+                            item: id,
+                            predicate: predicate.to_owned(),
+                        },
+                        temperature,
+                        s,
+                    )?;
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    if extract::yes_no(&resp.text)? {
+                        yes += 1;
+                    }
+                }
+                if yes * 2 > votes {
+                    kept.push(id);
+                }
+            }
+        }
+    }
+    Ok(meter.into_outcome(kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn setup(n: usize, noise: NoiseProfile) -> (Engine, Vec<ItemId>, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let mut ids = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..n {
+            let id = w.add_item(format!("snippet {i}"));
+            let positive = i % 3 == 0;
+            w.set_flag(id, "positive", positive);
+            if positive {
+                expected.push(id);
+            }
+            ids.push(id);
+        }
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::gpt35_like().with_noise(noise);
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 17));
+        let engine =
+            Engine::new(Arc::new(LlmClient::new(llm)), corpus).with_budget(Budget::Unlimited);
+        (engine, ids, expected)
+    }
+
+    #[test]
+    fn single_perfect_filter_is_exact() {
+        let (engine, ids, expected) = setup(30, NoiseProfile::perfect());
+        let out = filter(&engine, &ids, "positive", FilterStrategy::Single).unwrap();
+        assert_eq!(out.value, expected);
+        assert_eq!(out.calls as usize, ids.len());
+    }
+
+    #[test]
+    fn majority_vote_beats_single_on_noisy_oracle() {
+        let noise = NoiseProfile {
+            check_accuracy: 0.75,
+            ..NoiseProfile::perfect()
+        };
+        let (engine, ids, expected) = setup(60, noise);
+        let expected_set: std::collections::HashSet<ItemId> =
+            expected.iter().copied().collect();
+        let accuracy = |kept: &[ItemId]| {
+            let kept_set: std::collections::HashSet<ItemId> = kept.iter().copied().collect();
+            ids.iter()
+                .filter(|id| kept_set.contains(id) == expected_set.contains(id))
+                .count() as f64
+                / ids.len() as f64
+        };
+        let single = filter(&engine, &ids, "positive", FilterStrategy::Single).unwrap();
+        let voted = filter(
+            &engine,
+            &ids,
+            "positive",
+            FilterStrategy::MajorityVote {
+                votes: 5,
+                temperature_pct: 100,
+            },
+        )
+        .unwrap();
+        let a_single = accuracy(&single.value);
+        let a_voted = accuracy(&voted.value);
+        assert!(
+            a_voted >= a_single,
+            "vote {a_voted:.3} should not lose to single {a_single:.3}"
+        );
+        assert!(voted.calls > single.calls, "votes cost more calls");
+    }
+
+    #[test]
+    fn confidence_gating_escalates_only_uncertain_items() {
+        let noise = NoiseProfile {
+            check_accuracy: 0.75,
+            ..NoiseProfile::perfect()
+        };
+        let (engine, ids, expected) = setup(60, noise);
+        let expected_set: std::collections::HashSet<ItemId> =
+            expected.iter().copied().collect();
+        let accuracy = |kept: &[ItemId]| {
+            let kept_set: std::collections::HashSet<ItemId> = kept.iter().copied().collect();
+            ids.iter()
+                .filter(|id| kept_set.contains(id) == expected_set.contains(id))
+                .count() as f64
+                / ids.len() as f64
+        };
+        let single = filter(&engine, &ids, "positive", FilterStrategy::Single).unwrap();
+        let gated = filter(
+            &engine,
+            &ids,
+            "positive",
+            FilterStrategy::ConfidenceGated {
+                min_confidence_pct: 65,
+                votes: 5,
+            },
+        )
+        .unwrap();
+        let full_vote = filter(
+            &engine,
+            &ids,
+            "positive",
+            FilterStrategy::MajorityVote {
+                votes: 5,
+                temperature_pct: 100,
+            },
+        )
+        .unwrap();
+        // Gating should improve on a single pass…
+        assert!(
+            accuracy(&gated.value) >= accuracy(&single.value),
+            "gated {:.3} vs single {:.3}",
+            accuracy(&gated.value),
+            accuracy(&single.value)
+        );
+        // …at a fraction of the all-items voting cost.
+        assert!(
+            gated.calls < full_vote.calls,
+            "gated {} calls should undercut full voting {}",
+            gated.calls,
+            full_vote.calls
+        );
+        assert!(gated.calls > single.calls, "some items escalate");
+    }
+
+    #[test]
+    fn confidence_gate_with_perfect_model_never_escalates() {
+        let (engine, ids, expected) = setup(20, NoiseProfile::perfect());
+        let out = filter(
+            &engine,
+            &ids,
+            "positive",
+            FilterStrategy::ConfidenceGated {
+                min_confidence_pct: 90,
+                votes: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.value, expected);
+        assert_eq!(out.calls as usize, ids.len(), "no escalation needed");
+    }
+
+    #[test]
+    fn empty_input() {
+        let (engine, _, _) = setup(3, NoiseProfile::perfect());
+        let out = filter(&engine, &[], "positive", FilterStrategy::Single).unwrap();
+        assert!(out.value.is_empty());
+        assert_eq!(out.calls, 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Missing-value imputation strategies (paper §3.4, Table 4).
+
+use std::collections::HashMap;
+
+use crowdprompt_embed::{BruteForceIndex, Embedder, Metric, NearestNeighbors, NgramEmbedder};
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// How to impute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImputeStrategy {
+    /// Pure k-NN: impute the mode of the `k` nearest labeled records'
+    /// values. Zero LLM calls.
+    KnnOnly {
+        /// Number of neighbors (paper uses 3).
+        k: usize,
+    },
+    /// Ask the LLM for every record, with `shots` nearest labeled records
+    /// included as few-shot examples (paper tries 0 and 3).
+    LlmOnly {
+        /// Few-shot examples per prompt.
+        shots: usize,
+    },
+    /// The paper's hybrid: use the k-NN value when all `k` neighbors agree
+    /// (unanimity), otherwise fall back to the LLM (with `shots` examples).
+    Hybrid {
+        /// Number of neighbors for the gate and the k-NN value.
+        k: usize,
+        /// Few-shot examples on the LLM fallback.
+        shots: usize,
+    },
+}
+
+/// A labeled reference pool: records whose target-attribute values are
+/// known, supporting neighbor lookup by record-text embedding.
+pub struct LabeledPool {
+    items: Vec<ItemId>,
+    labels: HashMap<ItemId, String>,
+    index: BruteForceIndex,
+    embedder: NgramEmbedder,
+}
+
+impl LabeledPool {
+    /// Build a pool from labeled items, embedding their corpus texts.
+    pub fn build(
+        engine: &Engine,
+        labeled: &[(ItemId, String)],
+    ) -> Result<Self, EngineError> {
+        let embedder = NgramEmbedder::ada_like();
+        let mut items = Vec::with_capacity(labeled.len());
+        let mut labels = HashMap::with_capacity(labeled.len());
+        let mut vectors = Vec::with_capacity(labeled.len());
+        for (id, label) in labeled {
+            let text = engine
+                .corpus()
+                .text(*id)
+                .ok_or(EngineError::UnknownItem(*id))?;
+            vectors.push(embedder.embed(text));
+            items.push(*id);
+            labels.insert(*id, label.clone());
+        }
+        Ok(LabeledPool {
+            items,
+            labels,
+            index: BruteForceIndex::new(vectors, Metric::L2),
+            embedder,
+        })
+    }
+
+    /// The `k` nearest labeled records to `id` (excluding `id` itself when
+    /// it is part of the pool — leave-one-out).
+    pub fn neighbors(&self, engine: &Engine, id: ItemId, k: usize) -> Vec<ItemId> {
+        let Some(text) = engine.corpus().text(id) else {
+            return Vec::new();
+        };
+        let query = self.embedder.embed(text);
+        let exclude = self.items.iter().position(|m| *m == id);
+        let hits = match exclude {
+            Some(pos) => self.index.nearest_excluding(&query, k, pos),
+            None => self.index.nearest(&query, k),
+        };
+        hits.into_iter().map(|n| self.items[n.index]).collect()
+    }
+
+    /// The label of a pool record.
+    pub fn label(&self, id: ItemId) -> Option<&str> {
+        self.labels.get(&id).map(String::as_str)
+    }
+
+    /// Number of labeled records.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Impute `attribute` for each record in `records`, returning predicted
+/// values in input order.
+pub fn impute(
+    engine: &Engine,
+    records: &[ItemId],
+    attribute: &str,
+    pool: &LabeledPool,
+    strategy: &ImputeStrategy,
+) -> Result<Outcome<Vec<String>>, EngineError> {
+    match strategy {
+        ImputeStrategy::KnnOnly { k } => {
+            let values: Vec<String> = records
+                .iter()
+                .map(|id| knn_mode(engine, pool, *id, *k).0)
+                .collect();
+            Ok(Outcome::free(values))
+        }
+        ImputeStrategy::LlmOnly { shots } => {
+            let mut meter = CostMeter::new();
+            let tasks: Vec<TaskDescriptor> = records
+                .iter()
+                .map(|id| impute_task(engine, pool, *id, attribute, *shots))
+                .collect();
+            let responses = engine.run_many(tasks)?;
+            let mut values = Vec::with_capacity(records.len());
+            for resp in &responses {
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                values.push(extract::value(&resp.text)?);
+            }
+            Ok(meter.into_outcome(values))
+        }
+        ImputeStrategy::Hybrid { k, shots } => {
+            let mut meter = CostMeter::new();
+            // Gate: unanimous k-NN answers are free; the rest go to the LLM.
+            let mut values: Vec<Option<String>> = Vec::with_capacity(records.len());
+            let mut llm_indices: Vec<usize> = Vec::new();
+            for (i, id) in records.iter().enumerate() {
+                let (mode, unanimous) = knn_mode(engine, pool, *id, *k);
+                if unanimous && !mode.is_empty() {
+                    values.push(Some(mode));
+                } else {
+                    values.push(None);
+                    llm_indices.push(i);
+                }
+            }
+            let tasks: Vec<TaskDescriptor> = llm_indices
+                .iter()
+                .map(|&i| impute_task(engine, pool, records[i], attribute, *shots))
+                .collect();
+            let responses = engine.run_many(tasks)?;
+            for (resp, &i) in responses.iter().zip(&llm_indices) {
+                meter.add(resp.usage, engine.cost_of(resp.usage));
+                values[i] = Some(extract::value(&resp.text)?);
+            }
+            Ok(meter.into_outcome(
+                values
+                    .into_iter()
+                    .map(|v| v.expect("every slot filled"))
+                    .collect(),
+            ))
+        }
+    }
+}
+
+/// k-NN imputation: `(mode of neighbor labels, whether all neighbors agree)`.
+fn knn_mode(engine: &Engine, pool: &LabeledPool, id: ItemId, k: usize) -> (String, bool) {
+    let neighbors = pool.neighbors(engine, id, k);
+    if neighbors.is_empty() {
+        return (String::new(), false);
+    }
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for n in &neighbors {
+        if let Some(label) = pool.label(*n) {
+            *counts.entry(label).or_default() += 1;
+        }
+    }
+    if counts.is_empty() {
+        return (String::new(), false);
+    }
+    let unanimous = counts.len() == 1 && neighbors.len() == k;
+    let mode = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(v, _)| (*v).to_owned())
+        .unwrap_or_default();
+    (mode, unanimous)
+}
+
+fn impute_task(
+    engine: &Engine,
+    pool: &LabeledPool,
+    id: ItemId,
+    attribute: &str,
+    shots: usize,
+) -> TaskDescriptor {
+    let examples: Vec<(ItemId, String)> = if shots == 0 {
+        Vec::new()
+    } else {
+        pool.neighbors(engine, id, shots)
+            .into_iter()
+            .filter_map(|n| pool.label(n).map(|l| (n, l.to_owned())))
+            .collect()
+    };
+    TaskDescriptor::Impute {
+        item: id,
+        attribute: attribute.to_owned(),
+        examples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    /// Records in two well-separated text clusters with distinct labels,
+    /// plus (optionally) ambiguous records between them.
+    fn impute_world(
+        per_cluster: usize,
+        ambiguous: usize,
+    ) -> (WorldModel, Vec<ItemId>, HashMap<ItemId, String>) {
+        let mut w = WorldModel::new();
+        let mut ids = Vec::new();
+        let mut gold = HashMap::new();
+        for i in 0..per_cluster {
+            let id = w.add_item(format!(
+                "name is mission taqueria {i}; street is valencia; area is 415"
+            ));
+            w.set_attr(id, "city", "san francisco");
+            gold.insert(id, "san francisco".to_owned());
+            ids.push(id);
+        }
+        for i in 0..per_cluster {
+            let id = w.add_item(format!(
+                "name is shattuck bistro {i}; street is shattuck; area is 510"
+            ));
+            w.set_attr(id, "city", "berkeley");
+            gold.insert(id, "berkeley".to_owned());
+            ids.push(id);
+        }
+        for i in 0..ambiguous {
+            // Texts that straddle the two clusters.
+            let id = w.add_item(format!("name is corner diner {i}; street is main"));
+            let city = if i % 2 == 0 { "san francisco" } else { "berkeley" };
+            w.set_attr(id, "city", city);
+            gold.insert(id, city.to_owned());
+            ids.push(id);
+        }
+        (w, ids, gold)
+    }
+
+    fn engine_over(w: WorldModel, ids: &[ItemId], noise: NoiseProfile) -> Engine {
+        let corpus = Corpus::from_world(&w, ids);
+        let profile = ModelProfile::claude2_like().with_noise(noise);
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 13));
+        Engine::new(Arc::new(LlmClient::new(llm)), corpus).with_budget(Budget::Unlimited)
+    }
+
+    fn labeled(ids: &[ItemId], gold: &HashMap<ItemId, String>) -> Vec<(ItemId, String)> {
+        ids.iter().map(|id| (*id, gold[id].clone())).collect()
+    }
+
+    #[test]
+    fn knn_only_is_free_and_accurate_on_separated_clusters() {
+        let (w, ids, gold) = impute_world(10, 0);
+        let engine = engine_over(w, &ids, NoiseProfile::perfect());
+        let pool = LabeledPool::build(&engine, &labeled(&ids, &gold)).unwrap();
+        let out = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::KnnOnly { k: 3 },
+        )
+        .unwrap();
+        assert_eq!(out.calls, 0);
+        assert_eq!(out.cost_usd, 0.0);
+        let correct = out
+            .value
+            .iter()
+            .zip(&ids)
+            .filter(|(v, id)| *v == &gold[*id])
+            .count();
+        assert_eq!(correct, ids.len(), "leave-one-out k-NN should be exact here");
+    }
+
+    #[test]
+    fn llm_only_perfect_oracle_exact() {
+        let (w, ids, gold) = impute_world(5, 2);
+        let engine = engine_over(w, &ids, NoiseProfile::perfect());
+        let pool = LabeledPool::build(&engine, &labeled(&ids, &gold)).unwrap();
+        let out = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::LlmOnly { shots: 0 },
+        )
+        .unwrap();
+        assert_eq!(out.calls as usize, ids.len());
+        for (v, id) in out.value.iter().zip(&ids) {
+            assert_eq!(v, &gold[id]);
+        }
+    }
+
+    #[test]
+    fn hybrid_calls_llm_only_for_ambiguous_records() {
+        let (w, ids, gold) = impute_world(10, 6);
+        let engine = engine_over(w, &ids, NoiseProfile::perfect());
+        let pool = LabeledPool::build(&engine, &labeled(&ids, &gold)).unwrap();
+        let out = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::Hybrid { k: 3, shots: 0 },
+        )
+        .unwrap();
+        assert!(
+            (out.calls as usize) < ids.len(),
+            "gate should divert some records from the LLM: {} of {}",
+            out.calls,
+            ids.len()
+        );
+        assert!(out.calls > 0, "ambiguous records should reach the LLM");
+        for (v, id) in out.value.iter().zip(&ids) {
+            assert_eq!(v, &gold[id]);
+        }
+    }
+
+    #[test]
+    fn hybrid_cheaper_than_llm_only() {
+        let (w, ids, gold) = impute_world(12, 4);
+        let engine = engine_over(w, &ids, NoiseProfile::default());
+        let pool = LabeledPool::build(&engine, &labeled(&ids, &gold)).unwrap();
+        let hybrid = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::Hybrid { k: 3, shots: 3 },
+        )
+        .unwrap();
+        let llm_only = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::LlmOnly { shots: 3 },
+        )
+        .unwrap();
+        assert!(hybrid.usage.total() < llm_only.usage.total());
+    }
+
+    #[test]
+    fn shots_increase_prompt_tokens() {
+        let (w, ids, gold) = impute_world(8, 0);
+        let engine = engine_over(w, &ids, NoiseProfile::perfect());
+        let pool = LabeledPool::build(&engine, &labeled(&ids, &gold)).unwrap();
+        let zero = impute(&engine, &ids, "city", &pool, &ImputeStrategy::LlmOnly { shots: 0 })
+            .unwrap();
+        let three = impute(&engine, &ids, "city", &pool, &ImputeStrategy::LlmOnly { shots: 3 })
+            .unwrap();
+        assert!(three.usage.prompt_tokens > zero.usage.prompt_tokens);
+    }
+
+    #[test]
+    fn empty_pool_degrades_gracefully() {
+        let (w, ids, _) = impute_world(3, 0);
+        let engine = engine_over(w, &ids, NoiseProfile::perfect());
+        let pool = LabeledPool::build(&engine, &[]).unwrap();
+        assert!(pool.is_empty());
+        let out = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::KnnOnly { k: 3 },
+        )
+        .unwrap();
+        assert!(out.value.iter().all(String::is_empty));
+    }
+}

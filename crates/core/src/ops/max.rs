@@ -1,0 +1,274 @@
+//! Max-finding (paper §3.2, after Khan et al.'s dynamic max discovery and
+//! Guo et al.'s "So who won?").
+
+use crowdprompt_oracle::task::{SortCriterion, TaskDescriptor};
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// How to find the maximum item under the criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxStrategy {
+    /// Single-elimination tournament of pairwise comparisons: n-1 calls,
+    /// but one bad comparison can eliminate the true max.
+    Tournament,
+    /// Khan-style hybrid: cheap ratings bucketize all items, then a
+    /// round-robin playoff among the top-rated items (with consistency
+    /// repair) picks the winner. More accurate than a tournament at similar
+    /// cost when the rating stage prunes well.
+    RateThenPlayoff {
+        /// Rating scale granularity.
+        buckets: u8,
+        /// How many top items enter the playoff.
+        playoff_size: usize,
+    },
+}
+
+/// Find the item ranking first under the criterion.
+pub fn find_max(
+    engine: &Engine,
+    items: &[ItemId],
+    criterion: SortCriterion,
+    strategy: MaxStrategy,
+) -> Result<Outcome<ItemId>, EngineError> {
+    if items.is_empty() {
+        return Err(EngineError::InvalidInput("find_max over no items".into()));
+    }
+    if items.len() == 1 {
+        return Ok(Outcome::free(items[0]));
+    }
+    match strategy {
+        MaxStrategy::Tournament => tournament(engine, items, criterion),
+        MaxStrategy::RateThenPlayoff {
+            buckets,
+            playoff_size,
+        } => rate_then_playoff(engine, items, criterion, buckets, playoff_size),
+    }
+}
+
+fn tournament(
+    engine: &Engine,
+    items: &[ItemId],
+    criterion: SortCriterion,
+) -> Result<Outcome<ItemId>, EngineError> {
+    let mut meter = CostMeter::new();
+    let mut round: Vec<ItemId> = items.to_vec();
+    while round.len() > 1 {
+        let mut tasks = Vec::with_capacity(round.len() / 2);
+        for pair in round.chunks(2) {
+            if pair.len() == 2 {
+                tasks.push(TaskDescriptor::Compare {
+                    left: pair[0],
+                    right: pair[1],
+                    criterion,
+                });
+            }
+        }
+        let responses = engine.run_many(tasks)?;
+        let mut next: Vec<ItemId> = Vec::with_capacity(round.len().div_ceil(2));
+        let mut r = 0usize;
+        for pair in round.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0]); // bye
+                continue;
+            }
+            let resp = &responses[r];
+            r += 1;
+            meter.add(resp.usage, engine.cost_of(resp.usage));
+            next.push(if extract::yes_no(&resp.text)? {
+                pair[0]
+            } else {
+                pair[1]
+            });
+        }
+        round = next;
+    }
+    Ok(meter.into_outcome(round[0]))
+}
+
+fn rate_then_playoff(
+    engine: &Engine,
+    items: &[ItemId],
+    criterion: SortCriterion,
+    buckets: u8,
+    playoff_size: usize,
+) -> Result<Outcome<ItemId>, EngineError> {
+    let buckets = buckets.max(2);
+    let playoff_size = playoff_size.max(2);
+    let mut meter = CostMeter::new();
+    // Coarse: rate everything.
+    let tasks: Vec<TaskDescriptor> = items
+        .iter()
+        .map(|id| TaskDescriptor::Rate {
+            item: *id,
+            scale_min: 1,
+            scale_max: buckets,
+            criterion,
+        })
+        .collect();
+    let responses = engine.run_many(tasks)?;
+    let mut rated: Vec<(u8, ItemId)> = Vec::with_capacity(items.len());
+    for (resp, id) in responses.iter().zip(items) {
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        rated.push((extract::rating(&resp.text)?, *id));
+    }
+    match criterion {
+        SortCriterion::LatentScore => rated.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1))),
+        SortCriterion::Lexicographic => rated.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1))),
+    }
+    let finalists: Vec<ItemId> = rated
+        .iter()
+        .take(playoff_size)
+        .map(|(_, id)| *id)
+        .collect();
+    // Fine: round-robin among finalists with consistency repair.
+    let m = finalists.len();
+    let mut tasks = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            tasks.push(TaskDescriptor::Compare {
+                left: finalists[i],
+                right: finalists[j],
+                criterion,
+            });
+        }
+    }
+    let responses = engine.run_many(tasks)?;
+    let mut beats = vec![vec![false; m]; m];
+    let mut k = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let resp = &responses[k];
+            k += 1;
+            meter.add(resp.usage, engine.cost_of(resp.usage));
+            if extract::yes_no(&resp.text)? {
+                beats[i][j] = true;
+            } else {
+                beats[j][i] = true;
+            }
+        }
+    }
+    let order = crate::consistency::repair_ranking(m, &|a, b| beats[a][b], 12);
+    Ok(meter.into_outcome(finalists[order[0]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn setup(n: usize, noise: NoiseProfile, seed: u64) -> (Engine, Vec<ItemId>, ItemId) {
+        let mut w = WorldModel::new();
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = w.add_item(format!("candidate {i}"));
+            w.set_score(id, i as f64 / n as f64);
+            ids.push(id);
+        }
+        let best = *ids.last().unwrap();
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::gpt35_like().with_noise(noise);
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), seed));
+        let engine =
+            Engine::new(Arc::new(LlmClient::new(llm)), corpus).with_budget(Budget::Unlimited);
+        (engine, ids, best)
+    }
+
+    #[test]
+    fn tournament_perfect_finds_max() {
+        let (engine, ids, best) = setup(16, NoiseProfile::perfect(), 1);
+        let out = find_max(&engine, &ids, SortCriterion::LatentScore, MaxStrategy::Tournament)
+            .unwrap();
+        assert_eq!(out.value, best);
+        assert_eq!(out.calls, 15);
+    }
+
+    #[test]
+    fn tournament_handles_odd_sizes() {
+        let (engine, ids, best) = setup(7, NoiseProfile::perfect(), 2);
+        let out = find_max(&engine, &ids, SortCriterion::LatentScore, MaxStrategy::Tournament)
+            .unwrap();
+        assert_eq!(out.value, best);
+        assert_eq!(out.calls, 6);
+    }
+
+    #[test]
+    fn playoff_perfect_finds_max() {
+        let (engine, ids, best) = setup(20, NoiseProfile::perfect(), 3);
+        let out = find_max(
+            &engine,
+            &ids,
+            SortCriterion::LatentScore,
+            MaxStrategy::RateThenPlayoff {
+                buckets: 7,
+                playoff_size: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.value, best);
+    }
+
+    #[test]
+    fn playoff_beats_tournament_under_noise() {
+        // Noisy comparator; run over many seeds and compare hit rates.
+        let noise = NoiseProfile {
+            compare_sigma: 0.3,
+            rate_sigma: 0.08,
+            position_bias: 0.0,
+            ..NoiseProfile::perfect()
+        };
+        let mut tournament_hits = 0;
+        let mut playoff_hits = 0;
+        for seed in 0..30 {
+            let (engine, ids, best) = setup(16, noise.clone(), seed);
+            let t = find_max(&engine, &ids, SortCriterion::LatentScore, MaxStrategy::Tournament)
+                .unwrap();
+            if t.value == best {
+                tournament_hits += 1;
+            }
+            let p = find_max(
+                &engine,
+                &ids,
+                SortCriterion::LatentScore,
+                MaxStrategy::RateThenPlayoff {
+                    buckets: 7,
+                    playoff_size: 4,
+                },
+            )
+            .unwrap();
+            if p.value == best {
+                playoff_hits += 1;
+            }
+        }
+        assert!(
+            playoff_hits >= tournament_hits,
+            "playoff {playoff_hits}/30 vs tournament {tournament_hits}/30"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (engine, ids, _) = setup(3, NoiseProfile::perfect(), 4);
+        assert!(find_max(&engine, &[], SortCriterion::LatentScore, MaxStrategy::Tournament)
+            .is_err());
+        let out = find_max(
+            &engine,
+            &ids[..1],
+            SortCriterion::LatentScore,
+            MaxStrategy::Tournament,
+        )
+        .unwrap();
+        assert_eq!(out.value, ids[0]);
+        assert_eq!(out.calls, 0);
+    }
+}

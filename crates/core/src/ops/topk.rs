@@ -1,0 +1,167 @@
+//! Top-k selection: a coarse rating shortlist followed by fine pairwise
+//! ranking of the shortlist (§3.2's coarse→fine pattern applied to top-k).
+
+use crowdprompt_oracle::task::{SortCriterion, TaskDescriptor};
+use crowdprompt_oracle::world::ItemId;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// Return the top `k` items under the criterion, best first.
+///
+/// Ratings shortlist `shortlist_factor * k` candidates cheaply; the
+/// shortlist is then ranked exactly with pairwise comparisons and
+/// consistency repair.
+pub fn top_k(
+    engine: &Engine,
+    items: &[ItemId],
+    criterion: SortCriterion,
+    k: usize,
+    shortlist_factor: usize,
+) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+    if k == 0 {
+        return Ok(Outcome::free(Vec::new()));
+    }
+    if items.len() <= k {
+        // Everything qualifies; rank them all pairwise.
+        return rank_exactly(engine, items, criterion).map(|o| o.map(|v| v));
+    }
+    let mut meter = CostMeter::new();
+    // Coarse shortlist by rating.
+    let tasks: Vec<TaskDescriptor> = items
+        .iter()
+        .map(|id| TaskDescriptor::Rate {
+            item: *id,
+            scale_min: 1,
+            scale_max: 7,
+            criterion,
+        })
+        .collect();
+    let responses = engine.run_many(tasks)?;
+    let mut rated: Vec<(u8, ItemId)> = Vec::with_capacity(items.len());
+    for (resp, id) in responses.iter().zip(items) {
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        rated.push((extract::rating(&resp.text)?, *id));
+    }
+    match criterion {
+        SortCriterion::LatentScore => rated.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1))),
+        SortCriterion::Lexicographic => rated.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1))),
+    }
+    let shortlist_len = (k * shortlist_factor.max(1)).min(items.len());
+    let shortlist: Vec<ItemId> = rated
+        .iter()
+        .take(shortlist_len)
+        .map(|(_, id)| *id)
+        .collect();
+    // Fine ranking of the shortlist.
+    let ranked = rank_exactly(engine, &shortlist, criterion)?;
+    meter.usage += ranked.usage;
+    meter.calls += ranked.calls;
+    meter.cost_usd += ranked.cost_usd;
+    let top: Vec<ItemId> = ranked.value.into_iter().take(k).collect();
+    Ok(meter.into_outcome(top))
+}
+
+fn rank_exactly(
+    engine: &Engine,
+    items: &[ItemId],
+    criterion: SortCriterion,
+) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+    let m = items.len();
+    if m <= 1 {
+        return Ok(Outcome::free(items.to_vec()));
+    }
+    let mut meter = CostMeter::new();
+    let mut tasks = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            tasks.push(TaskDescriptor::Compare {
+                left: items[i],
+                right: items[j],
+                criterion,
+            });
+        }
+    }
+    let responses = engine.run_many(tasks)?;
+    let mut beats = vec![vec![false; m]; m];
+    let mut idx = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let resp = &responses[idx];
+            idx += 1;
+            meter.add(resp.usage, engine.cost_of(resp.usage));
+            if extract::yes_no(&resp.text)? {
+                beats[i][j] = true;
+            } else {
+                beats[j][i] = true;
+            }
+        }
+    }
+    let order = crate::consistency::repair_ranking(m, &|a, b| beats[a][b], 12);
+    Ok(meter.into_outcome(order.into_iter().map(|i| items[i]).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn setup(n: usize) -> (Engine, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..n)
+            .map(|i| {
+                let id = w.add_item(format!("entry {i:02}"));
+                w.set_score(id, i as f64 / n as f64);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::gpt35_like().with_noise(NoiseProfile::perfect()),
+            Arc::new(w),
+            41,
+        ));
+        (Engine::new(Arc::new(LlmClient::new(llm)), corpus), ids)
+    }
+
+    #[test]
+    fn perfect_top_k_is_exact() {
+        let (engine, ids) = setup(20);
+        let out = top_k(&engine, &ids, SortCriterion::LatentScore, 3, 2).unwrap();
+        // Highest scores are the last ids.
+        assert_eq!(out.value, vec![ids[19], ids[18], ids[17]]);
+    }
+
+    #[test]
+    fn k_zero_is_free() {
+        let (engine, ids) = setup(5);
+        let out = top_k(&engine, &ids, SortCriterion::LatentScore, 0, 3).unwrap();
+        assert!(out.value.is_empty());
+        assert_eq!(out.calls, 0);
+    }
+
+    #[test]
+    fn k_geq_n_ranks_everything() {
+        let (engine, ids) = setup(4);
+        let out = top_k(&engine, &ids, SortCriterion::LatentScore, 10, 3).unwrap();
+        assert_eq!(out.value.len(), 4);
+        assert_eq!(out.value[0], ids[3]);
+    }
+
+    #[test]
+    fn shortlist_caps_fine_stage_cost() {
+        let (engine, ids) = setup(30);
+        let narrow = top_k(&engine, &ids, SortCriterion::LatentScore, 2, 2).unwrap();
+        let wide = top_k(&engine, &ids, SortCriterion::LatentScore, 2, 6).unwrap();
+        assert!(narrow.calls < wide.calls);
+        assert_eq!(narrow.value, wide.value, "both find the same top-2 here");
+    }
+}

@@ -1,0 +1,547 @@
+//! Quality control (paper §3.5): accuracy estimation on validation sets,
+//! self-consistency voting, Dawid–Skene EM across models, and
+//! self-verification.
+
+use std::collections::HashMap;
+
+use crowdprompt_oracle::task::TaskDescriptor;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::extract;
+use crate::outcome::{CostMeter, Outcome};
+
+/// Majority vote over extracted string answers (case-insensitive); `None`
+/// for an empty slate. Ties break toward the lexicographically smallest
+/// answer for determinism.
+pub fn majority_vote(answers: &[String]) -> Option<String> {
+    if answers.is_empty() {
+        return None;
+    }
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for a in answers {
+        *counts.entry(a.trim().to_lowercase()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(a, _)| a)
+}
+
+/// Self-consistency (Wang et al., cited in §3.5): sample the same task
+/// `samples` times at `temperature`, extract yes/no answers, majority-vote.
+pub fn self_consistent_yes_no(
+    engine: &Engine,
+    task: TaskDescriptor,
+    samples: u32,
+    temperature: f64,
+) -> Result<Outcome<bool>, EngineError> {
+    let samples = samples.max(1);
+    let mut meter = CostMeter::new();
+    let mut yes = 0u32;
+    for s in 0..samples {
+        let resp = engine.run_sampled(task.clone(), temperature, s)?;
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        if extract::yes_no(&resp.text)? {
+            yes += 1;
+        }
+    }
+    Ok(meter.into_outcome(yes * 2 > samples))
+}
+
+/// Estimate a model's accuracy on a task type from a labelled validation
+/// set: run each task, compare the extracted yes/no answer to gold.
+pub fn estimate_accuracy_yes_no(
+    engine: &Engine,
+    tasks: &[(TaskDescriptor, bool)],
+) -> Result<Outcome<f64>, EngineError> {
+    if tasks.is_empty() {
+        return Err(EngineError::InvalidInput(
+            "accuracy estimation needs a non-empty validation set".into(),
+        ));
+    }
+    let mut meter = CostMeter::new();
+    let responses = engine.run_many(tasks.iter().map(|(t, _)| t.clone()).collect())?;
+    let mut correct = 0usize;
+    for (resp, (_, gold)) in responses.iter().zip(tasks) {
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        if extract::yes_no(&resp.text)? == *gold {
+            correct += 1;
+        }
+    }
+    Ok(meter.into_outcome(correct as f64 / tasks.len() as f64))
+}
+
+/// Ask the model to verify a previously produced answer; `true` = endorsed.
+pub fn verify_answer(
+    engine: &Engine,
+    original: TaskDescriptor,
+    proposed_answer: &str,
+) -> Result<Outcome<bool>, EngineError> {
+    let mut meter = CostMeter::new();
+    let resp = engine.run(TaskDescriptor::Verify {
+        original: Box::new(original),
+        proposed_answer: proposed_answer.to_owned(),
+    })?;
+    meter.add(resp.usage, engine.cost_of(resp.usage));
+    let verdict = extract::yes_no(&resp.text)?;
+    Ok(meter.into_outcome(verdict))
+}
+
+/// Ask → verify → retry loop (§3.5's "have the LLM verify its own response
+/// as a followup", made into a repair mechanism): answer the yes/no task,
+/// ask the verifier whether the answer is right, and on rejection flip to a
+/// fresh sample — up to `max_rounds` rounds, keeping the last answer if the
+/// verifier never approves.
+///
+/// Returns `(answer, rounds_used)`.
+pub fn ask_with_verification(
+    engine: &Engine,
+    task: TaskDescriptor,
+    max_rounds: u32,
+) -> Result<Outcome<(bool, u32)>, EngineError> {
+    let mut meter = CostMeter::new();
+    let mut rounds = 0u32;
+    let mut answer = false;
+    while rounds < max_rounds.max(1) {
+        // Fresh sample each round (temperature 1 after the first).
+        let resp = if rounds == 0 {
+            engine.run(task.clone())?
+        } else {
+            engine.run_sampled(task.clone(), 1.0, rounds)?
+        };
+        meter.add(resp.usage, engine.cost_of(resp.usage));
+        answer = extract::yes_no(&resp.text)?;
+        rounds += 1;
+        // Verification pass.
+        let verdict = engine.run(TaskDescriptor::Verify {
+            original: Box::new(task.clone()),
+            proposed_answer: if answer { "yes".into() } else { "no".into() },
+        })?;
+        meter.add(verdict.usage, engine.cost_of(verdict.usage));
+        if extract::yes_no(&verdict.text)? {
+            break;
+        }
+    }
+    Ok(meter.into_outcome((answer, rounds)))
+}
+
+// ---------------------------------------------------------------------------
+// Threshold calibration
+// ---------------------------------------------------------------------------
+
+/// Pick the decision threshold on a `[0, 1]` score (e.g. a vote fraction or
+/// posterior) that maximizes F1 against validation gold labels — §3.5's
+/// "debias or better calibrate LLM answers", in the form crowdsourcing
+/// pipelines use it.
+///
+/// Returns `(threshold, f1_at_threshold)`; `None` for empty or
+/// positives-free input. Candidate thresholds are the observed score values
+/// (sufficient: F1 only changes at observed scores).
+pub fn calibrate_threshold(scores: &[f64], gold: &[bool]) -> Option<(f64, f64)> {
+    assert_eq!(scores.len(), gold.len(), "length mismatch");
+    if scores.is_empty() || !gold.iter().any(|g| *g) {
+        return None;
+    }
+    let mut candidates: Vec<f64> = scores.to_vec();
+    candidates.push(0.0);
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+    let mut best: Option<(f64, f64)> = None;
+    for &t in &candidates {
+        let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);
+        for (&s, &g) in scores.iter().zip(gold) {
+            let predicted = s >= t;
+            match (predicted, g) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+        if tp == 0 {
+            continue;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / (tp + fn_) as f64;
+        let f1 = 2.0 * precision * recall / (precision + recall);
+        if best.map_or(true, |(_, bf)| f1 > bf) {
+            best = Some((t, f1));
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Dawid–Skene EM
+// ---------------------------------------------------------------------------
+
+/// Output of [`dawid_skene`]: per-item posteriors and per-worker accuracies.
+#[derive(Debug, Clone)]
+pub struct DawidSkeneResult {
+    /// P(true answer = yes) per item.
+    pub posteriors: Vec<f64>,
+    /// Estimated accuracy per worker (probability of answering correctly).
+    pub worker_accuracy: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: usize,
+}
+
+impl DawidSkeneResult {
+    /// Hard labels from the posteriors (`>= 0.5` ⇒ yes).
+    pub fn labels(&self) -> Vec<bool> {
+        self.posteriors.iter().map(|p| *p >= 0.5).collect()
+    }
+}
+
+/// Two-class Dawid–Skene EM (§3.5, after Ipeirotis et al.): given a
+/// `votes[worker][item]` matrix of optional yes/no answers from several
+/// independent models with fixed-but-unknown accuracies, jointly estimate
+/// per-item truths and per-worker accuracies. Symmetric error model (one
+/// accuracy per worker).
+///
+/// # Panics
+/// Panics if worker rows have inconsistent lengths.
+pub fn dawid_skene(votes: &[Vec<Option<bool>>], max_iter: usize) -> DawidSkeneResult {
+    let n_workers = votes.len();
+    let n_items = votes.first().map_or(0, Vec::len);
+    for row in votes {
+        assert_eq!(row.len(), n_items, "ragged vote matrix");
+    }
+    // Initialize posteriors from unweighted majority vote.
+    let mut posteriors: Vec<f64> = (0..n_items)
+        .map(|i| {
+            let (mut yes, mut total) = (0.0f64, 0.0f64);
+            for row in votes {
+                if let Some(v) = row[i] {
+                    total += 1.0;
+                    if v {
+                        yes += 1.0;
+                    }
+                }
+            }
+            if total == 0.0 {
+                0.5
+            } else {
+                yes / total
+            }
+        })
+        .collect();
+    let mut accuracy = vec![0.75f64; n_workers];
+    let mut iterations = 0usize;
+    for _ in 0..max_iter {
+        iterations += 1;
+        // M step (prior): estimate class prevalence from the soft labels —
+        // without this, imbalanced truth pulls EM to a poor fixed point.
+        let prior = if n_items == 0 {
+            0.5
+        } else {
+            (posteriors.iter().sum::<f64>() / n_items as f64).clamp(0.01, 0.99)
+        };
+        // M step: re-estimate worker accuracies from soft labels.
+        let mut new_acc = Vec::with_capacity(n_workers);
+        for row in votes {
+            let (mut agree, mut total) = (0.0f64, 0.0f64);
+            for (i, vote) in row.iter().enumerate() {
+                if let Some(v) = vote {
+                    total += 1.0;
+                    agree += if *v {
+                        posteriors[i]
+                    } else {
+                        1.0 - posteriors[i]
+                    };
+                }
+            }
+            // Clamp away from 0/1 to keep the E step numerically stable.
+            new_acc.push(if total == 0.0 {
+                0.5
+            } else {
+                (agree / total).clamp(0.01, 0.99)
+            });
+        }
+        // E step: recompute posteriors from accuracies and the class prior.
+        let mut new_post = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            let (mut log_yes, mut log_no) = (prior.ln(), (1.0 - prior).ln());
+            for (w, row) in votes.iter().enumerate() {
+                if let Some(v) = row[i] {
+                    let a = new_acc[w];
+                    if v {
+                        log_yes += a.ln();
+                        log_no += (1.0 - a).ln();
+                    } else {
+                        log_yes += (1.0 - a).ln();
+                        log_no += a.ln();
+                    }
+                }
+            }
+            let m = log_yes.max(log_no);
+            let py = (log_yes - m).exp();
+            let pn = (log_no - m).exp();
+            new_post.push(py / (py + pn));
+        }
+        // Convergence check.
+        let delta: f64 = new_post
+            .iter()
+            .zip(&posteriors)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            + new_acc
+                .iter()
+                .zip(&accuracy)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+        posteriors = new_post;
+        accuracy = new_acc;
+        if delta < 1e-9 {
+            break;
+        }
+    }
+    DawidSkeneResult {
+        posteriors,
+        worker_accuracy: accuracy,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::{ItemId, WorldModel};
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    #[test]
+    fn majority_vote_basics() {
+        assert_eq!(majority_vote(&[]), None);
+        let answers = vec!["Yes".to_owned(), "yes ".to_owned(), "No".to_owned()];
+        assert_eq!(majority_vote(&answers), Some("yes".to_owned()));
+        // Deterministic tie-break.
+        let tie = vec!["b".to_owned(), "a".to_owned()];
+        assert_eq!(majority_vote(&tie), Some("a".to_owned()));
+    }
+
+    fn noisy_engine(check_accuracy: f64) -> (Engine, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..20)
+            .map(|i| {
+                let id = w.add_item(format!("item {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::gpt35_like().with_noise(NoiseProfile {
+            check_accuracy,
+            malformed_rate: 0.0,
+            ..NoiseProfile::perfect()
+        });
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 61));
+        (Engine::new(Arc::new(LlmClient::new(llm)), corpus), ids)
+    }
+
+    #[test]
+    fn accuracy_estimation_tracks_noise() {
+        let (engine, ids) = noisy_engine(0.8);
+        let tasks: Vec<(TaskDescriptor, bool)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                (
+                    TaskDescriptor::CheckPredicate {
+                        item: *id,
+                        predicate: "p".into(),
+                    },
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        let out = estimate_accuracy_yes_no(&engine, &tasks).unwrap();
+        assert!(
+            (0.55..=1.0).contains(&out.value),
+            "estimated accuracy {}",
+            out.value
+        );
+        assert_eq!(out.calls as usize, ids.len());
+    }
+
+    #[test]
+    fn accuracy_estimation_rejects_empty() {
+        let (engine, _) = noisy_engine(1.0);
+        assert!(matches!(
+            estimate_accuracy_yes_no(&engine, &[]),
+            Err(EngineError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn self_consistency_improves_over_single_sample() {
+        let (engine, ids) = noisy_engine(0.7);
+        let task = TaskDescriptor::CheckPredicate {
+            item: ids[0], // flag is true
+            predicate: "p".into(),
+        };
+        let out = self_consistent_yes_no(&engine, task, 9, 1.0).unwrap();
+        assert!(out.value, "9-vote majority should recover the true flag");
+        assert_eq!(out.calls, 9);
+    }
+
+    #[test]
+    fn verification_loop_repairs_wrong_answers() {
+        // Weak answerer, strong verifier: the loop should converge on truth
+        // far more often than a single call.
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..40)
+            .map(|i| {
+                let id = w.add_item(format!("statement {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::gpt35_like().with_noise(NoiseProfile {
+            check_accuracy: 0.6,
+            verify_accuracy: 0.95,
+            malformed_rate: 0.0,
+            ..NoiseProfile::perfect()
+        });
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 71));
+        let engine = Engine::new(
+            Arc::new(LlmClient::new(llm).without_cache()),
+            corpus,
+        );
+        let mut single_correct = 0usize;
+        let mut verified_correct = 0usize;
+        let mut extra_rounds = 0u32;
+        for (i, id) in ids.iter().enumerate() {
+            let truth = i % 2 == 0;
+            let task = TaskDescriptor::CheckPredicate {
+                item: *id,
+                predicate: "p".into(),
+            };
+            let single = engine.run(task.clone()).unwrap();
+            if crate::extract::yes_no(&single.text).unwrap() == truth {
+                single_correct += 1;
+            }
+            let out = ask_with_verification(&engine, task, 4).unwrap();
+            if out.value.0 == truth {
+                verified_correct += 1;
+            }
+            extra_rounds += out.value.1 - 1;
+        }
+        assert!(
+            verified_correct > single_correct,
+            "verified {verified_correct} should beat single {single_correct}"
+        );
+        assert!(extra_rounds > 0, "some answers should get retried");
+    }
+
+    #[test]
+    fn verification_loop_stops_immediately_when_approved() {
+        let mut w = WorldModel::new();
+        let id = w.add_item("x");
+        w.set_flag(id, "p", true);
+        let corpus = Corpus::from_world(&w, &[id]);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 3));
+        let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus);
+        let out = ask_with_verification(
+            &engine,
+            TaskDescriptor::CheckPredicate {
+                item: id,
+                predicate: "p".into(),
+            },
+            5,
+        )
+        .unwrap();
+        assert_eq!(out.value, (true, 1));
+        assert_eq!(out.calls, 2, "one ask + one verification");
+    }
+
+    #[test]
+    fn verify_answer_roundtrip() {
+        let (engine, ids) = noisy_engine(1.0);
+        let task = TaskDescriptor::CheckPredicate {
+            item: ids[0],
+            predicate: "p".into(),
+        };
+        let ok = verify_answer(&engine, task.clone(), "yes").unwrap();
+        assert!(ok.value);
+        let bad = verify_answer(&engine, task, "no").unwrap();
+        assert!(!bad.value);
+    }
+
+    #[test]
+    fn dawid_skene_recovers_truth_and_worker_quality() {
+        use rand::{Rng, SeedableRng};
+        let n_items = 200;
+        let truth: Vec<bool> = (0..n_items).map(|i| i % 3 == 0).collect();
+        let worker_acc = [0.95, 0.7, 0.55];
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let votes: Vec<Vec<Option<bool>>> = worker_acc
+            .iter()
+            .map(|acc| {
+                truth
+                    .iter()
+                    .map(|t| Some(if rng.random_bool(*acc) { *t } else { !*t }))
+                    .collect()
+            })
+            .collect();
+        let result = dawid_skene(&votes, 50);
+        // Labels should beat the worst worker and approach the best.
+        let labels = result.labels();
+        let correct = labels.iter().zip(&truth).filter(|(a, b)| a == b).count();
+        let acc = correct as f64 / n_items as f64;
+        assert!(acc > 0.9, "EM accuracy {acc}");
+        // Worker quality ordering recovered.
+        assert!(result.worker_accuracy[0] > result.worker_accuracy[1]);
+        assert!(result.worker_accuracy[1] > result.worker_accuracy[2]);
+    }
+
+    #[test]
+    fn calibrate_threshold_finds_separating_point() {
+        // Scores cleanly separate at 0.5.
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2, 0.1];
+        let gold = [true, true, true, false, false, false];
+        let (t, f1) = calibrate_threshold(&scores, &gold).unwrap();
+        assert!((0.3..=0.7).contains(&t), "threshold {t}");
+        assert!((f1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrate_threshold_trades_precision_for_recall() {
+        // A biased scorer: positives all score >= 0.4, negatives up to 0.5.
+        let scores = [0.9, 0.6, 0.45, 0.4, 0.5, 0.3, 0.2, 0.1];
+        let gold = [true, true, true, true, false, false, false, false];
+        let (t, f1) = calibrate_threshold(&scores, &gold).unwrap();
+        // Best F1 keeps all positives at the cost of one false positive
+        // (t <= 0.4) or drops one positive (t > 0.45): F1(0.4) = 8/9 beats
+        // F1(0.6)=0.857 and F1(0.45)=0.857... the sweep should find 8/9.
+        assert!((f1 - 8.0 / 9.0).abs() < 1e-9, "f1 {f1}");
+        assert!(t <= 0.4 + 1e-12, "threshold {t}");
+    }
+
+    #[test]
+    fn calibrate_threshold_degenerate_inputs() {
+        assert_eq!(calibrate_threshold(&[], &[]), None);
+        assert_eq!(calibrate_threshold(&[0.5, 0.5], &[false, false]), None);
+    }
+
+    #[test]
+    fn dawid_skene_handles_missing_votes_and_empty() {
+        let votes: Vec<Vec<Option<bool>>> = vec![
+            vec![Some(true), None, Some(false)],
+            vec![Some(true), Some(true), None],
+        ];
+        let r = dawid_skene(&votes, 20);
+        assert_eq!(r.posteriors.len(), 3);
+        assert!(r.posteriors[0] > 0.5);
+
+        let empty: Vec<Vec<Option<bool>>> = Vec::new();
+        let r = dawid_skene(&empty, 5);
+        assert!(r.posteriors.is_empty());
+        assert!(r.worker_accuracy.is_empty());
+    }
+}

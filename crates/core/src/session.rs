@@ -1,0 +1,412 @@
+//! The user-facing declarative API.
+//!
+//! A [`Session`] bundles a model client, a corpus, a budget, and execution
+//! settings, and exposes the paper's data processing primitives — sort,
+//! resolve, impute, filter, count, categorize, max, top-k, cluster — as
+//! methods returning cost-annotated [`Outcome`]s.
+
+use std::sync::Arc;
+
+use crowdprompt_oracle::task::SortCriterion;
+use crowdprompt_oracle::world::ItemId;
+use crowdprompt_oracle::LlmClient;
+
+use crate::budget::Budget;
+use crate::corpus::Corpus;
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::ops;
+use crate::ops::impute::{ImputeStrategy, LabeledPool};
+use crate::ops::resolve::{MentionIndex, ResolveStrategy};
+use crate::ops::sort::{SortResult, SortStrategy};
+use crate::outcome::Outcome;
+use crate::trace::Trace;
+
+/// Builder for [`Session`].
+pub struct SessionBuilder {
+    client: Option<Arc<LlmClient>>,
+    corpus: Corpus,
+    budget: Budget,
+    parallelism: usize,
+    temperature: f64,
+    seed: u64,
+    criterion_label: String,
+    trace: bool,
+}
+
+impl SessionBuilder {
+    /// Set the model client (required).
+    #[must_use]
+    pub fn client(mut self, client: Arc<LlmClient>) -> Self {
+        self.client = Some(client);
+        self
+    }
+
+    /// Set the corpus of item texts (required for most operations).
+    #[must_use]
+    pub fn corpus(mut self, corpus: Corpus) -> Self {
+        self.corpus = corpus;
+        self
+    }
+
+    /// Set the session budget (default unlimited).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Set dispatch parallelism (default 8).
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Set sampling temperature (default 0, as in all the paper's studies).
+    #[must_use]
+    pub fn temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Set the seed driving operator tie-breaking.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the human-readable criterion label for score-based operations
+    /// (e.g. `"by how chocolatey they are"`).
+    #[must_use]
+    pub fn criterion(mut self, label: impl Into<String>) -> Self {
+        self.criterion_label = label.into();
+        self
+    }
+
+    /// Enable execution tracing (builder style); read it back with
+    /// [`Session::trace`].
+    #[must_use]
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Build the session.
+    ///
+    /// # Panics
+    /// Panics if no client was provided.
+    pub fn build(self) -> Session {
+        let client = self.client.expect("SessionBuilder requires a client");
+        let mut engine = Engine::new(client, self.corpus)
+            .with_budget(self.budget)
+            .with_parallelism(self.parallelism)
+            .with_temperature(self.temperature)
+            .with_seed(self.seed)
+            .with_criterion_label(self.criterion_label);
+        let trace = if self.trace {
+            let trace = Arc::new(Trace::new());
+            engine = engine.with_trace(Arc::clone(&trace));
+            Some(trace)
+        } else {
+            None
+        };
+        Session { engine, trace }
+    }
+}
+
+/// A configured declarative-prompt-engineering session.
+///
+/// ```
+/// use std::sync::Arc;
+/// use crowdprompt_core::ops::sort::SortStrategy;
+/// use crowdprompt_core::{Budget, Corpus, Session};
+/// use crowdprompt_oracle::task::SortCriterion;
+/// use crowdprompt_oracle::world::WorldModel;
+/// use crowdprompt_oracle::{LlmClient, ModelProfile, SimulatedLlm};
+///
+/// // Three items with latent scores; the simulator plays the LLM.
+/// let mut world = WorldModel::new();
+/// let items: Vec<_> = (0..3)
+///     .map(|i| {
+///         let id = world.add_item(format!("snippet {i}"));
+///         world.set_score(id, f64::from(i) / 3.0);
+///         id
+///     })
+///     .collect();
+/// let corpus = Corpus::from_world(&world, &items);
+/// let llm = SimulatedLlm::new(ModelProfile::perfect(), Arc::new(world), 1);
+///
+/// let session = Session::builder()
+///     .client(Arc::new(LlmClient::new(Arc::new(llm))))
+///     .corpus(corpus)
+///     .budget(Budget::usd(0.10))
+///     .criterion("by quality")
+///     .build();
+/// let out = session
+///     .sort(&items, SortCriterion::LatentScore, &SortStrategy::Pairwise)
+///     .unwrap();
+/// assert_eq!(out.value.order[0], items[2]); // highest score first
+/// ```
+pub struct Session {
+    engine: Engine,
+    trace: Option<Arc<Trace>>,
+}
+
+impl Session {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            client: None,
+            corpus: Corpus::new(),
+            budget: Budget::Unlimited,
+            parallelism: 8,
+            temperature: 0.0,
+            seed: 0,
+            criterion_label: "by the given criterion".to_owned(),
+            trace: false,
+        }
+    }
+
+    /// The underlying engine (for advanced composition).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Total spend so far.
+    pub fn spent_usd(&self) -> f64 {
+        self.engine.budget().spent_usd()
+    }
+
+    /// The execution trace, if tracing was enabled at build time.
+    pub fn trace(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
+    }
+
+    /// Sort items by the session criterion.
+    pub fn sort(
+        &self,
+        items: &[ItemId],
+        criterion: SortCriterion,
+        strategy: &SortStrategy,
+    ) -> Result<Outcome<SortResult>, EngineError> {
+        ops::sort::sort(&self.engine, items, criterion, strategy)
+    }
+
+    /// Answer duplicate questions over record pairs.
+    pub fn resolve_pairs(
+        &self,
+        pairs: &[(ItemId, ItemId)],
+        strategy: &ResolveStrategy,
+        index: Option<&MentionIndex>,
+    ) -> Result<Outcome<Vec<bool>>, EngineError> {
+        ops::resolve::resolve_pairs(&self.engine, pairs, strategy, index)
+    }
+
+    /// Build an embedding index over mentions for neighbor expansion.
+    pub fn mention_index(&self, mentions: &[ItemId]) -> Result<MentionIndex, EngineError> {
+        MentionIndex::build(&self.engine, mentions)
+    }
+
+    /// Build a labeled pool for imputation.
+    pub fn labeled_pool(
+        &self,
+        labeled: &[(ItemId, String)],
+    ) -> Result<LabeledPool, EngineError> {
+        LabeledPool::build(&self.engine, labeled)
+    }
+
+    /// Impute a missing attribute for each record.
+    pub fn impute(
+        &self,
+        records: &[ItemId],
+        attribute: &str,
+        pool: &LabeledPool,
+        strategy: &ImputeStrategy,
+    ) -> Result<Outcome<Vec<String>>, EngineError> {
+        ops::impute::impute(&self.engine, records, attribute, pool, strategy)
+    }
+
+    /// Keep the items satisfying a predicate.
+    pub fn filter(
+        &self,
+        items: &[ItemId],
+        predicate: &str,
+        strategy: ops::filter::FilterStrategy,
+    ) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+        ops::filter::filter(&self.engine, items, predicate, strategy)
+    }
+
+    /// Count the items satisfying a predicate.
+    pub fn count(
+        &self,
+        items: &[ItemId],
+        predicate: &str,
+        strategy: ops::count::CountStrategy,
+    ) -> Result<Outcome<u64>, EngineError> {
+        ops::count::count(&self.engine, items, predicate, strategy)
+    }
+
+    /// Assign each item one label from a fixed set.
+    pub fn categorize(
+        &self,
+        items: &[ItemId],
+        labels: &[String],
+    ) -> Result<Outcome<Vec<String>>, EngineError> {
+        ops::categorize::categorize(&self.engine, items, labels)
+    }
+
+    /// Find the maximum item under the criterion.
+    pub fn max(
+        &self,
+        items: &[ItemId],
+        criterion: SortCriterion,
+        strategy: ops::max::MaxStrategy,
+    ) -> Result<Outcome<ItemId>, EngineError> {
+        ops::max::find_max(&self.engine, items, criterion, strategy)
+    }
+
+    /// Top-k items under the criterion, best first.
+    pub fn top_k(
+        &self,
+        items: &[ItemId],
+        criterion: SortCriterion,
+        k: usize,
+        shortlist_factor: usize,
+    ) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+        ops::topk::top_k(&self.engine, items, criterion, k, shortlist_factor)
+    }
+
+    /// Fuzzy-join two collections on entity identity.
+    pub fn fuzzy_join(
+        &self,
+        left: &[ItemId],
+        right: &[ItemId],
+        strategy: &ops::join::JoinStrategy,
+    ) -> Result<Outcome<ops::join::JoinResult>, EngineError> {
+        ops::join::fuzzy_join(&self.engine, left, right, strategy)
+    }
+
+    /// Fully deduplicate records: embedding blocking, LLM confirmation,
+    /// transitive closure into clusters (the paper's §1 workload).
+    pub fn dedup(
+        &self,
+        items: &[ItemId],
+        index: &MentionIndex,
+        candidates: usize,
+        max_distance: f32,
+    ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
+        ops::resolve::dedup(&self.engine, items, index, candidates, max_distance)
+    }
+
+    /// Cluster items into duplicate groups.
+    pub fn cluster(
+        &self,
+        items: &[ItemId],
+        seed_size: usize,
+    ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
+        ops::cluster::cluster(&self.engine, items, seed_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdprompt_oracle::model::ModelProfile;
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+
+    fn session() -> (Session, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..10)
+            .map(|i| {
+                let id = w.add_item(format!("entry {i}"));
+                w.set_score(id, i as f64 / 10.0);
+                w.set_salience(id, 1.0);
+                w.set_flag(id, "big", i >= 5);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 1));
+        let client = Arc::new(LlmClient::new(llm));
+        let s = Session::builder()
+            .client(client)
+            .corpus(corpus)
+            .budget(Budget::usd(10.0))
+            .seed(5)
+            .criterion("by size")
+            .build();
+        (s, ids)
+    }
+
+    #[test]
+    fn session_sort_and_spend_tracking() {
+        let (s, ids) = session();
+        assert_eq!(s.spent_usd(), 0.0);
+        let out = s
+            .sort(&ids, SortCriterion::LatentScore, &SortStrategy::SinglePrompt)
+            .unwrap();
+        assert_eq!(out.value.order[0], ids[9]);
+        // Perfect model is free; spend stays 0 but calls happened.
+        assert_eq!(out.calls, 1);
+    }
+
+    #[test]
+    fn session_filter_count_roundtrip() {
+        let (s, ids) = session();
+        let kept = s
+            .filter(&ids, "big", ops::filter::FilterStrategy::Single)
+            .unwrap();
+        assert_eq!(kept.value.len(), 5);
+        let n = s
+            .count(&ids, "big", ops::count::CountStrategy::PerItem)
+            .unwrap();
+        assert_eq!(n.value, 5);
+    }
+
+    #[test]
+    fn session_max_and_topk_agree() {
+        let (s, ids) = session();
+        let max = s
+            .max(&ids, SortCriterion::LatentScore, ops::max::MaxStrategy::Tournament)
+            .unwrap();
+        let top = s.top_k(&ids, SortCriterion::LatentScore, 3, 2).unwrap();
+        assert_eq!(max.value, top.value[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a client")]
+    fn builder_requires_client() {
+        let _ = Session::builder().build();
+    }
+
+    #[test]
+    fn tracing_records_per_kind_breakdown() {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..6)
+            .map(|i| {
+                let id = w.add_item(format!("t{i}"));
+                w.set_score(id, i as f64 / 6.0);
+                w.set_flag(id, "f", i % 2 == 0);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 2));
+        let s = Session::builder()
+            .client(Arc::new(LlmClient::new(llm)))
+            .corpus(corpus)
+            .tracing(true)
+            .build();
+        s.sort(&ids, SortCriterion::LatentScore, &SortStrategy::Pairwise)
+            .unwrap();
+        s.filter(&ids, "f", ops::filter::FilterStrategy::Single)
+            .unwrap();
+        let summary = s.trace().expect("tracing enabled").summary();
+        assert_eq!(summary.by_kind["compare"].calls, 15);
+        assert_eq!(summary.by_kind["check_predicate"].calls, 6);
+        assert!(summary.render().contains("compare"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Execution tracing: a per-call audit log for declarative operations.
+//!
+//! Production LLM workflows live or die by observability — when a 5742-pair
+//! resolve costs real money, you want to know afterwards which task kinds
+//! consumed it, what was cached, and what failed. The engine records one
+//! [`TraceEvent`] per completed call when tracing is enabled; a
+//! [`TraceSummary`] aggregates them by task kind.
+
+use std::collections::BTreeMap;
+
+use crowdprompt_oracle::Usage;
+use parking_lot::Mutex;
+
+/// One recorded model call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Task kind tag (e.g. `"compare"`, `"same_entity"`).
+    pub kind: &'static str,
+    /// Token usage of the call.
+    pub usage: Usage,
+    /// Dollar cost of the call (0 for cache hits).
+    pub cost_usd: f64,
+    /// Whether the response came from the client cache.
+    pub cached: bool,
+}
+
+/// Aggregated view of a trace, keyed by task kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KindStats {
+    /// Calls of this kind (including cached).
+    pub calls: u64,
+    /// Cache hits among them.
+    pub cached: u64,
+    /// Total tokens.
+    pub tokens: u64,
+    /// Total dollars.
+    pub cost_usd: f64,
+}
+
+/// Summary of an execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Per-kind aggregates, sorted by kind name.
+    pub by_kind: BTreeMap<&'static str, KindStats>,
+}
+
+impl TraceSummary {
+    /// Total calls across kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.by_kind.values().map(|s| s.calls).sum()
+    }
+
+    /// Total dollars across kinds.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.by_kind.values().map(|s| s.cost_usd).sum()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut table = crowdprompt_metrics::Table::new(
+            "execution trace",
+            &["task kind", "calls", "cached", "tokens", "cost"],
+        );
+        for (kind, stats) in &self.by_kind {
+            table.add_row(&[
+                (*kind).to_owned(),
+                stats.calls.to_string(),
+                stats.cached.to_string(),
+                stats.tokens.to_string(),
+                format!("${:.4}", stats.cost_usd),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// A thread-safe trace recorder.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Copy out all events (in recording order).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Aggregate into a summary.
+    pub fn summary(&self) -> TraceSummary {
+        let mut by_kind: BTreeMap<&'static str, KindStats> = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            let s = by_kind.entry(e.kind).or_default();
+            s.calls += 1;
+            s.cached += u64::from(e.cached);
+            s.tokens += u64::from(e.usage.total());
+            s.cost_usd += e.cost_usd;
+        }
+        TraceSummary { by_kind }
+    }
+
+    /// Clear all events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: &'static str, tokens: u32, cached: bool) -> TraceEvent {
+        TraceEvent {
+            kind,
+            usage: Usage {
+                prompt_tokens: tokens,
+                completion_tokens: 0,
+            },
+            cost_usd: if cached { 0.0 } else { 0.001 },
+            cached,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_by_kind() {
+        let trace = Trace::new();
+        trace.record(ev("compare", 10, false));
+        trace.record(ev("compare", 10, true));
+        trace.record(ev("rate", 5, false));
+        let s = trace.summary();
+        assert_eq!(s.total_calls(), 3);
+        assert_eq!(s.by_kind["compare"].calls, 2);
+        assert_eq!(s.by_kind["compare"].cached, 1);
+        assert_eq!(s.by_kind["compare"].tokens, 20);
+        assert_eq!(s.by_kind["rate"].calls, 1);
+        assert!((s.total_cost_usd() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_kinds() {
+        let trace = Trace::new();
+        trace.record(ev("same_entity", 30, false));
+        let text = trace.summary().render();
+        assert!(text.contains("same_entity"));
+        assert!(text.contains("$0.0010"));
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.record(ev("rate", 1, false));
+        assert_eq!(trace.len(), 1);
+        trace.clear();
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let trace = std::sync::Arc::new(Trace::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = std::sync::Arc::clone(&trace);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    t.record(ev("compare", 1, false));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(trace.len(), 200);
+    }
+}

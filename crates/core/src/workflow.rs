@@ -1,0 +1,302 @@
+//! Multi-step declarative workflows.
+//!
+//! The paper's production framing is not single operations but *complex
+//! workflows operating on more data to consistently accomplish a global
+//! objective* (§1). A [`Pipeline`] chains item-set transformations —
+//! filter, sort, truncate, categorize-partition — under one shared budget,
+//! recording a per-step cost breakdown so the whole plan can be audited
+//! afterward.
+
+use crowdprompt_oracle::task::SortCriterion;
+use crowdprompt_oracle::world::ItemId;
+use crowdprompt_oracle::Usage;
+
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::ops;
+use crate::ops::filter::FilterStrategy;
+use crate::ops::sort::SortStrategy;
+
+/// One step of a pipeline: consumes the current item set, produces the next.
+pub enum Step {
+    /// Keep only items satisfying the predicate.
+    Filter {
+        /// Named predicate.
+        predicate: String,
+        /// Filtering strategy.
+        strategy: FilterStrategy,
+    },
+    /// Order the items under the criterion.
+    Sort {
+        /// Ordering criterion.
+        criterion: SortCriterion,
+        /// Sorting strategy.
+        strategy: SortStrategy,
+    },
+    /// Keep the first `n` items (use after a sort for a top-n plan).
+    Truncate {
+        /// Items to keep.
+        n: usize,
+    },
+    /// Keep items whose assigned category is `keep_label`.
+    CategorizeAndKeep {
+        /// Candidate labels.
+        labels: Vec<String>,
+        /// The label whose items survive the step.
+        keep_label: String,
+    },
+}
+
+impl Step {
+    fn name(&self) -> String {
+        match self {
+            Step::Filter { predicate, .. } => format!("filter[{predicate}]"),
+            Step::Sort { .. } => "sort".to_owned(),
+            Step::Truncate { n } => format!("truncate[{n}]"),
+            Step::CategorizeAndKeep { keep_label, .. } => {
+                format!("categorize-keep[{keep_label}]")
+            }
+        }
+    }
+}
+
+/// Cost breakdown for one executed step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Step display name.
+    pub name: String,
+    /// Items entering the step.
+    pub items_in: usize,
+    /// Items leaving the step.
+    pub items_out: usize,
+    /// Token usage of the step.
+    pub usage: Usage,
+    /// Calls made by the step.
+    pub calls: u64,
+    /// Dollar cost of the step.
+    pub cost_usd: f64,
+}
+
+/// The result of running a pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The surviving items, in the final step's order.
+    pub items: Vec<ItemId>,
+    /// Per-step breakdown, in execution order.
+    pub steps: Vec<StepReport>,
+}
+
+impl PipelineResult {
+    /// Total dollar cost across steps.
+    pub fn total_cost_usd(&self) -> f64 {
+        self.steps.iter().map(|s| s.cost_usd).sum()
+    }
+
+    /// Total calls across steps.
+    pub fn total_calls(&self) -> u64 {
+        self.steps.iter().map(|s| s.calls).sum()
+    }
+}
+
+/// A declarative multi-step plan over an item set.
+#[derive(Default)]
+pub struct Pipeline {
+    steps: Vec<Step>,
+}
+
+impl Pipeline {
+    /// An empty pipeline (identity transformation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a filter step.
+    #[must_use]
+    pub fn filter(mut self, predicate: impl Into<String>, strategy: FilterStrategy) -> Self {
+        self.steps.push(Step::Filter {
+            predicate: predicate.into(),
+            strategy,
+        });
+        self
+    }
+
+    /// Append a sort step.
+    #[must_use]
+    pub fn sort(mut self, criterion: SortCriterion, strategy: SortStrategy) -> Self {
+        self.steps.push(Step::Sort {
+            criterion,
+            strategy,
+        });
+        self
+    }
+
+    /// Append a truncate step.
+    #[must_use]
+    pub fn truncate(mut self, n: usize) -> Self {
+        self.steps.push(Step::Truncate { n });
+        self
+    }
+
+    /// Append a categorize-and-keep step.
+    #[must_use]
+    pub fn categorize_and_keep(
+        mut self,
+        labels: Vec<String>,
+        keep_label: impl Into<String>,
+    ) -> Self {
+        self.steps.push(Step::CategorizeAndKeep {
+            labels,
+            keep_label: keep_label.into(),
+        });
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the pipeline has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Execute the pipeline over `items` on the engine. Steps share the
+    /// engine's budget; a budget refusal mid-pipeline aborts with the error
+    /// (already-spent steps remain recorded in the budget tracker).
+    pub fn run(&self, engine: &Engine, items: &[ItemId]) -> Result<PipelineResult, EngineError> {
+        let mut current: Vec<ItemId> = items.to_vec();
+        let mut reports = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let items_in = current.len();
+            let (next, usage, calls, cost_usd) = match step {
+                Step::Filter {
+                    predicate,
+                    strategy,
+                } => {
+                    let out = ops::filter::filter(engine, &current, predicate, *strategy)?;
+                    (out.value, out.usage, out.calls, out.cost_usd)
+                }
+                Step::Sort {
+                    criterion,
+                    strategy,
+                } => {
+                    let out = ops::sort::sort(engine, &current, *criterion, strategy)?;
+                    (out.value.order, out.usage, out.calls, out.cost_usd)
+                }
+                Step::Truncate { n } => {
+                    current.truncate(*n);
+                    (current.clone(), Usage::default(), 0, 0.0)
+                }
+                Step::CategorizeAndKeep { labels, keep_label } => {
+                    let out = ops::categorize::categorize(engine, &current, labels)?;
+                    let kept: Vec<ItemId> = out
+                        .value
+                        .iter()
+                        .zip(&current)
+                        .filter(|(label, _)| *label == keep_label)
+                        .map(|(_, id)| *id)
+                        .collect();
+                    (kept, out.usage, out.calls, out.cost_usd)
+                }
+            };
+            reports.push(StepReport {
+                name: step.name(),
+                items_in,
+                items_out: next.len(),
+                usage,
+                calls,
+                cost_usd,
+            });
+            current = next;
+        }
+        Ok(PipelineResult {
+            items: current,
+            steps: reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::ModelProfile;
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::LlmClient;
+    use std::sync::Arc;
+
+    fn engine() -> (Engine, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let items: Vec<ItemId> = (0..30)
+            .map(|i| {
+                let id = w.add_item(format!("product review {i:02}"));
+                w.set_score(id, i as f64 / 30.0);
+                w.set_flag(id, "in_stock", i % 2 == 0);
+                w.set_attr(id, "label", if i % 3 == 0 { "electronics" } else { "other" });
+                id
+            })
+            .collect();
+        let llm = SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w.clone()), 1);
+        let engine = Engine::new(
+            Arc::new(LlmClient::new(Arc::new(llm))),
+            Corpus::from_world(&w, &items),
+        )
+        .with_criterion_label("by rating");
+        (engine, items)
+    }
+
+    #[test]
+    fn filter_sort_truncate_pipeline() {
+        let (engine, items) = engine();
+        let result = Pipeline::new()
+            .filter("in_stock", FilterStrategy::Single)
+            .sort(SortCriterion::LatentScore, SortStrategy::SinglePrompt)
+            .truncate(3)
+            .run(&engine, &items)
+            .unwrap();
+        // Top-3 in-stock by score: items 28, 26, 24.
+        assert_eq!(result.items, vec![items[28], items[26], items[24]]);
+        assert_eq!(result.steps.len(), 3);
+        assert_eq!(result.steps[0].items_in, 30);
+        assert_eq!(result.steps[0].items_out, 15);
+        assert_eq!(result.steps[2].calls, 0, "truncate is free");
+        assert_eq!(result.total_calls(), result.steps.iter().map(|s| s.calls).sum::<u64>());
+    }
+
+    #[test]
+    fn categorize_and_keep_step() {
+        let (engine, items) = engine();
+        let result = Pipeline::new()
+            .categorize_and_keep(
+                vec!["electronics".to_owned(), "other".to_owned()],
+                "electronics",
+            )
+            .run(&engine, &items)
+            .unwrap();
+        assert_eq!(result.items.len(), 10);
+        assert!(result.total_cost_usd() >= 0.0);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let (engine, items) = engine();
+        let result = Pipeline::new().run(&engine, &items).unwrap();
+        assert_eq!(result.items, items);
+        assert!(result.steps.is_empty());
+        assert_eq!(result.total_calls(), 0);
+    }
+
+    #[test]
+    fn step_reports_chain_sizes() {
+        let (engine, items) = engine();
+        let result = Pipeline::new()
+            .filter("in_stock", FilterStrategy::Single)
+            .truncate(4)
+            .run(&engine, &items)
+            .unwrap();
+        assert_eq!(result.steps[0].items_out, result.steps[1].items_in);
+        assert_eq!(result.steps[1].items_out, 4);
+    }
+}

@@ -1,0 +1,508 @@
+//! Synthetic citation-pair generator standing in for the DBLP–Google-Scholar
+//! slice (Table 3's workload).
+//!
+//! Latent *paper entities* (title, authors, venue, year) are rendered into
+//! one, two, or three textual *mentions* per entity:
+//!
+//! * **canonical** — full DBLP-style string,
+//! * **light variant** — venue abbreviated, one author initialised (an easy
+//!   duplicate of the canonical),
+//! * **heavy variant** — truncated title, initialised authors, typos (a hard
+//!   duplicate).
+//!
+//! The validation pair set mirrors the Magellan benchmark's structure:
+//! sparse, hard-skewed positives plus negatives that include deceptively
+//! similar non-duplicates. Because every duplicated entity also has the
+//! *light* mention in the corpus, a k-NN expansion around a hard pair finds
+//! it — exactly the structure transitive closure exploits in §3.3.
+
+use crowdprompt_oracle::world::{ItemId, WorldModel};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Barbara", "Carlos", "Diane", "Edgar", "Fei", "Grace", "Hector", "Ines",
+    "Jim", "Kate", "Leslie", "Michael", "Nina", "Omar", "Priya", "Quentin", "Rosa", "Sam",
+    "Tanya", "Umesh", "Vera", "Wei", "Xavier", "Yuki", "Zoe",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Abiteboul", "Bernstein", "Chen", "Dewitt", "Ellison", "Franklin", "Garcia", "Hellerstein",
+    "Ioannidis", "Jagadish", "Kraska", "Lohman", "Madden", "Naughton", "Olston", "Pavlo",
+    "Quass", "Ramakrishnan", "Stonebraker", "Tan", "Ullman", "Valduriez", "Widom", "Xu",
+    "Yang", "Zaharia",
+];
+
+/// (full venue name, abbreviation)
+const VENUES: &[(&str, &str)] = &[
+    ("Proceedings of the VLDB Endowment", "PVLDB"),
+    ("ACM SIGMOD International Conference on Management of Data", "SIGMOD"),
+    ("IEEE International Conference on Data Engineering", "ICDE"),
+    ("International Conference on Very Large Data Bases", "VLDB"),
+    ("ACM Transactions on Database Systems", "TODS"),
+    ("Conference on Innovative Data Systems Research", "CIDR"),
+    ("International Conference on Extending Database Technology", "EDBT"),
+    ("ACM SIGKDD Conference on Knowledge Discovery and Data Mining", "KDD"),
+];
+
+const TITLE_ADJECTIVES: &[&str] = &[
+    "scalable", "adaptive", "distributed", "approximate", "crowdsourced", "parallel",
+    "incremental", "declarative", "efficient", "robust", "secure", "temporal", "spatial",
+    "probabilistic", "interactive", "streaming",
+];
+
+const TITLE_NOUNS: &[&str] = &[
+    "query processing", "entity resolution", "join algorithms", "index structures",
+    "data cleaning", "schema matching", "view maintenance", "transaction management",
+    "graph analytics", "workload forecasting", "data integration", "keyword search",
+    "top-k ranking", "skyline computation", "provenance tracking", "sampling techniques",
+    "cardinality estimation", "data imputation", "record linkage", "cache management",
+];
+
+const TITLE_CONTEXTS: &[&str] = &[
+    "large-scale databases", "moving objects", "sensor networks", "relational engines",
+    "data lakes", "social networks", "scientific workflows", "main-memory systems",
+    "federated settings", "noisy crowds", "web tables", "time series", "knowledge bases",
+    "wide-area networks", "column stores", "multi-tenant clouds",
+];
+
+/// A latent paper entity.
+#[derive(Debug, Clone)]
+struct Entity {
+    title: String,
+    authors: Vec<(String, String)>,
+    venue: usize,
+    year: u32,
+}
+
+/// Generation parameters for the citation workload.
+#[derive(Debug, Clone)]
+pub struct CitationParams {
+    /// Number of latent paper entities.
+    pub n_entities: usize,
+    /// Fraction of entities that get three mentions (canonical + light +
+    /// heavy) instead of one.
+    pub duplicated_fraction: f64,
+    /// Number of labelled validation pairs to emit.
+    pub n_pairs: usize,
+    /// Fraction of validation pairs that are true duplicates.
+    pub positive_fraction: f64,
+    /// Among duplicated entities, the fraction that also get the *light*
+    /// bridge mention (canonical + light + heavy instead of canonical +
+    /// heavy). The real DBLP–Scholar corpus has few transitive bridges —
+    /// the paper notes "the number of transitive edges is quite small" —
+    /// so paper-scale runs keep this low.
+    pub bridge_fraction: f64,
+    /// Fraction of entities generated as a *sibling* of the previous entity
+    /// (same authors and venue, one title word changed, adjacent year) —
+    /// the deceptively similar non-duplicates that cost the paper's
+    /// augmented strategies precision.
+    pub sibling_fraction: f64,
+    /// Fraction of negative validation pairs drawn from sibling entity
+    /// pairs instead of random entity pairs.
+    pub deceptive_negative_fraction: f64,
+}
+
+impl Default for CitationParams {
+    fn default() -> Self {
+        CitationParams {
+            n_entities: 600,
+            duplicated_fraction: 0.5,
+            n_pairs: 1000,
+            positive_fraction: 0.35,
+            bridge_fraction: 0.5,
+            sibling_fraction: 0.15,
+            deceptive_negative_fraction: 0.05,
+        }
+    }
+}
+
+impl CitationParams {
+    /// A smaller configuration for unit tests.
+    pub fn small() -> Self {
+        CitationParams {
+            n_entities: 60,
+            duplicated_fraction: 0.5,
+            n_pairs: 80,
+            positive_fraction: 0.4,
+            bridge_fraction: 1.0,
+            sibling_fraction: 0.0,
+            deceptive_negative_fraction: 0.0,
+        }
+    }
+
+    /// Paper-scale configuration (~5.7k validation pairs, like the
+    /// DBLP–Scholar validation split the paper uses).
+    pub fn paper_scale() -> Self {
+        CitationParams {
+            n_entities: 2400,
+            duplicated_fraction: 0.55,
+            n_pairs: 5742,
+            positive_fraction: 0.30,
+            bridge_fraction: 0.45,
+            sibling_fraction: 0.18,
+            deceptive_negative_fraction: 0.05,
+        }
+    }
+}
+
+/// The generated citation workload.
+#[derive(Debug, Clone)]
+pub struct CitationDataset {
+    /// World model with cluster ids registered for every mention.
+    pub world: WorldModel,
+    /// All mentions (the k-NN corpus).
+    pub mentions: Vec<ItemId>,
+    /// Labelled validation pairs `(a, b, is_duplicate)`.
+    pub pairs: Vec<(ItemId, ItemId, bool)>,
+}
+
+impl CitationDataset {
+    /// Generate a workload.
+    ///
+    /// # Panics
+    /// Panics if `n_entities < 4` (too small to form negative pairs).
+    pub fn generate(params: &CitationParams, seed: u64) -> Self {
+        assert!(params.n_entities >= 4, "need at least 4 entities");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut entities: Vec<Entity> = Vec::with_capacity(params.n_entities);
+        let mut sibling_pairs: Vec<(usize, usize)> = Vec::new();
+        while entities.len() < params.n_entities {
+            let e = random_entity(&mut rng);
+            let make_sibling = entities.len() + 1 < params.n_entities
+                && rng.random_bool(params.sibling_fraction.clamp(0.0, 1.0));
+            entities.push(e);
+            if make_sibling {
+                let base = entities.len() - 1;
+                let sib = sibling_of(&entities[base], &mut rng);
+                entities.push(sib);
+                sibling_pairs.push((base, base + 1));
+            }
+        }
+
+        let mut world = WorldModel::new();
+        let mut mentions = Vec::new();
+        // Per entity: list of its mention ids, ordered
+        // [canonical, light?, heavy?].
+        let mut entity_mentions: Vec<Vec<ItemId>> = Vec::with_capacity(entities.len());
+        for (cluster, entity) in entities.iter().enumerate() {
+            let mut ids = Vec::with_capacity(3);
+            let canonical = world.add_item(render_canonical(entity));
+            world.set_cluster(canonical, cluster as u64);
+            ids.push(canonical);
+            if rng.random_bool(params.duplicated_fraction.clamp(0.0, 1.0)) {
+                if rng.random_bool(params.bridge_fraction.clamp(0.0, 1.0)) {
+                    let light = world.add_item(render_light(entity, rng.random_bool(0.5)));
+                    world.set_cluster(light, cluster as u64);
+                    ids.push(light);
+                }
+                let heavy = world.add_item(render_heavy(entity, &mut rng));
+                world.set_cluster(heavy, cluster as u64);
+                ids.push(heavy);
+            }
+            mentions.extend(ids.iter().copied());
+            entity_mentions.push(ids);
+        }
+
+        // Validation pairs.
+        let duplicated: Vec<usize> = entity_mentions
+            .iter()
+            .enumerate()
+            .filter(|(_, ids)| ids.len() >= 2)
+            .map(|(i, _)| i)
+            .collect();
+        let n_pos = ((params.n_pairs as f64) * params.positive_fraction.clamp(0.0, 1.0))
+            .round() as usize;
+        let mut pairs: Vec<(ItemId, ItemId, bool)> = Vec::with_capacity(params.n_pairs);
+        for i in 0..n_pos {
+            let e = duplicated[i % duplicated.len().max(1)];
+            let ids = &entity_mentions[e];
+            // Hard-skewed positives: mostly (heavy, canonical); when the
+            // cluster has a bridge mention, occasionally (light, canonical)
+            // — mirroring the benchmark's difficulty and leaving the light
+            // mention out of most questions so transitivity has something
+            // to add. `ids` is [canonical, light?, heavy].
+            let heavy = *ids.last().expect("duplicated clusters have >= 2 mentions");
+            let pair = if ids.len() == 3 && rng.random_bool(0.25) {
+                (ids[1], ids[0])
+            } else {
+                (heavy, ids[0])
+            };
+            pairs.push((pair.0, pair.1, true));
+        }
+        while pairs.len() < params.n_pairs {
+            // Deceptive negatives pair a sibling duo's canonical mentions.
+            let (a, b) = if !sibling_pairs.is_empty()
+                && rng.random_bool(params.deceptive_negative_fraction.clamp(0.0, 1.0))
+            {
+                sibling_pairs[rng.random_range(0..sibling_pairs.len())]
+            } else {
+                let a = rng.random_range(0..entity_mentions.len());
+                let mut b = rng.random_range(0..entity_mentions.len() - 1);
+                if b >= a {
+                    b += 1;
+                }
+                (a, b)
+            };
+            let ma = &entity_mentions[a];
+            let mb = &entity_mentions[b];
+            let ia = ma[rng.random_range(0..ma.len())];
+            let ib = mb[rng.random_range(0..mb.len())];
+            pairs.push((ia, ib, false));
+        }
+        pairs.shuffle(&mut rng);
+
+        CitationDataset {
+            world,
+            mentions,
+            pairs,
+        }
+    }
+
+    /// The text of a mention.
+    pub fn text(&self, id: ItemId) -> &str {
+        self.world.text(id).expect("mentions come from this world")
+    }
+}
+
+/// A sibling paper: same authors and venue, one title word changed,
+/// adjacent year — e.g. the conference and journal versions of a series.
+fn sibling_of<R: Rng>(e: &Entity, rng: &mut R) -> Entity {
+    let adj = TITLE_ADJECTIVES[rng.random_range(0..TITLE_ADJECTIVES.len())];
+    let mut words: Vec<&str> = e.title.split(' ').collect();
+    if !words.is_empty() {
+        words[0] = adj;
+    }
+    Entity {
+        title: words.join(" "),
+        authors: e.authors.clone(),
+        venue: e.venue,
+        year: e.year + 1,
+    }
+}
+
+fn random_entity<R: Rng>(rng: &mut R) -> Entity {
+    let adj = TITLE_ADJECTIVES[rng.random_range(0..TITLE_ADJECTIVES.len())];
+    let noun = TITLE_NOUNS[rng.random_range(0..TITLE_NOUNS.len())];
+    let ctx = TITLE_CONTEXTS[rng.random_range(0..TITLE_CONTEXTS.len())];
+    let title = format!("{adj} {noun} for {ctx}");
+    let n_authors = rng.random_range(2..=4);
+    let authors = (0..n_authors)
+        .map(|_| {
+            (
+                FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())].to_owned(),
+                LAST_NAMES[rng.random_range(0..LAST_NAMES.len())].to_owned(),
+            )
+        })
+        .collect();
+    Entity {
+        title,
+        authors,
+        venue: rng.random_range(0..VENUES.len()),
+        year: rng.random_range(1995..=2010),
+    }
+}
+
+fn render_canonical(e: &Entity) -> String {
+    let authors = e
+        .authors
+        .iter()
+        .map(|(f, l)| format!("{f} {l}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{authors}. {}. {}, {}.",
+        e.title, VENUES[e.venue].0, e.year
+    )
+}
+
+fn render_light(e: &Entity, near_style: bool) -> String {
+    // A "bridge" mention: full title with abbreviated metadata. Textually
+    // between the canonical and heavy forms, so it is an easy duplicate of
+    // *both* — the structure transitive closure needs. Two styles occur in
+    // the wild: the `near_style` one shares the heavy variant's
+    // author-initial format (usually the heavy mention's nearest
+    // neighbour), while the `et al.` style sits farther out and is only
+    // picked up by a wider neighbour expansion (k = 2).
+    if near_style {
+        let authors = e
+            .authors
+            .iter()
+            .map(|(f, l)| format!("{}. {l}", initial(f)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{authors} - {}. {} {}.", e.title, VENUES[e.venue].1, e.year)
+    } else {
+        let (f, l) = &e.authors[0];
+        format!(
+            "{}. {l} et al. {} ({}'{:02})",
+            initial(f),
+            e.title,
+            VENUES[e.venue].1,
+            e.year % 100
+        )
+    }
+}
+
+fn render_heavy<R: Rng>(e: &Entity, rng: &mut R) -> String {
+    // Truncated title with a possible typo, all authors initialised, venue
+    // abbreviated or dropped, year sometimes missing.
+    let words: Vec<&str> = e.title.split(' ').collect();
+    let keep = (words.len() * 3).div_ceil(5).max(2).min(words.len());
+    let mut title = words[..keep].join(" ");
+    if rng.random_bool(0.6) {
+        title = inject_typo(&title, rng);
+    }
+    if keep < words.len() {
+        title.push_str(" ...");
+    }
+    let authors = e
+        .authors
+        .iter()
+        .map(|(f, l)| format!("{}. {l}", initial(f)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let tail = if rng.random_bool(0.5) {
+        format!(" {}", VENUES[e.venue].1)
+    } else {
+        String::new()
+    };
+    let year = if rng.random_bool(0.5) {
+        format!(" {}", e.year)
+    } else {
+        String::new()
+    };
+    format!("{authors} - {title}{tail}{year}")
+}
+
+fn initial(name: &str) -> char {
+    name.chars().next().unwrap_or('X')
+}
+
+fn inject_typo<R: Rng>(text: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() < 4 {
+        return text.to_owned();
+    }
+    let i = rng.random_range(1..chars.len() - 1);
+    let mut v = chars;
+    match rng.random_range(0..3u8) {
+        0 => {
+            v.swap(i, i - 1);
+        }
+        1 => {
+            v.remove(i);
+        }
+        _ => {
+            let c = v[i];
+            v.insert(i, c);
+        }
+    }
+    v.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = CitationParams::small();
+        let a = CitationDataset::generate(&p, 5);
+        let b = CitationDataset::generate(&p, 5);
+        assert_eq!(a.mentions.len(), b.mentions.len());
+        let ta: Vec<&str> = a.mentions.iter().map(|m| a.text(*m)).collect();
+        let tb: Vec<&str> = b.mentions.iter().map(|m| b.text(*m)).collect();
+        assert_eq!(ta, tb);
+        assert_eq!(a.pairs.len(), p.n_pairs);
+    }
+
+    #[test]
+    fn pair_labels_match_clusters() {
+        let d = CitationDataset::generate(&CitationParams::small(), 11);
+        for &(a, b, dup) in &d.pairs {
+            assert_eq!(d.world.same_cluster(a, b), Some(dup));
+        }
+    }
+
+    #[test]
+    fn positive_fraction_respected() {
+        let p = CitationParams {
+            n_pairs: 200,
+            positive_fraction: 0.4,
+            ..CitationParams::small()
+        };
+        let d = CitationDataset::generate(&p, 3);
+        let pos = d.pairs.iter().filter(|(_, _, dup)| *dup).count();
+        assert_eq!(pos, 80);
+    }
+
+    #[test]
+    fn duplicated_entities_have_three_mentions() {
+        let d = CitationDataset::generate(&CitationParams::small(), 2);
+        use std::collections::HashMap;
+        let mut by_cluster: HashMap<u64, usize> = HashMap::new();
+        for &m in &d.mentions {
+            *by_cluster.entry(d.world.cluster(m).unwrap()).or_default() += 1;
+        }
+        let sizes: std::collections::HashSet<usize> = by_cluster.values().copied().collect();
+        assert!(sizes.contains(&1), "some singletons");
+        assert!(sizes.contains(&3), "some triples (bridge_fraction = 1 in small())");
+        assert!(!sizes.contains(&2), "with bridge_fraction 1, mentions come as 1 or 3");
+    }
+
+    #[test]
+    fn light_variant_is_similar_to_canonical() {
+        let d = CitationDataset::generate(&CitationParams::small(), 8);
+        use crowdprompt_oracle::sim::similarity::trigram_jaccard;
+        use std::collections::HashMap;
+        let mut by_cluster: HashMap<u64, Vec<&str>> = HashMap::new();
+        for &m in &d.mentions {
+            by_cluster
+                .entry(d.world.cluster(m).unwrap())
+                .or_default()
+                .push(d.text(m));
+        }
+        let mut checked = 0;
+        let (mut sum_light, mut sum_heavy) = (0.0f64, 0.0f64);
+        for texts in by_cluster.values().filter(|t| t.len() == 3) {
+            let canon_light = trigram_jaccard(texts[0], texts[1]);
+            let canon_heavy = trigram_jaccard(texts[0], texts[2]);
+            sum_light += canon_light;
+            sum_heavy += canon_heavy;
+            assert!(canon_light > 0.25, "light variant too dissimilar: {canon_light}");
+            checked += 1;
+        }
+        assert!(checked > 5);
+        assert!(
+            sum_light / f64::from(checked) > sum_heavy / f64::from(checked),
+            "light should be the easier dup on average"
+        );
+    }
+
+    #[test]
+    fn pairs_are_hard_skewed() {
+        // Most positive pairs should involve the heavy variant.
+        let d = CitationDataset::generate(&CitationParams::small(), 21);
+        use crowdprompt_oracle::sim::similarity::trigram_jaccard;
+        let sims: Vec<f64> = d
+            .pairs
+            .iter()
+            .filter(|(_, _, dup)| *dup)
+            .map(|(a, b, _)| trigram_jaccard(d.text(*a), d.text(*b)))
+            .collect();
+        let hard = sims.iter().filter(|s| **s < 0.5).count();
+        assert!(
+            hard * 2 > sims.len(),
+            "expected most positives to be hard; {hard}/{}",
+            sims.len()
+        );
+    }
+
+    #[test]
+    fn paper_scale_params_match_benchmark() {
+        let p = CitationParams::paper_scale();
+        assert_eq!(p.n_pairs, 5742);
+    }
+}

@@ -1,0 +1,174 @@
+//! Ice-cream flavor pool with latent "chocolateyness" ground truth
+//! (Table 1's workload).
+//!
+//! Each flavor carries a latent score in `[0, 1]` (how chocolatey) and a
+//! *salience*: how plainly the name advertises that score. Flavors with
+//! "chocolate" in the title are maximally salient — the paper observed the
+//! baseline single-prompt sort places exactly those first and scrambles the
+//! rest.
+
+use crowdprompt_oracle::world::{ItemId, WorldModel};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// (name, chocolateyness in [0,1], salience in [0,1]).
+const FLAVOR_POOL: &[(&str, f64, f64)] = &[
+    ("triple chocolate fudge", 1.00, 1.0),
+    ("chocolate brownie batter", 0.97, 1.0),
+    ("dark chocolate truffle", 0.95, 1.0),
+    ("chocolate fudge swirl", 0.93, 1.0),
+    ("double chocolate chunk", 0.91, 1.0),
+    ("chocolate peanut butter cup", 0.88, 1.0),
+    ("chocolate hazelnut", 0.86, 1.0),
+    ("milk chocolate almond", 0.84, 1.0),
+    ("chocolate chip cookie dough", 0.72, 0.9),
+    ("chocolate malt", 0.78, 1.0),
+    ("white chocolate raspberry", 0.60, 0.85),
+    ("rocky road", 0.75, 0.35),
+    ("mississippi mud pie", 0.70, 0.3),
+    ("s'mores", 0.62, 0.3),
+    ("mocha espresso swirl", 0.58, 0.4),
+    ("tiramisu", 0.45, 0.25),
+    ("cookies and cream", 0.55, 0.35),
+    ("neapolitan", 0.40, 0.45),
+    ("coffee toffee crunch", 0.35, 0.3),
+    ("salted caramel", 0.22, 0.4),
+    ("butter pecan", 0.15, 0.45),
+    ("vanilla bean", 0.10, 0.6),
+    ("french vanilla", 0.09, 0.6),
+    ("sweet cream", 0.12, 0.4),
+    ("maple walnut", 0.14, 0.4),
+    ("pistachio", 0.08, 0.55),
+    ("rum raisin", 0.11, 0.45),
+    ("green tea matcha", 0.05, 0.6),
+    ("honey lavender", 0.06, 0.5),
+    ("strawberry shortcake", 0.07, 0.6),
+    ("peach cobbler", 0.05, 0.6),
+    ("mango habanero", 0.03, 0.65),
+    ("raspberry ripple", 0.06, 0.6),
+    ("blueberry cheesecake", 0.07, 0.55),
+    ("cherry garcia", 0.30, 0.3),
+    ("orange creamsicle", 0.04, 0.65),
+    ("lemon sorbet", 0.01, 0.7),
+    ("lime sherbet", 0.02, 0.7),
+    ("watermelon granita", 0.01, 0.7),
+    ("coconut cream", 0.09, 0.5),
+];
+
+/// A sampled flavor workload: items registered in a world model, plus the
+/// gold ranking.
+#[derive(Debug, Clone)]
+pub struct FlavorDataset {
+    /// World model with scores and salience registered.
+    pub world: WorldModel,
+    /// Sampled items in presentation order.
+    pub items: Vec<ItemId>,
+    /// Gold ranking, most chocolatey first.
+    pub gold: Vec<ItemId>,
+}
+
+impl FlavorDataset {
+    /// Sample `n` distinct flavors (n ≤ pool size) in a seeded random
+    /// presentation order. The paper uses `n = 20`.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the pool size.
+    pub fn sample(n: usize, seed: u64) -> Self {
+        assert!(
+            n <= FLAVOR_POOL.len(),
+            "requested {n} flavors but pool has {}",
+            FLAVOR_POOL.len()
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pool: Vec<&(&str, f64, f64)> = FLAVOR_POOL.iter().collect();
+        pool.shuffle(&mut rng);
+        let mut world = WorldModel::new();
+        let mut items = Vec::with_capacity(n);
+        for &&(name, score, salience) in pool.iter().take(n) {
+            let id = world.add_item(name);
+            world.set_score(id, score);
+            world.set_salience(id, salience);
+            items.push(id);
+        }
+        let gold = world.gold_ranking_by_score(&items);
+        FlavorDataset { world, items, gold }
+    }
+
+    /// The paper's exact setup: 20 flavors.
+    pub fn paper(seed: u64) -> Self {
+        Self::sample(20, seed)
+    }
+
+    /// Flavor name of an item.
+    pub fn name(&self, id: ItemId) -> &str {
+        self.world.text(id).expect("items come from this world")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_sizes_and_determinism() {
+        let a = FlavorDataset::sample(20, 1);
+        let b = FlavorDataset::sample(20, 1);
+        assert_eq!(a.items.len(), 20);
+        assert_eq!(a.gold.len(), 20);
+        let names_a: Vec<&str> = a.items.iter().map(|i| a.name(*i)).collect();
+        let names_b: Vec<&str> = b.items.iter().map(|i| b.name(*i)).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FlavorDataset::sample(20, 1);
+        let b = FlavorDataset::sample(20, 2);
+        let names_a: Vec<&str> = a.items.iter().map(|i| a.name(*i)).collect();
+        let names_b: Vec<&str> = b.items.iter().map(|i| b.name(*i)).collect();
+        assert_ne!(names_a, names_b);
+    }
+
+    #[test]
+    fn gold_ranking_descends_by_score() {
+        let d = FlavorDataset::paper(7);
+        let scores: Vec<f64> = d
+            .gold
+            .iter()
+            .map(|id| d.world.score(*id).unwrap())
+            .collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn chocolate_titled_flavors_are_salient_and_chocolatey() {
+        let d = FlavorDataset::sample(40, 3);
+        for &id in &d.items {
+            let name = d.name(id);
+            if name.contains("chocolate") {
+                assert!(d.world.salience_of(id) >= 0.85, "{name}");
+                assert!(d.world.score(id).unwrap() >= 0.5, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_has_distinct_names_and_valid_ranges() {
+        let names: std::collections::HashSet<&str> =
+            FLAVOR_POOL.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(names.len(), FLAVOR_POOL.len());
+        for &(name, score, salience) in FLAVOR_POOL {
+            assert!((0.0..=1.0).contains(&score), "{name}");
+            assert!((0.0..=1.0).contains(&salience), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool has")]
+    fn oversampling_panics() {
+        FlavorDataset::sample(1000, 1);
+    }
+}

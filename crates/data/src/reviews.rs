@@ -1,0 +1,153 @@
+//! Review-snippet generator for sentiment workloads — the paper's running
+//! example ("sorting a collection of text snippets on sentiment", §2) and a
+//! natural workload for filter/count/categorize.
+
+use crowdprompt_oracle::world::{ItemId, WorldModel};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// (phrase, sentiment contribution, salience contribution)
+const OPENERS: &[(&str, f64, f64)] = &[
+    ("absolutely love", 0.45, 0.9),
+    ("really enjoyed", 0.35, 0.8),
+    ("quite liked", 0.25, 0.6),
+    ("am lukewarm about", 0.0, 0.5),
+    ("was confused by", -0.1, 0.3),
+    ("am disappointed by", -0.3, 0.8),
+    ("regret buying", -0.4, 0.9),
+    ("can't stand", -0.45, 0.9),
+];
+
+const SUBJECTS: &[&str] = &[
+    "this blender", "the new headphones", "this paperback", "the hotel room",
+    "this coffee maker", "the streaming service", "this keyboard", "the hiking boots",
+    "this board game", "the desk lamp",
+];
+
+/// (phrase, sentiment contribution, salience contribution)
+const DETAILS: &[(&str, f64, f64)] = &[
+    ("the build quality exceeded expectations", 0.2, 0.4),
+    ("it worked exactly as advertised", 0.15, 0.4),
+    ("setup took longer than promised", -0.1, 0.3),
+    ("support never answered my emails", -0.2, 0.5),
+    ("the price felt fair for what you get", 0.1, 0.3),
+    ("one part broke within a week", -0.25, 0.6),
+    ("my whole family uses it daily", 0.2, 0.4),
+    ("the manual was impossible to follow", -0.15, 0.4),
+    ("it looks better in person than online", 0.1, 0.2),
+    ("returns were painless at least", 0.0, 0.2),
+];
+
+/// A sentiment workload: snippets with latent sentiment in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct ReviewsDataset {
+    /// World model with scores, salience, and the `"positive"` predicate
+    /// (`score >= 0.5`) plus a `"label"` attribute
+    /// (`positive`/`negative`) registered per snippet.
+    pub world: WorldModel,
+    /// Snippets in presentation order.
+    pub items: Vec<ItemId>,
+    /// Gold ordering, most positive first.
+    pub gold: Vec<ItemId>,
+    /// Number of snippets whose sentiment is positive.
+    pub positive_count: usize,
+}
+
+impl ReviewsDataset {
+    /// Generate `n` snippets with seeded sentiment structure.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut world = WorldModel::new();
+        let mut items = Vec::with_capacity(n);
+        let mut positive_count = 0usize;
+        for _ in 0..n {
+            let (opener, s1, sal1) = OPENERS[rng.random_range(0..OPENERS.len())];
+            let subject = SUBJECTS[rng.random_range(0..SUBJECTS.len())];
+            let (detail, s2, sal2) = DETAILS[rng.random_range(0..DETAILS.len())];
+            let jitter: f64 = rng.random_range(-0.05..0.05);
+            let score = (0.5 + s1 + s2 + jitter).clamp(0.0, 1.0);
+            let text = format!("I {opener} {subject}; {detail}.");
+            let id = world.add_item(text);
+            world.set_score(id, score);
+            world.set_salience(id, ((sal1 + sal2) / 1.5).clamp(0.0, 1.0));
+            let positive = score >= 0.5;
+            world.set_flag(id, "positive", positive);
+            world.set_attr(id, "label", if positive { "positive" } else { "negative" });
+            positive_count += usize::from(positive);
+            items.push(id);
+        }
+        let gold = world.gold_ranking_by_score(&items);
+        ReviewsDataset {
+            world,
+            items,
+            gold,
+            positive_count,
+        }
+    }
+
+    /// The snippet text of an item.
+    pub fn text(&self, id: ItemId) -> &str {
+        self.world.text(id).expect("items come from this world")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = ReviewsDataset::generate(50, 3);
+        let b = ReviewsDataset::generate(50, 3);
+        assert_eq!(a.items.len(), 50);
+        let ta: Vec<&str> = a.items.iter().map(|i| a.text(*i)).collect();
+        let tb: Vec<&str> = b.items.iter().map(|i| b.text(*i)).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn flags_match_scores() {
+        let d = ReviewsDataset::generate(80, 7);
+        let mut counted = 0usize;
+        for &id in &d.items {
+            let score = d.world.score(id).unwrap();
+            let flag = d.world.flag(id, "positive").unwrap();
+            assert_eq!(flag, score >= 0.5);
+            counted += usize::from(flag);
+        }
+        assert_eq!(counted, d.positive_count);
+        // Both classes occur.
+        assert!(counted > 0 && counted < 80);
+    }
+
+    #[test]
+    fn gold_ordering_descends() {
+        let d = ReviewsDataset::generate(40, 9);
+        let scores: Vec<f64> = d.gold.iter().map(|id| d.world.score(*id).unwrap()).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn strong_phrasing_has_high_salience() {
+        let d = ReviewsDataset::generate(120, 11);
+        for &id in &d.items {
+            let text = d.text(id);
+            if text.contains("absolutely love") || text.contains("can't stand") {
+                assert!(d.world.salience_of(id) > 0.6, "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_cover_both_classes() {
+        let d = ReviewsDataset::generate(60, 13);
+        let pos = d
+            .items
+            .iter()
+            .filter(|id| d.world.attr(**id, "label") == Some("positive"))
+            .count();
+        assert_eq!(pos, d.positive_count);
+    }
+}

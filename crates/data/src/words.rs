@@ -1,0 +1,110 @@
+//! Random-word workloads for the Table 2 alphabetical-sorting experiment.
+
+use crowdprompt_oracle::world::{ItemId, WorldModel};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::wordlist::WORDS;
+
+/// A sampled word workload with lexicographic gold ordering.
+#[derive(Debug, Clone)]
+pub struct WordsDataset {
+    /// World model with sort keys registered.
+    pub world: WorldModel,
+    /// Sampled items in (shuffled) presentation order.
+    pub items: Vec<ItemId>,
+    /// Gold ordering: alphabetical.
+    pub gold: Vec<ItemId>,
+}
+
+impl WordsDataset {
+    /// Sample `n` distinct words in a seeded random presentation order.
+    /// The paper uses `n = 100` across three trial seeds.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the embedded pool size.
+    pub fn sample(n: usize, seed: u64) -> Self {
+        assert!(
+            n <= WORDS.len(),
+            "requested {n} words but pool has {}",
+            WORDS.len()
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pool: Vec<&str> = WORDS.to_vec();
+        pool.shuffle(&mut rng);
+        let mut world = WorldModel::new();
+        let mut items = Vec::with_capacity(n);
+        for word in pool.into_iter().take(n) {
+            let id = world.add_item(word);
+            world.set_sort_key(id, word);
+            // Alphabetical order is fully surface-evident.
+            world.set_salience(id, 1.0);
+            items.push(id);
+        }
+        let gold = world.gold_ranking_by_key(&items);
+        WordsDataset { world, items, gold }
+    }
+
+    /// The paper's exact setup: 100 words.
+    pub fn paper(trial_seed: u64) -> Self {
+        Self::sample(100, trial_seed)
+    }
+
+    /// The word text of an item.
+    pub fn word(&self, id: ItemId) -> &str {
+        self.world.text(id).expect("items come from this world")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_distinct_words() {
+        let d = WordsDataset::sample(100, 42);
+        let set: std::collections::HashSet<&str> =
+            d.items.iter().map(|i| d.word(*i)).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn gold_is_alphabetical() {
+        let d = WordsDataset::paper(1);
+        let sorted: Vec<&str> = d.gold.iter().map(|i| d.word(*i)).collect();
+        let mut expected = sorted.clone();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WordsDataset::sample(50, 9);
+        let b = WordsDataset::sample(50, 9);
+        let wa: Vec<&str> = a.items.iter().map(|i| a.word(*i)).collect();
+        let wb: Vec<&str> = b.items.iter().map(|i| b.word(*i)).collect();
+        assert_eq!(wa, wb);
+        let c = WordsDataset::sample(50, 10);
+        let wc: Vec<&str> = c.items.iter().map(|i| c.word(*i)).collect();
+        assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn presentation_order_is_shuffled() {
+        let d = WordsDataset::paper(3);
+        let presented: Vec<&str> = d.items.iter().map(|i| d.word(*i)).collect();
+        let mut sorted = presented.clone();
+        sorted.sort_unstable();
+        assert_ne!(presented, sorted, "workload should not arrive pre-sorted");
+    }
+
+    #[test]
+    fn pool_is_sorted_and_deduplicated() {
+        let mut copy = WORDS.to_vec();
+        copy.sort_unstable();
+        copy.dedup();
+        assert_eq!(copy.len(), WORDS.len());
+        assert!(WORDS.len() >= 1000, "pool should be dictionary-sized");
+    }
+}

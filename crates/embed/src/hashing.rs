@@ -1,0 +1,186 @@
+//! Feature-hashing text embedders.
+
+use crate::vector::normalize;
+
+/// Anything that can turn text into a fixed-dimension vector.
+pub trait Embedder: Send + Sync {
+    /// Output dimensionality.
+    fn dimensions(&self) -> usize;
+    /// Embed one text.
+    fn embed(&self, text: &str) -> Vec<f32>;
+
+    /// Embed a batch of texts (default: sequential map).
+    fn embed_all(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        texts.iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+/// Character n-gram + word unigram feature-hash embedder.
+///
+/// Each lowercase character n-gram and each word is hashed into one of
+/// `dimensions` buckets with a sign derived from a second hash (the standard
+/// "hashing trick"), then the vector is L2-normalized. Similar strings share
+/// most n-grams, so they land close in cosine/L2 space — the property the
+/// Table 3 and Table 4 experiments need from `text-embedding-ada-002`.
+#[derive(Debug, Clone)]
+pub struct NgramEmbedder {
+    dimensions: usize,
+    ngram: usize,
+    include_words: bool,
+}
+
+impl NgramEmbedder {
+    /// An embedder with the given output dimensionality and n-gram size.
+    ///
+    /// # Panics
+    /// Panics if `dimensions == 0` or `ngram == 0`.
+    pub fn new(dimensions: usize, ngram: usize) -> Self {
+        assert!(dimensions > 0, "dimensions must be positive");
+        assert!(ngram > 0, "ngram must be positive");
+        NgramEmbedder {
+            dimensions,
+            ngram,
+            include_words: true,
+        }
+    }
+
+    /// The configuration used throughout the experiments: 256 dimensions,
+    /// trigrams, word features on.
+    pub fn ada_like() -> Self {
+        NgramEmbedder::new(256, 3)
+    }
+
+    /// Disable word-unigram features (pure character n-grams).
+    #[must_use]
+    pub fn without_words(mut self) -> Self {
+        self.include_words = false;
+        self
+    }
+
+    fn bucket(&self, feature: &str) -> (usize, f32) {
+        let h = fnv1a(feature.as_bytes());
+        let idx = (h % self.dimensions as u64) as usize;
+        // An independent bit decides the sign, which keeps hash collisions
+        // from systematically inflating bucket magnitudes.
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        (idx, sign)
+    }
+}
+
+impl Embedder for NgramEmbedder {
+    fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dimensions];
+        let lowered = text.to_lowercase();
+        let chars: Vec<char> = lowered.chars().collect();
+        if chars.len() >= self.ngram {
+            let mut buf = String::with_capacity(self.ngram * 4);
+            for w in chars.windows(self.ngram) {
+                buf.clear();
+                buf.extend(w.iter());
+                let (idx, sign) = self.bucket(&buf);
+                v[idx] += sign;
+            }
+        }
+        if self.include_words {
+            for word in lowered.split(|c: char| !c.is_alphanumeric()) {
+                if word.is_empty() {
+                    continue;
+                }
+                let (idx, sign) = self.bucket(word);
+                v[idx] += 2.0 * sign; // word features weigh more than char n-grams
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{cosine_similarity, l2_distance};
+
+    #[test]
+    fn deterministic() {
+        let e = NgramEmbedder::ada_like();
+        assert_eq!(e.embed("hello world"), e.embed("hello world"));
+    }
+
+    #[test]
+    fn dimensions_respected() {
+        let e = NgramEmbedder::new(64, 3);
+        assert_eq!(e.embed("anything").len(), 64);
+        assert_eq!(e.dimensions(), 64);
+    }
+
+    #[test]
+    fn similar_strings_are_closer_than_dissimilar() {
+        let e = NgramEmbedder::ada_like();
+        let a = e.embed("indexing the positions of continuously moving objects");
+        let b = e.embed("indexing the positions of continously moving objects");
+        let c = e.embed("a survey of crowdsourced join algorithms for databases");
+        assert!(cosine_similarity(&a, &b) > cosine_similarity(&a, &c) + 0.3);
+        assert!(l2_distance(&a, &b) < l2_distance(&a, &c));
+    }
+
+    #[test]
+    fn empty_and_short_texts_embed() {
+        let e = NgramEmbedder::ada_like();
+        let v = e.embed("");
+        assert_eq!(v.len(), 256);
+        assert!(v.iter().all(|x| *x == 0.0));
+        let v = e.embed("ab");
+        assert_eq!(v.len(), 256);
+        // "ab" is shorter than the trigram window but is still a word feature.
+        assert!(v.iter().any(|x| *x != 0.0));
+    }
+
+    #[test]
+    fn unit_norm_for_nonempty() {
+        let e = NgramEmbedder::ada_like();
+        let v = e.embed("some record text with several words");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = NgramEmbedder::ada_like();
+        assert_eq!(e.embed("Chocolate Fudge"), e.embed("chocolate fudge"));
+    }
+
+    #[test]
+    fn embed_all_matches_individual() {
+        let e = NgramEmbedder::ada_like();
+        let texts = ["alpha", "beta"];
+        let batch = e.embed_all(&texts);
+        assert_eq!(batch[0], e.embed("alpha"));
+        assert_eq!(batch[1], e.embed("beta"));
+    }
+
+    #[test]
+    fn without_words_differs() {
+        let with = NgramEmbedder::ada_like();
+        let without = NgramEmbedder::ada_like().without_words();
+        assert_ne!(with.embed("hello world"), without.embed("hello world"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimensions_panics() {
+        NgramEmbedder::new(0, 3);
+    }
+}

@@ -1,0 +1,364 @@
+//! Exact k-nearest-neighbor indexes: brute force and VP-tree.
+
+use crate::vector::{cosine_similarity, l2_distance};
+
+/// Distance metric for neighbor search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Euclidean distance (what the paper's Table 3 study uses).
+    #[default]
+    L2,
+    /// `1 - cosine similarity` (a proper distance on the unit sphere).
+    Cosine,
+}
+
+impl Metric {
+    /// Distance between two vectors under this metric.
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_distance(a, b),
+            Metric::Cosine => 1.0 - cosine_similarity(a, b),
+        }
+    }
+}
+
+/// One search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the hit in the order vectors were added to the index.
+    pub index: usize,
+    /// Distance from the query.
+    pub distance: f32,
+}
+
+/// A k-nearest-neighbor index over fixed-dimension vectors.
+pub trait NearestNeighbors: Send + Sync {
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest stored vectors to `query`, ascending by distance,
+    /// ties broken by insertion index for determinism.
+    fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// Like [`NearestNeighbors::nearest`] but excluding one stored index
+    /// (used for "neighbors of an item already in the index").
+    fn nearest_excluding(&self, query: &[f32], k: usize, exclude: usize) -> Vec<Neighbor> {
+        let mut hits = self.nearest(query, k + 1);
+        hits.retain(|n| n.index != exclude);
+        hits.truncate(k);
+        hits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Brute force
+// ---------------------------------------------------------------------------
+
+/// Exact brute-force scan; the reference implementation.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    vectors: Vec<Vec<f32>>,
+    metric: Metric,
+}
+
+impl BruteForceIndex {
+    /// Build from vectors (all must share one dimensionality).
+    ///
+    /// # Panics
+    /// Panics if vector dimensionalities differ.
+    pub fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
+        if let Some(first) = vectors.first() {
+            let d = first.len();
+            assert!(
+                vectors.iter().all(|v| v.len() == d),
+                "all vectors must share a dimensionality"
+            );
+        }
+        BruteForceIndex { vectors, metric }
+    }
+}
+
+impl NearestNeighbors for BruteForceIndex {
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut hits: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(index, v)| Neighbor {
+                index,
+                distance: self.metric.distance(query, v),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VP-tree
+// ---------------------------------------------------------------------------
+
+/// A vantage-point tree: exact metric-space index with O(log n) expected
+/// query time on clustered data. Used by the larger experiments where the
+/// brute-force scan over every record dominates runtime.
+#[derive(Debug, Clone)]
+pub struct VpTreeIndex {
+    vectors: Vec<Vec<f32>>,
+    metric: Metric,
+    nodes: Vec<VpNode>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct VpNode {
+    /// Index into `vectors`.
+    point: usize,
+    /// Median distance from `point` to the points in its inside subtree.
+    radius: f32,
+    inside: Option<usize>,
+    outside: Option<usize>,
+}
+
+impl VpTreeIndex {
+    /// Build from vectors (all must share one dimensionality).
+    ///
+    /// # Panics
+    /// Panics if vector dimensionalities differ.
+    pub fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
+        if let Some(first) = vectors.first() {
+            let d = first.len();
+            assert!(
+                vectors.iter().all(|v| v.len() == d),
+                "all vectors must share a dimensionality"
+            );
+        }
+        let mut tree = VpTreeIndex {
+            nodes: Vec::with_capacity(vectors.len()),
+            vectors,
+            metric,
+            root: None,
+        };
+        let mut ids: Vec<usize> = (0..tree.vectors.len()).collect();
+        tree.root = tree.build(&mut ids);
+        tree
+    }
+
+    fn build(&mut self, ids: &mut [usize]) -> Option<usize> {
+        let (&vantage, rest) = ids.split_first()?;
+        if rest.is_empty() {
+            let node = VpNode {
+                point: vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            };
+            self.nodes.push(node);
+            return Some(self.nodes.len() - 1);
+        }
+        // Partition the rest around the median distance to the vantage point.
+        let mut with_dist: Vec<(f32, usize)> = rest
+            .iter()
+            .map(|&i| {
+                (
+                    self.metric
+                        .distance(&self.vectors[vantage], &self.vectors[i]),
+                    i,
+                )
+            })
+            .collect();
+        with_dist.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mid = with_dist.len() / 2;
+        let radius = with_dist[mid].0;
+        let mut inside_ids: Vec<usize> = with_dist[..mid].iter().map(|(_, i)| *i).collect();
+        let mut outside_ids: Vec<usize> = with_dist[mid..].iter().map(|(_, i)| *i).collect();
+        let inside = self.build(&mut inside_ids);
+        let outside = self.build(&mut outside_ids);
+        self.nodes.push(VpNode {
+            point: vantage,
+            radius,
+            inside,
+            outside,
+        });
+        Some(self.nodes.len() - 1)
+    }
+
+    fn search(&self, node: Option<usize>, query: &[f32], k: usize, heap: &mut Vec<Neighbor>) {
+        let Some(idx) = node else { return };
+        let n = &self.nodes[idx];
+        let d = self.metric.distance(query, &self.vectors[n.point]);
+        push_candidate(heap, Neighbor {
+            index: n.point,
+            distance: d,
+        }, k);
+        let tau = current_tau(heap, k);
+        // Visit the more promising side first, prune the other with tau.
+        if d < n.radius {
+            self.search(n.inside, query, k, heap);
+            let tau = current_tau(heap, k);
+            if d + tau >= n.radius {
+                self.search(n.outside, query, k, heap);
+            }
+        } else {
+            self.search(n.outside, query, k, heap);
+            let tau = current_tau(heap, k);
+            if d - tau <= n.radius {
+                self.search(n.inside, query, k, heap);
+            }
+        }
+        let _ = tau;
+    }
+}
+
+fn current_tau(heap: &[Neighbor], k: usize) -> f32 {
+    if heap.len() < k {
+        f32::INFINITY
+    } else {
+        heap.last().map_or(f32::INFINITY, |n| n.distance)
+    }
+}
+
+fn push_candidate(heap: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
+    // Keep a small sorted vec (k is tiny in all our workloads).
+    let pos = heap
+        .binary_search_by(|n| {
+            n.distance
+                .partial_cmp(&cand.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(n.index.cmp(&cand.index))
+        })
+        .unwrap_or_else(|p| p);
+    heap.insert(pos, cand);
+    if heap.len() > k {
+        heap.pop();
+    }
+}
+
+impl NearestNeighbors for VpTreeIndex {
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut heap);
+        heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| vec![i as f32, (i * i % 17) as f32]).collect()
+    }
+
+    #[test]
+    fn brute_force_finds_self_first() {
+        let idx = BruteForceIndex::new(grid(10), Metric::L2);
+        let hits = idx.nearest(&[3.0, 9.0], 3);
+        assert_eq!(hits[0].index, 3);
+        assert_eq!(hits[0].distance, 0.0);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn vp_tree_matches_brute_force() {
+        let vectors = grid(60);
+        let brute = BruteForceIndex::new(vectors.clone(), Metric::L2);
+        let vp = VpTreeIndex::new(vectors, Metric::L2);
+        for q in 0..20 {
+            let query = vec![q as f32 + 0.3, (q * 3 % 11) as f32];
+            let b = brute.nearest(&query, 5);
+            let v = vp.nearest(&query, 5);
+            assert_eq!(b.len(), v.len());
+            for (bn, vn) in b.iter().zip(v.iter()) {
+                assert_eq!(bn.index, vn.index, "query {query:?}");
+                assert!((bn.distance - vn.distance).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_metric_works() {
+        let vectors = vec![
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+            vec![0.0, 1.0],
+        ];
+        let idx = BruteForceIndex::new(vectors, Metric::Cosine);
+        let hits = idx.nearest(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[1].index, 1);
+    }
+
+    #[test]
+    fn k_larger_than_index() {
+        let idx = BruteForceIndex::new(grid(3), Metric::L2);
+        assert_eq!(idx.nearest(&[0.0, 0.0], 10).len(), 3);
+        let vp = VpTreeIndex::new(grid(3), Metric::L2);
+        assert_eq!(vp.nearest(&[0.0, 0.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = BruteForceIndex::new(Vec::new(), Metric::L2);
+        assert!(idx.is_empty());
+        assert!(idx.nearest(&[1.0], 3).is_empty());
+        let vp = VpTreeIndex::new(Vec::new(), Metric::L2);
+        assert!(vp.nearest(&[1.0], 3).is_empty());
+    }
+
+    #[test]
+    fn k_zero() {
+        let vp = VpTreeIndex::new(grid(5), Metric::L2);
+        assert!(vp.nearest(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn nearest_excluding_skips_self() {
+        let idx = BruteForceIndex::new(grid(10), Metric::L2);
+        let hits = idx.nearest_excluding(&[3.0, 9.0], 2, 3);
+        assert!(hits.iter().all(|n| n.index != 3));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_by_index() {
+        let vectors = vec![vec![1.0, 1.0]; 4];
+        let idx = BruteForceIndex::new(vectors, Metric::L2);
+        let hits = idx.nearest(&[1.0, 1.0], 3);
+        assert_eq!(
+            hits.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimensionality")]
+    fn mismatched_dims_panic() {
+        BruteForceIndex::new(vec![vec![1.0], vec![1.0, 2.0]], Metric::L2);
+    }
+}

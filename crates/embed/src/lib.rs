@@ -1,0 +1,21 @@
+//! Deterministic text embeddings and nearest-neighbor search.
+//!
+//! Stand-in for the paper's use of `text-embedding-ada-002`: the entity
+//! resolution study (Table 3) embeds each citation and expands every
+//! validation pair with its k nearest neighbors in embedding space; the
+//! imputation study (Table 4) finds a record's k most similar peers.
+//!
+//! The embedder here hashes character n-grams and word unigrams into a fixed
+//! number of dimensions. This has the one property the experiments rely on:
+//! *surface-similar strings land close together*, deterministically, with no
+//! model weights to ship.
+
+#![warn(missing_docs)]
+
+pub mod hashing;
+pub mod knn;
+pub mod vector;
+
+pub use hashing::{Embedder, NgramEmbedder};
+pub use knn::{BruteForceIndex, Metric, NearestNeighbors, Neighbor, VpTreeIndex};
+pub use vector::{cosine_similarity, dot, l2_distance, normalize};

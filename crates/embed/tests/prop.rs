@@ -1,0 +1,87 @@
+//! Property tests for the embedding substrate.
+
+use crowdprompt_embed::{
+    cosine_similarity, l2_distance, BruteForceIndex, Embedder, Metric, NearestNeighbors,
+    NgramEmbedder, VpTreeIndex,
+};
+use proptest::prelude::*;
+
+fn vectors(n: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f32..10.0, dims..=dims),
+        1..n,
+    )
+}
+
+proptest! {
+    #[test]
+    fn vp_tree_agrees_with_brute_force(
+        vs in vectors(40, 6),
+        query in prop::collection::vec(-10.0f32..10.0, 6..=6),
+        k in 1usize..8
+    ) {
+        let brute = BruteForceIndex::new(vs.clone(), Metric::L2);
+        let vp = VpTreeIndex::new(vs, Metric::L2);
+        let a = brute.nearest(&query, k);
+        let b = vp.nearest(&query, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            // Distances must agree; indexes may differ only on exact ties.
+            prop_assert!((x.distance - y.distance).abs() < 1e-4,
+                "distance mismatch {} vs {}", x.distance, y.distance);
+        }
+    }
+
+    #[test]
+    fn nearest_distances_are_sorted(
+        vs in vectors(30, 4),
+        query in prop::collection::vec(-10.0f32..10.0, 4..=4)
+    ) {
+        let idx = BruteForceIndex::new(vs, Metric::L2);
+        let hits = idx.nearest(&query, 10);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance + 1e-6);
+        }
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(
+        a in prop::collection::vec(-10.0f32..10.0, 8..=8),
+        b in prop::collection::vec(-10.0f32..10.0, 8..=8)
+    ) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+        prop_assert!((s - cosine_similarity(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_triangle_inequality(
+        a in prop::collection::vec(-10.0f32..10.0, 5..=5),
+        b in prop::collection::vec(-10.0f32..10.0, 5..=5),
+        c in prop::collection::vec(-10.0f32..10.0, 5..=5)
+    ) {
+        prop_assert!(
+            l2_distance(&a, &c) <= l2_distance(&a, &b) + l2_distance(&b, &c) + 1e-4
+        );
+    }
+
+    #[test]
+    fn embedder_output_is_unit_or_zero(text in ".{0,120}") {
+        let e = NgramEmbedder::ada_like();
+        let v = e.embed(&text);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!(
+            norm < 1e-6 || (norm - 1.0).abs() < 1e-4,
+            "norm {norm} for {text:?}"
+        );
+    }
+
+    #[test]
+    fn embedding_self_similarity_is_max(text in "[a-z ]{3,80}") {
+        let e = NgramEmbedder::ada_like();
+        let v = e.embed(&text);
+        if v.iter().any(|x| *x != 0.0) {
+            prop_assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # crowdprompt
+//!
+//! Declarative prompt engineering via declarative crowdsourcing principles —
+//! a full implementation of the research agenda in *"Revisiting Prompt
+//! Engineering via Declarative Crowdsourcing"* (Parameswaran et al.,
+//! CIDR 2024).
+//!
+//! Treat LLMs as noisy human oracles: declare data processing operations
+//! (sort, resolve, impute, filter, count, …) plus a budget, and let the
+//! engine decompose them into unit tasks, orchestrate the calls, enforce
+//! cross-task consistency, mix in non-LLM proxies, and control quality.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crowdprompt::data::FlavorDataset;
+//! use crowdprompt::oracle::{LlmClient, ModelProfile, SimulatedLlm};
+//! use crowdprompt::core::ops::sort::SortStrategy;
+//! use crowdprompt::core::{Budget, Corpus, Session};
+//! use crowdprompt::oracle::task::SortCriterion;
+//!
+//! // 20 ice-cream flavors with latent chocolateyness (Table 1's workload).
+//! let data = FlavorDataset::paper(42);
+//! let corpus = Corpus::from_world(&data.world, &data.items);
+//! // A simulated gpt-3.5-turbo stands in for the real API.
+//! let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 7);
+//! let session = Session::builder()
+//!     .client(Arc::new(LlmClient::new(Arc::new(llm))))
+//!     .corpus(corpus)
+//!     .budget(Budget::usd(1.0))
+//!     .criterion("by how chocolatey they are")
+//!     .build();
+//!
+//! let result = session
+//!     .sort(&data.items, SortCriterion::LatentScore, &SortStrategy::Pairwise)
+//!     .unwrap();
+//! assert_eq!(result.value.order.len(), 20);
+//! assert!(result.cost_usd > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`core`] | the declarative engine: session, operators, strategies, consistency, quality control, optimizer |
+//! | [`oracle`] | the simulated-LLM substrate: model profiles, pricing, tokenizer, client |
+//! | [`embed`] | deterministic embeddings + k-NN indexes |
+//! | [`data`] | seeded dataset generators with latent ground truth |
+//! | [`metrics`] | Kendall tau-β, classification metrics, report tables |
+
+#![warn(missing_docs)]
+
+pub use crowdprompt_core as core;
+pub use crowdprompt_data as data;
+pub use crowdprompt_embed as embed;
+pub use crowdprompt_metrics as metrics;
+pub use crowdprompt_oracle as oracle;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use crowdprompt_core::cascade::{CascadeTier, CascadeVerdict, ModelCascade};
+    pub use crowdprompt_core::ops::count::CountStrategy;
+    pub use crowdprompt_core::ops::filter::FilterStrategy;
+    pub use crowdprompt_core::ops::impute::{ImputeStrategy, LabeledPool};
+    pub use crowdprompt_core::ops::join::{JoinResult, JoinStrategy};
+    pub use crowdprompt_core::ops::max::MaxStrategy;
+    pub use crowdprompt_core::ops::resolve::{MentionIndex, ResolveStrategy};
+    pub use crowdprompt_core::ops::sort::{SortResult, SortStrategy};
+    pub use crowdprompt_core::workflow::{Pipeline, PipelineResult};
+    pub use crowdprompt_core::{Budget, Corpus, EngineError, Outcome, Session};
+    pub use crowdprompt_oracle::task::SortCriterion;
+    pub use crowdprompt_oracle::{
+        CompletionRequest, LanguageModel, LlmClient, ModelProfile, SimulatedLlm,
+    };
+}

@@ -1,0 +1,169 @@
+//! Binary-classification metrics (entity resolution) and label accuracy
+//! (imputation).
+
+/// Confusion counts for a binary decision task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// Predicted positive, actually positive.
+    pub tp: u64,
+    /// Predicted positive, actually negative.
+    pub fp: u64,
+    /// Predicted negative, actually negative.
+    pub tn: u64,
+    /// Predicted negative, actually positive.
+    pub fn_: u64,
+}
+
+impl BinaryConfusion {
+    /// Empty confusion matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one (predicted, actual) observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Build from parallel prediction / truth slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_pairs(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut c = Self::new();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            c.record(p, a);
+        }
+        c
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; `None` with no positive predictions.
+    pub fn precision(&self) -> Option<f64> {
+        let denom = self.tp + self.fp;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// Recall `tp / (tp + fn)`; `None` with no actual positives.
+    pub fn recall(&self) -> Option<f64> {
+        let denom = self.tp + self.fn_;
+        (denom > 0).then(|| self.tp as f64 / denom as f64)
+    }
+
+    /// F1 — harmonic mean of precision and recall; `None` if either is
+    /// undefined or both are zero.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.recall()?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Overall accuracy; `None` with no observations.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| (self.tp + self.tn) as f64 / total as f64)
+    }
+}
+
+/// Exact-match accuracy over paired predicted/gold labels.
+///
+/// Returns `None` for empty input.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn accuracy<T: PartialEq>(predicted: &[T], gold: &[T]) -> Option<f64> {
+    assert_eq!(predicted.len(), gold.len(), "length mismatch");
+    if predicted.is_empty() {
+        return None;
+    }
+    let correct = predicted
+        .iter()
+        .zip(gold)
+        .filter(|(p, g)| p == g)
+        .count();
+    Some(correct as f64 / predicted.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_shape() {
+        // Reconstruct something like the paper's baseline: precision 0.952,
+        // recall 0.503.
+        let mut c = BinaryConfusion::new();
+        c.tp = 503;
+        c.fn_ = 497;
+        c.fp = 25;
+        c.tn = 4000;
+        assert!((c.precision().unwrap() - 0.9527).abs() < 1e-3);
+        assert!((c.recall().unwrap() - 0.503).abs() < 1e-3);
+        let f1 = c.f1().unwrap();
+        assert!((f1 - 0.658).abs() < 0.01, "f1 {f1}");
+    }
+
+    #[test]
+    fn record_routes_to_cells() {
+        let mut c = BinaryConfusion::new();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, false);
+        c.record(false, true);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.accuracy(), Some(0.5));
+    }
+
+    #[test]
+    fn degenerate_cases_are_none() {
+        let c = BinaryConfusion::new();
+        assert_eq!(c.precision(), None);
+        assert_eq!(c.recall(), None);
+        assert_eq!(c.f1(), None);
+        assert_eq!(c.accuracy(), None);
+
+        let mut only_negatives = BinaryConfusion::new();
+        only_negatives.record(false, false);
+        assert_eq!(only_negatives.precision(), None);
+        assert_eq!(only_negatives.recall(), None);
+        assert_eq!(only_negatives.accuracy(), Some(1.0));
+    }
+
+    #[test]
+    fn from_pairs_matches_manual() {
+        let pred = [true, false, true, true];
+        let act = [true, true, false, true];
+        let c = BinaryConfusion::from_pairs(&pred, &act);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 0, 1));
+    }
+
+    #[test]
+    fn label_accuracy() {
+        let pred = ["a", "b", "c"];
+        let gold = ["a", "x", "c"];
+        assert!((accuracy(&pred, &gold).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        let empty: [&str; 0] = [];
+        assert_eq!(accuracy(&empty, &empty), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,20 @@
+//! Evaluation metrics and reporting for `crowdprompt` experiments.
+//!
+//! * [`rank`] — Kendall tau-β (the paper's ranking metric), Spearman's rho,
+//!   inversion counts.
+//! * [`classify`] — precision / recall / F1 / accuracy and confusion counts
+//!   for the entity-resolution and imputation studies.
+//! * [`report`] — plain-text and markdown table rendering for the
+//!   paper-vs-measured harnesses.
+//! * [`stats`] — multi-trial summary statistics (mean, sd, bootstrap CIs).
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod rank;
+pub mod report;
+pub mod stats;
+
+pub use classify::{accuracy, BinaryConfusion};
+pub use rank::{inversions, kendall_tau_b, kendall_tau_b_rankings, spearman_rho};
+pub use report::Table;

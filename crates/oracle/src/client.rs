@@ -1,0 +1,365 @@
+//! Client-side wrapper over a [`LanguageModel`]: retries, response caching,
+//! cost accounting, and parallel dispatch.
+//!
+//! This is the layer a production deployment would point at a network
+//! backend; the declarative engine only ever talks to an [`LlmClient`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::error::LlmError;
+use crate::pricing::CostLedger;
+use crate::types::{CompletionRequest, CompletionResponse, LanguageModel};
+
+/// Retry behaviour for transient (retryable) errors.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call (>= 1).
+    pub max_attempts: u32,
+    /// Base backoff per retry in milliseconds; `0` disables sleeping, which
+    /// keeps simulated experiments fast while preserving retry *logic*.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        }
+    }
+}
+
+/// Counters describing client behaviour, for traces and tests.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    calls: AtomicU64,
+    cache_hits: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl ClientStats {
+    /// Completed (non-cached) backend calls.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+    /// Requests served from the response cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+    /// Retry attempts performed (beyond first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+    /// Calls that ultimately failed.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+}
+
+/// A caching, retrying client over any [`LanguageModel`].
+pub struct LlmClient {
+    model: Arc<dyn LanguageModel>,
+    retry: RetryPolicy,
+    cache: Mutex<HashMap<u64, CompletionResponse>>,
+    ledger: CostLedger,
+    stats: ClientStats,
+    cache_enabled: bool,
+}
+
+impl LlmClient {
+    /// Wrap a model with the default retry policy and caching enabled.
+    pub fn new(model: Arc<dyn LanguageModel>) -> Self {
+        LlmClient {
+            model,
+            retry: RetryPolicy::default(),
+            cache: Mutex::new(HashMap::new()),
+            ledger: CostLedger::new(),
+            stats: ClientStats::default(),
+            cache_enabled: true,
+        }
+    }
+
+    /// Override the retry policy (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Disable the temperature-0 response cache (builder style).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<dyn LanguageModel> {
+        &self.model
+    }
+
+    /// Accumulated usage and spend across all calls on this client.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Execute one request with caching and retries.
+    ///
+    /// Only temperature-0 requests are cached (they are deterministic).
+    /// Retryable errors are retried up to the policy's `max_attempts`, with
+    /// the request's `sample_index` bumped per attempt so the simulator's
+    /// transport-failure draw is re-rolled (matching how a real retry hits a
+    /// different server moment).
+    pub fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+        let cacheable = self.cache_enabled && request.temperature == 0.0;
+        let key = request.fingerprint();
+        if cacheable {
+            if let Some(mut hit) = self.cache.lock().get(&key).cloned() {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                hit.cached = true;
+                return Ok(hit);
+            }
+        }
+
+        let mut attempt = 0u32;
+        let mut last_err: Option<LlmError> = None;
+        while attempt < self.retry.max_attempts.max(1) {
+            let mut req = request.clone();
+            req.sample_index = request.sample_index.wrapping_add(attempt);
+            match self.model.complete(&req) {
+                Ok(resp) => {
+                    self.stats.calls.fetch_add(1, Ordering::Relaxed);
+                    self.ledger.record(resp.usage, self.model.pricing());
+                    if cacheable {
+                        self.cache.lock().insert(key, resp.clone());
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if e.is_retryable() => {
+                    attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    if self.retry.backoff_ms > 0 {
+                        let wait = self.retry.backoff_ms.saturating_mul(u64::from(attempt));
+                        std::thread::sleep(std::time::Duration::from_millis(wait));
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+        Err(LlmError::RetriesExhausted {
+            attempts: self.retry.max_attempts,
+            last: Box::new(last_err.unwrap_or(LlmError::ServiceUnavailable)),
+        })
+    }
+
+    /// Execute a batch of requests across `parallelism` worker threads,
+    /// preserving input order in the output.
+    ///
+    /// This models the fan-out a production orchestrator performs against a
+    /// rate-limited API; with the simulator it also meaningfully speeds up
+    /// the O(n²) pairwise experiments.
+    pub fn complete_many(
+        &self,
+        requests: &[CompletionRequest],
+        parallelism: usize,
+    ) -> Vec<Result<CompletionResponse, LlmError>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = parallelism.clamp(1, n);
+        if workers == 1 {
+            return requests.iter().map(|r| self.complete(r)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<CompletionResponse, LlmError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = self.complete(&requests[i]);
+                    *results[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelProfile, NoiseProfile};
+    use crate::sim::SimulatedLlm;
+    use crate::task::TaskDescriptor;
+    use crate::world::WorldModel;
+
+    fn world_and_ids(n: usize) -> (Arc<WorldModel>, Vec<crate::world::ItemId>) {
+        let mut w = WorldModel::new();
+        let ids = (0..n)
+            .map(|i| {
+                let id = w.add_item(format!("item {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                id
+            })
+            .collect();
+        (Arc::new(w), ids)
+    }
+
+    fn check_req(id: crate::world::ItemId) -> CompletionRequest {
+        CompletionRequest::new(
+            format!("Does item {} satisfy p?", id.0),
+            TaskDescriptor::CheckPredicate {
+                item: id,
+                predicate: "p".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn cache_hits_deterministic_requests() {
+        let (world, ids) = world_and_ids(1);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm);
+        let req = check_req(ids[0]);
+        let a = client.complete(&req).unwrap();
+        let b = client.complete(&req).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.usage, b.usage);
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert_eq!(client.stats().calls(), 1);
+        assert_eq!(client.stats().cache_hits(), 1);
+        // Ledger only charged once.
+        assert_eq!(client.ledger().calls(), 1);
+    }
+
+    #[test]
+    fn no_cache_for_positive_temperature() {
+        let (world, ids) = world_and_ids(1);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm);
+        let req = check_req(ids[0]).with_temperature(0.7);
+        client.complete(&req).unwrap();
+        client.complete(&req).unwrap();
+        assert_eq!(client.stats().calls(), 2);
+        assert_eq!(client.stats().cache_hits(), 0);
+    }
+
+    #[test]
+    fn retries_transient_failures_then_succeeds() {
+        let (world, ids) = world_and_ids(1);
+        // ~50% rate-limit probability: with 5 attempts success is near-certain.
+        let profile = ModelProfile::perfect().with_noise(NoiseProfile {
+            rate_limit_prob: 0.5,
+            ..NoiseProfile::perfect()
+        });
+        let llm = Arc::new(SimulatedLlm::new(profile, world, 42));
+        let client = LlmClient::new(llm).with_retry(RetryPolicy {
+            max_attempts: 10,
+            backoff_ms: 0,
+        });
+        let mut succeeded = 0;
+        for i in 0..20 {
+            let req = check_req(ids[0]).with_sample_index(i * 100);
+            if client.complete(&req).is_ok() {
+                succeeded += 1;
+            }
+        }
+        assert!(succeeded >= 19, "succeeded {succeeded}/20");
+        assert!(client.stats().retries() > 0);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let (world, _) = world_and_ids(1);
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::perfect().with_context_window(4),
+            world,
+            1,
+        ));
+        let client = LlmClient::new(llm);
+        let req = CompletionRequest::new(
+            "a prompt that is definitely longer than four tokens in total",
+            TaskDescriptor::CheckPredicate {
+                item: crate::world::ItemId(0),
+                predicate: "p".into(),
+            },
+        );
+        assert!(matches!(
+            client.complete(&req),
+            Err(LlmError::ContextOverflow { .. })
+        ));
+        assert_eq!(client.stats().retries(), 0);
+        assert_eq!(client.stats().failures(), 1);
+    }
+
+    #[test]
+    fn retries_exhausted_reports_last_error() {
+        let (world, ids) = world_and_ids(1);
+        let profile = ModelProfile::perfect().with_noise(NoiseProfile {
+            rate_limit_prob: 1.0,
+            ..NoiseProfile::perfect()
+        });
+        let llm = Arc::new(SimulatedLlm::new(profile, world, 1));
+        let client = LlmClient::new(llm).with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        });
+        match client.complete(&check_req(ids[0])) {
+            Err(LlmError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, LlmError::RateLimited { .. }));
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_many_preserves_order() {
+        let (world, ids) = world_and_ids(50);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm);
+        let reqs: Vec<CompletionRequest> = ids.iter().map(|id| check_req(*id)).collect();
+        let parallel = client.complete_many(&reqs, 8);
+        let serial: Vec<_> = reqs.iter().map(|r| client.complete(r)).collect();
+        for (p, s) in parallel.iter().zip(serial.iter()) {
+            assert_eq!(p.as_ref().unwrap().text, s.as_ref().unwrap().text);
+        }
+    }
+
+    #[test]
+    fn complete_many_empty_and_single_worker() {
+        let (world, ids) = world_and_ids(3);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm);
+        assert!(client.complete_many(&[], 4).is_empty());
+        let reqs: Vec<CompletionRequest> = ids.iter().map(|id| check_req(*id)).collect();
+        let out = client.complete_many(&reqs, 1);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(Result::is_ok));
+    }
+}

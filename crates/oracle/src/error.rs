@@ -1,0 +1,135 @@
+//! Error types surfaced by language-model backends and clients.
+
+use std::fmt;
+
+/// Errors produced when invoking a language model.
+///
+/// These mirror the failure modes of production LLM APIs so that client code
+/// (retry loops, budget guards, extraction fallbacks) exercises realistic
+/// paths even against the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// The rendered prompt exceeds the model's context window.
+    ContextOverflow {
+        /// Tokens in the offending prompt.
+        prompt_tokens: u32,
+        /// The model's maximum context size.
+        context_window: u32,
+    },
+    /// The provider rejected the request due to rate limiting.
+    ///
+    /// Carries a suggested backoff in milliseconds, like a `Retry-After`
+    /// header would.
+    RateLimited {
+        /// Suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Transient provider-side failure (HTTP 5xx equivalent).
+    ServiceUnavailable,
+    /// The request referenced an unknown model name.
+    UnknownModel(String),
+    /// A budget guard refused to admit the call.
+    BudgetExhausted {
+        /// Cost the call would have incurred, in USD.
+        needed_usd: f64,
+        /// Budget remaining at refusal time, in USD.
+        remaining_usd: f64,
+    },
+    /// The request payload was structurally invalid (e.g. empty item list).
+    InvalidRequest(String),
+    /// Retries were exhausted without a successful response.
+    RetriesExhausted {
+        /// Number of attempts made.
+        attempts: u32,
+        /// The final error encountered.
+        last: Box<LlmError>,
+    },
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::ContextOverflow {
+                prompt_tokens,
+                context_window,
+            } => write!(
+                f,
+                "prompt of {prompt_tokens} tokens exceeds context window of {context_window}"
+            ),
+            LlmError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms} ms")
+            }
+            LlmError::ServiceUnavailable => write!(f, "service temporarily unavailable"),
+            LlmError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            LlmError::BudgetExhausted {
+                needed_usd,
+                remaining_usd,
+            } => write!(
+                f,
+                "budget exhausted: call needs ${needed_usd:.6} but only ${remaining_usd:.6} remains"
+            ),
+            LlmError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            LlmError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+impl LlmError {
+    /// Whether a retry of the identical request could plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            LlmError::RateLimited { .. } | LlmError::ServiceUnavailable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(LlmError::RateLimited { retry_after_ms: 10 }.is_retryable());
+        assert!(LlmError::ServiceUnavailable.is_retryable());
+        assert!(!LlmError::ContextOverflow {
+            prompt_tokens: 10,
+            context_window: 5
+        }
+        .is_retryable());
+        assert!(!LlmError::UnknownModel("x".into()).is_retryable());
+        assert!(!LlmError::InvalidRequest("empty".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = LlmError::ContextOverflow {
+            prompt_tokens: 9000,
+            context_window: 4096,
+        };
+        let s = e.to_string();
+        assert!(s.contains("9000"));
+        assert!(s.contains("4096"));
+
+        let e = LlmError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(LlmError::ServiceUnavailable),
+        };
+        assert!(e.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    fn budget_error_reports_amounts() {
+        let e = LlmError::BudgetExhausted {
+            needed_usd: 0.5,
+            remaining_usd: 0.25,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.5"));
+        assert!(s.contains("0.25"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Small deterministic hashing utilities.
+//!
+//! Experiment reproducibility requires that every pseudo-random decision be a
+//! pure function of (seed, request content). The standard library's `Hasher`
+//! is randomly keyed per process, so we implement FNV-1a and a splitmix-style
+//! mixer here and use them everywhere a stable fingerprint is needed.
+
+/// 64-bit FNV-1a over a byte slice.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a string.
+#[inline]
+pub fn fnv1a_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// Combine two hashes into one (order-sensitive).
+#[inline]
+pub fn combine(a: u64, b: u64) -> u64 {
+    // splitmix64 finalizer over the xor-rotated pair; cheap and well mixed.
+    mix(a ^ b.rotate_left(32))
+}
+
+/// splitmix64 finalizer: turns a counter or weak hash into a well-mixed value.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// An incremental FNV-1a hasher for fingerprinting structured values.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// Start a fresh fingerprint.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf29ce484222325)
+    }
+
+    /// Fold raw bytes into the fingerprint.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        const PRIME: u64 = 0x100000001b3;
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Fold a string (length-prefixed, so `"ab","c"` differs from `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes())
+    }
+
+    /// Fold a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Fold an `f64` (by bit pattern; NaN payloads are preserved).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Finish, returning the mixed 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        mix(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_is_length_prefixed() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprint_deterministic() {
+        let digest = |payload: &str| {
+            let mut f = Fingerprint::new();
+            f.write_str(payload).write_u64(7).write_f64(0.25);
+            f.finish()
+        };
+        assert_eq!(digest("hello"), digest("hello"));
+        assert_ne!(digest("hello"), digest("hellp"));
+    }
+
+    #[test]
+    fn combine_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn mix_spreads_counters() {
+        // Consecutive counters should produce wildly different values.
+        let a = mix(1);
+        let b = mix(2);
+        assert_ne!(a >> 32, b >> 32);
+    }
+}

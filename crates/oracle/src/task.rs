@@ -1,0 +1,358 @@
+//! Structured unit-task descriptors.
+//!
+//! Following the paper's framing, the interesting object is not the prompt
+//! wording but the *data processing operation* a prompt encodes: which items
+//! go in, what relationship is asked about, and what comes out. A
+//! [`TaskDescriptor`] captures exactly that. Prompt templates (in
+//! `crowdprompt-core`) render descriptors into text; the simulator executes
+//! descriptors against the latent world model.
+
+use crate::hash::Fingerprint;
+use crate::world::ItemId;
+
+/// What ordering criterion a sort/compare/rate task refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortCriterion {
+    /// Order by a latent scalar score registered in the world model
+    /// (e.g. "how chocolatey"). Higher scores sort first.
+    LatentScore,
+    /// Order lexicographically by the item's registered sort key
+    /// (e.g. alphabetical word ordering). Smaller keys sort first.
+    Lexicographic,
+}
+
+/// Coarse vs. fine counting, per §3.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountMode {
+    /// One task that eyeballs the whole batch and estimates a proportion.
+    Eyeball,
+    /// The engine issues per-item checks instead (this variant exists so the
+    /// descriptor can state intent; per-item checks arrive as
+    /// [`TaskDescriptor::CheckPredicate`]).
+    PerItem,
+}
+
+/// A single unit task for the LLM (or crowd worker), mirroring the unit-task
+/// taxonomy of the declarative crowdsourcing literature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskDescriptor {
+    /// Sort an entire list in one prompt (the paper's baseline strategy).
+    SortList {
+        /// Items to sort, in presentation order.
+        items: Vec<ItemId>,
+        /// Ordering criterion.
+        criterion: SortCriterion,
+    },
+    /// Compare a batch of pairs in one prompt: for each pair, "does the
+    /// first item rank before the second?" Batching amortizes prompt
+    /// overhead at some accuracy cost (§4's batch-size hyper-parameter).
+    CompareBatch {
+        /// The pairs to compare, in presentation order.
+        pairs: Vec<(ItemId, ItemId)>,
+        /// Ordering criterion.
+        criterion: SortCriterion,
+    },
+    /// Compare two items: "does `left` rank before `right`?"
+    Compare {
+        /// First-listed item (subject to positional bias).
+        left: ItemId,
+        /// Second-listed item.
+        right: ItemId,
+        /// Ordering criterion.
+        criterion: SortCriterion,
+    },
+    /// Rate one item on an integer scale.
+    Rate {
+        /// Item to rate.
+        item: ItemId,
+        /// Inclusive low end of the scale (paper uses 1).
+        scale_min: u8,
+        /// Inclusive high end of the scale (paper uses 7).
+        scale_max: u8,
+        /// Criterion the rating reflects.
+        criterion: SortCriterion,
+    },
+    /// "Are A and B the same entity? Yes or No?" (paper §3.3).
+    SameEntity {
+        /// First entity.
+        left: ItemId,
+        /// Second entity.
+        right: ItemId,
+    },
+    /// Coarse-grained entity resolution: group a small batch into duplicate
+    /// clusters in one prompt.
+    GroupEntities {
+        /// Batch of records to group.
+        items: Vec<ItemId>,
+    },
+    /// Impute a missing attribute from the serialized record (paper §3.4),
+    /// optionally with few-shot examples rendered into the prompt.
+    Impute {
+        /// Record with the missing attribute.
+        item: ItemId,
+        /// Attribute name to fill.
+        attribute: String,
+        /// Few-shot example records (item, known value) included in the
+        /// prompt; affects both cost and simulated accuracy.
+        examples: Vec<(ItemId, String)>,
+    },
+    /// Coarse counting: estimate how many items in the batch satisfy the
+    /// predicate by eyeballing (paper §3.1, Marcus et al.).
+    CountPredicate {
+        /// Batch to eyeball.
+        items: Vec<ItemId>,
+        /// Named predicate registered in the world model.
+        predicate: String,
+        /// Declared counting mode.
+        mode: CountMode,
+    },
+    /// Fine-grained check: does this one item satisfy the predicate?
+    CheckPredicate {
+        /// Item to check.
+        item: ItemId,
+        /// Named predicate registered in the world model.
+        predicate: String,
+    },
+    /// Assign the item one of the given labels.
+    Classify {
+        /// Item to label.
+        item: ItemId,
+        /// Candidate labels; the world model stores the true one.
+        labels: Vec<String>,
+    },
+    /// Ask the model to verify a previously proposed answer (paper §3.5).
+    Verify {
+        /// The original unit task.
+        original: Box<TaskDescriptor>,
+        /// The answer whose correctness is being checked.
+        proposed_answer: String,
+    },
+}
+
+impl TaskDescriptor {
+    /// Short human-readable kind tag, used in traces and error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskDescriptor::SortList { .. } => "sort_list",
+            TaskDescriptor::Compare { .. } => "compare",
+            TaskDescriptor::CompareBatch { .. } => "compare_batch",
+            TaskDescriptor::Rate { .. } => "rate",
+            TaskDescriptor::SameEntity { .. } => "same_entity",
+            TaskDescriptor::GroupEntities { .. } => "group_entities",
+            TaskDescriptor::Impute { .. } => "impute",
+            TaskDescriptor::CountPredicate { .. } => "count_predicate",
+            TaskDescriptor::CheckPredicate { .. } => "check_predicate",
+            TaskDescriptor::Classify { .. } => "classify",
+            TaskDescriptor::Verify { .. } => "verify",
+        }
+    }
+
+    /// Stable content fingerprint (order-sensitive where order matters).
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.write_str(self.kind());
+        match self {
+            TaskDescriptor::SortList { items, criterion } => {
+                for it in items {
+                    f.write_u64(it.0);
+                }
+                f.write_u64(criterion_tag(*criterion));
+            }
+            TaskDescriptor::Compare {
+                left,
+                right,
+                criterion,
+            } => {
+                f.write_u64(left.0);
+                f.write_u64(right.0);
+                f.write_u64(criterion_tag(*criterion));
+            }
+            TaskDescriptor::CompareBatch { pairs, criterion } => {
+                for (l, r) in pairs {
+                    f.write_u64(l.0);
+                    f.write_u64(r.0);
+                }
+                f.write_u64(criterion_tag(*criterion));
+            }
+            TaskDescriptor::Rate {
+                item,
+                scale_min,
+                scale_max,
+                criterion,
+            } => {
+                f.write_u64(item.0);
+                f.write_u64(u64::from(*scale_min));
+                f.write_u64(u64::from(*scale_max));
+                f.write_u64(criterion_tag(*criterion));
+            }
+            TaskDescriptor::SameEntity { left, right } => {
+                f.write_u64(left.0);
+                f.write_u64(right.0);
+            }
+            TaskDescriptor::GroupEntities { items } => {
+                for it in items {
+                    f.write_u64(it.0);
+                }
+            }
+            TaskDescriptor::Impute {
+                item,
+                attribute,
+                examples,
+            } => {
+                f.write_u64(item.0);
+                f.write_str(attribute);
+                for (id, v) in examples {
+                    f.write_u64(id.0);
+                    f.write_str(v);
+                }
+            }
+            TaskDescriptor::CountPredicate {
+                items,
+                predicate,
+                mode,
+            } => {
+                for it in items {
+                    f.write_u64(it.0);
+                }
+                f.write_str(predicate);
+                f.write_u64(match mode {
+                    CountMode::Eyeball => 0,
+                    CountMode::PerItem => 1,
+                });
+            }
+            TaskDescriptor::CheckPredicate { item, predicate } => {
+                f.write_u64(item.0);
+                f.write_str(predicate);
+            }
+            TaskDescriptor::Classify { item, labels } => {
+                f.write_u64(item.0);
+                for l in labels {
+                    f.write_str(l);
+                }
+            }
+            TaskDescriptor::Verify {
+                original,
+                proposed_answer,
+            } => {
+                f.write_u64(original.fingerprint());
+                f.write_str(proposed_answer);
+            }
+        }
+        f.finish()
+    }
+
+    /// The item ids this task touches (deduplicated not guaranteed).
+    pub fn items(&self) -> Vec<ItemId> {
+        match self {
+            TaskDescriptor::SortList { items, .. }
+            | TaskDescriptor::GroupEntities { items }
+            | TaskDescriptor::CountPredicate { items, .. } => items.clone(),
+            TaskDescriptor::Compare { left, right, .. }
+            | TaskDescriptor::SameEntity { left, right } => vec![*left, *right],
+            TaskDescriptor::CompareBatch { pairs, .. } => {
+                pairs.iter().flat_map(|(l, r)| [*l, *r]).collect()
+            }
+            TaskDescriptor::Rate { item, .. }
+            | TaskDescriptor::CheckPredicate { item, .. }
+            | TaskDescriptor::Classify { item, .. } => vec![*item],
+            TaskDescriptor::Impute { item, examples, .. } => {
+                let mut v = vec![*item];
+                v.extend(examples.iter().map(|(id, _)| *id));
+                v
+            }
+            TaskDescriptor::Verify { original, .. } => original.items(),
+        }
+    }
+}
+
+fn criterion_tag(c: SortCriterion) -> u64 {
+    match c {
+        SortCriterion::LatentScore => 0,
+        SortCriterion::Lexicographic => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_order_sensitive_for_compare() {
+        let a = TaskDescriptor::Compare {
+            left: ItemId(1),
+            right: ItemId(2),
+            criterion: SortCriterion::LatentScore,
+        };
+        let b = TaskDescriptor::Compare {
+            left: ItemId(2),
+            right: ItemId(1),
+            criterion: SortCriterion::LatentScore,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_criteria() {
+        let a = TaskDescriptor::Compare {
+            left: ItemId(1),
+            right: ItemId(2),
+            criterion: SortCriterion::LatentScore,
+        };
+        let b = TaskDescriptor::Compare {
+            left: ItemId(1),
+            right: ItemId(2),
+            criterion: SortCriterion::Lexicographic,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn items_collects_examples() {
+        let t = TaskDescriptor::Impute {
+            item: ItemId(1),
+            attribute: "city".into(),
+            examples: vec![(ItemId(2), "berkeley".into()), (ItemId(3), "sf".into())],
+        };
+        assert_eq!(t.items(), vec![ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn verify_fingerprint_depends_on_inner_task() {
+        let inner1 = TaskDescriptor::SameEntity {
+            left: ItemId(1),
+            right: ItemId(2),
+        };
+        let inner2 = TaskDescriptor::SameEntity {
+            left: ItemId(1),
+            right: ItemId(3),
+        };
+        let v1 = TaskDescriptor::Verify {
+            original: Box::new(inner1),
+            proposed_answer: "yes".into(),
+        };
+        let v2 = TaskDescriptor::Verify {
+            original: Box::new(inner2),
+            proposed_answer: "yes".into(),
+        };
+        assert_ne!(v1.fingerprint(), v2.fingerprint());
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            TaskDescriptor::SortList {
+                items: vec![],
+                criterion: SortCriterion::LatentScore,
+            }
+            .kind(),
+            TaskDescriptor::GroupEntities { items: vec![] }.kind(),
+            TaskDescriptor::CheckPredicate {
+                item: ItemId(0),
+                predicate: String::new(),
+            }
+            .kind(),
+        ];
+        let unique: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

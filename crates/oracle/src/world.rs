@@ -1,0 +1,272 @@
+//! The latent world model: ground truth the simulator answers from.
+//!
+//! In a crowdsourcing simulation, a "worker" is modelled as ground truth plus
+//! noise. The [`WorldModel`] is that ground truth: latent scalar scores,
+//! lexicographic keys, entity cluster ids, true attribute values, and
+//! predicate truth. **Only** the simulator and the metrics layer may consult
+//! it; the declarative engine sees item texts alone, exactly as a production
+//! system would.
+
+use std::collections::HashMap;
+
+/// Opaque identifier of a data item (record, snippet, entity mention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u64);
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+/// Latent ground truth registry.
+///
+/// Built once by a dataset generator and then shared (behind `Arc`) with the
+/// simulated model. All lookups are by [`ItemId`].
+#[derive(Debug, Default, Clone)]
+pub struct WorldModel {
+    texts: HashMap<ItemId, String>,
+    scores: HashMap<ItemId, f64>,
+    sort_keys: HashMap<ItemId, String>,
+    clusters: HashMap<ItemId, u64>,
+    attrs: HashMap<(ItemId, String), String>,
+    flags: HashMap<(ItemId, String), bool>,
+    /// How much surface evidence of the latent score the text carries, in
+    /// `[0, 1]`. Items with high salience (e.g. "chocolate" in the flavor
+    /// name) are sorted confidently even by a coarse single-prompt task;
+    /// low-salience items are where the oracle guesses.
+    salience: HashMap<ItemId, f64>,
+    next_id: u64,
+}
+
+impl WorldModel {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new item with the given display text, returning its id.
+    pub fn add_item(&mut self, text: impl Into<String>) -> ItemId {
+        let id = ItemId(self.next_id);
+        self.next_id += 1;
+        self.texts.insert(id, text.into());
+        id
+    }
+
+    /// Number of registered items.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the world has no items.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// All registered item ids, in insertion (id) order.
+    pub fn item_ids(&self) -> Vec<ItemId> {
+        let mut ids: Vec<ItemId> = self.texts.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Set the latent scalar score of an item (higher ranks first).
+    pub fn set_score(&mut self, id: ItemId, score: f64) {
+        self.scores.insert(id, score);
+    }
+
+    /// Set the lexicographic sort key of an item.
+    pub fn set_sort_key(&mut self, id: ItemId, key: impl Into<String>) {
+        self.sort_keys.insert(id, key.into());
+    }
+
+    /// Set the true entity cluster of an item.
+    pub fn set_cluster(&mut self, id: ItemId, cluster: u64) {
+        self.clusters.insert(id, cluster);
+    }
+
+    /// Set the true value of a named attribute of an item.
+    pub fn set_attr(&mut self, id: ItemId, attr: impl Into<String>, value: impl Into<String>) {
+        self.attrs.insert((id, attr.into()), value.into());
+    }
+
+    /// Set the truth of a named predicate for an item.
+    pub fn set_flag(&mut self, id: ItemId, predicate: impl Into<String>, value: bool) {
+        self.flags.insert((id, predicate.into()), value);
+    }
+
+    /// Set the surface salience of an item's latent score (clamped to
+    /// `[0, 1]`).
+    pub fn set_salience(&mut self, id: ItemId, salience: f64) {
+        self.salience.insert(id, salience.clamp(0.0, 1.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Display text of the item.
+    pub fn text(&self, id: ItemId) -> Option<&str> {
+        self.texts.get(&id).map(String::as_str)
+    }
+
+    /// Latent score, if registered.
+    pub fn score(&self, id: ItemId) -> Option<f64> {
+        self.scores.get(&id).copied()
+    }
+
+    /// Lexicographic sort key, if registered.
+    pub fn sort_key(&self, id: ItemId) -> Option<&str> {
+        self.sort_keys.get(&id).map(String::as_str)
+    }
+
+    /// True entity cluster, if registered.
+    pub fn cluster(&self, id: ItemId) -> Option<u64> {
+        self.clusters.get(&id).copied()
+    }
+
+    /// True attribute value, if registered.
+    pub fn attr(&self, id: ItemId, attr: &str) -> Option<&str> {
+        self.attrs
+            .get(&(id, attr.to_owned()))
+            .map(String::as_str)
+    }
+
+    /// Predicate truth, if registered.
+    pub fn flag(&self, id: ItemId, predicate: &str) -> Option<bool> {
+        self.flags.get(&(id, predicate.to_owned())).copied()
+    }
+
+    /// All distinct registered values of the named attribute, sorted.
+    ///
+    /// The simulator uses this as the answer pool when it imputes a value
+    /// incorrectly (a wrong-but-plausible value, like a real model would).
+    pub fn values_of_attr(&self, attr: &str) -> Vec<&str> {
+        let mut vals: Vec<&str> = self
+            .attrs
+            .iter()
+            .filter(|((_, a), _)| a == attr)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// Surface salience in `[0,1]`; defaults to `0.5` when unregistered.
+    pub fn salience_of(&self, id: ItemId) -> f64 {
+        self.salience.get(&id).copied().unwrap_or(0.5)
+    }
+
+    /// Whether two items belong to the same true entity cluster.
+    ///
+    /// Returns `None` if either item has no registered cluster.
+    pub fn same_cluster(&self, a: ItemId, b: ItemId) -> Option<bool> {
+        Some(self.cluster(a)? == self.cluster(b)?)
+    }
+
+    /// The gold ranking of the given items under the latent score
+    /// (descending; ties broken by id for determinism).
+    pub fn gold_ranking_by_score(&self, items: &[ItemId]) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> = items.to_vec();
+        v.sort_by(|a, b| {
+            let sa = self.score(*a).unwrap_or(f64::NEG_INFINITY);
+            let sb = self.score(*b).unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        v
+    }
+
+    /// The gold ranking of the given items under the lexicographic key
+    /// (ascending; ties broken by id).
+    pub fn gold_ranking_by_key(&self, items: &[ItemId]) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> = items.to_vec();
+        v.sort_by(|a, b| {
+            let ka = self.sort_key(*a).unwrap_or("");
+            let kb = self.sort_key(*b).unwrap_or("");
+            ka.cmp(kb).then(a.cmp(b))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut w = WorldModel::new();
+        let a = w.add_item("chocolate fudge");
+        let b = w.add_item("lemon sorbet");
+        assert_ne!(a, b);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.text(a), Some("chocolate fudge"));
+
+        w.set_score(a, 0.95);
+        w.set_score(b, 0.02);
+        assert_eq!(w.score(a), Some(0.95));
+        assert_eq!(w.gold_ranking_by_score(&[b, a]), vec![a, b]);
+    }
+
+    #[test]
+    fn lexicographic_gold_ranking() {
+        let mut w = WorldModel::new();
+        let z = w.add_item("zebra");
+        let a = w.add_item("apple");
+        w.set_sort_key(z, "zebra");
+        w.set_sort_key(a, "apple");
+        assert_eq!(w.gold_ranking_by_key(&[z, a]), vec![a, z]);
+    }
+
+    #[test]
+    fn clusters_and_same_cluster() {
+        let mut w = WorldModel::new();
+        let a = w.add_item("cite A");
+        let b = w.add_item("cite A'");
+        let c = w.add_item("cite C");
+        w.set_cluster(a, 1);
+        w.set_cluster(b, 1);
+        w.set_cluster(c, 2);
+        assert_eq!(w.same_cluster(a, b), Some(true));
+        assert_eq!(w.same_cluster(a, c), Some(false));
+        let d = w.add_item("unclustered");
+        assert_eq!(w.same_cluster(a, d), None);
+    }
+
+    #[test]
+    fn attrs_and_flags() {
+        let mut w = WorldModel::new();
+        let a = w.add_item("record");
+        w.set_attr(a, "city", "berkeley");
+        w.set_flag(a, "is_positive", true);
+        assert_eq!(w.attr(a, "city"), Some("berkeley"));
+        assert_eq!(w.attr(a, "state"), None);
+        assert_eq!(w.flag(a, "is_positive"), Some(true));
+        assert_eq!(w.flag(a, "other"), None);
+    }
+
+    #[test]
+    fn salience_defaults_and_clamps() {
+        let mut w = WorldModel::new();
+        let a = w.add_item("x");
+        assert_eq!(w.salience_of(a), 0.5);
+        w.set_salience(a, 7.0);
+        assert_eq!(w.salience_of(a), 1.0);
+        w.set_salience(a, -1.0);
+        assert_eq!(w.salience_of(a), 0.0);
+    }
+
+    #[test]
+    fn item_ids_sorted() {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..10).map(|i| w.add_item(format!("item {i}"))).collect();
+        assert_eq!(w.item_ids(), ids);
+    }
+}

@@ -1,0 +1,82 @@
+//! Automatic strategy selection under a budget: the paper's §4 vision.
+//!
+//! The toolkit labels a small validation sample, runs every candidate sort
+//! strategy on it, measures accuracy and cost, extrapolates cost to the
+//! full dataset, and recommends the most accurate strategy the budget can
+//! afford — AutoML for prompting strategies.
+//!
+//! Run with: `cargo run -p crowdprompt --example budget_optimizer`
+
+use std::sync::Arc;
+
+use crowdprompt::core::optimize::{evaluate_sort_strategies, pareto_frontier, recommend};
+use crowdprompt::data::FlavorDataset;
+use crowdprompt::prelude::*;
+
+fn main() {
+    let data = FlavorDataset::sample(40, 9);
+
+    let llm = SimulatedLlm::new(
+        ModelProfile::gpt35_like(),
+        Arc::new(data.world.clone()),
+        9,
+    );
+    let session = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(&data.world, &data.items))
+        .criterion("by how chocolatey they are")
+        .build();
+
+    // A small labelled validation sample (the user supplies gold labels for
+    // ~10 items; the optimizer explores on those).
+    let sample: Vec<_> = data.items.iter().take(10).copied().collect();
+    let sample_gold = data.world.gold_ranking_by_score(&sample);
+
+    let candidates = vec![
+        SortStrategy::SinglePrompt,
+        SortStrategy::Rating {
+            scale_min: 1,
+            scale_max: 7,
+        },
+        SortStrategy::BucketThenCompare { buckets: 4 },
+        SortStrategy::Pairwise,
+    ];
+    let trials = evaluate_sort_strategies(
+        session.engine(),
+        &sample,
+        &sample_gold,
+        SortCriterion::LatentScore,
+        &candidates,
+    )
+    .expect("validation trials run");
+
+    println!("validation trials on a 10-item sample:");
+    println!("strategy                 tau     sample cost  cost growth");
+    println!("{}", "-".repeat(60));
+    for t in &trials {
+        println!(
+            "{:<24} {:+.3}  ${:<10.5} O(n^{})",
+            t.name, t.accuracy, t.sample_cost_usd, t.cost_exponent
+        );
+    }
+
+    println!("\nPareto frontier (no strategy dominates these):");
+    for t in pareto_frontier(&trials) {
+        println!("  {:<24} tau {:+.3} at ${:.5}", t.name, t.accuracy, t.sample_cost_usd);
+    }
+
+    // Recommendations for a 100k-item production run at various budgets.
+    let full_n = 100_000;
+    println!("\nrecommendations for a {full_n}-item production run:");
+    println!("budget      pick                     extrapolated cost");
+    println!("{}", "-".repeat(58));
+    for budget in [1.0f64, 25.0, 500.0, 100_000.0] {
+        let pick = recommend(&trials, sample.len(), full_n, budget)
+            .expect("candidates are non-empty");
+        println!(
+            "${budget:<10} {:<24} ${:.2}",
+            pick.name,
+            pick.extrapolated_cost(sample.len(), full_n)
+        );
+    }
+}

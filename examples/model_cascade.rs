@@ -1,0 +1,130 @@
+//! Multi-model routing (§3.5): a cheap model answers the easy questions, an
+//! expensive one is consulted only when the cheap answer is not confident,
+//! and a sequential stopping rule spends votes where disagreement lives.
+//!
+//! Run with: `cargo run -p crowdprompt --example model_cascade`
+
+use std::sync::Arc;
+
+use crowdprompt::core::cascade::{sequential_ask, CascadeTier, ModelCascade};
+use crowdprompt::core::{Corpus, Engine};
+use crowdprompt::oracle::model::NoiseProfile;
+use crowdprompt::oracle::task::TaskDescriptor;
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::oracle::Pricing;
+use crowdprompt::prelude::*;
+
+fn main() {
+    // A moderation-style workload: 60 claims to validate.
+    let mut world = WorldModel::new();
+    let items: Vec<ItemId> = (0..60)
+        .map(|i| {
+            let id = world.add_item(format!("user-submitted claim {i}"));
+            world.set_flag(id, "acceptable", i % 3 != 0);
+            id
+        })
+        .collect();
+    let world = Arc::new(world);
+
+    let tier = |accuracy: f64, price_mult: f64, name: &str, seed: u64| -> Arc<LlmClient> {
+        let mut profile = ModelProfile::gpt35_like()
+            .with_name(name.to_owned())
+            .with_noise(NoiseProfile {
+                check_accuracy: accuracy,
+                malformed_rate: 0.0,
+                ..NoiseProfile::perfect()
+            });
+        profile.pricing = Pricing::new(0.0002 * price_mult, 0.0004 * price_mult);
+        let llm = SimulatedLlm::new(profile, Arc::clone(&world), seed);
+        Arc::new(LlmClient::new(Arc::new(llm)).without_cache())
+    };
+
+    let cheap = tier(0.78, 1.0, "sim-small", 1);
+    let strong = tier(0.97, 40.0, "sim-large", 2);
+    let corpus = Corpus::from_world(&world, &items);
+
+    // --- FrugalGPT-style cascade --------------------------------------------
+    let cascade = ModelCascade::new(
+        vec![
+            CascadeTier {
+                client: Arc::clone(&cheap),
+                accuracy: 0.78,
+                votes: 3,
+                temperature: 1.0,
+            },
+            CascadeTier {
+                client: Arc::clone(&strong),
+                accuracy: 0.97,
+                votes: 3,
+                temperature: 1.0,
+            },
+        ],
+        corpus.clone(),
+    )
+    .with_margin(0.9); // escalate unless the cheap tier is unanimous
+
+    let tasks: Vec<TaskDescriptor> = items
+        .iter()
+        .map(|id| TaskDescriptor::CheckPredicate {
+            item: *id,
+            predicate: "acceptable".into(),
+        })
+        .collect();
+    let out = cascade.ask_many(tasks).expect("cascade runs");
+
+    let escalated = out.value.iter().filter(|v| v.deepest_tier > 0).count();
+    let correct = out
+        .value
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| v.answer == (i % 3 != 0))
+        .count();
+    println!("cascade over {} claims:", items.len());
+    println!("  escalated to the strong model: {escalated}/{}", items.len());
+    println!("  accuracy: {:.1}%", 100.0 * correct as f64 / items.len() as f64);
+    println!("  cost: ${:.4}", out.cost_usd);
+
+    // All-strong comparison.
+    let engine = Engine::new(Arc::clone(&strong), corpus.clone());
+    let mut all_strong_cost = 0.0;
+    for id in &items {
+        for s in 0..3 {
+            let resp = engine
+                .run_sampled(
+                    TaskDescriptor::CheckPredicate {
+                        item: *id,
+                        predicate: "acceptable".into(),
+                    },
+                    1.0,
+                    s,
+                )
+                .unwrap();
+            all_strong_cost += engine.cost_of(resp.usage);
+        }
+    }
+    println!("  (asking the strong model everything: ${all_strong_cost:.4})");
+
+    // --- Sequential stopping rule --------------------------------------------
+    println!("\nsequential asking (stop at ~95% posterior confidence):");
+    let engine = Engine::new(cheap, corpus);
+    let mut total_votes = 0u32;
+    for &id in items.iter().take(10) {
+        let out = sequential_ask(
+            &engine,
+            TaskDescriptor::CheckPredicate {
+                item: id,
+                predicate: "acceptable".into(),
+            },
+            0.78,
+            (19.0f64).ln(),
+            15,
+            1.0,
+        )
+        .expect("sequential ask runs");
+        total_votes += out.value.1;
+    }
+    println!(
+        "  10 items resolved with {total_votes} votes total \
+         (uniform 15-vote polling would use 150)"
+    );
+}

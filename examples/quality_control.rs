@@ -1,0 +1,113 @@
+//! Quality control (§3.5): estimating model accuracy from a validation set,
+//! self-consistency voting, Dawid–Skene EM across multiple models, and
+//! self-verification.
+//!
+//! Run with: `cargo run -p crowdprompt --example quality_control`
+
+use std::sync::Arc;
+
+use crowdprompt::core::quality::{
+    dawid_skene, estimate_accuracy_yes_no, self_consistent_yes_no, verify_answer,
+};
+use crowdprompt::core::{Corpus, Engine};
+use crowdprompt::oracle::model::NoiseProfile;
+use crowdprompt::oracle::task::TaskDescriptor;
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::prelude::*;
+
+fn main() {
+    // A predicate-checking workload with known truth.
+    let mut world = WorldModel::new();
+    let items: Vec<ItemId> = (0..120)
+        .map(|i| {
+            let id = world.add_item(format!("support ticket {i}: the app crashed on login"));
+            world.set_flag(id, "is_bug_report", i % 4 != 3);
+            id
+        })
+        .collect();
+    let truth: Vec<bool> = (0..items.len()).map(|i| i % 4 != 3).collect();
+    let world = Arc::new(world);
+
+    let engine_with_accuracy = |acc: f64, seed: u64, name: &str| -> Engine {
+        let profile = ModelProfile::gpt35_like()
+            .with_name(name.to_owned())
+            .with_noise(NoiseProfile {
+                check_accuracy: acc,
+                malformed_rate: 0.0,
+                ..NoiseProfile::perfect()
+            });
+        let llm = SimulatedLlm::new(profile, Arc::clone(&world), seed);
+        Engine::new(
+            Arc::new(LlmClient::new(Arc::new(llm))),
+            Corpus::from_world(&world, &items),
+        )
+    };
+
+    let check = |id: ItemId| TaskDescriptor::CheckPredicate {
+        item: id,
+        predicate: "is_bug_report".into(),
+    };
+
+    // 1. Accuracy estimation on a labelled validation slice.
+    let engine = engine_with_accuracy(0.8, 1, "sim-primary");
+    let validation: Vec<(TaskDescriptor, bool)> = items
+        .iter()
+        .take(40)
+        .zip(&truth)
+        .map(|(id, t)| (check(*id), *t))
+        .collect();
+    let est = estimate_accuracy_yes_no(&engine, &validation).expect("estimation runs");
+    println!(
+        "1. validation-set accuracy estimate: {:.3} (true per-call accuracy: 0.80)",
+        est.value
+    );
+
+    // 2. Self-consistency: sample the same task 9 times at temperature 1,
+    //    majority vote.
+    let hard_item = items[0];
+    let voted = self_consistent_yes_no(&engine, check(hard_item), 9, 1.0)
+        .expect("self-consistency runs");
+    println!(
+        "2. self-consistency on one task: verdict={} after {} samples (truth: true)",
+        voted.value, voted.calls
+    );
+
+    // 3. Dawid–Skene EM across three models of unknown, unequal accuracy.
+    let engines = [
+        engine_with_accuracy(0.92, 2, "sim-a"),
+        engine_with_accuracy(0.72, 3, "sim-b"),
+        engine_with_accuracy(0.58, 4, "sim-c"),
+    ];
+    let mut votes: Vec<Vec<Option<bool>>> = Vec::new();
+    for engine in &engines {
+        let responses = engine
+            .run_many(items.iter().map(|id| check(*id)).collect())
+            .expect("checks run");
+        votes.push(
+            responses
+                .iter()
+                .map(|r| crowdprompt::core::extract::yes_no(&r.text).ok())
+                .collect(),
+        );
+    }
+    let ds = dawid_skene(&votes, 100);
+    let labels = ds.labels();
+    let em_acc = labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
+        / items.len() as f64;
+    println!(
+        "3. Dawid-Skene over 3 models: label accuracy {:.3}; estimated model accuracies {:?}",
+        em_acc,
+        ds.worker_accuracy
+            .iter()
+            .map(|a| (a * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // 4. Self-verification: have the model check a proposed answer.
+    let ok = verify_answer(&engine, check(items[0]), "yes").expect("verify runs");
+    let bad = verify_answer(&engine, check(items[0]), "no").expect("verify runs");
+    println!(
+        "4. self-verification: endorses correct answer = {}, endorses wrong answer = {}",
+        ok.value, bad.value
+    );
+}

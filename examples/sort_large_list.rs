@@ -1,0 +1,56 @@
+//! Coarse→fine hybrid sorting of a large list: the paper's Table 2 workflow.
+//!
+//! A 100-word alphabetical sort in one prompt silently drops words and
+//! hallucinates new ones. The sort→insert hybrid issues one coarse sort,
+//! discards hallucinations, and re-inserts each missing word with
+//! bidirectional pairwise comparisons, choosing the alignment-maximizing
+//! index.
+//!
+//! Run with: `cargo run -p crowdprompt --example sort_large_list`
+
+use std::sync::Arc;
+
+use crowdprompt::data::WordsDataset;
+use crowdprompt::metrics::rank::kendall_tau_b_rankings;
+use crowdprompt::prelude::*;
+
+fn main() {
+    let data = WordsDataset::paper(2);
+
+    let llm = SimulatedLlm::new(
+        ModelProfile::claude2_like(),
+        Arc::new(data.world.clone()),
+        2,
+    );
+    let session = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(&data.world, &data.items))
+        .budget(Budget::usd(2.0))
+        .seed(2)
+        .build();
+
+    println!("Sorting {} words alphabetically (sim-claude-2)\n", data.items.len());
+    for (name, strategy) in [
+        ("one prompt      ", SortStrategy::SinglePrompt),
+        ("sort then insert", SortStrategy::SortThenInsert),
+    ] {
+        let out = session
+            .sort(&data.items, SortCriterion::Lexicographic, &strategy)
+            .expect("sort runs");
+        let tau = kendall_tau_b_rankings(&out.value.order, &data.gold).unwrap_or(0.0);
+        println!(
+            "{name}  tau={tau:.3}  dropped_by_model={}  hallucinated={}  calls={}  tokens={}",
+            out.value.missing,
+            out.value.hallucinated,
+            out.calls,
+            out.usage.total(),
+        );
+        // Sanity: both strategies return a complete permutation of the input.
+        assert_eq!(out.value.order.len(), data.items.len());
+    }
+
+    println!("\nwhy the hybrid wins: the coarse pass costs one prompt; each of");
+    println!("the k missing words costs 2n cheap comparisons; and comparing in");
+    println!("both directions cancels the model's position bias before the");
+    println!("alignment-maximizing insertion index is chosen.");
+}

@@ -1,0 +1,82 @@
+//! A production-style multi-step workflow (§1's framing): filter in-policy
+//! reviews, keep the electronics ones, rank them by helpfulness, and take
+//! the top 5 — one declared pipeline, one shared budget, a per-step audit.
+//!
+//! Run with: `cargo run -p crowdprompt --example workflow_pipeline`
+
+use std::sync::Arc;
+
+use crowdprompt::core::workflow::Pipeline;
+use crowdprompt::core::{Corpus, Engine};
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::prelude::*;
+use crowdprompt::core::ops::filter::FilterStrategy;
+
+fn main() {
+    // 80 product reviews with latent helpfulness, policy flags, categories.
+    let mut world = WorldModel::new();
+    let items: Vec<ItemId> = (0..80)
+        .map(|i| {
+            let id = world.add_item(format!("review {i:02}: the device arrived and ..."));
+            world.set_score(id, (i as f64 * 7.31).sin().abs());
+            world.set_flag(id, "in_policy", i % 5 != 0);
+            world.set_attr(
+                id,
+                "label",
+                if i % 2 == 0 { "electronics" } else { "apparel" },
+            );
+            id
+        })
+        .collect();
+
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(world.clone()), 3);
+    let engine = Engine::new(
+        Arc::new(LlmClient::new(Arc::new(llm))),
+        Corpus::from_world(&world, &items),
+    )
+    .with_budget(Budget::usd(2.0))
+    .with_criterion_label("by how helpful the review is");
+
+    let pipeline = Pipeline::new()
+        .filter("in_policy", FilterStrategy::Single)
+        .categorize_and_keep(
+            vec!["electronics".to_owned(), "apparel".to_owned()],
+            "electronics",
+        )
+        .sort(
+            SortCriterion::LatentScore,
+            SortStrategy::Rating {
+                scale_min: 1,
+                scale_max: 7,
+            },
+        )
+        .truncate(5);
+
+    let result = pipeline.run(&engine, &items).expect("pipeline runs in budget");
+
+    println!("step                        in -> out   calls  tokens   cost");
+    println!("{}", "-".repeat(66));
+    for step in &result.steps {
+        println!(
+            "{:<26} {:>4} -> {:<4}  {:>4}  {:>6}   ${:.4}",
+            step.name,
+            step.items_in,
+            step.items_out,
+            step.calls,
+            step.usage.total(),
+            step.cost_usd,
+        );
+    }
+    println!(
+        "\ntotal: {} calls, ${:.4}; final set:",
+        result.total_calls(),
+        result.total_cost_usd()
+    );
+    for id in &result.items {
+        println!(
+            "  {}  (helpfulness {:.2})",
+            engine.corpus().text(*id).unwrap_or("?"),
+            world.score(*id).unwrap_or(0.0),
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end integration tests: every declarative operator run through the
+//! public `crowdprompt` facade against seeded workloads.
+
+use std::sync::Arc;
+
+use crowdprompt::core::ops::count::CountStrategy;
+use crowdprompt::core::ops::filter::FilterStrategy;
+use crowdprompt::core::ops::max::MaxStrategy;
+use crowdprompt::data::FlavorDataset;
+use crowdprompt::metrics::rank::kendall_tau_b_rankings;
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::prelude::*;
+
+fn flavor_session(seed: u64) -> (Session, FlavorDataset) {
+    let data = FlavorDataset::paper(seed);
+    let llm = SimulatedLlm::new(
+        ModelProfile::gpt35_like(),
+        Arc::new(data.world.clone()),
+        seed,
+    );
+    let session = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(&data.world, &data.items))
+        .budget(Budget::usd(5.0))
+        .criterion("by how chocolatey they are")
+        .seed(seed)
+        .build();
+    (session, data)
+}
+
+#[test]
+fn sort_all_strategies_return_permutations() {
+    let (session, data) = flavor_session(1);
+    for strategy in [
+        SortStrategy::SinglePrompt,
+        SortStrategy::Pairwise,
+        SortStrategy::Rating {
+            scale_min: 1,
+            scale_max: 7,
+        },
+        SortStrategy::SortThenInsert,
+        SortStrategy::BucketThenCompare { buckets: 4 },
+    ] {
+        let out = session
+            .sort(&data.items, SortCriterion::LatentScore, &strategy)
+            .unwrap_or_else(|e| panic!("{strategy:?} failed: {e}"));
+        let mut sorted = out.value.order.clone();
+        sorted.sort_unstable();
+        let mut expected = data.items.clone();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected, "{strategy:?} must permute the input");
+        // Cost accounting is populated for LLM strategies.
+        assert!(out.usage.total() > 0);
+    }
+}
+
+#[test]
+fn sort_quality_is_positive_for_all_strategies() {
+    let (session, data) = flavor_session(2);
+    for strategy in [
+        SortStrategy::SinglePrompt,
+        SortStrategy::Pairwise,
+        SortStrategy::Rating {
+            scale_min: 1,
+            scale_max: 7,
+        },
+    ] {
+        let out = session
+            .sort(&data.items, SortCriterion::LatentScore, &strategy)
+            .unwrap();
+        let tau = kendall_tau_b_rankings(&out.value.order, &data.gold).unwrap();
+        assert!(tau > 0.2, "{strategy:?} tau {tau} too low");
+    }
+}
+
+#[test]
+fn filter_count_categorize_max_topk_cluster_roundtrip() {
+    // One world exercising several operators.
+    let mut w = WorldModel::new();
+    let labels = vec!["hot".to_owned(), "cold".to_owned()];
+    let items: Vec<ItemId> = (0..24)
+        .map(|i| {
+            let id = w.add_item(format!("dish number {i:02}"));
+            w.set_score(id, i as f64 / 24.0);
+            w.set_flag(id, "spicy", i % 3 == 0);
+            w.set_attr(id, "label", if i < 12 { "hot" } else { "cold" });
+            w.set_cluster(id, u64::from(i % 4 == 0)); // two clusters
+            id
+        })
+        .collect();
+    let llm = SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w.clone()), 3);
+    let session = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(&w, &items))
+        .criterion("by heat")
+        .build();
+
+    let kept = session
+        .filter(&items, "spicy", FilterStrategy::Single)
+        .unwrap();
+    assert_eq!(kept.value.len(), 8);
+
+    let n = session
+        .count(&items, "spicy", CountStrategy::PerItem)
+        .unwrap();
+    assert_eq!(n.value, 8);
+
+    let cats = session.categorize(&items, &labels).unwrap();
+    assert_eq!(cats.value.iter().filter(|l| *l == "hot").count(), 12);
+
+    let max = session
+        .max(&items, SortCriterion::LatentScore, MaxStrategy::Tournament)
+        .unwrap();
+    assert_eq!(max.value, items[23]);
+
+    let top = session.top_k(&items, SortCriterion::LatentScore, 3, 3).unwrap();
+    assert_eq!(top.value, vec![items[23], items[22], items[21]]);
+
+    let clusters = session.cluster(&items, 8).unwrap();
+    let total: usize = clusters.value.iter().map(Vec::len).sum();
+    assert_eq!(total, items.len());
+    assert_eq!(clusters.value.len(), 2);
+}
+
+#[test]
+fn budget_is_shared_across_operations() {
+    let (session, data) = flavor_session(3);
+    let before = session.spent_usd();
+    session
+        .sort(
+            &data.items,
+            SortCriterion::LatentScore,
+            &SortStrategy::SinglePrompt,
+        )
+        .unwrap();
+    let mid = session.spent_usd();
+    assert!(mid > before);
+    session
+        .sort(
+            &data.items,
+            SortCriterion::LatentScore,
+            &SortStrategy::Rating {
+                scale_min: 1,
+                scale_max: 7,
+            },
+        )
+        .unwrap();
+    assert!(session.spent_usd() > mid);
+}
+
+#[test]
+fn tight_budget_rejects_expensive_strategy_but_allows_cheap_one() {
+    let data = FlavorDataset::paper(4);
+    let llm = SimulatedLlm::new(
+        ModelProfile::gpt35_like(),
+        Arc::new(data.world.clone()),
+        4,
+    );
+    let session = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(&data.world, &data.items))
+        // Enough for one list prompt, nowhere near enough for 190 pairwise.
+        .budget(Budget::usd(0.001))
+        .criterion("by how chocolatey they are")
+        .build();
+    let cheap = session.sort(
+        &data.items,
+        SortCriterion::LatentScore,
+        &SortStrategy::SinglePrompt,
+    );
+    assert!(cheap.is_ok(), "single prompt should fit: {cheap:?}");
+    let expensive = session.sort(
+        &data.items,
+        SortCriterion::LatentScore,
+        &SortStrategy::Pairwise,
+    );
+    assert!(
+        matches!(expensive, Err(EngineError::BudgetExceeded { .. })),
+        "pairwise should exceed the leftover budget: {expensive:?}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = || {
+        let (session, data) = flavor_session(9);
+        let out = session
+            .sort(
+                &data.items,
+                SortCriterion::LatentScore,
+                &SortStrategy::Pairwise,
+            )
+            .unwrap();
+        (out.value.order.clone(), out.usage)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,175 @@
+//! Failure-injection integration tests: transport errors, malformed
+//! responses, context overflows, and extraction hazards exercised through
+//! the full stack.
+
+use std::sync::Arc;
+
+use crowdprompt::core::ops::filter::FilterStrategy;
+use crowdprompt::oracle::client::RetryPolicy;
+use crowdprompt::oracle::model::NoiseProfile;
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::oracle::LlmError;
+use crowdprompt::prelude::*;
+
+fn flagged_world(n: usize) -> (WorldModel, Vec<ItemId>) {
+    let mut w = WorldModel::new();
+    let items = (0..n)
+        .map(|i| {
+            let id = w.add_item(format!("item number {i}"));
+            w.set_flag(id, "keep", i % 2 == 0);
+            w.set_score(id, i as f64 / n as f64);
+            id
+        })
+        .collect();
+    (w, items)
+}
+
+fn session_with(noise: NoiseProfile, retry: RetryPolicy, seed: u64) -> (Session, Vec<ItemId>) {
+    let (w, items) = flagged_world(30);
+    let profile = ModelProfile::gpt35_like().with_noise(noise);
+    let llm = SimulatedLlm::new(profile, Arc::new(w.clone()), seed);
+    let client = LlmClient::new(Arc::new(llm)).with_retry(retry);
+    let session = Session::builder()
+        .client(Arc::new(client))
+        .corpus(Corpus::from_world(&w, &items))
+        .criterion("by index")
+        .build();
+    (session, items)
+}
+
+#[test]
+fn flaky_transport_is_absorbed_by_retries() {
+    let noise = NoiseProfile {
+        rate_limit_prob: 0.3,
+        unavailable_prob: 0.1,
+        ..NoiseProfile::perfect()
+    };
+    let (session, items) = session_with(
+        noise,
+        RetryPolicy {
+            max_attempts: 8,
+            backoff_ms: 0,
+        },
+        5,
+    );
+    // A 30-item filter fires 30 calls; with 40% failure probability and 8
+    // attempts, every call should eventually succeed.
+    let out = session
+        .filter(&items, "keep", FilterStrategy::Single)
+        .expect("retries should absorb transient failures");
+    assert_eq!(out.value.len(), 15);
+    // Retries actually happened.
+    assert!(session.engine().client().stats().retries() > 0);
+}
+
+#[test]
+fn persistent_transport_failure_surfaces_retries_exhausted() {
+    let noise = NoiseProfile {
+        rate_limit_prob: 1.0,
+        ..NoiseProfile::perfect()
+    };
+    let (session, items) = session_with(
+        noise,
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        },
+        6,
+    );
+    let err = session
+        .filter(&items, "keep", FilterStrategy::Single)
+        .unwrap_err();
+    match err {
+        EngineError::Llm(LlmError::RetriesExhausted { attempts, .. }) => {
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("expected retry exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_contradictory_chatter_is_still_extracted() {
+    // Every answer is wrapped in the paper's "They are not the same...
+    // They are the same." pattern; extraction must still resolve them and
+    // the perfect underlying answers must survive.
+    let noise = NoiseProfile {
+        malformed_rate: 1.0,
+        chatter_level: 1.0,
+        ..NoiseProfile::perfect()
+    };
+    let (session, items) = session_with(noise, RetryPolicy::default(), 7);
+    let out = session
+        .filter(&items, "keep", FilterStrategy::Single)
+        .expect("extraction should survive contradictory chatter");
+    assert_eq!(out.value.len(), 15, "answers must still be correct");
+}
+
+#[test]
+fn context_overflow_fails_fast_with_diagnostics() {
+    let (w, items) = flagged_world(4000);
+    let profile = ModelProfile::gpt35_like(); // 4k-token window
+    let llm = SimulatedLlm::new(profile, Arc::new(w.clone()), 8);
+    let session = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(&w, &items))
+        .criterion("by index")
+        .build();
+    // 4000 items in one sort prompt cannot fit into 4096 tokens.
+    let err = session
+        .sort(
+            &items,
+            SortCriterion::LatentScore,
+            &SortStrategy::SinglePrompt,
+        )
+        .unwrap_err();
+    match err {
+        EngineError::Llm(LlmError::ContextOverflow {
+            prompt_tokens,
+            context_window,
+        }) => {
+            assert!(prompt_tokens > context_window);
+            assert_eq!(context_window, 4096);
+        }
+        other => panic!("expected context overflow, got {other:?}"),
+    }
+    // Nothing was spent on the failed call.
+    assert_eq!(session.spent_usd(), 0.0);
+}
+
+#[test]
+fn max_token_truncation_reported_as_length_finish() {
+    use crowdprompt::oracle::task::{SortCriterion as SC, TaskDescriptor};
+    use crowdprompt::oracle::types::FinishReason;
+    let (w, items) = flagged_world(50);
+    let llm = SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w.clone()), 9);
+    let client = LlmClient::new(Arc::new(llm));
+    let req = CompletionRequest::new(
+        "Sort everything.",
+        TaskDescriptor::SortList {
+            items: items.clone(),
+            criterion: SC::LatentScore,
+        },
+    )
+    .with_max_tokens(10);
+    let resp = client.complete(&req).unwrap();
+    assert_eq!(resp.finish_reason, FinishReason::Length);
+    assert!(resp.usage.completion_tokens <= 10);
+}
+
+#[test]
+fn cache_prevents_double_billing_across_repeated_operations() {
+    let (session, items) = session_with(NoiseProfile::perfect(), RetryPolicy::default(), 10);
+    session
+        .filter(&items, "keep", FilterStrategy::Single)
+        .unwrap();
+    let spent_once = session.spent_usd();
+    let calls_once = session.engine().client().stats().calls();
+    // Identical operation: every unit task is a cache hit.
+    session
+        .filter(&items, "keep", FilterStrategy::Single)
+        .unwrap();
+    assert_eq!(session.engine().client().stats().calls(), calls_once);
+    assert!(session.engine().client().stats().cache_hits() >= items.len() as u64);
+    // Budget spend does not grow on cached responses.
+    assert_eq!(session.spent_usd(), spent_once);
+}
