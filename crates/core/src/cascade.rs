@@ -90,50 +90,84 @@ impl ModelCascade {
 
     /// Answer one yes/no task, escalating through tiers until confident.
     pub fn ask(&self, task: TaskDescriptor) -> Result<Outcome<CascadeVerdict>, EngineError> {
-        let mut meter = CostMeter::new();
-        let mut last = (false, 0usize, 0u32);
-        for (t, tier) in self.tiers.iter().enumerate() {
-            let engine = Engine::new(Arc::clone(&tier.client), self.corpus.clone())
-                .with_seed(self.seed ^ (t as u64) << 32);
-            let votes = tier.votes.max(1);
-            let mut yes = 0u32;
-            for s in 0..votes {
-                let resp = engine.run_sampled(task.clone(), tier.temperature, s)?;
-                meter.add(resp.usage, engine.cost_of(resp.usage));
-                if extract::yes_no(&resp.text)? {
-                    yes += 1;
-                }
-            }
-            let answer = yes * 2 > votes;
-            let margin = (2.0 * f64::from(yes) / f64::from(votes) - 1.0).abs();
-            last = (answer, t, last.2 + votes);
-            let is_last_tier = t + 1 == self.tiers.len();
-            if margin >= self.margin_threshold || is_last_tier {
-                break;
-            }
-        }
-        Ok(meter.into_outcome(CascadeVerdict {
-            answer: last.0,
-            deepest_tier: last.1,
-            votes: last.2,
-        }))
+        let out = self.ask_many(vec![task])?;
+        let mut verdicts = out.value;
+        let verdict = verdicts.pop().expect("one verdict per task");
+        Ok(Outcome {
+            value: verdict,
+            usage: out.usage,
+            calls: out.calls,
+            cost_usd: out.cost_usd,
+        })
     }
 
     /// Answer a batch of tasks, returning verdicts in order.
+    ///
+    /// The batch escalates *tier by tier*: every vote for every unresolved
+    /// task goes through the tier engine's pipelined dispatcher as one
+    /// fan-out, so a hundred items at tier 0 cost one dispatch rather than
+    /// a hundred sequential vote loops. Tasks whose vote margin clears the
+    /// threshold settle at that tier; the rest escalate together. Requests
+    /// are identical to the sequential formulation (same task, temperature,
+    /// and sample index), so verdicts match it call for call.
     pub fn ask_many(
         &self,
         tasks: Vec<TaskDescriptor>,
     ) -> Result<Outcome<Vec<CascadeVerdict>>, EngineError> {
         let mut meter = CostMeter::new();
-        let mut verdicts = Vec::with_capacity(tasks.len());
-        for task in tasks {
-            let out = self.ask(task)?;
-            meter.usage += out.usage;
-            meter.calls += out.calls;
-            meter.cost_usd += out.cost_usd;
-            verdicts.push(out.value);
+        let total = tasks.len();
+        let mut verdicts: Vec<Option<CascadeVerdict>> = (0..total).map(|_| None).collect();
+        // (original index, task, votes consumed by earlier tiers)
+        let mut unresolved: Vec<(usize, TaskDescriptor, u32)> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, task)| (i, task, 0))
+            .collect();
+        for (t, tier) in self.tiers.iter().enumerate() {
+            if unresolved.is_empty() {
+                break;
+            }
+            let engine = Engine::new(Arc::clone(&tier.client), self.corpus.clone())
+                .with_seed(self.seed ^ (t as u64) << 32);
+            let votes = tier.votes.max(1);
+            let specs: Vec<(TaskDescriptor, f64, u32)> = unresolved
+                .iter()
+                .flat_map(|(_, task, _)| {
+                    (0..votes).map(|s| (task.clone(), tier.temperature, s))
+                })
+                .collect();
+            let responses = engine.run_sampled_many(specs)?;
+            let is_last_tier = t + 1 == self.tiers.len();
+            let mut escalating = Vec::new();
+            for (k, (index, task, prior_votes)) in unresolved.into_iter().enumerate() {
+                let mut yes = 0u32;
+                for resp in &responses[k * votes as usize..(k + 1) * votes as usize] {
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    if extract::yes_no(&resp.text)? {
+                        yes += 1;
+                    }
+                }
+                let answer = yes * 2 > votes;
+                let margin = (2.0 * f64::from(yes) / f64::from(votes) - 1.0).abs();
+                let total_votes = prior_votes + votes;
+                if margin >= self.margin_threshold || is_last_tier {
+                    verdicts[index] = Some(CascadeVerdict {
+                        answer,
+                        deepest_tier: t,
+                        votes: total_votes,
+                    });
+                } else {
+                    escalating.push((index, task, total_votes));
+                }
+            }
+            unresolved = escalating;
         }
-        Ok(meter.into_outcome(verdicts))
+        Ok(meter.into_outcome(
+            verdicts
+                .into_iter()
+                .map(|v| v.expect("every task settles by the last tier"))
+                .collect(),
+        ))
     }
 }
 

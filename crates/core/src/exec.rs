@@ -1,11 +1,54 @@
-//! The execution engine: budget-guarded, parallel unit-task dispatch.
+//! The execution engine: budget-guarded, pipelined, parallel unit-task
+//! dispatch.
+//!
+//! # Pipelined batch dispatch
+//!
+//! Operators hand the engine unit tasks either as a materialized batch
+//! ([`Engine::run_many`], [`Engine::run_sampled_many`]) or as a lazy stream
+//! ([`Engine::run_stream`]). Either way the dispatch path is the same
+//! pipeline:
+//!
+//! ```text
+//!  tasks ──► shared feed ──► worker 1 ─ render ─ admit ─ gate ─ client ─┐
+//!            (bounded:       worker 2 ─ render ─ admit ─ gate ─ client ─┼─► ordered
+//!             claims ≤        ...                                       │   results
+//!             workers×batch)  worker W ─ render ─ admit ─ gate ─ client ─┘
+//! ```
+//!
+//! * Workers *pull* from the feed in small claims, so at most
+//!   `parallelism × max_batch` tasks are claimed-but-unfinished at any
+//!   moment — a bounded work queue, not an unbounded fan-out.
+//! * Claim size adapts per worker: after a claim that averaged faster than
+//!   [`PipelineConfig::fast_task_micros`] per task (typically cache or
+//!   coalesced hits), the worker doubles its next claim up to
+//!   [`PipelineConfig::max_batch`] to amortize feed synchronization; slow
+//!   claims shrink back toward [`PipelineConfig::min_batch`] to keep
+//!   stragglers from hoarding work.
+//! * An optional per-model concurrency gate
+//!   ([`PipelineConfig::model_concurrency`]) caps in-flight backend calls
+//!   *per model name, process-wide* — multiple engines over the same model
+//!   (e.g. cascade tiers) share one gate, mirroring provider rate limits.
+//!
+//! Budget admission differs per entry point: [`Engine::run_many`]
+//! pre-admits the whole batch cumulatively (a batch that cannot fit is
+//! refused before any call), [`Engine::run_sampled_many`] admits each vote
+//! at execution time against actual spend (matching the sequential loops
+//! it replaces), and [`Engine::run_stream`] renders *and* admits inside
+//! the workers — on that path prompt construction for task `i+1` overlaps
+//! the model call for task `i`, and arbitrarily large task streams run in
+//! bounded memory instead of materializing whole rounds up front.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::time::Instant;
 
 use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::tokenizer::count_tokens;
 use crowdprompt_oracle::types::{CompletionRequest, CompletionResponse};
 use crowdprompt_oracle::LlmClient;
+
+use parking_lot::Mutex;
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::corpus::Corpus;
@@ -13,19 +56,100 @@ use crate::error::EngineError;
 use crate::template::{render, RenderOptions};
 use crate::trace::{Trace, TraceEvent};
 
+/// Tuning knobs for the engine's pipelined dispatcher.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Smallest number of tasks a worker claims from the feed at once.
+    pub min_batch: usize,
+    /// Largest number of tasks a worker claims from the feed at once; also
+    /// bounds the work queue: at most `parallelism × max_batch` tasks are
+    /// claimed ahead of completion.
+    pub max_batch: usize,
+    /// Per-task mean duration (µs) below which a worker's claim is deemed
+    /// "fast" and its next claim doubles.
+    pub fast_task_micros: u64,
+    /// Maximum concurrent cache-missing completions per model name, shared
+    /// process-wide across engines (cache hits are served before a permit
+    /// is taken; a coalesced joiner holds a permit while it waits, since it
+    /// represents a pending backend call). `0` disables the gate.
+    pub model_concurrency: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            min_batch: 1,
+            max_batch: 32,
+            fast_task_micros: 200,
+            model_concurrency: 0,
+        }
+    }
+}
+
+/// A counting semaphore (std has none until `std::sync::Semaphore` lands).
+struct Semaphore {
+    permits: StdMutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: StdMutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> SemaphorePermit<'_> {
+        let mut permits = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        while *permits == 0 {
+            permits = self.cv.wait(permits).unwrap_or_else(|e| e.into_inner());
+        }
+        *permits -= 1;
+        SemaphorePermit { sem: self }
+    }
+}
+
+/// RAII permit returned by [`Semaphore::acquire`].
+struct SemaphorePermit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.sem.permits.lock().unwrap_or_else(|e| e.into_inner());
+        *permits += 1;
+        self.sem.cv.notify_one();
+    }
+}
+
+/// Process-wide per-model gates, keyed by `(model name, limit)` so engines
+/// configured with different limits do not interfere.
+fn model_gate(model: &str, limit: usize) -> Arc<Semaphore> {
+    static GATES: OnceLock<StdMutex<HashMap<(String, usize), Arc<Semaphore>>>> = OnceLock::new();
+    let gates = GATES.get_or_init(|| StdMutex::new(HashMap::new()));
+    let mut gates = gates.lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        gates
+            .entry((model.to_owned(), limit))
+            .or_insert_with(|| Arc::new(Semaphore::new(limit))),
+    )
+}
+
 /// Executes unit tasks for the declarative operators.
 ///
 /// Responsibilities:
 /// * render tasks into prompts over the engine's [`Corpus`],
 /// * estimate and admit each call against the [`BudgetTracker`],
-/// * dispatch through the [`LlmClient`] (with its caching and retries),
-///   fanning batches out across worker threads,
+/// * dispatch through the [`LlmClient`] (with its sharded cache, request
+///   coalescing, and retries), pipelining batches across worker threads,
 /// * record actual spend.
 pub struct Engine {
     client: Arc<LlmClient>,
     corpus: Corpus,
     budget: BudgetTracker,
     parallelism: usize,
+    pipeline: PipelineConfig,
     temperature: f64,
     seed: u64,
     render_opts: RenderOptions,
@@ -34,13 +158,14 @@ pub struct Engine {
 
 impl Engine {
     /// An engine over the given client and corpus with an unlimited budget,
-    /// temperature 0, and modest parallelism.
+    /// temperature 0, modest parallelism, and the default pipeline tuning.
     pub fn new(client: Arc<LlmClient>, corpus: Corpus) -> Self {
         Engine {
             client,
             corpus,
             budget: BudgetTracker::new(Budget::Unlimited),
             parallelism: 8,
+            pipeline: PipelineConfig::default(),
             temperature: 0.0,
             seed: 0,
             render_opts: RenderOptions::default(),
@@ -59,6 +184,17 @@ impl Engine {
     #[must_use]
     pub fn with_parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Set the pipelined-dispatch tuning (builder style).
+    #[must_use]
+    pub fn with_pipeline(mut self, config: PipelineConfig) -> Self {
+        self.pipeline = PipelineConfig {
+            min_batch: config.min_batch.max(1),
+            max_batch: config.max_batch.max(config.min_batch.max(1)),
+            ..config
+        };
         self
     }
 
@@ -116,6 +252,11 @@ impl Engine {
         &self.render_opts
     }
 
+    /// Current pipeline tuning.
+    pub fn pipeline(&self) -> &PipelineConfig {
+        &self.pipeline
+    }
+
     /// Dollar cost of a usage under the engine's model pricing.
     pub fn cost_of(&self, usage: crowdprompt_oracle::Usage) -> f64 {
         self.client.model().pricing().cost_usd(usage)
@@ -163,15 +304,12 @@ impl Engine {
 
     /// Execute one unit task.
     pub fn run(&self, task: TaskDescriptor) -> Result<CompletionResponse, EngineError> {
-        let kind = task.kind();
-        let request = self.build_request(task)?;
-        let response = self.client.complete(&request)?;
-        self.record_spend(&response);
-        self.record_trace(kind, &response);
-        Ok(response)
+        let gate = self.gate();
+        self.execute_one(task, gate.as_deref())
     }
 
-    /// Record actual spend for a response; cache hits are free.
+    /// Record actual spend for a response; cache hits and coalesced joins
+    /// are free.
     fn record_spend(&self, response: &CompletionResponse) {
         if !response.cached {
             self.budget.record(
@@ -204,17 +342,14 @@ impl Engine {
         temperature: f64,
         sample_index: u32,
     ) -> Result<CompletionResponse, EngineError> {
-        let kind = task.kind();
         let mut request = self.build_request(task)?;
         request.temperature = temperature;
         request.sample_index = sample_index;
-        let response = self.client.complete(&request)?;
-        self.record_spend(&response);
-        self.record_trace(kind, &response);
-        Ok(response)
+        let gate = self.gate();
+        self.execute_request(&request, gate.as_deref())
     }
 
-    /// Execute a batch of unit tasks across the engine's worker pool,
+    /// Execute a batch of unit tasks through the pipelined dispatcher,
     /// preserving order. Fails fast on the first hard error (transient
     /// errors are already retried inside the client).
     pub fn run_many(
@@ -241,16 +376,260 @@ impl Engine {
             pending_tokens += est_tokens;
             requests.push(request);
         }
-        let results = self.client.complete_many(&requests, self.parallelism);
-        let mut out = Vec::with_capacity(results.len());
-        for (r, request) in results.into_iter().zip(&requests) {
-            let resp = r.map_err(EngineError::from)?;
-            self.record_spend(&resp);
-            self.record_trace(request.task.kind(), &resp);
-            out.push(resp);
-        }
-        Ok(out)
+        self.dispatch(requests)
     }
+
+    /// Execute a batch of `(task, temperature, sample_index)` specs through
+    /// the pipelined dispatcher, preserving order.
+    ///
+    /// This is the batched form of [`Engine::run_sampled`]: voting
+    /// strategies (self-consistency, cascades, filter escalation) build
+    /// their whole vote fan-out and stream it through one dispatch instead
+    /// of looping sequential calls.
+    pub fn run_sampled_many(
+        &self,
+        specs: Vec<(TaskDescriptor, f64, u32)>,
+    ) -> Result<Vec<CompletionResponse>, EngineError> {
+        // Budget admission is per call at execution time — the same
+        // semantics as the sequential `run_sampled` loops this batches up
+        // (each vote admitted against *actual* spend so far, cache hits
+        // free), not `run_many`'s stricter cumulative pre-admission.
+        let mut work = Vec::with_capacity(specs.len());
+        for (index, (task, temperature, sample_index)) in specs.into_iter().enumerate() {
+            let (mut request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+            request.temperature = temperature;
+            request.sample_index = sample_index;
+            work.push((
+                index,
+                Work::AdmitRequest {
+                    request,
+                    est_usd,
+                    est_tokens,
+                },
+            ));
+        }
+        self.pump(work.into_iter())
+    }
+
+    /// Stream unit tasks through the pipelined dispatcher without
+    /// materializing them first, preserving input order in the output.
+    ///
+    /// Unlike [`Engine::run_many`], tasks are rendered and budget-admitted
+    /// *inside the worker pool* as they are pulled from the iterator, so
+    /// arbitrarily large task streams run in bounded memory and rendering
+    /// overlaps model calls. The trade-off is admission granularity: the
+    /// budget is checked per task at execution time, so earlier tasks may
+    /// already have spent budget when a later task is refused.
+    pub fn run_stream<I>(&self, tasks: I) -> Result<Vec<CompletionResponse>, EngineError>
+    where
+        I: IntoIterator<Item = TaskDescriptor>,
+        I::IntoIter: Send,
+    {
+        self.pump(
+            tasks
+                .into_iter()
+                .enumerate()
+                .map(|(index, task)| (index, Work::Task(task))),
+        )
+    }
+
+    /// The per-model gate for this engine's client, if configured.
+    fn gate(&self) -> Option<Arc<Semaphore>> {
+        (self.pipeline.model_concurrency > 0)
+            .then(|| model_gate(self.client.model().name(), self.pipeline.model_concurrency))
+    }
+
+    /// Complete a request through the optional per-model gate.
+    ///
+    /// Cached responses are served before a permit is taken, so only
+    /// completions that may reach the backend consume gate capacity.
+    /// (A coalesced joiner does hold a permit while it waits — it
+    /// represents a pending backend call.)
+    fn gated_complete(
+        &self,
+        request: &CompletionRequest,
+        gate: Option<&Semaphore>,
+    ) -> Result<CompletionResponse, crowdprompt_oracle::LlmError> {
+        match gate {
+            Some(gate) => {
+                if let Some(hit) = self.client.peek_cached(request) {
+                    return Ok(hit);
+                }
+                let _permit = gate.acquire();
+                self.client.complete(request)
+            }
+            None => self.client.complete(request),
+        }
+    }
+
+    /// Dispatch one pre-built request and account for it (worker body).
+    fn execute_request(
+        &self,
+        request: &CompletionRequest,
+        gate: Option<&Semaphore>,
+    ) -> Result<CompletionResponse, EngineError> {
+        let response = self.gated_complete(request, gate)?;
+        self.record_spend(&response);
+        self.record_trace(request.task.kind(), &response);
+        Ok(response)
+    }
+
+    /// Render, admit, gate, dispatch, and account one task (worker body of
+    /// the streaming path).
+    fn execute_one(
+        &self,
+        task: TaskDescriptor,
+        gate: Option<&Semaphore>,
+    ) -> Result<CompletionResponse, EngineError> {
+        let request = self.build_request(task)?;
+        self.execute_request(&request, gate)
+    }
+
+    /// Next claim size given how the last claim went.
+    fn adapt_claim(&self, claim: usize, started: Instant, completed: usize) -> usize {
+        if completed == 0 {
+            return self.pipeline.min_batch;
+        }
+        let per_task_us = started.elapsed().as_micros() as u64 / completed as u64;
+        if per_task_us < self.pipeline.fast_task_micros {
+            (claim * 2).min(self.pipeline.max_batch)
+        } else {
+            (claim / 2).max(self.pipeline.min_batch)
+        }
+    }
+
+    /// Pipelined dispatch of pre-admitted requests, preserving input order.
+    fn dispatch(
+        &self,
+        requests: Vec<CompletionRequest>,
+    ) -> Result<Vec<CompletionResponse>, EngineError> {
+        self.pump(
+            requests
+                .into_iter()
+                .enumerate()
+                .map(|(index, request)| (index, Work::Request(request))),
+        )
+    }
+
+    /// The shared worker core behind [`Engine::run_many`],
+    /// [`Engine::run_sampled_many`], and [`Engine::run_stream`]: pull
+    /// adaptive claims from the feed, execute each work item through the
+    /// per-model gate, collect `(index, response)` pairs, and return them
+    /// in input order. Fails fast: the first hard error stops all workers.
+    fn pump<I>(&self, items: I) -> Result<Vec<CompletionResponse>, EngineError>
+    where
+        I: Iterator<Item = (usize, Work)> + Send,
+    {
+        // Never spawn more workers than there can be items: batch paths
+        // have an exact size hint, and a 1-task dispatch runs inline.
+        let (size_lo, size_hi) = items.size_hint();
+        if size_hi == Some(0) {
+            return Ok(Vec::new());
+        }
+        let known_max = size_hi.unwrap_or(usize::MAX).max(size_lo).max(1);
+        let workers = self.parallelism.clamp(1, known_max);
+        let gate = self.gate();
+        if workers == 1 {
+            let mut out = Vec::new();
+            for (_, work) in items {
+                out.push(self.execute_work(work, gate.as_deref())?);
+            }
+            return Ok(out);
+        }
+        let feed = Mutex::new(items);
+        let collected: Mutex<Vec<(usize, CompletionResponse)>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut claim = self.pipeline.min_batch;
+                    let mut local: Vec<(usize, Work)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        local.clear();
+                        {
+                            let mut feed = feed.lock();
+                            for _ in 0..claim {
+                                match feed.next() {
+                                    Some(item) => local.push(item),
+                                    None => break,
+                                }
+                            }
+                        }
+                        if local.is_empty() {
+                            break;
+                        }
+                        let started = Instant::now();
+                        let mut completed = 0usize;
+                        for (index, work) in local.drain(..) {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            match self.execute_work(work, gate.as_deref()) {
+                                Ok(response) => {
+                                    collected.lock().push((index, response));
+                                    completed += 1;
+                                }
+                                Err(e) => {
+                                    first_error.lock().get_or_insert(e);
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        claim = self.adapt_claim(claim, started, completed);
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        let mut results = collected.into_inner();
+        results.sort_unstable_by_key(|(index, _)| *index);
+        Ok(results.into_iter().map(|(_, response)| response).collect())
+    }
+
+    fn execute_work(
+        &self,
+        work: Work,
+        gate: Option<&Semaphore>,
+    ) -> Result<CompletionResponse, EngineError> {
+        match work {
+            Work::Request(request) => self.execute_request(&request, gate),
+            Work::AdmitRequest {
+                request,
+                est_usd,
+                est_tokens,
+            } => {
+                if !self.budget.admit(est_usd, est_tokens) {
+                    return Err(EngineError::BudgetExceeded {
+                        needed_usd: est_usd,
+                        remaining_usd: self.budget.remaining_usd(),
+                    });
+                }
+                self.execute_request(&request, gate)
+            }
+            Work::Task(task) => self.execute_one(task, gate),
+        }
+    }
+}
+
+/// One unit of dispatcher work: a pre-admitted request (`run_many`), a
+/// rendered request still needing per-call budget admission
+/// (`run_sampled_many`), or a task to be rendered and admitted in the
+/// worker (`run_stream`).
+enum Work {
+    Request(CompletionRequest),
+    AdmitRequest {
+        request: CompletionRequest,
+        est_usd: f64,
+        est_tokens: u64,
+    },
+    Task(TaskDescriptor),
 }
 
 #[cfg(test)]
@@ -355,5 +734,154 @@ mod tests {
             })
             .collect();
         assert!(answers.len() > 1, "expected varied samples");
+    }
+
+    #[test]
+    fn run_stream_matches_run_many() {
+        let (engine, ids) = engine_with(40, Budget::Unlimited);
+        let tasks: Vec<_> = ids.iter().map(|id| check_task(*id)).collect();
+        let streamed = engine.run_stream(tasks.clone()).unwrap();
+        let batched = engine.run_many(tasks).unwrap();
+        assert_eq!(streamed.len(), 40);
+        for (s, b) in streamed.iter().zip(batched.iter()) {
+            assert_eq!(s.text, b.text, "order and content preserved");
+        }
+    }
+
+    #[test]
+    fn run_stream_stops_on_budget_exhaustion() {
+        let (engine, ids) = engine_with(30, Budget::usd(0.0002));
+        let tasks: Vec<_> = ids.iter().map(|id| check_task(*id)).collect();
+        let result = engine.run_stream(tasks);
+        assert!(
+            matches!(result, Err(EngineError::BudgetExceeded { .. })),
+            "expected exhaustion, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn run_sampled_many_matches_sequential_sampled() {
+        let (engine, ids) = engine_with(4, Budget::Unlimited);
+        let specs: Vec<_> = (0..16)
+            .map(|s| (check_task(ids[(s % 4) as usize]), 1.0, s))
+            .collect();
+        let batched = engine.run_sampled_many(specs.clone()).unwrap();
+        let sequential: Vec<_> = specs
+            .into_iter()
+            .map(|(t, temp, s)| engine.run_sampled(t, temp, s).unwrap())
+            .collect();
+        for (b, s) in batched.iter().zip(sequential.iter()) {
+            assert_eq!(b.text, s.text, "same request, same simulator draw");
+        }
+    }
+
+    #[test]
+    fn adaptive_claims_cover_duplicate_heavy_batches() {
+        // 512 tasks over 4 distinct fingerprints: nearly all cache or
+        // coalesced hits, which drives claim sizes to max_batch; the result
+        // must still be complete and ordered.
+        let (engine, ids) = engine_with(4, Budget::Unlimited);
+        let engine = engine.with_pipeline(PipelineConfig {
+            min_batch: 1,
+            max_batch: 64,
+            ..PipelineConfig::default()
+        });
+        let tasks: Vec<_> = (0..512).map(|i| check_task(ids[i % 4])).collect();
+        let out = engine.run_many(tasks).unwrap();
+        assert_eq!(out.len(), 512);
+        let stats = engine.client().stats();
+        assert_eq!(stats.calls(), 4, "one backend call per distinct task");
+        assert_eq!(stats.calls() + stats.cache_hits() + stats.coalesced(), 512);
+    }
+
+    #[test]
+    fn model_gate_caps_concurrency() {
+        use crowdprompt_oracle::error::LlmError;
+        use crowdprompt_oracle::pricing::Pricing;
+        use crowdprompt_oracle::types::LanguageModel;
+        use std::sync::atomic::AtomicU64;
+
+        /// Tracks the maximum number of threads simultaneously inside
+        /// `complete`.
+        struct ConcurrencyProbe {
+            inner: SimulatedLlm,
+            current: AtomicU64,
+            peak: AtomicU64,
+        }
+        impl LanguageModel for ConcurrencyProbe {
+            fn name(&self) -> &str {
+                "gated-probe-model"
+            }
+            fn context_window(&self) -> u32 {
+                self.inner.context_window()
+            }
+            fn pricing(&self) -> Pricing {
+                self.inner.pricing()
+            }
+            fn complete(
+                &self,
+                request: &CompletionRequest,
+            ) -> Result<CompletionResponse, LlmError> {
+                let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+                self.peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                let out = self.inner.complete(request);
+                self.current.fetch_sub(1, Ordering::SeqCst);
+                out
+            }
+        }
+
+        let mut w = WorldModel::new();
+        let ids: Vec<_> = (0..24)
+            .map(|i| {
+                let id = w.add_item(format!("probe item {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let probe = Arc::new(ConcurrencyProbe {
+            inner: SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(w), 5),
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        });
+        let client = Arc::new(LlmClient::new(
+            Arc::clone(&probe) as Arc<dyn LanguageModel>
+        ));
+        let engine = Engine::new(client, corpus)
+            .with_parallelism(8)
+            .with_pipeline(PipelineConfig {
+                model_concurrency: 2,
+                ..PipelineConfig::default()
+            });
+        let tasks: Vec<_> = ids.iter().map(|id| check_task(*id)).collect();
+        engine.run_many(tasks).unwrap();
+        assert!(
+            probe.peak.load(Ordering::SeqCst) <= 2,
+            "gate must cap in-flight calls at 2, saw {}",
+            probe.peak.load(Ordering::SeqCst)
+        );
+
+        // The gate also binds single-task dispatch (`run`), not just the
+        // multi-worker batch path: 8 threads calling run() concurrently
+        // still never exceed 2 in-flight backend calls.
+        probe.peak.store(0, Ordering::SeqCst);
+        std::thread::scope(|scope| {
+            for chunk in ids.chunks(3) {
+                let engine = &engine;
+                scope.spawn(move || {
+                    for id in chunk {
+                        // Distinct per-thread sample indices defeat the
+                        // cache so every call reaches the backend.
+                        engine.run_sampled(check_task(*id), 0.8, id.0 as u32).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            probe.peak.load(Ordering::SeqCst) <= 2,
+            "gate must cap single-task dispatch too, saw {}",
+            probe.peak.load(Ordering::SeqCst)
+        );
     }
 }

@@ -92,18 +92,28 @@ pub fn filter(
                     escalate.push(*id);
                 }
             }
-            // Escalation pass: majority vote at temperature 1 on the rest.
-            for &id in &escalate {
+            // Escalation pass: majority vote at temperature 1 on the rest,
+            // with every vote for every escalated item streamed through one
+            // pipelined dispatch.
+            let specs: Vec<_> = escalate
+                .iter()
+                .flat_map(|id| {
+                    (0..votes).map(move |s| {
+                        (
+                            TaskDescriptor::CheckPredicate {
+                                item: *id,
+                                predicate: predicate.to_owned(),
+                            },
+                            1.0,
+                            s,
+                        )
+                    })
+                })
+                .collect();
+            let responses = engine.run_sampled_many(specs)?;
+            for (k, &id) in escalate.iter().enumerate() {
                 let mut yes = 0u32;
-                for s in 0..votes {
-                    let resp = engine.run_sampled(
-                        TaskDescriptor::CheckPredicate {
-                            item: id,
-                            predicate: predicate.to_owned(),
-                        },
-                        1.0,
-                        s,
-                    )?;
+                for resp in &responses[k * votes as usize..(k + 1) * votes as usize] {
                     meter.add(resp.usage, engine.cost_of(resp.usage));
                     if extract::yes_no(&resp.text)? {
                         yes += 1;
@@ -125,17 +135,26 @@ pub fn filter(
         } => {
             let votes = votes.max(1);
             let temperature = f64::from(temperature_pct) / 100.0;
-            for &id in items {
+            // All votes for all items go through one pipelined dispatch.
+            let specs: Vec<_> = items
+                .iter()
+                .flat_map(|id| {
+                    (0..votes).map(move |s| {
+                        (
+                            TaskDescriptor::CheckPredicate {
+                                item: *id,
+                                predicate: predicate.to_owned(),
+                            },
+                            temperature,
+                            s,
+                        )
+                    })
+                })
+                .collect();
+            let responses = engine.run_sampled_many(specs)?;
+            for (k, &id) in items.iter().enumerate() {
                 let mut yes = 0u32;
-                for s in 0..votes {
-                    let resp = engine.run_sampled(
-                        TaskDescriptor::CheckPredicate {
-                            item: id,
-                            predicate: predicate.to_owned(),
-                        },
-                        temperature,
-                        s,
-                    )?;
+                for resp in &responses[k * votes as usize..(k + 1) * votes as usize] {
                     meter.add(resp.usage, engine.cost_of(resp.usage));
                     if extract::yes_no(&resp.text)? {
                         yes += 1;
@@ -283,12 +302,15 @@ mod tests {
     #[test]
     fn confidence_gate_with_perfect_model_never_escalates() {
         let (engine, ids, expected) = setup(20, NoiseProfile::perfect());
+        // A perfect model's confidence is 1.0 plus ±0.08σ jitter; a 0.65
+        // gate sits >4σ below it, so no item can plausibly escalate (a 0.90
+        // gate would trip on ~10% of items purely from jitter).
         let out = filter(
             &engine,
             &ids,
             "positive",
             FilterStrategy::ConfidenceGated {
-                min_confidence_pct: 90,
+                min_confidence_pct: 65,
                 votes: 5,
             },
         )

@@ -39,8 +39,11 @@ pub fn self_consistent_yes_no(
     let samples = samples.max(1);
     let mut meter = CostMeter::new();
     let mut yes = 0u32;
-    for s in 0..samples {
-        let resp = engine.run_sampled(task.clone(), temperature, s)?;
+    // One pipelined dispatch for the whole vote fan-out.
+    let specs: Vec<_> = (0..samples)
+        .map(|s| (task.clone(), temperature, s))
+        .collect();
+    for resp in engine.run_sampled_many(specs)? {
         meter.add(resp.usage, engine.cost_of(resp.usage));
         if extract::yes_no(&resp.text)? {
             yes += 1;

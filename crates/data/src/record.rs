@@ -4,10 +4,8 @@
 //! `"a1 is e1; a2 is e2; ..."` (§3.4). This module provides that rendering
 //! plus a small typed record representation used by the product generators.
 
-use serde::{Deserialize, Serialize};
-
 /// An attribute value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A text value.
     Str(String),
@@ -52,7 +50,7 @@ impl From<i64> for Value {
 }
 
 /// An ordered attribute/value record.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Record {
     fields: Vec<(String, Value)>,
 }

@@ -48,6 +48,14 @@
 //! | [`embed`] | deterministic embeddings + k-NN indexes |
 //! | [`data`] | seeded dataset generators with latent ground truth |
 //! | [`metrics`] | Kendall tau-β, classification metrics, report tables |
+//!
+//! ## Further reading
+//!
+//! * [README](https://github.com/crowdprompt/crowdprompt/blob/main/README.md)
+//!   — building, testing, regenerating the paper's tables, benchmarks.
+//! * [ARCHITECTURE](https://github.com/crowdprompt/crowdprompt/blob/main/ARCHITECTURE.md)
+//!   — crate-to-paper-section map, the sharded coalescing client and the
+//!   pipelined executor's queue design, and the offline dependency shims.
 
 #![warn(missing_docs)]
 

@@ -1,18 +1,44 @@
-//! Client-side wrapper over a [`LanguageModel`]: retries, response caching,
-//! cost accounting, and parallel dispatch.
+//! Client-side wrapper over a [`LanguageModel`]: retries, a sharded response
+//! cache with in-flight request coalescing, cost accounting, and parallel
+//! dispatch.
 //!
 //! This is the layer a production deployment would point at a network
 //! backend; the declarative engine only ever talks to an [`LlmClient`].
+//!
+//! # Concurrency design
+//!
+//! The paper's engine treats LLMs as noisy crowd workers, so every operator
+//! funnels through this client from many threads at once. Two mechanisms
+//! keep that hot path scalable:
+//!
+//! * **Sharded cache** — the temperature-0 response cache is split across
+//!   N shards (N a power of two, default [`DEFAULT_CACHE_SHARDS`]), each
+//!   behind its own [`parking_lot::RwLock`]. Readers of different keys — and
+//!   even of the same key — proceed in parallel instead of serializing on
+//!   one global mutex.
+//! * **In-flight coalescing** — when two workers issue the *same*
+//!   temperature-0 request concurrently, the second does not hit the
+//!   backend: it registers as a joiner on the first request's "flight" and
+//!   waits for the leader's result. Coalesced joins are free — they are
+//!   never charged to the [`CostLedger`] and their responses are marked
+//!   [`CompletionResponse::cached`], so budget guards skip them too.
+//!
+//! Both mechanisms are transparent to callers: [`LlmClient::complete`] has
+//! the same signature and semantics as before, just with more throughput
+//! under contention (see `crates/bench/benches/exec.rs`).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::LlmError;
 use crate::pricing::CostLedger;
 use crate::types::{CompletionRequest, CompletionResponse, LanguageModel};
+
+/// Default number of cache shards (must be a power of two).
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
 /// Retry behaviour for transient (retryable) errors.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +64,7 @@ impl Default for RetryPolicy {
 pub struct ClientStats {
     calls: AtomicU64,
     cache_hits: AtomicU64,
+    coalesced: AtomicU64,
     retries: AtomicU64,
     failures: AtomicU64,
 }
@@ -51,6 +78,11 @@ impl ClientStats {
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
     }
+    /// Requests that joined another thread's identical in-flight request
+    /// instead of hitting the backend.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
     /// Retry attempts performed (beyond first attempts).
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
@@ -61,26 +93,149 @@ impl ClientStats {
     }
 }
 
-/// A caching, retrying client over any [`LanguageModel`].
+/// One in-flight temperature-0 request: the leader executes the backend
+/// call, joiners block on [`Flight::wait`] until the result is published.
+struct Flight {
+    state: StdMutex<Option<Result<CompletionResponse, LlmError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: StdMutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, result: Result<CompletionResponse, LlmError>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<CompletionResponse, LlmError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One cache shard: the response map plus the in-flight table for keys that
+/// hash into this shard.
+struct Shard {
+    responses: RwLock<HashMap<u64, CompletionResponse>>,
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            responses: RwLock::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// What a thread should do after consulting the coalescing table.
+enum Claim {
+    /// Result was already cached (second-chance hit under the flight lock).
+    Cached(CompletionResponse),
+    /// Another thread is executing this request; wait on its flight.
+    Join(Arc<Flight>),
+    /// This thread is the leader and must execute the backend call.
+    Lead(Arc<Flight>),
+}
+
+/// An N-way sharded temperature-0 response cache with per-key in-flight
+/// request coalescing.
+struct ShardedCache {
+    shards: Box<[Shard]>,
+    mask: usize,
+}
+
+impl ShardedCache {
+    fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        ShardedCache {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        // The key is already a fingerprint hash; its low bits pick the shard.
+        &self.shards[(key as usize) & self.mask]
+    }
+
+    /// Fast path: shared-lock lookup.
+    fn get(&self, key: u64) -> Option<CompletionResponse> {
+        self.shard(key).responses.read().get(&key).cloned()
+    }
+
+    /// Claim the right to execute `key`, or discover someone else has.
+    ///
+    /// Holding the shard's flight lock, the cache is checked once more (the
+    /// leader may have finished between our cache miss and this claim), then
+    /// either an existing flight is joined or a new one is installed with
+    /// the caller as leader.
+    fn claim(&self, key: u64) -> Claim {
+        let shard = self.shard(key);
+        let mut flights = shard.flights.lock();
+        if let Some(hit) = shard.responses.read().get(&key) {
+            return Claim::Cached(hit.clone());
+        }
+        if let Some(flight) = flights.get(&key) {
+            return Claim::Join(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key, Arc::clone(&flight));
+        Claim::Lead(flight)
+    }
+
+    /// Leader path: store a successful result, retire the flight, and wake
+    /// all joiners.
+    ///
+    /// The cache insert happens before the flight is removed so that no
+    /// window exists in which a new thread misses both the cache and the
+    /// flight table and re-executes the backend call.
+    fn publish(&self, key: u64, flight: &Arc<Flight>, result: Result<CompletionResponse, LlmError>) {
+        let shard = self.shard(key);
+        if let Ok(response) = &result {
+            shard.responses.write().insert(key, response.clone());
+        }
+        shard.flights.lock().remove(&key);
+        flight.publish(result);
+    }
+}
+
+/// A caching, coalescing, retrying client over any [`LanguageModel`].
 pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
     retry: RetryPolicy,
-    cache: Mutex<HashMap<u64, CompletionResponse>>,
+    cache: ShardedCache,
     ledger: CostLedger,
     stats: ClientStats,
     cache_enabled: bool,
+    coalesce_enabled: bool,
 }
 
 impl LlmClient {
-    /// Wrap a model with the default retry policy and caching enabled.
+    /// Wrap a model with the default retry policy, caching enabled, and the
+    /// default shard count.
     pub fn new(model: Arc<dyn LanguageModel>) -> Self {
         LlmClient {
             model,
             retry: RetryPolicy::default(),
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(DEFAULT_CACHE_SHARDS),
             ledger: CostLedger::new(),
             stats: ClientStats::default(),
             cache_enabled: true,
+            coalesce_enabled: true,
         }
     }
 
@@ -91,7 +246,26 @@ impl LlmClient {
         self
     }
 
-    /// Disable the temperature-0 response cache (builder style).
+    /// Set the cache shard count (builder style). Rounded up to a power of
+    /// two; `1` reproduces a single-lock cache, useful for benchmarking the
+    /// sharding win.
+    #[must_use]
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache = ShardedCache::new(shards);
+        self
+    }
+
+    /// Disable in-flight request coalescing (builder style). Used by
+    /// benchmarks to isolate the coalescing win; production callers should
+    /// leave it on.
+    #[must_use]
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalesce_enabled = false;
+        self
+    }
+
+    /// Disable the temperature-0 response cache (builder style). This also
+    /// disables coalescing, which is keyed on cacheability.
     #[must_use]
     pub fn without_cache(mut self) -> Self {
         self.cache_enabled = false;
@@ -113,24 +287,109 @@ impl LlmClient {
         &self.stats
     }
 
-    /// Execute one request with caching and retries.
+    /// Fast-path cache probe: the response if this request is already
+    /// cached, `None` otherwise (including for uncacheable requests).
     ///
-    /// Only temperature-0 requests are cached (they are deterministic).
+    /// A `Some` return is a real cache hit — it is counted in
+    /// [`ClientStats::cache_hits`] and marked [`CompletionResponse::cached`]
+    /// exactly as [`LlmClient::complete`] would. Dispatchers use this to
+    /// skip concurrency gates for requests that need no backend call.
+    pub fn peek_cached(&self, request: &CompletionRequest) -> Option<CompletionResponse> {
+        if !(self.cache_enabled && request.temperature == 0.0) {
+            return None;
+        }
+        self.cache.get(request.fingerprint()).map(|mut hit| {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            hit.cached = true;
+            hit
+        })
+    }
+
+    /// Execute one request with caching, coalescing, and retries.
+    ///
+    /// Only temperature-0 requests are cached (they are deterministic), and
+    /// only they are coalesced: if an identical temperature-0 request is
+    /// already executing on another thread, this call waits for that result
+    /// instead of dispatching a duplicate backend call. Coalesced responses
+    /// are marked [`CompletionResponse::cached`] and incur no ledger spend.
+    ///
     /// Retryable errors are retried up to the policy's `max_attempts`, with
     /// the request's `sample_index` bumped per attempt so the simulator's
     /// transport-failure draw is re-rolled (matching how a real retry hits a
     /// different server moment).
     pub fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
         let cacheable = self.cache_enabled && request.temperature == 0.0;
+        if !cacheable {
+            return self.call_backend(request);
+        }
         let key = request.fingerprint();
-        if cacheable {
-            if let Some(mut hit) = self.cache.lock().get(&key).cloned() {
+        if let Some(mut hit) = self.cache.get(key) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            hit.cached = true;
+            return Ok(hit);
+        }
+        if !self.coalesce_enabled {
+            let result = self.call_backend(request);
+            if let Ok(response) = &result {
+                self.cache
+                    .shard(key)
+                    .responses
+                    .write()
+                    .insert(key, response.clone());
+            }
+            return result;
+        }
+        match self.cache.claim(key) {
+            Claim::Cached(mut hit) => {
                 self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                 hit.cached = true;
-                return Ok(hit);
+                Ok(hit)
+            }
+            Claim::Join(flight) => {
+                // Registered as a joiner: counted before waiting so tests
+                // (and metrics scrapes) can observe pending joins.
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                let mut result = flight.wait()?;
+                result.cached = true;
+                Ok(result)
+            }
+            Claim::Lead(flight) => {
+                // If the backend panics, the drop guard publishes an error
+                // and retires the flight so joiners (and all future
+                // requests for this key) are not wedged forever.
+                struct AbortGuard<'a> {
+                    cache: &'a ShardedCache,
+                    key: u64,
+                    flight: &'a Arc<Flight>,
+                    armed: bool,
+                }
+                impl Drop for AbortGuard<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            self.cache.publish(
+                                self.key,
+                                self.flight,
+                                Err(LlmError::ServiceUnavailable),
+                            );
+                        }
+                    }
+                }
+                let mut guard = AbortGuard {
+                    cache: &self.cache,
+                    key,
+                    flight: &flight,
+                    armed: true,
+                };
+                let result = self.call_backend(request);
+                guard.armed = false;
+                self.cache.publish(key, &flight, result.clone());
+                result
             }
         }
+    }
 
+    /// The raw backend path: retries, stats, and ledger accounting.
+    fn call_backend(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
         let mut attempt = 0u32;
         let mut last_err: Option<LlmError> = None;
         while attempt < self.retry.max_attempts.max(1) {
@@ -140,9 +399,6 @@ impl LlmClient {
                 Ok(resp) => {
                     self.stats.calls.fetch_add(1, Ordering::Relaxed);
                     self.ledger.record(resp.usage, self.model.pricing());
-                    if cacheable {
-                        self.cache.lock().insert(key, resp.clone());
-                    }
                     return Ok(resp);
                 }
                 Err(e) if e.is_retryable() => {
@@ -172,7 +428,9 @@ impl LlmClient {
     ///
     /// This models the fan-out a production orchestrator performs against a
     /// rate-limited API; with the simulator it also meaningfully speeds up
-    /// the O(n²) pairwise experiments.
+    /// the O(n²) pairwise experiments. Duplicate temperature-0 requests in
+    /// the same batch coalesce: only one backend call is made per distinct
+    /// fingerprint.
     pub fn complete_many(
         &self,
         requests: &[CompletionRequest],
@@ -189,9 +447,9 @@ impl LlmClient {
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<Result<CompletionResponse, LlmError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -200,8 +458,7 @@ impl LlmClient {
                     *results[i].lock() = Some(out);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         results
             .into_iter()
             .map(|slot| slot.into_inner().expect("every slot filled"))
@@ -213,9 +470,12 @@ impl LlmClient {
 mod tests {
     use super::*;
     use crate::model::{ModelProfile, NoiseProfile};
+    use crate::pricing::Pricing;
     use crate::sim::SimulatedLlm;
     use crate::task::TaskDescriptor;
     use crate::world::WorldModel;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Barrier;
 
     fn world_and_ids(n: usize) -> (Arc<WorldModel>, Vec<crate::world::ItemId>) {
         let mut w = WorldModel::new();
@@ -361,5 +621,201 @@ mod tests {
         let out = client.complete_many(&reqs, 1);
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(Result::is_ok));
+    }
+
+    /// A backend whose `complete` blocks until released, so tests can hold a
+    /// request in flight while other threads pile onto it.
+    struct GatedModel {
+        inner: SimulatedLlm,
+        release: AtomicBool,
+        entered: AtomicU64,
+    }
+
+    impl LanguageModel for GatedModel {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn context_window(&self) -> u32 {
+            self.inner.context_window()
+        }
+        fn pricing(&self) -> Pricing {
+            self.inner.pricing()
+        }
+        fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            while !self.release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            self.inner.complete(request)
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_backend_call() {
+        const THREADS: usize = 16;
+        let (world, ids) = world_and_ids(1);
+        let gated = Arc::new(GatedModel {
+            inner: SimulatedLlm::new(ModelProfile::gpt35_like(), world, 9),
+            release: AtomicBool::new(false),
+            entered: AtomicU64::new(0),
+        });
+        let client = LlmClient::new(Arc::clone(&gated) as Arc<dyn LanguageModel>);
+        let req = check_req(ids[0]);
+        let barrier = Barrier::new(THREADS + 1);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                handles.push(scope.spawn(|| {
+                    barrier.wait();
+                    client.complete(&req).unwrap()
+                }));
+            }
+            barrier.wait();
+            // Deterministic rendezvous: joiners register their coalesced
+            // join *before* blocking, so once N-1 joins are visible every
+            // non-leader thread is parked on the flight. Only then is the
+            // leader's backend call released.
+            while client.stats().coalesced() < (THREADS as u64) - 1 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            gated.release.store(true, Ordering::SeqCst);
+            let texts: Vec<String> = handles.into_iter().map(|h| h.join().unwrap().text).collect();
+            assert!(texts.windows(2).all(|w| w[0] == w[1]), "all joiners share one result");
+        });
+        assert_eq!(client.stats().calls(), 1, "exactly one backend call");
+        assert_eq!(gated.entered.load(Ordering::SeqCst), 1);
+        assert_eq!(client.stats().coalesced(), (THREADS as u64) - 1);
+        assert_eq!(client.stats().cache_hits(), 0);
+        assert_eq!(client.ledger().calls(), 1, "joiners are free in the ledger");
+    }
+
+    #[test]
+    fn leader_panic_releases_joiners_with_error() {
+        const THREADS: usize = 4;
+
+        /// Panics on the first (released) call, succeeds afterwards.
+        struct PanicOnceModel {
+            inner: SimulatedLlm,
+            release: AtomicBool,
+            panicked: AtomicBool,
+        }
+        impl LanguageModel for PanicOnceModel {
+            fn name(&self) -> &str {
+                self.inner.name()
+            }
+            fn context_window(&self) -> u32 {
+                self.inner.context_window()
+            }
+            fn pricing(&self) -> Pricing {
+                self.inner.pricing()
+            }
+            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+                while !self.release.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                if !self.panicked.swap(true, Ordering::SeqCst) {
+                    panic!("backend exploded mid-flight");
+                }
+                self.inner.complete(request)
+            }
+        }
+
+        let (world, ids) = world_and_ids(1);
+        let model = Arc::new(PanicOnceModel {
+            inner: SimulatedLlm::new(ModelProfile::perfect(), world, 3),
+            release: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+        });
+        let client = LlmClient::new(Arc::clone(&model) as Arc<dyn LanguageModel>);
+        let req = check_req(ids[0]);
+        let mut joiner_results = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                handles.push(scope.spawn(|| client.complete(&req)));
+            }
+            // All non-leaders are parked on the flight before the leader's
+            // backend call is released (and panics).
+            while client.stats().coalesced() < (THREADS as u64) - 1 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            model.release.store(true, Ordering::SeqCst);
+            for h in handles {
+                match h.join() {
+                    Ok(result) => joiner_results.push(result),
+                    Err(_) => {} // the leader's panic propagates to its own thread
+                }
+            }
+        });
+        assert_eq!(joiner_results.len(), THREADS - 1, "leader panicked, joiners returned");
+        for r in &joiner_results {
+            assert!(
+                matches!(r, Err(LlmError::ServiceUnavailable)),
+                "joiners get the abort error, got {r:?}"
+            );
+        }
+        // The flight was retired: a fresh request executes and succeeds.
+        let retry = client.complete(&req);
+        assert!(retry.is_ok(), "flight retired after panic, got {retry:?}");
+    }
+
+    #[test]
+    fn sharded_cache_stress_executes_each_key_once() {
+        const THREADS: usize = 8;
+        const OPS_PER_THREAD: usize = 2_000;
+        const KEYS: usize = 64;
+        let (world, ids) = world_and_ids(KEYS);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::gpt35_like(), world, 3));
+        let client = LlmClient::new(llm);
+        let reqs: Vec<CompletionRequest> = ids.iter().map(|id| check_req(*id)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let reqs = &reqs;
+                let client = &client;
+                scope.spawn(move || {
+                    for i in 0..OPS_PER_THREAD {
+                        let req = &reqs[(i * 31 + t * 7) % KEYS];
+                        let resp = client.complete(req).unwrap();
+                        assert!(!resp.text.is_empty());
+                    }
+                });
+            }
+        });
+        let total = (THREADS * OPS_PER_THREAD) as u64;
+        let stats = client.stats();
+        assert_eq!(
+            stats.calls() + stats.cache_hits() + stats.coalesced(),
+            total,
+            "every request is accounted exactly once"
+        );
+        assert_eq!(stats.calls(), KEYS as u64, "each distinct key executes once");
+        assert_eq!(client.ledger().calls(), KEYS as u64);
+    }
+
+    #[test]
+    fn single_shard_still_correct() {
+        let (world, ids) = world_and_ids(8);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm).with_cache_shards(1);
+        for _ in 0..3 {
+            for id in &ids {
+                client.complete(&check_req(*id)).unwrap();
+            }
+        }
+        assert_eq!(client.stats().calls(), 8);
+        assert_eq!(client.stats().cache_hits(), 16);
+    }
+
+    #[test]
+    fn coalescing_disabled_still_caches() {
+        let (world, ids) = world_and_ids(1);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm).without_coalescing();
+        let req = check_req(ids[0]);
+        client.complete(&req).unwrap();
+        let b = client.complete(&req).unwrap();
+        assert!(b.cached);
+        assert_eq!(client.stats().calls(), 1);
+        assert_eq!(client.stats().coalesced(), 0);
     }
 }
