@@ -1,0 +1,184 @@
+//! Micro-benchmarks for the blocking layer — the PR-2 tentpole.
+//!
+//! `seed_*` benches run against a faithful replica of the seed
+//! `BruteForceIndex` (nested `Vec<Vec<f32>>` storage, pairwise
+//! `l2_distance` per candidate, materialize-all-then-sort per query) so
+//! the flat-storage / fused-dot / bounded-top-k wins are measured against
+//! the real baseline, not a strawman.
+//!
+//! The corpus is ~20k synthetic product records embedded with the
+//! ada-like 256-dimension hashed n-gram embedder — the shape every
+//! blocking workload (resolve dedup, blocked join, cluster) actually
+//! queries.
+//!
+//! Run with `CRITERION_JSON=BENCH_embed.json cargo bench --bench embed`
+//! to record a JSON-lines baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use crowdprompt_embed::{
+    BruteForceIndex, Embedder, Metric, NearestNeighbors, Neighbor, NgramEmbedder, VectorStore,
+};
+
+const CORPUS: usize = 20_000;
+const QUERIES: usize = 256;
+const K: usize = 8;
+
+/// Replica of the seed `BruteForceIndex` hot path: one heap allocation
+/// per vector, `l2_distance`'s scalar zip-map-sum per candidate, and a
+/// freshly allocated, fully sorted `Vec` of all N distances per query.
+struct SeedBruteForceIndex {
+    vectors: Vec<Vec<f32>>,
+    metric: Metric,
+}
+
+impl SeedBruteForceIndex {
+    fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
+        if let Some(first) = vectors.first() {
+            let d = first.len();
+            assert!(
+                vectors.iter().all(|v| v.len() == d),
+                "all vectors must share a dimensionality"
+            );
+        }
+        SeedBruteForceIndex { vectors, metric }
+    }
+
+    fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut hits: Vec<Neighbor> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(index, v)| Neighbor {
+                index,
+                distance: self.metric.distance(query, v),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+/// ~`n` synthetic product records with overlapping vocabulary, so the
+/// embedding space has realistic near-duplicate structure.
+fn synthetic_corpus(n: usize) -> Vec<String> {
+    const BRANDS: [&str; 8] = [
+        "acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell", "cyberdyne",
+    ];
+    const NOUNS: [&str; 10] = [
+        "widget", "gadget", "sprocket", "fastener", "gizmo", "adapter", "bracket", "coupler",
+        "housing", "manifold",
+    ];
+    const VARIANTS: [&str; 6] = ["retail", "bulk", "boxed", "refurbished", "oem", "deluxe"];
+    (0..n)
+        .map(|i| {
+            format!(
+                "{} {} model {:05} ({}) - {} packaging",
+                BRANDS[i % BRANDS.len()],
+                NOUNS[(i / 3) % NOUNS.len()],
+                i % 10_000,
+                VARIANTS[(i / 7) % VARIANTS.len()],
+                VARIANTS[i % VARIANTS.len()],
+            )
+        })
+        .collect()
+}
+
+fn embedded_corpus() -> Vec<Vec<f32>> {
+    let embedder = NgramEmbedder::ada_like();
+    let texts = synthetic_corpus(CORPUS);
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    embedder.embed_all(&refs)
+}
+
+/// Index construction: nested seed storage vs flat store with
+/// precomputed norms.
+fn bench_index_build(c: &mut Criterion) {
+    let vectors = embedded_corpus();
+    let mut group = c.benchmark_group("embed_index_build_20k");
+    group.bench_function("seed_nested", |b| {
+        b.iter_batched(
+            || vectors.clone(),
+            |vs| SeedBruteForceIndex::new(vs, Metric::L2),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("flat_store", |b| {
+        b.iter_batched(
+            || vectors.clone(),
+            |vs| VectorStore::from_rows(vs),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// One k-NN query over the 20k corpus: the seed materialize-and-sort
+/// path vs the fused dot-product scan with a bounded top-k heap.
+fn bench_single_query(c: &mut Criterion) {
+    let vectors = embedded_corpus();
+    let query = vectors[CORPUS / 2].clone();
+    let seed = SeedBruteForceIndex::new(vectors.clone(), Metric::L2);
+    let fused = BruteForceIndex::new(vectors, Metric::L2);
+
+    let mut group = c.benchmark_group("embed_single_query_20k");
+    group.bench_function("seed_sort", |b| {
+        b.iter(|| seed.nearest(black_box(&query), K))
+    });
+    group.bench_function("fused_heap", |b| {
+        b.iter(|| fused.nearest(black_box(&query), K))
+    });
+    group.finish();
+}
+
+/// Batch blocking — the headline tentpole number: answer `QUERIES`
+/// blocking queries over the 20k corpus (the dedup/join shape). The seed
+/// path loops one record at a time through the sort-per-query scan; the
+/// new path issues one `nearest_many` batch through the fused scan
+/// (partitioned across whatever cores exist — the fused + heap win alone
+/// carries the 1-core container).
+fn bench_batch_blocking(c: &mut Criterion) {
+    let vectors = embedded_corpus();
+    let queries: Vec<Vec<f32>> = (0..QUERIES)
+        .map(|i| vectors[i * (CORPUS / QUERIES)].clone())
+        .collect();
+    let seed = SeedBruteForceIndex::new(vectors.clone(), Metric::L2);
+    let fused = BruteForceIndex::new(vectors, Metric::L2);
+
+    let mut group = c.benchmark_group("embed_batch_blocking_20kx256");
+    group.bench_function("seed_per_record_loop", |b| {
+        b.iter(|| -> usize {
+            queries
+                .iter()
+                .map(|q| seed.nearest(black_box(q), K).len())
+                .sum()
+        })
+    });
+    group.bench_function("fused_sequential_loop", |b| {
+        b.iter(|| -> usize {
+            queries
+                .iter()
+                .map(|q| fused.nearest(black_box(q), K).len())
+                .sum()
+        })
+    });
+    group.bench_function("batched_fused", |b| {
+        b.iter(|| fused.nearest_many(black_box(&queries), K).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_single_query,
+    bench_batch_blocking
+);
+criterion_main!(benches);

@@ -17,6 +17,8 @@
 //! * [`exec`] — the [`exec::Engine`]: budget-guarded, parallel task
 //!   execution over an [`crowdprompt_oracle::LlmClient`].
 //! * [`consistency`] — transitive closure and ranking repair (§3.3).
+//! * [`blocking`] — the shared embedding-blocking index all operators
+//!   route non-LLM candidate pruning through (§3.4).
 //! * [`ops`] — the operators, each with multiple strategies (§3.1–3.4).
 //! * [`quality`] — majority vote, self-consistency, Dawid–Skene EM,
 //!   self-verification (§3.5).
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blocking;
 pub mod budget;
 pub mod cascade;
 pub mod consistency;
@@ -48,6 +51,7 @@ pub mod template;
 pub mod trace;
 pub mod workflow;
 
+pub use blocking::{BlockingHit, BlockingIndex};
 pub use budget::{Budget, BudgetTracker};
 pub use corpus::Corpus;
 pub use error::EngineError;

@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use crowdprompt_embed::{BruteForceIndex, Embedder, Metric, NearestNeighbors, NgramEmbedder};
 use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
+use crate::blocking::BlockingIndex;
 use crate::error::EngineError;
 use crate::exec::Engine;
 use crate::extract;
@@ -37,12 +37,11 @@ pub enum ImputeStrategy {
 }
 
 /// A labeled reference pool: records whose target-attribute values are
-/// known, supporting neighbor lookup by record-text embedding.
+/// known, supporting neighbor lookup by record-text embedding through the
+/// shared (memoized, batched) [`BlockingIndex`].
 pub struct LabeledPool {
-    items: Vec<ItemId>,
     labels: HashMap<ItemId, String>,
-    index: BruteForceIndex,
-    embedder: NgramEmbedder,
+    inner: BlockingIndex,
 }
 
 impl LabeledPool {
@@ -51,40 +50,22 @@ impl LabeledPool {
         engine: &Engine,
         labeled: &[(ItemId, String)],
     ) -> Result<Self, EngineError> {
-        let embedder = NgramEmbedder::ada_like();
-        let mut items = Vec::with_capacity(labeled.len());
-        let mut labels = HashMap::with_capacity(labeled.len());
-        let mut vectors = Vec::with_capacity(labeled.len());
-        for (id, label) in labeled {
-            let text = engine
-                .corpus()
-                .text(*id)
-                .ok_or(EngineError::UnknownItem(*id))?;
-            vectors.push(embedder.embed(text));
-            items.push(*id);
-            labels.insert(*id, label.clone());
-        }
+        let items: Vec<ItemId> = labeled.iter().map(|(id, _)| *id).collect();
+        let labels = labeled.iter().map(|(id, l)| (*id, l.clone())).collect();
         Ok(LabeledPool {
-            items,
             labels,
-            index: BruteForceIndex::new(vectors, Metric::L2),
-            embedder,
+            inner: BlockingIndex::build(engine, &items)?,
         })
     }
 
     /// The `k` nearest labeled records to `id` (excluding `id` itself when
-    /// it is part of the pool — leave-one-out).
+    /// it is part of the pool — leave-one-out). Memoized per `(id, k)`.
     pub fn neighbors(&self, engine: &Engine, id: ItemId, k: usize) -> Vec<ItemId> {
-        let Some(text) = engine.corpus().text(id) else {
-            return Vec::new();
-        };
-        let query = self.embedder.embed(text);
-        let exclude = self.items.iter().position(|m| *m == id);
-        let hits = match exclude {
-            Some(pos) => self.index.nearest_excluding(&query, k, pos),
-            None => self.index.nearest(&query, k),
-        };
-        hits.into_iter().map(|n| self.items[n.index]).collect()
+        self.inner
+            .neighbors(engine, id, k)
+            .into_iter()
+            .map(|h| h.item)
+            .collect()
     }
 
     /// The label of a pool record.
@@ -94,12 +75,12 @@ impl LabeledPool {
 
     /// Number of labeled records.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.inner.len()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.inner.is_empty()
     }
 }
 

@@ -8,10 +8,10 @@
 //! floor), and asks the LLM about the survivors — the machine-prunes /
 //! humans-confirm split of the crowdsourcing literature.
 
-use crowdprompt_embed::{BruteForceIndex, Embedder, Metric, NearestNeighbors, NgramEmbedder};
 use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
+use crate::blocking::BlockingIndex;
 use crate::error::EngineError;
 use crate::exec::Engine;
 use crate::extract;
@@ -95,27 +95,24 @@ fn blocked_candidates(
     candidates: usize,
     max_distance: f32,
 ) -> Result<Vec<(ItemId, ItemId)>, EngineError> {
-    let embedder = NgramEmbedder::ada_like();
-    let mut right_vectors = Vec::with_capacity(right.len());
-    for &id in right {
-        let text = engine
-            .corpus()
-            .text(id)
-            .ok_or(EngineError::UnknownItem(id))?;
-        right_vectors.push(embedder.embed(text));
-    }
-    let index = BruteForceIndex::new(right_vectors, Metric::L2);
-    let mut pairs = Vec::new();
+    // Index the build side once (parallel embed, auto-selected index),
+    // then answer the whole probe side as one batched query instead of a
+    // per-record scan loop.
+    let index = BlockingIndex::build(engine, right)?;
+    let mut left_texts = Vec::with_capacity(left.len());
     for &l in left {
-        let text = engine
-            .corpus()
-            .text(l)
-            .ok_or(EngineError::UnknownItem(l))?;
-        let query = embedder.embed(text);
-        for hit in index.nearest(&query, candidates.max(1)) {
-            if hit.distance <= max_distance {
-                pairs.push((l, right[hit.index]));
-            }
+        left_texts.push(
+            engine
+                .corpus()
+                .text(l)
+                .ok_or(EngineError::UnknownItem(l))?,
+        );
+    }
+    let neighborhoods = index.nearest_texts(&left_texts, candidates.max(1));
+    let mut pairs = Vec::new();
+    for (&l, hits) in left.iter().zip(&neighborhoods) {
+        for hit in hits.iter().filter(|h| h.distance <= max_distance) {
+            pairs.push((l, hit.item));
         }
     }
     Ok(pairs)

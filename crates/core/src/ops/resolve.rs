@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use crowdprompt_embed::{BruteForceIndex, Embedder, Metric, NearestNeighbors, NgramEmbedder};
 use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
+use crate::blocking::BlockingIndex;
 use crate::consistency::UnionFind;
 use crate::error::EngineError;
 use crate::exec::Engine;
@@ -29,38 +29,28 @@ pub enum ResolveStrategy {
 
 /// An embedding index over the mention corpus, for neighbor expansion.
 ///
-/// Neighbor lookups are memoized: the same record appears in many question
-/// pairs, so each `(record, k)` query is computed once.
+/// A thin resolve-flavored wrapper over the shared [`BlockingIndex`]:
+/// neighbor lookups are memoized (the same record appears in many question
+/// pairs, so each `(record, k)` query is computed once), indexed mentions
+/// query with their stored vector, and the self-hit is excluded inside
+/// the scan rather than ranked and discarded.
 pub struct MentionIndex {
-    items: Vec<ItemId>,
-    index: BruteForceIndex,
-    embedder: NgramEmbedder,
-    cache: parking_lot::Mutex<HashMap<(ItemId, usize), Vec<ItemId>>>,
+    inner: BlockingIndex,
 }
 
 impl MentionIndex {
     /// Build an index over the given mentions using the engine's corpus
     /// texts and the ada-like n-gram embedder (L2 distance, as in §3.3).
     pub fn build(engine: &Engine, mentions: &[ItemId]) -> Result<Self, EngineError> {
-        let embedder = NgramEmbedder::ada_like();
-        let mut vectors = Vec::with_capacity(mentions.len());
-        for &id in mentions {
-            let text = engine
-                .corpus()
-                .text(id)
-                .ok_or(EngineError::UnknownItem(id))?;
-            vectors.push(embedder.embed(text));
-        }
         Ok(MentionIndex {
-            items: mentions.to_vec(),
-            index: BruteForceIndex::new(vectors, Metric::L2),
-            embedder,
-            cache: parking_lot::Mutex::new(HashMap::new()),
+            inner: BlockingIndex::build(engine, mentions)?,
         })
     }
 
     /// The `k` nearest mentions within `max_distance` of `id` (excluding
-    /// itself). Not memoized (used by one-shot dedup blocking).
+    /// itself). Memoized: the distance filter is applied on top of the
+    /// shared `(id, k)` neighbor cache, so dedup blocking never re-queries
+    /// a repeated record.
     pub fn neighbors_within(
         &self,
         engine: &Engine,
@@ -68,48 +58,36 @@ impl MentionIndex {
         k: usize,
         max_distance: f32,
     ) -> Vec<ItemId> {
-        let Some(text) = engine.corpus().text(id) else {
-            return Vec::new();
-        };
-        let query = self.embedder.embed(text);
-        let exclude = self.items.iter().position(|m| *m == id);
-        let hits = match exclude {
-            Some(pos) => self.index.nearest_excluding(&query, k, pos),
-            None => self.index.nearest(&query, k),
-        };
-        hits.into_iter()
-            .filter(|n| n.distance <= max_distance)
-            .map(|n| self.items[n.index])
+        self.inner
+            .neighbors(engine, id, k)
+            .into_iter()
+            .filter(|h| h.distance <= max_distance)
+            .map(|h| h.item)
             .collect()
     }
 
     /// The `k` nearest mentions to `id` (excluding itself). Memoized.
     pub fn neighbors(&self, engine: &Engine, id: ItemId, k: usize) -> Vec<ItemId> {
-        if let Some(hit) = self.cache.lock().get(&(id, k)) {
-            return hit.clone();
-        }
-        let Some(text) = engine.corpus().text(id) else {
-            return Vec::new();
-        };
-        let query = self.embedder.embed(text);
-        let exclude = self.items.iter().position(|m| *m == id);
-        let hits = match exclude {
-            Some(pos) => self.index.nearest_excluding(&query, k, pos),
-            None => self.index.nearest(&query, k),
-        };
-        let out: Vec<ItemId> = hits.into_iter().map(|n| self.items[n.index]).collect();
-        self.cache.lock().insert((id, k), out.clone());
-        out
+        self.inner
+            .neighbors(engine, id, k)
+            .into_iter()
+            .map(|h| h.item)
+            .collect()
+    }
+
+    /// The shared blocking index (for batched queries and diagnostics).
+    pub fn blocking(&self) -> &BlockingIndex {
+        &self.inner
     }
 
     /// Number of indexed mentions.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.inner.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.inner.is_empty()
     }
 }
 
@@ -247,13 +225,16 @@ pub fn dedup(
     max_distance: f32,
 ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
     let mut meter = CostMeter::new();
-    // 1. Blocking: candidate pairs from each record's neighborhood.
+    // 1. Blocking: candidate pairs from each record's neighborhood, via
+    //    one batched query over the whole collection (partitioned across
+    //    threads inside the index) instead of a per-record loop.
+    let neighborhoods = index.blocking().neighbors_many(engine, items, candidates);
     let mut pairs: Vec<(ItemId, ItemId)> = Vec::new();
     let mut seen: std::collections::HashSet<(ItemId, ItemId)> =
         std::collections::HashSet::new();
-    for &id in items {
-        for neighbor in index.neighbors_within(engine, id, candidates, max_distance) {
-            let key = (id.min(neighbor), id.max(neighbor));
+    for (&id, hits) in items.iter().zip(&neighborhoods) {
+        for hit in hits.iter().filter(|h| h.distance <= max_distance) {
+            let key = (id.min(hit.item), id.max(hit.item));
             if key.0 != key.1 && seen.insert(key) {
                 pairs.push(key);
             }

@@ -308,6 +308,23 @@ impl Session {
     ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
         ops::cluster::cluster(&self.engine, items, seed_size)
     }
+
+    /// Cluster with embedding blocking: stage-2 items are only compared
+    /// against their `candidates` nearest group representatives.
+    pub fn cluster_blocked(
+        &self,
+        items: &[ItemId],
+        seed_size: usize,
+        candidates: usize,
+    ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
+        ops::cluster::cluster_blocked(&self.engine, items, seed_size, candidates)
+    }
+
+    /// Build the shared embedding-blocking index over items (batched
+    /// neighbor queries for custom blocking rules).
+    pub fn blocking_index(&self, items: &[ItemId]) -> Result<crate::BlockingIndex, EngineError> {
+        crate::BlockingIndex::build(&self.engine, items)
+    }
 }
 
 #[cfg(test)]

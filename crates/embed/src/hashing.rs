@@ -9,10 +9,35 @@ pub trait Embedder: Send + Sync {
     /// Embed one text.
     fn embed(&self, text: &str) -> Vec<f32>;
 
-    /// Embed a batch of texts (default: sequential map).
+    /// Embed a batch of texts.
+    ///
+    /// The default implementation partitions the batch across
+    /// `std::thread::scope` workers (embedders are `Send + Sync`), one
+    /// contiguous chunk per worker, and reassembles results in input
+    /// order — output is identical to a sequential `map` over
+    /// [`Embedder::embed`]. Small batches run inline to skip thread spawn
+    /// cost.
     fn embed_all(&self, texts: &[&str]) -> Vec<Vec<f32>> {
-        texts.iter().map(|t| self.embed(t)).collect()
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        // Below ~16 texts per worker, spawn cost beats the win.
+        embed_all_with_workers(self, texts, workers.min(texts.len() / 16))
     }
+}
+
+/// The partitioning driver behind the default [`Embedder::embed_all`],
+/// with an explicit worker count: texts are split into `workers`
+/// contiguous chunks, each embedded on its own `std::thread::scope`
+/// worker, results reassembled in input order (identical to a sequential
+/// map over [`Embedder::embed`]). Exposed so the parallel path is
+/// testable deterministically on any machine.
+pub fn embed_all_with_workers<E: Embedder + ?Sized>(
+    embedder: &E,
+    texts: &[&str],
+    workers: usize,
+) -> Vec<Vec<f32>> {
+    crate::parallel::partition_chunks(texts.len(), workers, |range| {
+        texts[range].iter().map(|t| embedder.embed(t)).collect()
+    })
 }
 
 /// Character n-gram + word unigram feature-hash embedder.

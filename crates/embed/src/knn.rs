@@ -1,6 +1,27 @@
-//! Exact k-nearest-neighbor indexes: brute force and VP-tree.
+//! Exact k-nearest-neighbor indexes: brute force, VP-tree, and the
+//! auto-selecting [`KnnIndex`].
+//!
+//! Both indexes share the same substrate ([`VectorStore`]: one flat
+//! `Vec<f32>` plus stride, with precomputed squared norms) and the same
+//! *fused* distance path: every candidate costs exactly one
+//! [`dot_unrolled`] call, because with stored norms both metrics reduce to
+//! the dot product (`‖q − v‖² = ‖q‖² + ‖v‖² − 2⟨q,v⟩`;
+//! `1 − cos = 1 − ⟨q,v⟩ / (‖q‖‖v‖)`). Candidates are ranked by a
+//! monotone *key* (squared distance for L2) in a bounded top-k structure,
+//! so a query is `O(n·d + n·log k)` with no per-query `O(n)` allocation —
+//! the seed implementation materialized and sorted all `n` distances.
+//!
+//! Determinism contract (all entry points): results ascend by distance,
+//! ties broken by insertion index, and a query containing NaN returns no
+//! hits. Candidates whose distance is NaN are never ranked (the seed fed
+//! them to `partial_cmp(..).unwrap_or(Equal)`, scrambling the order):
+//! [`BruteForceIndex`] deterministically filters NaN *stored* rows out of
+//! its results, while [`VpTreeIndex`] requires finite stored vectors —
+//! NaN rows would poison its triangle-inequality pruning bounds (see
+//! [`VpTreeIndex::new`]).
 
-use crate::vector::{cosine_similarity, l2_distance};
+use crate::store::VectorStore;
+use crate::vector::{cosine_similarity, dot_unrolled, dot_unrolled_many, l2_distance};
 
 /// Distance metric for neighbor search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -13,11 +34,46 @@ pub enum Metric {
 }
 
 impl Metric {
-    /// Distance between two vectors under this metric.
+    /// Distance between two vectors under this metric (reference path; the
+    /// indexes use the fused [`Metric::rank_key`] path instead).
     pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
         match self {
             Metric::L2 => l2_distance(a, b),
             Metric::Cosine => 1.0 - cosine_similarity(a, b),
+        }
+    }
+
+    /// The scan's ranking key for one candidate, computed from the fused
+    /// quantities: the query/candidate dot product and both squared norms.
+    ///
+    /// The key is a monotone transform of the metric's distance (squared
+    /// distance for [`Metric::L2`], the distance itself for
+    /// [`Metric::Cosine`]), so ranking by key ranks by distance while
+    /// skipping the per-candidate square root. Recover the distance with
+    /// [`Metric::key_to_distance`]. Exposed so tests and benchmarks can
+    /// replicate the index computation bit-for-bit.
+    pub fn rank_key(&self, dot: f32, query_norm_sq: f32, stored_norm_sq: f32) -> f32 {
+        match self {
+            Metric::L2 => query_norm_sq + stored_norm_sq - 2.0 * dot,
+            Metric::Cosine => {
+                let denom = query_norm_sq.sqrt() * stored_norm_sq.sqrt();
+                if denom == 0.0 {
+                    // Matches `cosine_similarity`'s zero-vector convention.
+                    1.0
+                } else {
+                    1.0 - (dot / denom).clamp(-1.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Convert a [`Metric::rank_key`] back into the metric's distance.
+    pub fn key_to_distance(&self, key: f32) -> f32 {
+        match self {
+            // max(0) guards tiny negative keys from floating-point
+            // cancellation in `qq + bb - 2·dot`.
+            Metric::L2 => key.max(0.0).sqrt(),
+            Metric::Cosine => key,
         }
     }
 }
@@ -31,6 +87,14 @@ pub struct Neighbor {
     pub distance: f32,
 }
 
+/// Total order on `(key, insertion index)` used by every ranking path:
+/// ascending key, ties broken by ascending index. `total_cmp` keeps NaN
+/// out of `unwrap_or(Equal)` territory (NaN keys are filtered before
+/// ranking anyway).
+fn key_cmp(a: (f32, usize), b: (f32, usize)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
 /// A k-nearest-neighbor index over fixed-dimension vectors.
 pub trait NearestNeighbors: Send + Sync {
     /// Number of indexed vectors.
@@ -42,7 +106,8 @@ pub trait NearestNeighbors: Send + Sync {
     }
 
     /// The `k` nearest stored vectors to `query`, ascending by distance,
-    /// ties broken by insertion index for determinism.
+    /// ties broken by insertion index for determinism. `k = 0`, an empty
+    /// index, or an all-NaN query yield an empty result.
     fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
 
     /// Like [`NearestNeighbors::nearest`] but excluding one stored index
@@ -53,16 +118,176 @@ pub trait NearestNeighbors: Send + Sync {
         hits.truncate(k);
         hits
     }
+
+    /// Answer a batch of queries, partitioning them across
+    /// `std::thread::scope` workers (one contiguous chunk per worker).
+    ///
+    /// Results are position-aligned with `queries` and bit-identical to
+    /// calling [`NearestNeighbors::nearest`] per query sequentially —
+    /// parallelism never changes a result, only wall-clock time. Small
+    /// batches (or small corpora) run inline to skip thread spawn cost.
+    fn nearest_many(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+        batch_queries(self, queries, k, None)
+    }
+
+    /// Batched form of [`NearestNeighbors::nearest_excluding`]: per-query
+    /// optional stored index to omit (position-aligned with `queries`).
+    ///
+    /// # Panics
+    /// Panics if `excludes.len() != queries.len()`.
+    fn nearest_many_excluding(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        excludes: &[Option<usize>],
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(
+            queries.len(),
+            excludes.len(),
+            "one exclude slot per query"
+        );
+        batch_queries(self, queries, k, Some(excludes))
+    }
+}
+
+/// Worker count for a batch: threading only pays off when the total scan
+/// volume dwarfs spawn cost; small workloads run inline (results are
+/// identical either way).
+fn auto_workers(queries: usize, corpus: usize) -> usize {
+    if queries.saturating_mul(corpus) < 1 << 14 {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Shared batch driver for the trait's default `nearest_many*` methods.
+fn batch_queries<I: NearestNeighbors + ?Sized>(
+    index: &I,
+    queries: &[Vec<f32>],
+    k: usize,
+    excludes: Option<&[Option<usize>]>,
+) -> Vec<Vec<Neighbor>> {
+    batch_nearest_with_workers(
+        index,
+        queries,
+        k,
+        excludes,
+        auto_workers(queries.len(), index.len()),
+    )
+}
+
+/// The partitioning driver behind [`NearestNeighbors::nearest_many`] and
+/// [`NearestNeighbors::nearest_many_excluding`], with an explicit worker
+/// count: queries are split into `workers` contiguous chunks, each chunk
+/// answered on its own `std::thread::scope` worker, results reassembled
+/// in input order. Exposed so the parallel path is testable
+/// deterministically on any machine (the defaults size `workers` from
+/// `std::thread::available_parallelism`).
+///
+/// # Panics
+/// Panics if `excludes` is provided with a length differing from
+/// `queries`.
+pub fn batch_nearest_with_workers<I: NearestNeighbors + ?Sized>(
+    index: &I,
+    queries: &[Vec<f32>],
+    k: usize,
+    excludes: Option<&[Option<usize>]>,
+    workers: usize,
+) -> Vec<Vec<Neighbor>> {
+    if let Some(e) = excludes {
+        assert_eq!(queries.len(), e.len(), "one exclude slot per query");
+    }
+    crate::parallel::partition_chunks(queries.len(), workers, |range| {
+        range
+            .map(|qi| match excludes.and_then(|e| e[qi]) {
+                Some(x) => index.nearest_excluding(&queries[qi], k, x),
+                None => index.nearest(&queries[qi], k),
+            })
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Bounded top-k
+// ---------------------------------------------------------------------------
+
+/// A candidate in the bounded top-k heap, ordered by `(key, index)` with
+/// the *worst* candidate at the top (max-heap), so a full heap evicts its
+/// worst member in `O(log k)` when a better candidate arrives.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    key: f32,
+    index: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        key_cmp((self.key, self.index), (other.key, other.index))
+    }
+}
+
+/// Keep the `k` best `(key, index)` candidates seen so far.
+///
+/// Replaces the seed's materialize-all-then-sort: `O(n log k)` comparisons
+/// and `O(k)` memory instead of `O(n log n)` and `O(n)`.
+struct TopK {
+    heap: std::collections::BinaryHeap<Candidate>,
+    k: usize,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            k,
+        }
+    }
+
+    /// Current worst kept candidate, if the heap is full.
+    fn threshold(&self) -> Option<Candidate> {
+        (self.heap.len() == self.k).then(|| *self.heap.peek().expect("non-empty when full"))
+    }
+
+    fn push(&mut self, cand: Candidate) {
+        debug_assert!(!cand.key.is_nan(), "NaN keys are filtered before ranking");
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if cand < *worst {
+                *worst = cand; // sifts down on drop
+            }
+        }
+    }
+
+    /// Drain into `(key, index)` pairs ascending by the ranking order.
+    fn into_sorted(self) -> Vec<Candidate> {
+        let mut out = self.heap.into_vec();
+        out.sort_unstable();
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Brute force
 // ---------------------------------------------------------------------------
 
-/// Exact brute-force scan; the reference implementation.
+/// Exact brute-force scan over flat storage with the fused dot-product
+/// distance path; the reference implementation.
 #[derive(Debug, Clone)]
 pub struct BruteForceIndex {
-    vectors: Vec<Vec<f32>>,
+    store: VectorStore,
     metric: Metric,
 }
 
@@ -72,40 +297,223 @@ impl BruteForceIndex {
     /// # Panics
     /// Panics if vector dimensionalities differ.
     pub fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
-        if let Some(first) = vectors.first() {
-            let d = first.len();
-            assert!(
-                vectors.iter().all(|v| v.len() == d),
-                "all vectors must share a dimensionality"
-            );
+        BruteForceIndex {
+            store: VectorStore::from_rows(vectors),
+            metric,
         }
-        BruteForceIndex { vectors, metric }
+    }
+
+    /// The flat vector storage backing this index.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The metric this index ranks by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The fused scan: one `dot_unrolled` per candidate, bounded top-k,
+    /// optional single excluded stored index (skipped without ranking).
+    fn scan(&self, query: &[f32], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        if k == 0 || self.store.is_empty() {
+            return Vec::new();
+        }
+        let qq = dot_unrolled(query, query);
+        let mut top = TopK::new(k);
+        for (index, (row, norm_sq)) in self.store.rows().enumerate() {
+            if Some(index) == exclude {
+                continue;
+            }
+            let key = self.metric.rank_key(dot_unrolled(query, row), qq, norm_sq);
+            if key.is_nan() {
+                continue;
+            }
+            // Cheap reject before touching the heap: most candidates lose
+            // to the current threshold once the heap warms up.
+            if let Some(worst) = top.threshold() {
+                if key_cmp((key, index), (worst.key, worst.index)).is_ge() {
+                    continue;
+                }
+            }
+            top.push(Candidate { key, index });
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|c| Neighbor {
+                index: c.index,
+                distance: self.metric.key_to_distance(c.key),
+            })
+            .collect()
+    }
+
+    /// Tiled multi-query scan: each pass over the store answers up to
+    /// [`QUERY_TILE`] queries, so a stored row is loaded once per *tile*
+    /// instead of once per query. The single-query scan is
+    /// memory-bandwidth-bound on corpora that outgrow cache (a 20k × 256
+    /// corpus streams 20 MB per query); tiling amortizes that traffic
+    /// across the tile and is what makes batch blocking several times
+    /// faster than a per-query loop even on one core.
+    ///
+    /// Per-query results are bit-identical to [`BruteForceIndex::scan`]:
+    /// the per-candidate computation and top-k policy are unchanged,
+    /// queries never interact.
+    fn scan_block(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        excludes: Option<&[Option<usize>]>,
+    ) -> Vec<Vec<Neighbor>> {
+        if k == 0 || self.store.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let mut out = Vec::with_capacity(queries.len());
+        let mut dots = [0.0f32; QUERY_TILE];
+        for tile_start in (0..queries.len()).step_by(QUERY_TILE) {
+            let tile = &queries[tile_start..(tile_start + QUERY_TILE).min(queries.len())];
+            let qqs: Vec<f32> = tile.iter().map(|q| dot_unrolled(q, q)).collect();
+            let mut tops: Vec<TopK> = tile.iter().map(|_| TopK::new(k)).collect();
+            let dots = &mut dots[..tile.len()];
+            for (index, (row, norm_sq)) in self.store.rows().enumerate() {
+                // One multi-query kernel call per row: the row is loaded
+                // once for the whole tile and the AVX2 dispatch happens
+                // per row, not per candidate.
+                dot_unrolled_many(row, tile, dots);
+                for (t, &dot) in dots.iter().enumerate() {
+                    if excludes.and_then(|e| e[tile_start + t]) == Some(index) {
+                        continue;
+                    }
+                    let key = self.metric.rank_key(dot, qqs[t], norm_sq);
+                    if key.is_nan() {
+                        continue;
+                    }
+                    if let Some(worst) = tops[t].threshold() {
+                        if key_cmp((key, index), (worst.key, worst.index)).is_ge() {
+                            continue;
+                        }
+                    }
+                    tops[t].push(Candidate { key, index });
+                }
+            }
+            out.extend(tops.into_iter().map(|top| {
+                top.into_sorted()
+                    .into_iter()
+                    .map(|c| Neighbor {
+                        index: c.index,
+                        distance: self.metric.key_to_distance(c.key),
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        out
+    }
+}
+
+/// Queries answered per pass over the store in
+/// [`BruteForceIndex::nearest_many`]: large enough to amortize memory
+/// traffic on out-of-cache corpora, small enough that the tile's query
+/// vectors and heaps stay cache-resident.
+pub const QUERY_TILE: usize = 16;
+
+impl BruteForceIndex {
+    /// Batched queries with an explicit worker count: contiguous query
+    /// chunks go to `std::thread::scope` workers, and each worker runs
+    /// the tiled scan ([`QUERY_TILE`] queries per pass over the store).
+    /// Exposed so the tiled parallel path is testable deterministically
+    /// on any machine; [`NearestNeighbors::nearest_many`] sizes `workers`
+    /// automatically.
+    ///
+    /// # Panics
+    /// Panics if `excludes` is provided with a length differing from
+    /// `queries`.
+    pub fn nearest_many_with_workers(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        excludes: Option<&[Option<usize>]>,
+        workers: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+        self.nearest_many_refs_with_workers(&refs, k, excludes, workers)
+    }
+
+    /// Borrowed-query form of
+    /// [`BruteForceIndex::nearest_many_with_workers`]: queries that
+    /// already live somewhere (the flat store itself, another corpus)
+    /// are scanned without being copied into owned vectors.
+    ///
+    /// # Panics
+    /// Panics if `excludes` is provided with a length differing from
+    /// `queries`.
+    pub fn nearest_many_refs_with_workers(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        excludes: Option<&[Option<usize>]>,
+        workers: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        if let Some(e) = excludes {
+            assert_eq!(queries.len(), e.len(), "one exclude slot per query");
+        }
+        crate::parallel::partition_chunks(queries.len(), workers, |range| {
+            self.scan_block(
+                &queries[range.clone()],
+                k,
+                excludes.map(|e| &e[range]),
+            )
+        })
+    }
+
+    /// Batched self-queries: for each stored row index, the `k` nearest
+    /// *other* stored vectors. The dedup-blocking shape — every query
+    /// vector is borrowed straight from the flat store (zero copies) and
+    /// the row itself is excluded inside the scan.
+    ///
+    /// # Panics
+    /// Panics if any row index is out of bounds.
+    pub fn nearest_rows(&self, rows: &[usize], k: usize) -> Vec<Vec<Neighbor>> {
+        let queries: Vec<&[f32]> = rows.iter().map(|&i| self.store.row(i)).collect();
+        let excludes: Vec<Option<usize>> = rows.iter().map(|&i| Some(i)).collect();
+        self.nearest_many_refs_with_workers(
+            &queries,
+            k,
+            Some(&excludes),
+            auto_workers(rows.len(), self.len()),
+        )
     }
 }
 
 impl NearestNeighbors for BruteForceIndex {
     fn len(&self) -> usize {
-        self.vectors.len()
+        self.store.len()
     }
 
     fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        let mut hits: Vec<Neighbor> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(index, v)| Neighbor {
-                index,
-                distance: self.metric.distance(query, v),
-            })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.index.cmp(&b.index))
-        });
-        hits.truncate(k);
-        hits
+        self.scan(query, k, None)
+    }
+
+    fn nearest_excluding(&self, query: &[f32], k: usize, exclude: usize) -> Vec<Neighbor> {
+        // Skips the excluded row inside the scan instead of ranking k + 1
+        // hits and discarding the self-hit afterwards.
+        self.scan(query, k, Some(exclude))
+    }
+
+    fn nearest_many(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+        self.nearest_many_with_workers(queries, k, None, auto_workers(queries.len(), self.len()))
+    }
+
+    fn nearest_many_excluding(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        excludes: &[Option<usize>],
+    ) -> Vec<Vec<Neighbor>> {
+        self.nearest_many_with_workers(
+            queries,
+            k,
+            Some(excludes),
+            auto_workers(queries.len(), self.len()),
+        )
     }
 }
 
@@ -114,11 +522,13 @@ impl NearestNeighbors for BruteForceIndex {
 // ---------------------------------------------------------------------------
 
 /// A vantage-point tree: exact metric-space index with O(log n) expected
-/// query time on clustered data. Used by the larger experiments where the
-/// brute-force scan over every record dominates runtime.
+/// query time on clustered low-dimensional data. Shares the flat
+/// [`VectorStore`] and fused distance path with [`BruteForceIndex`]; on
+/// high-dimensional embeddings (the 256-d hashed n-grams) pruning decays
+/// and the brute-force scan wins — see [`KnnIndex::auto`].
 #[derive(Debug, Clone)]
 pub struct VpTreeIndex {
-    vectors: Vec<Vec<f32>>,
+    store: VectorStore,
     metric: Metric,
     nodes: Vec<VpNode>,
     root: Option<usize>,
@@ -126,7 +536,7 @@ pub struct VpTreeIndex {
 
 #[derive(Debug, Clone)]
 struct VpNode {
-    /// Index into `vectors`.
+    /// Row index into the store.
     point: usize,
     /// Median distance from `point` to the points in its inside subtree.
     radius: f32,
@@ -137,25 +547,42 @@ struct VpNode {
 impl VpTreeIndex {
     /// Build from vectors (all must share one dimensionality).
     ///
+    /// Stored vectors must be finite: NaN coordinates would poison the
+    /// triangle-inequality pruning bounds.
+    ///
     /// # Panics
     /// Panics if vector dimensionalities differ.
     pub fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
-        if let Some(first) = vectors.first() {
-            let d = first.len();
-            assert!(
-                vectors.iter().all(|v| v.len() == d),
-                "all vectors must share a dimensionality"
-            );
-        }
+        let store = VectorStore::from_rows(vectors);
         let mut tree = VpTreeIndex {
-            nodes: Vec::with_capacity(vectors.len()),
-            vectors,
+            nodes: Vec::with_capacity(store.len()),
+            store,
             metric,
             root: None,
         };
-        let mut ids: Vec<usize> = (0..tree.vectors.len()).collect();
+        let mut ids: Vec<usize> = (0..tree.store.len()).collect();
         tree.root = tree.build(&mut ids);
         tree
+    }
+
+    /// The flat vector storage backing this index.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The metric this index ranks by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Fused distance between two stored rows.
+    fn row_distance(&self, i: usize, j: usize) -> f32 {
+        let key = self.metric.rank_key(
+            dot_unrolled(self.store.row(i), self.store.row(j)),
+            self.store.norm_sq(i),
+            self.store.norm_sq(j),
+        );
+        self.metric.key_to_distance(key)
     }
 
     fn build(&mut self, ids: &mut [usize]) -> Option<usize> {
@@ -173,19 +600,9 @@ impl VpTreeIndex {
         // Partition the rest around the median distance to the vantage point.
         let mut with_dist: Vec<(f32, usize)> = rest
             .iter()
-            .map(|&i| {
-                (
-                    self.metric
-                        .distance(&self.vectors[vantage], &self.vectors[i]),
-                    i,
-                )
-            })
+            .map(|&i| (self.row_distance(vantage, i), i))
             .collect();
-        with_dist.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        with_dist.sort_by(|a, b| key_cmp((a.0, a.1), (b.0, b.1)));
         let mid = with_dist.len() / 2;
         let radius = with_dist[mid].0;
         let mut inside_ids: Vec<usize> = with_dist[..mid].iter().map(|(_, i)| *i).collect();
@@ -201,69 +618,229 @@ impl VpTreeIndex {
         Some(self.nodes.len() - 1)
     }
 
-    fn search(&self, node: Option<usize>, query: &[f32], k: usize, heap: &mut Vec<Neighbor>) {
+    fn search(
+        &self,
+        node: Option<usize>,
+        query: &[f32],
+        query_norm_sq: f32,
+        top: &mut Vec<Candidate>,
+        k: usize,
+    ) {
         let Some(idx) = node else { return };
         let n = &self.nodes[idx];
-        let d = self.metric.distance(query, &self.vectors[n.point]);
-        push_candidate(heap, Neighbor {
-            index: n.point,
-            distance: d,
-        }, k);
-        let tau = current_tau(heap, k);
+        let key = self.metric.rank_key(
+            dot_unrolled(query, self.store.row(n.point)),
+            query_norm_sq,
+            self.store.norm_sq(n.point),
+        );
+        // NaN keys (NaN query coordinate) are filtered; the comparisons
+        // below then all evaluate false, deterministically walking the
+        // outside spine without ranking anything.
+        if !key.is_nan() {
+            push_candidate(
+                top,
+                Candidate {
+                    key,
+                    index: n.point,
+                },
+                k,
+            );
+        }
+        let d = self.metric.key_to_distance(key);
         // Visit the more promising side first, prune the other with tau.
         if d < n.radius {
-            self.search(n.inside, query, k, heap);
-            let tau = current_tau(heap, k);
+            self.search(n.inside, query, query_norm_sq, top, k);
+            let tau = self.current_tau(top, k);
             if d + tau >= n.radius {
-                self.search(n.outside, query, k, heap);
+                self.search(n.outside, query, query_norm_sq, top, k);
             }
         } else {
-            self.search(n.outside, query, k, heap);
-            let tau = current_tau(heap, k);
+            self.search(n.outside, query, query_norm_sq, top, k);
+            let tau = self.current_tau(top, k);
             if d - tau <= n.radius {
-                self.search(n.inside, query, k, heap);
+                self.search(n.inside, query, query_norm_sq, top, k);
             }
         }
-        let _ = tau;
+    }
+
+    /// Current pruning radius: the k-th best *distance* (keys are ranked,
+    /// but pruning bounds live in distance space).
+    fn current_tau(&self, top: &[Candidate], k: usize) -> f32 {
+        if top.len() < k {
+            f32::INFINITY
+        } else {
+            top.last()
+                .map_or(f32::INFINITY, |c| self.metric.key_to_distance(c.key))
+        }
     }
 }
 
-fn current_tau(heap: &[Neighbor], k: usize) -> f32 {
-    if heap.len() < k {
-        f32::INFINITY
-    } else {
-        heap.last().map_or(f32::INFINITY, |n| n.distance)
-    }
-}
-
-fn push_candidate(heap: &mut Vec<Neighbor>, cand: Neighbor, k: usize) {
-    // Keep a small sorted vec (k is tiny in all our workloads).
-    let pos = heap
-        .binary_search_by(|n| {
-            n.distance
-                .partial_cmp(&cand.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(n.index.cmp(&cand.index))
-        })
+/// Insert into a small sorted vec bounded at `k` (k is tiny in all our
+/// workloads, so linear insertion beats a heap here).
+fn push_candidate(top: &mut Vec<Candidate>, cand: Candidate, k: usize) {
+    let pos = top
+        .binary_search_by(|c| c.cmp(&cand))
         .unwrap_or_else(|p| p);
-    heap.insert(pos, cand);
-    if heap.len() > k {
-        heap.pop();
+    top.insert(pos, cand);
+    if top.len() > k {
+        top.pop();
     }
 }
 
 impl NearestNeighbors for VpTreeIndex {
     fn len(&self) -> usize {
-        self.vectors.len()
+        self.store.len()
     }
 
     fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.store.is_empty() {
             return Vec::new();
         }
-        let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        self.search(self.root, query, k, &mut heap);
-        heap
+        let qq = dot_unrolled(query, query);
+        let mut top: Vec<Candidate> = Vec::with_capacity(k + 1);
+        self.search(self.root, query, qq, &mut top, k);
+        top.into_iter()
+            .map(|c| Neighbor {
+                index: c.index,
+                distance: self.metric.key_to_distance(c.key),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auto selection
+// ---------------------------------------------------------------------------
+
+/// Corpus size below which [`KnnIndex::auto`] always picks brute force:
+/// under ~4k vectors the VP-tree's build cost and pointer-chasing search
+/// cannot beat one fused linear scan.
+pub const AUTO_VPTREE_MIN_LEN: usize = 4096;
+
+/// Dimensionality above which [`KnnIndex::auto`] always picks brute force:
+/// vantage-point pruning needs distance spread, which concentrates away in
+/// high dimensions (the 256-d hashed embeddings see almost no pruning), so
+/// the tree degenerates to a slower, cache-hostile linear scan.
+pub const AUTO_VPTREE_MAX_DIMS: usize = 24;
+
+/// An exact index that picks its implementation per corpus
+/// ([`KnnIndex::auto`]), or wraps an explicit choice.
+#[derive(Debug, Clone)]
+pub enum KnnIndex {
+    /// Fused linear scan (the default for every high-dimensional corpus).
+    BruteForce(BruteForceIndex),
+    /// Vantage-point tree (large, low-dimensional corpora).
+    VpTree(VpTreeIndex),
+}
+
+impl KnnIndex {
+    /// Build the index variant suited to the corpus shape: a VP-tree for
+    /// large low-dimensional L2 corpora (`len >= `[`AUTO_VPTREE_MIN_LEN`]`
+    /// && dims <= `[`AUTO_VPTREE_MAX_DIMS`]), the fused brute-force scan
+    /// otherwise. Only [`Metric::L2`] corpora are ever routed to the
+    /// tree: its pruning relies on the triangle inequality, which
+    /// `1 − cos` does not satisfy, so a cosine VP-tree could silently
+    /// drop true neighbors.
+    ///
+    /// # Panics
+    /// Panics if vector dimensionalities differ.
+    pub fn auto(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
+        let dims = vectors.first().map_or(0, Vec::len);
+        if metric == Metric::L2
+            && vectors.len() >= AUTO_VPTREE_MIN_LEN
+            && dims <= AUTO_VPTREE_MAX_DIMS
+        {
+            KnnIndex::VpTree(VpTreeIndex::new(vectors, metric))
+        } else {
+            KnnIndex::BruteForce(BruteForceIndex::new(vectors, metric))
+        }
+    }
+
+    /// Batched self-queries by stored row index (see
+    /// [`BruteForceIndex::nearest_rows`]); the VP-tree variant answers
+    /// row queries one at a time but still borrows each query vector
+    /// from the store.
+    ///
+    /// # Panics
+    /// Panics if any row index is out of bounds.
+    pub fn nearest_rows(&self, rows: &[usize], k: usize) -> Vec<Vec<Neighbor>> {
+        match self {
+            KnnIndex::BruteForce(i) => i.nearest_rows(rows, k),
+            KnnIndex::VpTree(i) => rows
+                .iter()
+                .map(|&r| i.nearest_excluding(i.store().row(r), k, r))
+                .collect(),
+        }
+    }
+
+    /// Which implementation backs this index (`"brute_force"` /
+    /// `"vp_tree"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            KnnIndex::BruteForce(_) => "brute_force",
+            KnnIndex::VpTree(_) => "vp_tree",
+        }
+    }
+
+    /// The flat vector storage backing this index.
+    pub fn store(&self) -> &VectorStore {
+        match self {
+            KnnIndex::BruteForce(i) => i.store(),
+            KnnIndex::VpTree(i) => i.store(),
+        }
+    }
+
+    /// The metric this index ranks by.
+    pub fn metric(&self) -> Metric {
+        match self {
+            KnnIndex::BruteForce(i) => i.metric(),
+            KnnIndex::VpTree(i) => i.metric(),
+        }
+    }
+}
+
+impl NearestNeighbors for KnnIndex {
+    fn len(&self) -> usize {
+        match self {
+            KnnIndex::BruteForce(i) => i.len(),
+            KnnIndex::VpTree(i) => i.len(),
+        }
+    }
+
+    fn nearest(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            KnnIndex::BruteForce(i) => i.nearest(query, k),
+            KnnIndex::VpTree(i) => i.nearest(query, k),
+        }
+    }
+
+    fn nearest_excluding(&self, query: &[f32], k: usize, exclude: usize) -> Vec<Neighbor> {
+        match self {
+            KnnIndex::BruteForce(i) => i.nearest_excluding(query, k, exclude),
+            KnnIndex::VpTree(i) => i.nearest_excluding(query, k, exclude),
+        }
+    }
+
+    // Forward the batch entry points so the brute-force tiled scan (and
+    // not just the generic per-query driver) serves production callers
+    // that hold a `KnnIndex`.
+    fn nearest_many(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+        match self {
+            KnnIndex::BruteForce(i) => i.nearest_many(queries, k),
+            KnnIndex::VpTree(i) => i.nearest_many(queries, k),
+        }
+    }
+
+    fn nearest_many_excluding(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        excludes: &[Option<usize>],
+    ) -> Vec<Vec<Neighbor>> {
+        match self {
+            KnnIndex::BruteForce(i) => i.nearest_many_excluding(queries, k, excludes),
+            KnnIndex::VpTree(i) => i.nearest_many_excluding(queries, k, excludes),
+        }
     }
 }
 
@@ -333,6 +910,8 @@ mod tests {
 
     #[test]
     fn k_zero() {
+        let idx = BruteForceIndex::new(grid(5), Metric::L2);
+        assert!(idx.nearest(&[0.0, 0.0], 0).is_empty());
         let vp = VpTreeIndex::new(grid(5), Metric::L2);
         assert!(vp.nearest(&[0.0, 0.0], 0).is_empty());
     }
@@ -360,5 +939,130 @@ mod tests {
     #[should_panic(expected = "share a dimensionality")]
     fn mismatched_dims_panic() {
         BruteForceIndex::new(vec![vec![1.0], vec![1.0, 2.0]], Metric::L2);
+    }
+
+    #[test]
+    fn nan_query_returns_empty() {
+        let idx = BruteForceIndex::new(grid(6), Metric::L2);
+        assert!(idx.nearest(&[f32::NAN, 0.0], 3).is_empty());
+        let vp = VpTreeIndex::new(grid(6), Metric::L2);
+        assert!(vp.nearest(&[f32::NAN, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn nan_stored_vector_is_filtered_deterministically() {
+        let vectors = vec![
+            vec![0.0, 0.0],
+            vec![f32::NAN, 1.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+        ];
+        let idx = BruteForceIndex::new(vectors, Metric::L2);
+        let hits = idx.nearest(&[0.0, 0.0], 4);
+        assert_eq!(
+            hits.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 2, 3],
+            "the NaN row must never be ranked"
+        );
+        for h in &hits {
+            assert!(!h.distance.is_nan());
+        }
+    }
+
+    #[test]
+    fn nearest_many_matches_sequential() {
+        let idx = BruteForceIndex::new(grid(40), Metric::L2);
+        let queries: Vec<Vec<f32>> = (0..30)
+            .map(|i| vec![i as f32 * 0.7, (i % 13) as f32])
+            .collect();
+        let batch = idx.nearest_many(&queries, 4);
+        assert_eq!(batch.len(), queries.len());
+        for (q, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hits, &idx.nearest(q, 4));
+        }
+    }
+
+    #[test]
+    fn nearest_many_excluding_matches_sequential() {
+        let idx = BruteForceIndex::new(grid(25), Metric::L2);
+        let queries: Vec<Vec<f32>> = (0..25).map(|i| vec![i as f32, (i * i % 17) as f32]).collect();
+        let excludes: Vec<Option<usize>> =
+            (0..25).map(|i| (i % 3 == 0).then_some(i)).collect();
+        let batch = idx.nearest_many_excluding(&queries, 3, &excludes);
+        for i in 0..queries.len() {
+            let expected = match excludes[i] {
+                Some(x) => idx.nearest_excluding(&queries[i], 3, x),
+                None => idx.nearest(&queries[i], 3),
+            };
+            assert_eq!(batch[i], expected, "query {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one exclude slot per query")]
+    fn nearest_many_excluding_length_mismatch_panics() {
+        let idx = BruteForceIndex::new(grid(4), Metric::L2);
+        idx.nearest_many_excluding(&[vec![0.0, 0.0]], 2, &[]);
+    }
+
+    #[test]
+    fn auto_picks_brute_force_for_high_dims_and_small_corpora() {
+        let small = KnnIndex::auto(grid(100), Metric::L2);
+        assert_eq!(small.kind(), "brute_force");
+        let wide: Vec<Vec<f32>> = (0..AUTO_VPTREE_MIN_LEN + 1)
+            .map(|i| (0..64).map(|d| ((i * 31 + d * 7) % 97) as f32).collect())
+            .collect();
+        assert_eq!(KnnIndex::auto(wide, Metric::L2).kind(), "brute_force");
+    }
+
+    #[test]
+    fn auto_picks_vp_tree_for_large_low_dim_corpora() {
+        let tall = grid(AUTO_VPTREE_MIN_LEN);
+        let idx = KnnIndex::auto(tall.clone(), Metric::L2);
+        assert_eq!(idx.kind(), "vp_tree");
+        // And it still answers exactly like brute force.
+        let brute = BruteForceIndex::new(tall, Metric::L2);
+        let query = vec![17.3, 4.0];
+        assert_eq!(idx.nearest(&query, 5), brute.nearest(&query, 5));
+    }
+
+    #[test]
+    fn auto_never_routes_cosine_to_vp_tree() {
+        // 1 − cos violates the triangle inequality, so VP pruning would
+        // be unsound; a cosine corpus must always take the brute scan.
+        let tall = grid(AUTO_VPTREE_MIN_LEN);
+        assert_eq!(KnnIndex::auto(tall, Metric::Cosine).kind(), "brute_force");
+    }
+
+    #[test]
+    fn nearest_rows_matches_nearest_excluding() {
+        let vectors = grid(30);
+        let rows: Vec<usize> = (0..30).step_by(3).collect();
+        let brute = BruteForceIndex::new(vectors.clone(), Metric::L2);
+        let batch = brute.nearest_rows(&rows, 4);
+        for (&r, hits) in rows.iter().zip(&batch) {
+            let expected = brute.nearest_excluding(brute.store().row(r), 4, r);
+            assert_eq!(hits, &expected, "row {r}");
+        }
+        // The enum forwards to the same answers for both variants.
+        for idx in [
+            KnnIndex::BruteForce(brute.clone()),
+            KnnIndex::VpTree(VpTreeIndex::new(vectors, Metric::L2)),
+        ] {
+            for (&r, hits) in rows.iter().zip(idx.nearest_rows(&rows, 4)) {
+                assert_eq!(&hits, &batch[rows.iter().position(|&x| x == r).unwrap()]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dimension_vectors_tie_break_by_index() {
+        let idx = BruteForceIndex::new(vec![vec![]; 5], Metric::L2);
+        let hits = idx.nearest(&[], 3);
+        assert_eq!(
+            hits.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(hits.iter().all(|n| n.distance == 0.0));
     }
 }

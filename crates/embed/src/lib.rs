@@ -9,13 +9,26 @@
 //! number of dimensions. This has the one property the experiments rely on:
 //! *surface-similar strings land close together*, deterministically, with no
 //! model weights to ship.
+//!
+//! The search side is built for batch blocking workloads: vectors live in
+//! flat contiguous storage ([`VectorStore`]), every candidate costs one
+//! fused dot product ([`knn`] module docs), top-k is a bounded heap, and
+//! batched queries ([`NearestNeighbors::nearest_many`]) partition across
+//! threads. [`KnnIndex::auto`] picks brute-force vs VP-tree per corpus
+//! shape.
 
 #![warn(missing_docs)]
 
 pub mod hashing;
 pub mod knn;
+mod parallel;
+pub mod store;
 pub mod vector;
 
-pub use hashing::{Embedder, NgramEmbedder};
-pub use knn::{BruteForceIndex, Metric, NearestNeighbors, Neighbor, VpTreeIndex};
-pub use vector::{cosine_similarity, dot, l2_distance, normalize};
+pub use hashing::{embed_all_with_workers, Embedder, NgramEmbedder};
+pub use knn::{
+    BruteForceIndex, KnnIndex, Metric, NearestNeighbors, Neighbor, VpTreeIndex,
+    AUTO_VPTREE_MAX_DIMS, AUTO_VPTREE_MIN_LEN,
+};
+pub use store::VectorStore;
+pub use vector::{cosine_similarity, dot, dot_unrolled, l2_distance, normalize};

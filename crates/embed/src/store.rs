@@ -1,0 +1,142 @@
+//! Flat contiguous vector storage for the k-NN indexes.
+//!
+//! The seed indexes held `Vec<Vec<f32>>` — one heap allocation per vector,
+//! scattered across the allocator, a pointer dereference per distance. A
+//! [`VectorStore`] packs all vectors into one `Vec<f32>` with a fixed
+//! stride and precomputes each row's squared L2 norm, which is what lets
+//! the scan reduce every metric to a single fused dot product per row
+//! (`‖q − v‖² = ‖q‖² + ‖v‖² − 2·⟨q, v⟩`).
+
+use crate::vector::dot_unrolled;
+
+/// Fixed-stride contiguous storage for equal-dimension vectors, with
+/// precomputed squared norms.
+#[derive(Debug, Clone, Default)]
+pub struct VectorStore {
+    data: Vec<f32>,
+    norms_sq: Vec<f32>,
+    dims: usize,
+    len: usize,
+}
+
+impl VectorStore {
+    /// Pack row vectors into flat storage.
+    ///
+    /// Dimensionality is taken from the first row; an empty input yields an
+    /// empty zero-dimension store.
+    ///
+    /// # Panics
+    /// Panics if rows have differing dimensionalities.
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        let dims = rows.first().map_or(0, Vec::len);
+        let len = rows.len();
+        let mut data = Vec::with_capacity(dims * len);
+        for row in &rows {
+            assert!(
+                row.len() == dims,
+                "all vectors must share a dimensionality"
+            );
+            data.extend_from_slice(row);
+        }
+        let norms_sq = (0..len)
+            .map(|i| {
+                let row = &data[i * dims..(i + 1) * dims];
+                dot_unrolled(row, row)
+            })
+            .collect();
+        VectorStore {
+            data,
+            norms_sq,
+            dims,
+            len,
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the stored vectors (0 for an empty store).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The `i`-th stored vector.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.len, "row {i} out of bounds (len {})", self.len);
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Precomputed squared L2 norm of the `i`-th stored vector.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn norm_sq(&self, i: usize) -> f32 {
+        self.norms_sq[i]
+    }
+
+    /// Iterate over `(row, squared norm)` pairs in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = (&[f32], f32)> + '_ {
+        (0..self.len).map(move |i| (self.row(i), self.norms_sq[i]))
+    }
+
+    /// The backing flat buffer (row-major, `dims()` stride).
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_rows_contiguously() {
+        let s = VectorStore::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dims(), 2);
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[3.0, 4.0]);
+        assert_eq!(s.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.norm_sq(0), 5.0);
+        assert_eq!(s.norm_sq(1), 25.0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = VectorStore::from_rows(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(s.dims(), 0);
+        assert_eq!(s.rows().count(), 0);
+    }
+
+    #[test]
+    fn zero_dimension_rows_are_allowed() {
+        let s = VectorStore::from_rows(vec![vec![], vec![]]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dims(), 0);
+        assert_eq!(s.row(1), &[] as &[f32]);
+        assert_eq!(s.norm_sq(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimensionality")]
+    fn mismatched_rows_panic() {
+        VectorStore::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        VectorStore::from_rows(vec![vec![1.0]]).row(1);
+    }
+}

@@ -9,6 +9,126 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+/// Dot product accumulated in 64 independent lanes.
+///
+/// [`dot`] folds into a single accumulator, which pins LLVM to a scalar
+/// dependency chain (float addition is not reassociable, so the compiler
+/// may not vectorize it). This variant accumulates each `i mod 64` lane
+/// separately and reduces pairwise at the end — the explicit reassociation
+/// lets the loop compile to wide SIMD with enough independent accumulator
+/// chains to hide add latency, and is several times faster on
+/// 256-dimension embeddings. The summation order *differs* from [`dot`],
+/// so results may differ in the last bits; the k-NN indexes use this
+/// function exclusively (for both stored norms and query scans), so all
+/// distances they report are internally consistent.
+///
+/// The result is identical on every CPU: on `x86_64` with AVX2 the same
+/// lane algorithm is compiled for the wider units (runtime-detected once),
+/// and because each lane performs the same mul-then-add sequence — Rust
+/// never contracts to FMA — the bits cannot differ between the paths.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_unrolled: dimension mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime.
+        return unsafe { dot_lanes_avx2(a, b) };
+    }
+    dot_lanes(a, b)
+}
+
+/// Dot `a` against many vectors in one call: `out[i] = dot_unrolled(a, bs[i])`.
+///
+/// Bit-identical to calling [`dot_unrolled`] per pair (same lane
+/// arithmetic), but the AVX2 dispatch happens once per *call* instead of
+/// once per pair — the k-NN scans call this once per stored row per query
+/// tile, keeping the per-candidate cost to pure arithmetic.
+///
+/// # Panics
+/// Panics if any `bs[i]` length differs from `a`, or if
+/// `out.len() != bs.len()`.
+pub fn dot_unrolled_many(a: &[f32], bs: &[&[f32]], out: &mut [f32]) {
+    assert_eq!(bs.len(), out.len(), "dot_unrolled_many: output length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime.
+        unsafe { dot_many_avx2(a, bs, out) };
+        return;
+    }
+    dot_many_core(a, bs, out);
+}
+
+#[inline(always)]
+fn dot_many_core(a: &[f32], bs: &[&[f32]], out: &mut [f32]) {
+    for (slot, b) in out.iter_mut().zip(bs) {
+        assert_eq!(a.len(), b.len(), "dot_unrolled_many: dimension mismatch");
+        *slot = dot_lanes(a, b);
+    }
+}
+
+/// [`dot_many_core`] compiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_many_avx2(a: &[f32], bs: &[&[f32]], out: &mut [f32]) {
+    dot_many_core(a, bs, out);
+}
+
+/// One-time runtime AVX2 detection, cached in an atomic.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    // 0 = undetected, 1 = avx2, 2 = baseline.
+    static AVX2: AtomicU8 = AtomicU8::new(0);
+    match AVX2.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let detected = std::arch::is_x86_feature_detected!("avx2");
+            AVX2.store(if detected { 1 } else { 2 }, Ordering::Relaxed);
+            detected
+        }
+    }
+}
+
+/// The lane-accumulation kernel behind [`dot_unrolled`]; ISA-independent
+/// arithmetic (64 independent lanes, pairwise reduction, scalar tail).
+#[inline(always)]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    const LANES: usize = 64;
+    let mut acc = [0.0f32; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for lane in 0..LANES {
+            acc[lane] += ca[lane] * cb[lane];
+        }
+    }
+    let tail: f32 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
+    let mut width = LANES / 2;
+    while width > 0 {
+        for lane in 0..width {
+            acc[lane] += acc[lane + width];
+        }
+        width /= 2;
+    }
+    acc[0] + tail
+}
+
+/// [`dot_lanes`] compiled with AVX2 enabled (the build baseline is SSE2;
+/// this lets LLVM emit 8-wide `ymm` ops for the same lane arithmetic).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_lanes_avx2(a: &[f32], b: &[f32]) -> f32 {
+    dot_lanes(a, b)
+}
+
 /// Euclidean (L2) distance between two equal-length vectors.
 ///
 /// # Panics
@@ -57,6 +177,30 @@ mod tests {
     fn dot_basic() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_unrolled_matches_dot_on_exact_values() {
+        // Small integers are exactly representable, so lane reassociation
+        // cannot change the sum: both paths must agree to the bit.
+        for n in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 64, 100, 256] {
+            let a: Vec<f32> = (0..n).map(|i| (i % 11) as f32 - 5.0).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
+            assert_eq!(dot_unrolled(&a, &b), dot(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dot_unrolled_close_to_dot_on_fractions() {
+        let a: Vec<f32> = (0..300).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..300).map(|i| (i as f32 * 0.61).cos()).collect();
+        assert!((dot_unrolled(&a, &b) - dot(&a, &b)).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_unrolled_dimension_mismatch_panics() {
+        dot_unrolled(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

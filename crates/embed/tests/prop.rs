@@ -1,8 +1,16 @@
 //! Property tests for the embedding substrate.
+//!
+//! The `*_parity` properties pin the PR-2 rewrite to the seed semantics:
+//! the heap/flat-storage brute-force index must return **byte-identical**
+//! `Neighbor` lists to a replica of the seed's materialize-all-then-sort
+//! reference over random corpora, the VP-tree must agree exactly with
+//! brute force, and batched queries must equal their sequential forms
+//! bit-for-bit at any worker count.
 
 use crowdprompt_embed::{
-    cosine_similarity, l2_distance, BruteForceIndex, Embedder, Metric, NearestNeighbors,
-    NgramEmbedder, VpTreeIndex,
+    cosine_similarity, dot_unrolled, embed_all_with_workers,
+    knn::batch_nearest_with_workers, l2_distance, BruteForceIndex, Embedder, Metric,
+    NearestNeighbors, Neighbor, NgramEmbedder, VpTreeIndex,
 };
 use proptest::prelude::*;
 
@@ -13,7 +21,178 @@ fn vectors(n: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
     )
 }
 
+/// Replica of the seed `BruteForceIndex::nearest` *algorithm*: materialize
+/// one scored entry per stored vector, fully sort ascending with ties by
+/// insertion index, truncate to `k` — using the same canonical per-row
+/// computation as the new index (fused dot product + rank key), so any
+/// divergence is attributable to the heap/flat-storage rewrite itself.
+fn seed_sort_reference(
+    vectors: &[Vec<f32>],
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+    exclude: Option<usize>,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let qq = dot_unrolled(query, query);
+    let mut keyed: Vec<(f32, usize)> = vectors
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != exclude)
+        .map(|(i, v)| (metric.rank_key(dot_unrolled(query, v), qq, dot_unrolled(v, v)), i))
+        .filter(|(key, _)| !key.is_nan())
+        .collect();
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    keyed.truncate(k);
+    keyed
+        .into_iter()
+        .map(|(key, index)| Neighbor {
+            index,
+            distance: metric.key_to_distance(key),
+        })
+        .collect()
+}
+
+/// Bit-level equality for neighbor lists (f32 `==` would conflate
+/// distinct NaN/zero encodings; parity here means *byte-identical*).
+fn assert_bit_identical(a: &[Neighbor], b: &[Neighbor]) {
+    assert_eq!(a.len(), b.len(), "hit count mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.index, y.index);
+        assert_eq!(
+            x.distance.to_bits(),
+            y.distance.to_bits(),
+            "distance bits differ at index {}: {} vs {}",
+            x.index,
+            x.distance,
+            y.distance
+        );
+    }
+}
+
 proptest! {
+    #[test]
+    fn brute_force_is_byte_identical_to_seed_sort_reference(
+        vs in vectors(50, 8),
+        query in prop::collection::vec(-10.0f32..10.0, 8..=8),
+        k in 0usize..12
+    ) {
+        for metric in [Metric::L2, Metric::Cosine] {
+            let idx = BruteForceIndex::new(vs.clone(), metric);
+            assert_bit_identical(
+                &idx.nearest(&query, k),
+                &seed_sort_reference(&vs, metric, &query, k, None),
+            );
+            // Exclusion parity: the in-scan skip must equal filtering the
+            // reference.
+            let exclude = vs.len() / 2;
+            assert_bit_identical(
+                &idx.nearest_excluding(&query, k, exclude),
+                &seed_sort_reference(&vs, metric, &query, k, Some(exclude)),
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_corpora_are_byte_identical_too(
+        vs in vectors(40, 6),
+        query in prop::collection::vec(-1.0f32..1.0, 6..=6),
+        k in 1usize..6
+    ) {
+        // The blocking workloads always run over unit vectors; pin that
+        // regime explicitly.
+        let mut vs = vs;
+        for v in &mut vs {
+            crowdprompt_embed::normalize(v);
+        }
+        let idx = BruteForceIndex::new(vs.clone(), Metric::L2);
+        assert_bit_identical(
+            &idx.nearest(&query, k),
+            &seed_sort_reference(&vs, Metric::L2, &query, k, None),
+        );
+    }
+
+    #[test]
+    fn vp_tree_is_exactly_brute_force(
+        vs in vectors(60, 4),
+        query in prop::collection::vec(-10.0f32..10.0, 4..=4),
+        k in 1usize..9
+    ) {
+        let brute = BruteForceIndex::new(vs.clone(), Metric::L2);
+        let vp = VpTreeIndex::new(vs, Metric::L2);
+        assert_bit_identical(&vp.nearest(&query, k), &brute.nearest(&query, k));
+    }
+
+    #[test]
+    fn batched_queries_match_sequential_at_any_worker_count(
+        vs in vectors(30, 5),
+        queries in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 5..=5), 1..20),
+        k in 1usize..6,
+        workers in 1usize..5
+    ) {
+        let idx = BruteForceIndex::new(vs, Metric::L2);
+        let sequential: Vec<Vec<Neighbor>> =
+            queries.iter().map(|q| idx.nearest(q, k)).collect();
+        // The generic chunk-per-worker driver (what VP-tree batches use).
+        let batched = batch_nearest_with_workers(&idx, &queries, k, None, workers);
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_bit_identical(b, s);
+        }
+        // The brute-force tiled override (multiple queries per store pass).
+        let tiled = idx.nearest_many_with_workers(&queries, k, None, workers);
+        for (b, s) in tiled.iter().zip(&sequential) {
+            assert_bit_identical(b, s);
+        }
+        // The excluding forms against their sequential counterparts.
+        let excludes: Vec<Option<usize>> =
+            (0..queries.len()).map(|i| (i % 2 == 0).then_some(i % idx.len())).collect();
+        let batched = batch_nearest_with_workers(&idx, &queries, k, Some(&excludes), workers);
+        let tiled = idx.nearest_many_with_workers(&queries, k, Some(&excludes), workers);
+        for (i, (b, t)) in batched.iter().zip(&tiled).enumerate() {
+            let s = match excludes[i] {
+                Some(x) => idx.nearest_excluding(&queries[i], k, x),
+                None => idx.nearest(&queries[i], k),
+            };
+            assert_bit_identical(b, &s);
+            assert_bit_identical(t, &s);
+        }
+    }
+
+    #[test]
+    fn embed_all_matches_sequential_at_any_worker_count(
+        texts in prop::collection::vec("[a-z ]{0,40}", 1..40),
+        workers in 1usize..5
+    ) {
+        let e = NgramEmbedder::ada_like();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let sequential: Vec<Vec<f32>> = refs.iter().map(|t| e.embed(t)).collect();
+        let parallel = embed_all_with_workers(&e, &refs, workers);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn fused_distance_tracks_seed_l2(
+        a in prop::collection::vec(-10.0f32..10.0, 12..=12),
+        b in prop::collection::vec(-10.0f32..10.0, 12..=12)
+    ) {
+        // The fused rank-key path must agree with the seed's pairwise
+        // subtraction formula up to floating-point reassociation.
+        let key = Metric::L2.rank_key(
+            dot_unrolled(&a, &b),
+            dot_unrolled(&a, &a),
+            dot_unrolled(&b, &b),
+        );
+        let fused = Metric::L2.key_to_distance(key);
+        let seed = l2_distance(&a, &b);
+        prop_assert!(
+            (fused - seed).abs() < 1e-2 + seed * 1e-4,
+            "fused {fused} vs seed {seed}"
+        );
+    }
+
     #[test]
     fn vp_tree_agrees_with_brute_force(
         vs in vectors(40, 6),

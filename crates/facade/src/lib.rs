@@ -76,7 +76,9 @@ pub mod prelude {
     pub use crowdprompt_core::ops::resolve::{MentionIndex, ResolveStrategy};
     pub use crowdprompt_core::ops::sort::{SortResult, SortStrategy};
     pub use crowdprompt_core::workflow::{Pipeline, PipelineResult};
-    pub use crowdprompt_core::{Budget, Corpus, EngineError, Outcome, Session};
+    pub use crowdprompt_core::{
+        BlockingHit, BlockingIndex, Budget, Corpus, EngineError, Outcome, Session,
+    };
     pub use crowdprompt_oracle::task::SortCriterion;
     pub use crowdprompt_oracle::{
         CompletionRequest, LanguageModel, LlmClient, ModelProfile, SimulatedLlm,

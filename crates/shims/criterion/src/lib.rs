@@ -116,6 +116,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Set the upstream sample count (no-op; the shim always takes three
+    /// samples — provided for API compatibility).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
     /// Finish the group (no-op; provided for API compatibility).
     pub fn finish(&mut self) {}
 }

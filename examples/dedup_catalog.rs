@@ -32,7 +32,15 @@ fn main() {
         .tracing(true)
         .build();
 
+    let build_start = std::time::Instant::now();
     let index = session.mention_index(&data.mentions).expect("index builds");
+    println!(
+        "blocking index over {} mentions: {} backend, built in {:.2?} \
+         (parallel embed + flat storage)",
+        index.len(),
+        index.blocking().index_kind(),
+        build_start.elapsed(),
+    );
 
     println!(
         "deduplicating {} citation mentions (all-pairs would be {} comparisons)\n",
