@@ -113,7 +113,7 @@ fn bench_index_build(c: &mut Criterion) {
     group.bench_function("flat_store", |b| {
         b.iter_batched(
             || vectors.clone(),
-            |vs| VectorStore::from_rows(vs),
+            VectorStore::from_rows,
             BatchSize::LargeInput,
         )
     });

@@ -123,10 +123,13 @@ impl Drop for SemaphorePermit<'_> {
     }
 }
 
+/// Gate registry: one semaphore per `(model name, limit)` pair.
+type GateMap = HashMap<(String, usize), Arc<Semaphore>>;
+
 /// Process-wide per-model gates, keyed by `(model name, limit)` so engines
 /// configured with different limits do not interfere.
 fn model_gate(model: &str, limit: usize) -> Arc<Semaphore> {
-    static GATES: OnceLock<StdMutex<HashMap<(String, usize), Arc<Semaphore>>>> = OnceLock::new();
+    static GATES: OnceLock<StdMutex<GateMap>> = OnceLock::new();
     let gates = GATES.get_or_init(|| StdMutex::new(HashMap::new()));
     let mut gates = gates.lock().unwrap_or_else(|e| e.into_inner());
     Arc::clone(
@@ -288,6 +291,15 @@ impl Engine {
             est_usd,
             est_tokens,
         ))
+    }
+
+    /// Estimate one task's `(usd, total tokens)` cost by rendering its
+    /// prompt over the corpus — no budget admission, no model call. The
+    /// planner uses this to cost physical plan nodes from representative
+    /// tasks before anything is dispatched.
+    pub fn estimate_task(&self, task: TaskDescriptor) -> Result<(f64, u64), EngineError> {
+        let (_, est_usd, est_tokens) = self.render_and_estimate(task)?;
+        Ok((est_usd, est_tokens))
     }
 
     fn build_request(&self, task: TaskDescriptor) -> Result<CompletionRequest, EngineError> {

@@ -203,7 +203,7 @@ pub fn choice(text: &str, labels: &[String]) -> Result<String, EngineError> {
     let mut best: Option<(usize, &String)> = None;
     for label in labels {
         if let Some(pos) = lowered.rfind(&label.to_lowercase()) {
-            if best.map_or(true, |(bp, _)| pos > bp) {
+            if best.is_none_or(|(bp, _)| pos > bp) {
                 best = Some((pos, label));
             }
         }

@@ -28,8 +28,13 @@
 //!   escalate-on-uncertainty filtering (§3.4).
 //! * [`optimize`] — validation-set strategy trials, Pareto frontiers, and
 //!   budget-aware strategy selection (§4).
-//! * [`workflow`] — multi-step pipelines under one budget.
-//! * [`session`] — the user-facing declarative API.
+//! * [`plan`] — the declarative front door: a logical-plan IR
+//!   ([`plan::Query`]), a cost-based planner with rule rewrites, EXPLAIN,
+//!   and a per-node-attributed executor.
+//! * [`workflow`] — multi-step pipelines under one budget (a thin wrapper
+//!   over verbatim plans).
+//! * [`session`] — the user-facing declarative API (operator methods are
+//!   thin wrappers over single-node plans).
 
 #![warn(missing_docs)]
 
@@ -44,6 +49,7 @@ pub mod extract;
 pub mod ops;
 pub mod optimize;
 pub mod outcome;
+pub mod plan;
 pub mod proxy;
 pub mod quality;
 pub mod session;
@@ -57,4 +63,5 @@ pub use corpus::Corpus;
 pub use error::EngineError;
 pub use exec::Engine;
 pub use outcome::Outcome;
+pub use plan::{Plan, PlanOptions, PlanOutput, PlanRun, Query};
 pub use session::Session;

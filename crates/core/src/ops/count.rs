@@ -22,6 +22,26 @@ pub enum CountStrategy {
     PerItem,
 }
 
+impl CountStrategy {
+    /// Human-readable strategy name (used by `EXPLAIN` and the optimizer).
+    pub fn name(&self) -> String {
+        match self {
+            CountStrategy::Eyeball { batch_size } => format!("eyeball-{batch_size}"),
+            CountStrategy::PerItem => "per-item".to_owned(),
+        }
+    }
+
+    /// Expected LLM calls to count `n` items (planner cost hint).
+    pub fn estimated_calls(&self, n: usize) -> u64 {
+        match self {
+            CountStrategy::Eyeball { batch_size } => {
+                n.div_ceil((*batch_size).max(1)) as u64
+            }
+            CountStrategy::PerItem => n as u64,
+        }
+    }
+}
+
 /// Count how many of `items` satisfy `predicate`.
 pub fn count(
     engine: &Engine,

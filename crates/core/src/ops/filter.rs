@@ -39,6 +39,41 @@ pub enum FilterStrategy {
     },
 }
 
+impl FilterStrategy {
+    /// Default planner selectivity assumption: without a hint, a predicate
+    /// is assumed to keep half of its input.
+    pub const DEFAULT_SELECTIVITY: f64 = 0.5;
+
+    /// Human-readable strategy name (used by `EXPLAIN` and the optimizer).
+    pub fn name(&self) -> String {
+        match self {
+            FilterStrategy::Single => "single".to_owned(),
+            FilterStrategy::MajorityVote { votes, .. } => format!("majority-vote-{votes}"),
+            FilterStrategy::ConfidenceGated {
+                min_confidence_pct,
+                votes,
+            } => format!("confidence-gated-{min_confidence_pct}-{votes}"),
+        }
+    }
+
+    /// Expected LLM calls per input item (planner cost hint). The
+    /// confidence gate assumes roughly 30% of items escalate.
+    pub fn calls_per_item(&self) -> f64 {
+        match self {
+            FilterStrategy::Single => 1.0,
+            FilterStrategy::MajorityVote { votes, .. } => f64::from((*votes).max(1)),
+            FilterStrategy::ConfidenceGated { votes, .. } => {
+                1.0 + 0.3 * f64::from((*votes).max(1))
+            }
+        }
+    }
+
+    /// How cost scales with item count (`1` = linear), for extrapolation.
+    pub fn cost_exponent(&self) -> u32 {
+        1
+    }
+}
+
 /// Filter `items` by `predicate`, returning the ids that pass, in input
 /// order.
 pub fn filter(

@@ -36,6 +36,27 @@ pub enum ImputeStrategy {
     },
 }
 
+impl ImputeStrategy {
+    /// Human-readable strategy name (used by `EXPLAIN` and the optimizer).
+    pub fn name(&self) -> String {
+        match self {
+            ImputeStrategy::KnnOnly { k } => format!("knn-only-{k}"),
+            ImputeStrategy::LlmOnly { shots } => format!("llm-only-{shots}"),
+            ImputeStrategy::Hybrid { k, shots } => format!("hybrid-{k}-{shots}"),
+        }
+    }
+
+    /// Expected LLM calls to impute `n` records (planner cost hint; the
+    /// hybrid assumes the unanimity gate diverts roughly half the records).
+    pub fn estimated_calls(&self, n: usize) -> u64 {
+        match self {
+            ImputeStrategy::KnnOnly { .. } => 0,
+            ImputeStrategy::LlmOnly { .. } => n as u64,
+            ImputeStrategy::Hybrid { .. } => n.div_ceil(2) as u64,
+        }
+    }
+}
+
 /// A labeled reference pool: records whose target-attribute values are
 /// known, supporting neighbor lookup by record-text embedding through the
 /// shared (memoized, batched) [`BlockingIndex`].

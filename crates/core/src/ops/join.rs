@@ -34,6 +34,34 @@ pub enum JoinStrategy {
     },
 }
 
+impl JoinStrategy {
+    /// Human-readable strategy name (used by `EXPLAIN` and the optimizer).
+    pub fn name(&self) -> String {
+        match self {
+            JoinStrategy::AllPairs => "all-pairs".to_owned(),
+            JoinStrategy::Blocked {
+                candidates,
+                max_distance,
+            } => format!("blocked-{candidates}-{max_distance}"),
+        }
+    }
+
+    /// Expected LLM calls to join `left` × `right` items (planner cost
+    /// hint; the blocked estimate is an upper bound — the distance ceiling
+    /// can only prune further).
+    pub fn estimated_calls(&self, left: usize, right: usize) -> u64 {
+        if right == 0 {
+            return 0;
+        }
+        match self {
+            JoinStrategy::AllPairs => (left * right) as u64,
+            JoinStrategy::Blocked { candidates, .. } => {
+                (left * (*candidates).max(1).min(right)) as u64
+            }
+        }
+    }
+}
+
 /// A matched pair (left item, right item).
 pub type Match = (ItemId, ItemId);
 

@@ -27,6 +27,33 @@ pub enum MaxStrategy {
     },
 }
 
+impl MaxStrategy {
+    /// Human-readable strategy name (used by `EXPLAIN` and the optimizer).
+    pub fn name(&self) -> String {
+        match self {
+            MaxStrategy::Tournament => "tournament".to_owned(),
+            MaxStrategy::RateThenPlayoff {
+                buckets,
+                playoff_size,
+            } => format!("rate-then-playoff-{buckets}-{playoff_size}"),
+        }
+    }
+
+    /// Expected LLM calls to find the max of `n` items (planner cost hint).
+    pub fn estimated_calls(&self, n: usize) -> u64 {
+        if n < 2 {
+            return 0;
+        }
+        match self {
+            MaxStrategy::Tournament => (n - 1) as u64,
+            MaxStrategy::RateThenPlayoff { playoff_size, .. } => {
+                let p = (*playoff_size).max(2).min(n);
+                (n + p * (p - 1) / 2) as u64
+            }
+        }
+    }
+}
+
 /// Find the item ranking first under the criterion.
 pub fn find_max(
     engine: &Engine,

@@ -58,6 +58,73 @@ pub enum SortStrategy {
     },
 }
 
+impl SortStrategy {
+    /// Human-readable strategy name (used by `EXPLAIN` and the optimizer).
+    pub fn name(&self) -> String {
+        match self {
+            SortStrategy::SinglePrompt => "single-prompt".to_owned(),
+            SortStrategy::Pairwise => "pairwise".to_owned(),
+            SortStrategy::Rating {
+                scale_min,
+                scale_max,
+            } => format!("rating-{scale_min}-{scale_max}"),
+            SortStrategy::SortThenInsert => "sort-then-insert".to_owned(),
+            SortStrategy::PairwiseBatched { batch_size } => {
+                format!("pairwise-batched-{batch_size}")
+            }
+            SortStrategy::ChunkedMerge { chunk_size } => {
+                format!("chunked-merge-{chunk_size}")
+            }
+            SortStrategy::BucketThenCompare { buckets } => {
+                format!("bucket-then-compare-{buckets}")
+            }
+        }
+    }
+
+    /// How the strategy's cost scales with item count (`1` = linear,
+    /// `2` = quadratic), for extrapolating validation-sample costs.
+    pub fn cost_exponent(&self) -> u32 {
+        match self {
+            SortStrategy::SinglePrompt => 1,
+            SortStrategy::Rating { .. } => 1,
+            SortStrategy::SortThenInsert => 1, // O(kn) with small k in practice
+            SortStrategy::Pairwise => 2,
+            SortStrategy::PairwiseBatched { .. } => 2,
+            SortStrategy::ChunkedMerge { .. } => 1, // n log(n/chunk) comparisons
+            SortStrategy::BucketThenCompare { .. } => 1, // quadratic only within buckets
+        }
+    }
+
+    /// Expected LLM calls to sort `n` items (planner cost hint).
+    pub fn estimated_calls(&self, n: usize) -> u64 {
+        if n < 2 {
+            return 0;
+        }
+        let all_pairs = (n * (n - 1) / 2) as u64;
+        match self {
+            SortStrategy::SinglePrompt | SortStrategy::SortThenInsert => 1,
+            SortStrategy::Pairwise => all_pairs,
+            SortStrategy::PairwiseBatched { batch_size } => {
+                all_pairs.div_ceil((*batch_size).max(1) as u64)
+            }
+            SortStrategy::Rating { .. } => n as u64,
+            SortStrategy::BucketThenCompare { buckets } => {
+                // n ratings plus pairwise repair inside each (assumed
+                // evenly filled) bucket.
+                let b = usize::from((*buckets).max(2));
+                let per_bucket = n.div_ceil(b);
+                n as u64 + (b * (per_bucket * per_bucket.saturating_sub(1)) / 2) as u64
+            }
+            SortStrategy::ChunkedMerge { chunk_size } => {
+                // One prompt per chunk, then ≤ n comparisons per merge level.
+                let runs = n.div_ceil((*chunk_size).max(2));
+                let levels = usize::BITS - runs.next_power_of_two().leading_zeros() - 1;
+                runs as u64 + (n as u64) * u64::from(levels)
+            }
+        }
+    }
+}
+
 /// A sort outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SortResult {

@@ -44,38 +44,16 @@ impl StrategyTrial {
 }
 
 /// Cost-growth exponent of a sort strategy (for extrapolation).
+///
+/// Thin alias for [`SortStrategy::cost_exponent`] — the metadata now lives
+/// with the strategy itself so the planner and optimizer share one source.
 pub fn sort_cost_exponent(strategy: &SortStrategy) -> u32 {
-    match strategy {
-        SortStrategy::SinglePrompt => 1,
-        SortStrategy::Rating { .. } => 1,
-        SortStrategy::SortThenInsert => 1, // O(kn) with small k in practice
-        SortStrategy::Pairwise => 2,
-        SortStrategy::PairwiseBatched { .. } => 2,
-        SortStrategy::ChunkedMerge { .. } => 1, // n log(n/chunk) comparisons
-        SortStrategy::BucketThenCompare { .. } => 1, // quadratic only within buckets
-    }
+    strategy.cost_exponent()
 }
 
-/// Human-readable strategy name.
+/// Human-readable strategy name (alias for [`SortStrategy::name`]).
 pub fn sort_strategy_name(strategy: &SortStrategy) -> String {
-    match strategy {
-        SortStrategy::SinglePrompt => "single-prompt".to_owned(),
-        SortStrategy::Pairwise => "pairwise".to_owned(),
-        SortStrategy::Rating {
-            scale_min,
-            scale_max,
-        } => format!("rating-{scale_min}-{scale_max}"),
-        SortStrategy::SortThenInsert => "sort-then-insert".to_owned(),
-        SortStrategy::PairwiseBatched { batch_size } => {
-            format!("pairwise-batched-{batch_size}")
-        }
-        SortStrategy::ChunkedMerge { chunk_size } => {
-            format!("chunked-merge-{chunk_size}")
-        }
-        SortStrategy::BucketThenCompare { buckets } => {
-            format!("bucket-then-compare-{buckets}")
-        }
-    }
+    strategy.name()
 }
 
 /// Run every candidate sort strategy on a labelled validation sample and

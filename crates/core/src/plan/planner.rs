@@ -1,0 +1,672 @@
+//! Rule-based lowering of logical queries to physical plans.
+//!
+//! Rewrites, in order:
+//!
+//! 1. **Top-k fusion** — an unpinned `sort` immediately followed by
+//!    `take(k)` becomes one top-k node (rating shortlist + exact ranking
+//!    of the shortlist) instead of a full sort.
+//! 2. **Strategy resolution** — every unpinned strategy is resolved to a
+//!    concrete one: accuracy-preferring defaults, or (for sort nodes with
+//!    a [`super::SortCalibration`]) optimizer-style validation trials
+//!    scored on a labelled sample and recommended under the node's budget
+//!    allocation (§4).
+//! 3. **Blocking push-in** — unpinned pairwise LLM stages (join, cluster
+//!    assignment) get the shared embedding [`crate::BlockingIndex`] in
+//!    front of them; dedup is blocked by construction.
+//! 4. **Filter reordering** — maximal runs of adjacent filters are
+//!    reordered by predicate rank, per-item cost / (1 − selectivity) —
+//!    cheapest-first when selectivities are equal. Filters commute:
+//!    per-item verdicts are independent of position, so the result set
+//!    is unchanged while later, more expensive filters see fewer rows.
+//! 5. **Budget fitting** — while the estimated total exceeds the budget,
+//!    the most expensive *unpinned* node is downgraded one strategy step
+//!    (e.g. per-item count → eyeball batches, LLM imputation → hybrid →
+//!    k-NN), keeping only downgrades that actually lower the node's
+//!    estimate, until the plan fits or nothing is downgradable.
+//!
+//! Every fired rewrite is recorded in [`super::Plan::notes`] and shown by
+//! `explain()`.
+
+use crate::budget::Budget;
+use crate::error::EngineError;
+use crate::exec::Engine;
+use crate::ops::count::CountStrategy;
+use crate::ops::filter::FilterStrategy;
+use crate::ops::join::JoinStrategy;
+use crate::ops::max::MaxStrategy;
+use crate::ops::sort::SortStrategy;
+use crate::ops::ImputeStrategy;
+use crate::optimize;
+
+use super::estimate::Estimator;
+use super::ir::{ClusterProbe, LogicalOp, Query};
+use super::{NodeEstimate, PhysicalNode, Plan, PlannedNode};
+
+/// Which rewrites the planner may apply. [`PlanOptions::verbatim`] lowers
+/// the chain exactly as declared (the workflow layer uses it so pipelines
+/// keep their declared step order and strategies).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Fuse unpinned `sort` + `take(k)` into a top-k node.
+    pub fuse_sort_take: bool,
+    /// Reorder adjacent filters cheapest-per-item first.
+    pub reorder_filters: bool,
+    /// Push embedding blocking in front of unpinned pairwise stages.
+    pub push_blocking: bool,
+    /// Downgrade unpinned strategies until the estimate fits the budget.
+    pub fit_budget: bool,
+    /// Resolve unpinned sort nodes via validation trials when the query
+    /// carries a [`super::SortCalibration`] (the trials spend real budget
+    /// at plan time).
+    pub run_calibration: bool,
+    /// Cost the physical nodes (rendered representative prompts) and
+    /// allocate the budget across them. Disabled only by the internal
+    /// wrapper path, where the estimates would be discarded.
+    pub estimate_costs: bool,
+}
+
+impl PlanOptions {
+    /// All rewrites enabled (the default for [`Query::plan_on`]).
+    pub fn optimized() -> Self {
+        PlanOptions {
+            fuse_sort_take: true,
+            reorder_filters: true,
+            push_blocking: true,
+            fit_budget: true,
+            run_calibration: true,
+            estimate_costs: true,
+        }
+    }
+
+    /// No rewrites: lower the declared chain verbatim (calibration
+    /// trials are skipped too — verbatim planning spends nothing).
+    pub fn verbatim() -> Self {
+        PlanOptions {
+            fuse_sort_take: false,
+            reorder_filters: false,
+            push_blocking: false,
+            fit_budget: false,
+            run_calibration: false,
+            estimate_costs: true,
+        }
+    }
+
+    /// The session/workflow wrapper path: verbatim lowering with cost
+    /// estimation skipped — the wrappers discard the estimates, so the
+    /// representative-prompt renders would be pure overhead per call.
+    pub(crate) fn wrapper() -> Self {
+        PlanOptions {
+            estimate_costs: false,
+            ..PlanOptions::verbatim()
+        }
+    }
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions::optimized()
+    }
+}
+
+/// A lowered node plus whether the user pinned its strategy (pinned nodes
+/// are never downgraded or re-chosen).
+struct Lowered {
+    node: PhysicalNode,
+    pinned: bool,
+}
+
+/// Default sort strategy by input size: one prompt while the list
+/// plausibly fits a context window, chunked merge beyond.
+fn default_sort_strategy(n: usize) -> SortStrategy {
+    if n <= 32 {
+        SortStrategy::SinglePrompt
+    } else {
+        SortStrategy::ChunkedMerge { chunk_size: 16 }
+    }
+}
+
+/// Candidate sort strategies for validation trials, by input size.
+fn sort_candidates(n: usize) -> Vec<SortStrategy> {
+    let mut candidates = Vec::new();
+    if n <= 12 {
+        candidates.push(SortStrategy::Pairwise);
+    }
+    if n <= 32 {
+        candidates.push(SortStrategy::SinglePrompt);
+    } else {
+        candidates.push(SortStrategy::ChunkedMerge { chunk_size: 16 });
+    }
+    candidates.push(SortStrategy::Rating {
+        scale_min: 1,
+        scale_max: 7,
+    });
+    candidates
+}
+
+/// One budget-fitting downgrade step, or `None` when already cheapest.
+fn downgrade(node: &PhysicalNode) -> Option<PhysicalNode> {
+    match node {
+        PhysicalNode::Sort {
+            criterion,
+            strategy,
+        } => {
+            let next = match strategy {
+                SortStrategy::Pairwise => SortStrategy::SinglePrompt,
+                // A single prompt is already the cheapest sort; chunked
+                // merge pays per-merge comparisons that ratings avoid.
+                SortStrategy::ChunkedMerge { .. } => SortStrategy::Rating {
+                    scale_min: 1,
+                    scale_max: 7,
+                },
+                _ => return None,
+            };
+            Some(PhysicalNode::Sort {
+                criterion: *criterion,
+                strategy: next,
+            })
+        }
+        PhysicalNode::Count {
+            predicate,
+            strategy: CountStrategy::PerItem,
+        } => Some(PhysicalNode::Count {
+            predicate: predicate.clone(),
+            strategy: CountStrategy::Eyeball { batch_size: 10 },
+        }),
+        PhysicalNode::Max {
+            criterion,
+            strategy: MaxStrategy::RateThenPlayoff { .. },
+        } => Some(PhysicalNode::Max {
+            criterion: *criterion,
+            strategy: MaxStrategy::Tournament,
+        }),
+        PhysicalNode::Impute {
+            attribute,
+            labeled,
+            strategy,
+        } => {
+            let next = match strategy {
+                ImputeStrategy::LlmOnly { shots } => ImputeStrategy::Hybrid {
+                    k: 3,
+                    shots: *shots,
+                },
+                ImputeStrategy::Hybrid { .. } => ImputeStrategy::KnnOnly { k: 3 },
+                ImputeStrategy::KnnOnly { .. } => return None,
+            };
+            Some(PhysicalNode::Impute {
+                attribute: attribute.clone(),
+                labeled: labeled.clone(),
+                strategy: next,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The engine's remaining budget expressed in USD: real dollars for a USD
+/// cap, a converted equivalent for a token cap (remaining tokens × the
+/// probed per-token rate), infinity when unlimited — so budget fitting
+/// and allocation work for token-capped engines too.
+fn remaining_usd_equivalent(engine: &Engine, estimator: &Estimator) -> f64 {
+    match engine.budget().budget() {
+        Budget::Usd(_) => engine.budget().remaining_usd(),
+        Budget::Tokens(_) => {
+            let rate = estimator.usd_per_token();
+            if rate > 0.0 {
+                engine.budget().remaining_tokens() as f64 * rate
+            } else {
+                f64::INFINITY
+            }
+        }
+        Budget::Unlimited => f64::INFINITY,
+    }
+}
+
+/// Lower a query to a physical [`Plan`].
+pub(crate) fn plan(
+    engine: &Engine,
+    query: Query,
+    options: PlanOptions,
+) -> Result<Plan, EngineError> {
+    let mut notes: Vec<String> = Vec::new();
+    let (source, ops, calibration) = query.into_parts();
+    let ops = &ops;
+    // Terminal ops (labels, counts, clusters, …) end the chain, and
+    // label-based nodes need at least one label — caught here, before any
+    // budget is spent.
+    for (i, op) in ops.iter().enumerate() {
+        if i + 1 < ops.len() && !op.produces_items() {
+            return Err(EngineError::InvalidInput(format!(
+                "plan node {} does not produce an item set and must be last",
+                i + 1
+            )));
+        }
+        if let LogicalOp::Categorize { labels } | LogicalOp::KeepLabel { labels, .. } = op {
+            if labels.is_empty() {
+                return Err(EngineError::InvalidInput(
+                    "categorize requires at least one label".into(),
+                ));
+            }
+        }
+    }
+
+    // Rewrite 1: fuse unpinned sort + take(k) into top-k.
+    let mut fused: Vec<LogicalOp> = Vec::with_capacity(ops.len());
+    let mut iter = ops.iter().peekable();
+    while let Some(op) = iter.next() {
+        if options.fuse_sort_take {
+            if let LogicalOp::Sort {
+                criterion,
+                strategy: None,
+            } = op
+            {
+                if let Some(LogicalOp::Take { k }) = iter.peek() {
+                    // A calibration sample pins the *sort* node's choice to
+                    // the validation trials; fusing into top-k would
+                    // silently discard the sample the user prepared.
+                    if options.run_calibration && calibration.is_some() {
+                        notes.push(format!(
+                            "kept sort+take({k}) unfused: calibration sample supplied"
+                        ));
+                    } else {
+                        notes.push(format!("fused sort+take({k}) into top-k[{k}]"));
+                        fused.push(LogicalOp::TopK {
+                            criterion: *criterion,
+                            k: *k,
+                            shortlist_factor: 2,
+                        });
+                        iter.next();
+                        continue;
+                    }
+                }
+            }
+        }
+        fused.push(op.clone());
+    }
+
+    // The estimator renders sample prompts; build it only when a
+    // consumer rewrite actually runs (the wrapper path never does).
+    let needs_estimator = options.estimate_costs
+        || options.reorder_filters
+        || options.fit_budget
+        || (options.run_calibration && calibration.is_some());
+    let lazy_estimator = needs_estimator.then(|| Estimator::new(engine, &source));
+
+    // Rewrite 2/3: resolve strategies (defaults + blocking push-in),
+    // tracking estimated rows so size-dependent defaults see realistic n.
+    let mut lowered: Vec<Lowered> = Vec::with_capacity(fused.len());
+    let mut rows = source.len();
+    for op in &fused {
+        let (node, pinned) = match op {
+            LogicalOp::Filter {
+                predicate,
+                strategy,
+                selectivity,
+            } => (
+                PhysicalNode::Filter {
+                    predicate: predicate.clone(),
+                    strategy: strategy.unwrap_or(FilterStrategy::Single),
+                    selectivity: selectivity.unwrap_or(FilterStrategy::DEFAULT_SELECTIVITY),
+                },
+                strategy.is_some(),
+            ),
+            LogicalOp::Sort {
+                criterion,
+                strategy,
+            } => (
+                PhysicalNode::Sort {
+                    criterion: *criterion,
+                    strategy: strategy.clone().unwrap_or_else(|| default_sort_strategy(rows)),
+                },
+                strategy.is_some(),
+            ),
+            LogicalOp::Take { k } => (PhysicalNode::Take { k: *k }, true),
+            LogicalOp::TopK {
+                criterion,
+                k,
+                shortlist_factor,
+            } => (
+                PhysicalNode::TopK {
+                    criterion: *criterion,
+                    k: *k,
+                    shortlist_factor: *shortlist_factor,
+                },
+                true,
+            ),
+            LogicalOp::Categorize { labels } => (
+                PhysicalNode::Categorize {
+                    labels: labels.clone(),
+                },
+                true,
+            ),
+            LogicalOp::KeepLabel { labels, keep } => (
+                PhysicalNode::KeepLabel {
+                    labels: labels.clone(),
+                    keep: keep.clone(),
+                },
+                true,
+            ),
+            LogicalOp::Count {
+                predicate,
+                strategy,
+            } => (
+                PhysicalNode::Count {
+                    predicate: predicate.clone(),
+                    strategy: strategy.unwrap_or(CountStrategy::PerItem),
+                },
+                strategy.is_some(),
+            ),
+            LogicalOp::Max {
+                criterion,
+                strategy,
+            } => (
+                PhysicalNode::Max {
+                    criterion: *criterion,
+                    strategy: strategy.unwrap_or(MaxStrategy::RateThenPlayoff {
+                        buckets: 7,
+                        playoff_size: 4,
+                    }),
+                },
+                strategy.is_some(),
+            ),
+            LogicalOp::Resolve {
+                candidates,
+                max_distance,
+            } => (
+                PhysicalNode::Resolve {
+                    candidates: *candidates,
+                    max_distance: *max_distance,
+                },
+                true,
+            ),
+            LogicalOp::Cluster { seed_size, probe } => {
+                let (probe_cap, pinned) = match probe {
+                    ClusterProbe::Exhaustive => (None, true),
+                    ClusterProbe::Cap(cap) => (Some(*cap), true),
+                    ClusterProbe::Auto => {
+                        if options.push_blocking {
+                            notes.push(
+                                "pushed blocking into cluster assignment (probe cap 4)".to_owned(),
+                            );
+                            (Some(4), false)
+                        } else {
+                            (None, false)
+                        }
+                    }
+                };
+                (
+                    PhysicalNode::Cluster {
+                        seed_size: *seed_size,
+                        probe_cap,
+                    },
+                    pinned,
+                )
+            }
+            LogicalOp::Join { right, strategy } => {
+                let (resolved, pinned) = match strategy {
+                    Some(s) => (s.clone(), true),
+                    None => {
+                        if options.push_blocking {
+                            notes.push(
+                                "pushed blocking into join (4 candidates/record)".to_owned(),
+                            );
+                            (
+                                JoinStrategy::Blocked {
+                                    candidates: 4,
+                                    max_distance: 2.0,
+                                },
+                                false,
+                            )
+                        } else {
+                            (JoinStrategy::AllPairs, false)
+                        }
+                    }
+                };
+                (
+                    PhysicalNode::Join {
+                        right: right.clone(),
+                        strategy: resolved,
+                    },
+                    pinned,
+                )
+            }
+            LogicalOp::Impute {
+                attribute,
+                labeled,
+                strategy,
+            } => (
+                PhysicalNode::Impute {
+                    attribute: attribute.clone(),
+                    labeled: labeled.clone(),
+                    strategy: strategy
+                        .clone()
+                        .unwrap_or(ImputeStrategy::LlmOnly { shots: 3 }),
+                },
+                strategy.is_some(),
+            ),
+        };
+        rows = super::estimate::rows_out(&node, rows);
+        lowered.push(Lowered { node, pinned });
+    }
+
+    // Rewrite 4: reorder maximal runs of adjacent filters cheapest-first.
+    if options.reorder_filters {
+        let mut i = 0;
+        while i < lowered.len() {
+            let mut j = i;
+            while j < lowered.len()
+                && matches!(lowered[j].node, PhysicalNode::Filter { .. })
+            {
+                j += 1;
+            }
+            if j - i >= 2 {
+                let estimator = lazy_estimator.as_ref().expect("built when reordering");
+                let before: Vec<String> =
+                    lowered[i..j].iter().map(|l| l.node.name()).collect();
+                // Rank = per-item cost / rows removed per dollar-relevant
+                // item, i.e. cost/(1 − selectivity): the classic predicate
+                // ordering. With default (equal) selectivities it reduces
+                // to cheapest-per-item first. Keys are computed once per
+                // filter, not per comparison — each key renders prompts.
+                let mut keyed: Vec<(f64, Lowered)> = lowered
+                    .splice(i..j, std::iter::empty())
+                    .map(|l| {
+                        let key = match &l.node {
+                            PhysicalNode::Filter {
+                                predicate,
+                                strategy,
+                                selectivity,
+                            } => {
+                                estimator.filter_item_cost(predicate, strategy)
+                                    / (1.0 - selectivity).max(1e-6)
+                            }
+                            _ => 0.0,
+                        };
+                        (key, l)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+                lowered.splice(i..i, keyed.into_iter().map(|(_, l)| l));
+                let after: Vec<String> =
+                    lowered[i..j].iter().map(|l| l.node.name()).collect();
+                if before != after {
+                    notes.push(format!(
+                        "reordered filters cheapest-first: {} -> {}",
+                        before.join(", "),
+                        after.join(", ")
+                    ));
+                }
+            }
+            i = j.max(i + 1);
+        }
+    }
+
+    // Estimate pass. The wrapper path skips the rendered cost probes —
+    // rows still propagate (pure arithmetic) so reports stay meaningful.
+    let mut estimates: Vec<NodeEstimate> = Vec::with_capacity(lowered.len());
+    let mut rows = source.len();
+    for l in &lowered {
+        let est = if options.estimate_costs {
+            let estimator = lazy_estimator.as_ref().expect("built when estimating");
+            estimator.node(&l.node, rows)
+        } else {
+            NodeEstimate {
+                rows_in: rows,
+                rows_out: super::estimate::rows_out(&l.node, rows),
+                calls: 0,
+                cost_usd: 0.0,
+                alloc_usd: None,
+            }
+        };
+        rows = est.rows_out;
+        estimates.push(est);
+    }
+
+    // Rewrite 2b: validation-trial calibration for unpinned sort nodes.
+    // Trials are memoized per candidate set: several unpinned sorts in one
+    // chain share one trial run instead of re-spending on the same sample.
+    if let Some(cal) = calibration.as_ref().filter(|_| options.run_calibration) {
+        let estimator = lazy_estimator.as_ref().expect("built when calibrating");
+        let mut trials_cache: std::collections::HashMap<
+            String,
+            Vec<optimize::StrategyTrial>,
+        > = std::collections::HashMap::new();
+        for idx in 0..lowered.len() {
+            if lowered[idx].pinned {
+                continue;
+            }
+            let PhysicalNode::Sort { criterion, .. } = lowered[idx].node else {
+                continue;
+            };
+            let rows_here = estimates[idx].rows_in;
+            let candidates = sort_candidates(rows_here);
+            let cache_key: String = candidates
+                .iter()
+                .map(SortStrategy::name)
+                .collect::<Vec<_>>()
+                .join(",");
+            let trials = match trials_cache.get(&cache_key) {
+                Some(trials) => trials.clone(),
+                None => {
+                    let trials = optimize::evaluate_sort_strategies(
+                        engine,
+                        &cal.sample,
+                        &cal.gold,
+                        criterion,
+                        &candidates,
+                    )?;
+                    trials_cache.insert(cache_key, trials.clone());
+                    trials
+                }
+            };
+            let others: f64 = estimates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != idx)
+                .map(|(_, e)| e.cost_usd)
+                .sum();
+            let node_budget =
+                (remaining_usd_equivalent(engine, estimator) - others).max(0.0);
+            if let Some(pick) =
+                optimize::recommend(&trials, cal.sample.len(), rows_here, node_budget)
+            {
+                if let Some(strategy) = candidates.iter().find(|c| c.name() == pick.name) {
+                    notes.push(format!(
+                        "sort strategy chosen by validation trial: {} (accuracy {:.2}, {} candidates, ${:.4} spent on trials)",
+                        pick.name,
+                        pick.accuracy,
+                        trials.len(),
+                        trials.iter().map(|t| t.sample_cost_usd).sum::<f64>(),
+                    ));
+                    lowered[idx].node = PhysicalNode::Sort {
+                        criterion,
+                        strategy: strategy.clone(),
+                    };
+                    lowered[idx].pinned = true; // trials considered the budget
+                    estimates[idx] = estimator.node(&lowered[idx].node, rows_here);
+                }
+            }
+        }
+    }
+
+    // Rewrite 5: downgrade the most expensive unpinned node until the
+    // estimate fits the (remaining) budget. A candidate downgrade is only
+    // applied when it actually lowers the node's estimate — otherwise the
+    // node is frozen (a "cheaper" strategy class can cost more at this
+    // row count, e.g. n ratings vs one chunked-merge level).
+    if options.fit_budget {
+        let estimator = lazy_estimator.as_ref().expect("built when fitting");
+        let remaining = remaining_usd_equivalent(engine, estimator);
+        if remaining.is_finite() {
+            let mut frozen = vec![false; lowered.len()];
+            loop {
+                let total: f64 = estimates.iter().map(|e| e.cost_usd).sum();
+                if total <= remaining {
+                    break;
+                }
+                let candidate = lowered
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, l)| {
+                        !l.pinned
+                            && !frozen[*i]
+                            && estimates[*i].cost_usd > 0.0
+                            && downgrade(&l.node).is_some()
+                    })
+                    .max_by(|(i, _), (j, _)| {
+                        estimates[*i].cost_usd.total_cmp(&estimates[*j].cost_usd)
+                    })
+                    .map(|(i, _)| i);
+                let Some(idx) = candidate else { break };
+                let next = downgrade(&lowered[idx].node).expect("filtered above");
+                let next_estimate = estimator.node(&next, estimates[idx].rows_in);
+                if next_estimate.cost_usd >= estimates[idx].cost_usd {
+                    frozen[idx] = true;
+                    continue;
+                }
+                notes.push(format!(
+                    "downgraded {} to {} to fit budget (est ${:.4} > ${:.4} remaining)",
+                    lowered[idx].node.strategy_label(),
+                    next.strategy_label(),
+                    total,
+                    remaining,
+                ));
+                lowered[idx].node = next;
+                estimates[idx] = next_estimate;
+            }
+        }
+    }
+
+    // Budget allocation: split the remaining budget (USD, or the USD
+    // equivalent of a token cap) across nodes proportionally to their
+    // estimates.
+    let remaining = if options.estimate_costs {
+        let estimator = lazy_estimator.as_ref().expect("built when estimating");
+        remaining_usd_equivalent(engine, estimator)
+    } else {
+        f64::INFINITY
+    };
+    if remaining.is_finite() {
+        let total: f64 = estimates.iter().map(|e| e.cost_usd).sum();
+        for est in &mut estimates {
+            est.alloc_usd = Some(if total > 0.0 {
+                remaining * est.cost_usd / total
+            } else {
+                0.0
+            });
+        }
+    }
+
+    Ok(Plan {
+        source,
+        nodes: lowered
+            .into_iter()
+            .zip(estimates)
+            .map(|(l, estimate)| PlannedNode {
+                node: l.node,
+                estimate,
+            })
+            .collect(),
+        budget: engine.budget().budget(),
+        notes,
+    })
+}

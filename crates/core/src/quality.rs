@@ -168,7 +168,7 @@ pub fn calibrate_threshold(scores: &[f64], gold: &[bool]) -> Option<(f64, f64)> 
         let precision = tp as f64 / (tp + fp) as f64;
         let recall = tp as f64 / (tp + fn_) as f64;
         let f1 = 2.0 * precision * recall / (precision + recall);
-        if best.map_or(true, |(_, bf)| f1 > bf) {
+        if best.is_none_or(|(_, bf)| f1 > bf) {
             best = Some((t, f1));
         }
     }

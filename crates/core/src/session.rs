@@ -20,6 +20,7 @@ use crate::ops::impute::{ImputeStrategy, LabeledPool};
 use crate::ops::resolve::{MentionIndex, ResolveStrategy};
 use crate::ops::sort::{SortResult, SortStrategy};
 use crate::outcome::Outcome;
+use crate::plan::{Plan, PlanOptions, PlanOutput, Query};
 use crate::trace::Trace;
 
 /// Builder for [`Session`].
@@ -93,12 +94,12 @@ impl SessionBuilder {
         self
     }
 
-    /// Build the session.
-    ///
-    /// # Panics
-    /// Panics if no client was provided.
-    pub fn build(self) -> Session {
-        let client = self.client.expect("SessionBuilder requires a client");
+    /// Build the session, surfacing configuration errors as values —
+    /// the library-friendly form of [`SessionBuilder::build`].
+    pub fn try_build(self) -> Result<Session, EngineError> {
+        let client = self.client.ok_or_else(|| {
+            EngineError::InvalidInput("SessionBuilder requires a client".into())
+        })?;
         let mut engine = Engine::new(client, self.corpus)
             .with_budget(self.budget)
             .with_parallelism(self.parallelism)
@@ -112,7 +113,16 @@ impl SessionBuilder {
         } else {
             None
         };
-        Session { engine, trace }
+        Ok(Session { engine, trace })
+    }
+
+    /// Build the session.
+    ///
+    /// # Panics
+    /// Panics if no client was provided; use [`SessionBuilder::try_build`]
+    /// to handle that as an error instead.
+    pub fn build(self) -> Session {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -184,17 +194,42 @@ impl Session {
         self.trace.as_ref()
     }
 
+    /// Start a declarative query over `items` — the plan layer's front
+    /// door. Build the chain, then [`Session::plan`] it to see the chosen
+    /// physical plan (`explain()`) before executing.
+    pub fn query(&self, items: &[ItemId]) -> Query {
+        Query::over(items)
+    }
+
+    /// Lower a query to a physical plan against this session's engine,
+    /// budget, and corpus (applying the planner's default rewrites).
+    pub fn plan(&self, query: Query) -> Result<Plan, EngineError> {
+        query.plan_on(&self.engine)
+    }
+
     /// Sort items by the session criterion.
+    ///
+    /// Thin wrapper over a single-node plan with the strategy pinned.
     pub fn sort(
         &self,
         items: &[ItemId],
         criterion: SortCriterion,
         strategy: &SortStrategy,
     ) -> Result<Outcome<SortResult>, EngineError> {
-        ops::sort::sort(&self.engine, items, criterion, strategy)
+        let run = Query::over(items)
+            .sort_with(criterion, strategy.clone())
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| match out {
+            PlanOutput::Sorted(result) => result,
+            _ => unreachable!("single-node sort plan yields a sort result"),
+        }))
     }
 
     /// Answer duplicate questions over record pairs.
+    ///
+    /// Stays a direct operator call (not a plan wrapper): it consumes a
+    /// caller-owned pair list and index rather than an item set.
     pub fn resolve_pairs(
         &self,
         pairs: &[(ItemId, ItemId)],
@@ -218,6 +253,10 @@ impl Session {
     }
 
     /// Impute a missing attribute for each record.
+    ///
+    /// Stays a direct operator call (not a plan wrapper): the labelled
+    /// pool is caller-owned and reusable across calls; the plan-layer
+    /// [`Query::impute`] node owns and builds its own pool instead.
     pub fn impute(
         &self,
         records: &[ItemId],
@@ -229,45 +268,77 @@ impl Session {
     }
 
     /// Keep the items satisfying a predicate.
+    ///
+    /// Thin wrapper over a single-node plan with the strategy pinned.
     pub fn filter(
         &self,
         items: &[ItemId],
         predicate: &str,
         strategy: ops::filter::FilterStrategy,
     ) -> Result<Outcome<Vec<ItemId>>, EngineError> {
-        ops::filter::filter(&self.engine, items, predicate, strategy)
+        let run = Query::over(items)
+            .filter_with(predicate, strategy)
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| {
+            out.into_items()
+                .expect("single-node filter plan yields items")
+        }))
     }
 
     /// Count the items satisfying a predicate.
+    ///
+    /// Thin wrapper over a single-node plan with the strategy pinned.
     pub fn count(
         &self,
         items: &[ItemId],
         predicate: &str,
         strategy: ops::count::CountStrategy,
     ) -> Result<Outcome<u64>, EngineError> {
-        ops::count::count(&self.engine, items, predicate, strategy)
+        let run = Query::over(items)
+            .count_with(predicate, strategy)
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| out.count().expect("single-node count plan yields a count")))
     }
 
     /// Assign each item one label from a fixed set.
+    ///
+    /// Thin wrapper over a single-node plan.
     pub fn categorize(
         &self,
         items: &[ItemId],
         labels: &[String],
     ) -> Result<Outcome<Vec<String>>, EngineError> {
-        ops::categorize::categorize(&self.engine, items, labels)
+        let run = Query::over(items)
+            .categorize(labels.to_vec())
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| match out {
+            PlanOutput::Labels(labels) => labels,
+            _ => unreachable!("single-node categorize plan yields labels"),
+        }))
     }
 
     /// Find the maximum item under the criterion.
+    ///
+    /// Thin wrapper over a single-node plan with the strategy pinned.
     pub fn max(
         &self,
         items: &[ItemId],
         criterion: SortCriterion,
         strategy: ops::max::MaxStrategy,
     ) -> Result<Outcome<ItemId>, EngineError> {
-        ops::max::find_max(&self.engine, items, criterion, strategy)
+        let run = Query::over(items)
+            .max_with(criterion, strategy)
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| out.max_item().expect("single-node max plan yields an item")))
     }
 
     /// Top-k items under the criterion, best first.
+    ///
+    /// Thin wrapper over a single-node plan.
     pub fn top_k(
         &self,
         items: &[ItemId],
@@ -275,21 +346,40 @@ impl Session {
         k: usize,
         shortlist_factor: usize,
     ) -> Result<Outcome<Vec<ItemId>>, EngineError> {
-        ops::topk::top_k(&self.engine, items, criterion, k, shortlist_factor)
+        let run = Query::over(items)
+            .top_k_with(criterion, k, shortlist_factor)
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| {
+            out.into_items().expect("single-node top-k plan yields items")
+        }))
     }
 
     /// Fuzzy-join two collections on entity identity.
+    ///
+    /// Thin wrapper over a single-node plan with the strategy pinned.
     pub fn fuzzy_join(
         &self,
         left: &[ItemId],
         right: &[ItemId],
         strategy: &ops::join::JoinStrategy,
     ) -> Result<Outcome<ops::join::JoinResult>, EngineError> {
-        ops::join::fuzzy_join(&self.engine, left, right, strategy)
+        let run = Query::over(left)
+            .join_with(right, strategy.clone())
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| match out {
+            PlanOutput::Join(result) => result,
+            _ => unreachable!("single-node join plan yields a join result"),
+        }))
     }
 
     /// Fully deduplicate records: embedding blocking, LLM confirmation,
     /// transitive closure into clusters (the paper's §1 workload).
+    ///
+    /// Stays a direct operator call (not a plan wrapper): the mention
+    /// index is caller-owned and reusable; the plan-layer
+    /// [`Query::resolve`] node builds its own index instead.
     pub fn dedup(
         &self,
         items: &[ItemId],
@@ -301,23 +391,41 @@ impl Session {
     }
 
     /// Cluster items into duplicate groups.
+    ///
+    /// Thin wrapper over a single-node plan (exhaustive probing pinned).
     pub fn cluster(
         &self,
         items: &[ItemId],
         seed_size: usize,
     ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
-        ops::cluster::cluster(&self.engine, items, seed_size)
+        let run = Query::over(items)
+            .cluster_exhaustive(seed_size)
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| match out {
+            PlanOutput::Groups(groups) => groups,
+            _ => unreachable!("single-node cluster plan yields groups"),
+        }))
     }
 
     /// Cluster with embedding blocking: stage-2 items are only compared
     /// against their `candidates` nearest group representatives.
+    ///
+    /// Thin wrapper over a single-node plan (probe cap pinned).
     pub fn cluster_blocked(
         &self,
         items: &[ItemId],
         seed_size: usize,
         candidates: usize,
     ) -> Result<Outcome<Vec<Vec<ItemId>>>, EngineError> {
-        ops::cluster::cluster_blocked(&self.engine, items, seed_size, candidates)
+        let run = Query::over(items)
+            .cluster_blocked(seed_size, candidates)
+            .plan_with(&self.engine, PlanOptions::wrapper())?
+            .execute_on(&self.engine)?;
+        Ok(run.into_outcome(|out| match out {
+            PlanOutput::Groups(groups) => groups,
+            _ => unreachable!("single-node cluster plan yields groups"),
+        }))
     }
 
     /// Build the shared embedding-blocking index over items (batched
@@ -397,6 +505,32 @@ mod tests {
     #[should_panic(expected = "requires a client")]
     fn builder_requires_client() {
         let _ = Session::builder().build();
+    }
+
+    #[test]
+    fn try_build_surfaces_missing_client_as_error() {
+        match Session::builder().try_build() {
+            Err(EngineError::InvalidInput(msg)) => {
+                assert!(msg.contains("requires a client"));
+            }
+            Ok(_) => panic!("clientless builder must not produce a session"),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_build_succeeds_with_client() {
+        let w = WorldModel::new();
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::perfect(),
+            Arc::new(w),
+            1,
+        ));
+        let session = Session::builder()
+            .client(Arc::new(LlmClient::new(llm)))
+            .try_build()
+            .expect("client provided");
+        assert_eq!(session.spent_usd(), 0.0);
     }
 
     #[test]

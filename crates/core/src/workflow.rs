@@ -6,6 +6,12 @@
 //! filter, sort, truncate, categorize-partition — under one shared budget,
 //! recording a per-step cost breakdown so the whole plan can be audited
 //! afterward.
+//!
+//! Since the plan layer landed, `Pipeline` is a thin wrapper: [`Pipeline::run`]
+//! lowers the declared steps *verbatim* (strategies pinned, no rewrites)
+//! through [`crate::plan`] and executes the resulting linear physical plan.
+//! Use [`crate::plan::Query`] directly to let the planner choose strategies,
+//! fuse sort+take into top-k, or reorder filters.
 
 use crowdprompt_oracle::task::SortCriterion;
 use crowdprompt_oracle::world::ItemId;
@@ -13,9 +19,9 @@ use crowdprompt_oracle::Usage;
 
 use crate::error::EngineError;
 use crate::exec::Engine;
-use crate::ops;
 use crate::ops::filter::FilterStrategy;
 use crate::ops::sort::SortStrategy;
+use crate::plan::{PlanOptions, PlanOutput, Query};
 
 /// One step of a pipeline: consumes the current item set, produces the next.
 pub enum Step {
@@ -48,7 +54,8 @@ pub enum Step {
 }
 
 impl Step {
-    fn name(&self) -> String {
+    /// Step display name (matches the plan layer's node names).
+    pub fn name(&self) -> String {
         match self {
             Step::Filter { predicate, .. } => format!("filter[{predicate}]"),
             Step::Sort { .. } => "sort".to_owned(),
@@ -164,55 +171,39 @@ impl Pipeline {
     /// Execute the pipeline over `items` on the engine. Steps share the
     /// engine's budget; a budget refusal mid-pipeline aborts with the error
     /// (already-spent steps remain recorded in the budget tracker).
+    ///
+    /// The declared steps are lowered verbatim — same order, same pinned
+    /// strategies — into a linear physical plan and executed through the
+    /// plan layer, which attributes cost per step.
     pub fn run(&self, engine: &Engine, items: &[ItemId]) -> Result<PipelineResult, EngineError> {
-        let mut current: Vec<ItemId> = items.to_vec();
-        let mut reports = Vec::with_capacity(self.steps.len());
+        let mut query = Query::over(items);
         for step in &self.steps {
-            let items_in = current.len();
-            let (next, usage, calls, cost_usd) = match step {
+            query = match step {
                 Step::Filter {
                     predicate,
                     strategy,
-                } => {
-                    let out = ops::filter::filter(engine, &current, predicate, *strategy)?;
-                    (out.value, out.usage, out.calls, out.cost_usd)
-                }
+                } => query.filter_with(predicate.clone(), *strategy),
                 Step::Sort {
                     criterion,
                     strategy,
-                } => {
-                    let out = ops::sort::sort(engine, &current, *criterion, strategy)?;
-                    (out.value.order, out.usage, out.calls, out.cost_usd)
-                }
-                Step::Truncate { n } => {
-                    current.truncate(*n);
-                    (current.clone(), Usage::default(), 0, 0.0)
-                }
+                } => query.sort_with(*criterion, strategy.clone()),
+                Step::Truncate { n } => query.take(*n),
                 Step::CategorizeAndKeep { labels, keep_label } => {
-                    let out = ops::categorize::categorize(engine, &current, labels)?;
-                    let kept: Vec<ItemId> = out
-                        .value
-                        .iter()
-                        .zip(&current)
-                        .filter(|(label, _)| *label == keep_label)
-                        .map(|(_, id)| *id)
-                        .collect();
-                    (kept, out.usage, out.calls, out.cost_usd)
+                    query.keep_label(labels.clone(), keep_label.clone())
                 }
             };
-            reports.push(StepReport {
-                name: step.name(),
-                items_in,
-                items_out: next.len(),
-                usage,
-                calls,
-                cost_usd,
-            });
-            current = next;
         }
+        let run = query
+            .plan_with(engine, PlanOptions::wrapper())?
+            .execute_on(engine)?;
+        let items = match run.output {
+            PlanOutput::Items(v) => v,
+            PlanOutput::Sorted(s) => s.order,
+            _ => unreachable!("pipeline steps all produce item sets"),
+        };
         Ok(PipelineResult {
-            items: current,
-            steps: reports,
+            items,
+            steps: run.steps,
         })
     }
 }

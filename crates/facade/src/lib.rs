@@ -30,8 +30,25 @@
 //!     .corpus(corpus)
 //!     .budget(Budget::usd(1.0))
 //!     .criterion("by how chocolatey they are")
-//!     .build();
+//!     .try_build()
+//!     .unwrap();
 //!
+//! // Declare *what* you want; the planner decides *how* (here it fuses
+//! // sort+take(3) into a top-k node) and EXPLAINs its physical plan
+//! // before a single LLM call is spent.
+//! let query = session
+//!     .query(&data.items)
+//!     .sort(SortCriterion::LatentScore)
+//!     .take(3);
+//! let plan = session.plan(query).unwrap();
+//! assert!(plan.explain().contains("top-k[3]"));
+//!
+//! let run = plan.execute(&session).unwrap();
+//! assert_eq!(run.output.items().unwrap().len(), 3);
+//! assert!(run.total_cost_usd() > 0.0);
+//!
+//! // Pinning a strategy: every Session operator method is a thin
+//! // wrapper over a single-node plan with the strategy pinned.
 //! let result = session
 //!     .sort(&data.items, SortCriterion::LatentScore, &SortStrategy::Pairwise)
 //!     .unwrap();
@@ -75,6 +92,9 @@ pub mod prelude {
     pub use crowdprompt_core::ops::max::MaxStrategy;
     pub use crowdprompt_core::ops::resolve::{MentionIndex, ResolveStrategy};
     pub use crowdprompt_core::ops::sort::{SortResult, SortStrategy};
+    pub use crowdprompt_core::plan::{
+        ClusterProbe, Plan, PlanOptions, PlanOutput, PlanRun, Query, SortCalibration,
+    };
     pub use crowdprompt_core::workflow::{Pipeline, PipelineResult};
     pub use crowdprompt_core::{
         BlockingHit, BlockingIndex, Budget, Corpus, EngineError, Outcome, Session,

@@ -76,7 +76,7 @@ pub fn wrap_value(value: &str, style: ChatterStyle) -> String {
 /// "return the sorted list" prompts.
 pub fn wrap_list(items: &[&str], style: ChatterStyle) -> String {
     let mut out = String::with_capacity(items.len() * 16 + 64);
-    if style.level >= 0.2 && style.variant % 2 == 0 {
+    if style.level >= 0.2 && style.variant.is_multiple_of(2) {
         out.push_str("Here is the sorted list:\n");
     }
     for (i, item) in items.iter().enumerate() {

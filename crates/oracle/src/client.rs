@@ -741,9 +741,10 @@ mod tests {
             }
             model.release.store(true, Ordering::SeqCst);
             for h in handles {
-                match h.join() {
-                    Ok(result) => joiner_results.push(result),
-                    Err(_) => {} // the leader's panic propagates to its own thread
+                // The leader's panic propagates to its own thread; only
+                // joiners land a result here.
+                if let Ok(result) = h.join() {
+                    joiner_results.push(result);
                 }
             }
         });

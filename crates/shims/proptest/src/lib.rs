@@ -484,7 +484,7 @@ pub mod prop {
         impl<S: Strategy> Strategy for OptionStrategy<S> {
             type Value = Option<S::Value>;
             fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
-                if rng.next_u64() % 4 == 0 {
+                if rng.next_u64().is_multiple_of(4) {
                     None
                 } else {
                     Some(self.inner.sample(rng))

@@ -1,0 +1,80 @@
+//! EXPLAIN before and after the planner's rewrites, under a tight budget.
+//!
+//! The same declarative query — two filters (one expensive, one cheap),
+//! then the top 4 items by quality — is lowered twice:
+//!
+//! * **verbatim**: the chain exactly as declared (what the eager
+//!   `Session` path would run);
+//! * **optimized**: sort+take fused into top-k, filters reordered
+//!   cheapest-first, and (under the tight budget) unpinned strategies
+//!   downgraded until the estimate fits.
+//!
+//! Run with: `cargo run -p crowdprompt --example query_plan`
+
+use std::sync::Arc;
+
+use crowdprompt::core::{Corpus, Engine};
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::prelude::*;
+
+fn main() {
+    let mut world = WorldModel::new();
+    let items: Vec<ItemId> = (0..60)
+        .map(|i| {
+            let id = world.add_item(format!("support ticket {i:02}: printer on fire ..."));
+            world.set_score(id, ((i as f64) * 3.77).sin().abs());
+            world.set_flag(id, "actionable", i % 2 == 0);
+            world.set_flag(id, "escalated", i % 3 == 0);
+            id
+        })
+        .collect();
+
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(world.clone()), 11);
+    let engine = Engine::new(
+        Arc::new(LlmClient::new(Arc::new(llm))),
+        Corpus::from_world(&world, &items),
+    )
+    .with_budget(Budget::usd(0.06)) // tight: forces the planner to economize
+    .with_criterion_label("by severity");
+
+    // The expensive filter is declared *first*; the planner will notice the
+    // cheap one should run before it.
+    let query = || {
+        Query::over(&items)
+            .filter_with(
+                "escalated",
+                FilterStrategy::MajorityVote {
+                    votes: 5,
+                    temperature_pct: 70,
+                },
+            )
+            .filter("actionable")
+            .sort(SortCriterion::LatentScore)
+            .take(4)
+    };
+
+    println!("== BEFORE rewrites (verbatim lowering) ==");
+    let verbatim = query()
+        .plan_with(&engine, PlanOptions::verbatim())
+        .expect("verbatim lowering");
+    println!("{}", verbatim.explain());
+
+    println!("== AFTER rewrites (cost-based planner) ==");
+    let plan = query().plan_on(&engine).expect("optimized lowering");
+    println!("{}", plan.explain());
+
+    let run = plan.execute_on(&engine).expect("plan fits the budget");
+    println!(
+        "executed: {} calls, ${:.4} actual vs ${:.4} estimated ({} survivors)",
+        run.total_calls(),
+        run.total_cost_usd(),
+        plan.estimated_cost_usd(),
+        run.output.items().map_or(0, <[ItemId]>::len),
+    );
+    for step in &run.steps {
+        println!(
+            "  {:<24} {:>3} -> {:<3} {:>5} calls  ${:.4}",
+            step.name, step.items_in, step.items_out, step.calls, step.cost_usd
+        );
+    }
+}

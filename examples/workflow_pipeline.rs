@@ -1,16 +1,15 @@
-//! A production-style multi-step workflow (§1's framing): filter in-policy
-//! reviews, keep the electronics ones, rank them by helpfulness, and take
-//! the top 5 — one declared pipeline, one shared budget, a per-step audit.
+//! A production-style multi-step workflow (§1's framing), declared through
+//! the plan layer: filter in-policy reviews, keep the electronics ones,
+//! rank by helpfulness, take the top 5 — one declarative query, one shared
+//! budget, an EXPLAIN before spending and a per-node audit after.
 //!
 //! Run with: `cargo run -p crowdprompt --example workflow_pipeline`
 
 use std::sync::Arc;
 
-use crowdprompt::core::workflow::Pipeline;
 use crowdprompt::core::{Corpus, Engine};
 use crowdprompt::oracle::world::{ItemId, WorldModel};
 use crowdprompt::prelude::*;
-use crowdprompt::core::ops::filter::FilterStrategy;
 
 fn main() {
     // 80 product reviews with latent helpfulness, policy flags, categories.
@@ -37,26 +36,27 @@ fn main() {
     .with_budget(Budget::usd(2.0))
     .with_criterion_label("by how helpful the review is");
 
-    let pipeline = Pipeline::new()
-        .filter("in_policy", FilterStrategy::Single)
-        .categorize_and_keep(
+    // Declare *what*: in-policy electronics reviews, best 5 by helpfulness.
+    // The planner decides *how* — here it fuses sort+take(5) into a top-k
+    // node instead of paying for a full sort.
+    let query = Query::over(&items)
+        .filter("in_policy")
+        .hint_selectivity(0.8)
+        .keep_label(
             vec!["electronics".to_owned(), "apparel".to_owned()],
             "electronics",
         )
-        .sort(
-            SortCriterion::LatentScore,
-            SortStrategy::Rating {
-                scale_min: 1,
-                scale_max: 7,
-            },
-        )
-        .truncate(5);
+        .sort(SortCriterion::LatentScore)
+        .take(5);
 
-    let result = pipeline.run(&engine, &items).expect("pipeline runs in budget");
+    let plan = query.plan_on(&engine).expect("query lowers");
+    println!("{}", plan.explain());
+
+    let run = plan.execute_on(&engine).expect("plan runs in budget");
 
     println!("step                        in -> out   calls  tokens   cost");
     println!("{}", "-".repeat(66));
-    for step in &result.steps {
+    for step in &run.steps {
         println!(
             "{:<26} {:>4} -> {:<4}  {:>4}  {:>6}   ${:.4}",
             step.name,
@@ -68,11 +68,12 @@ fn main() {
         );
     }
     println!(
-        "\ntotal: {} calls, ${:.4}; final set:",
-        result.total_calls(),
-        result.total_cost_usd()
+        "\ntotal: {} calls, ${:.4} (plan estimated ${:.4}); final set:",
+        run.total_calls(),
+        run.total_cost_usd(),
+        plan.estimated_cost_usd(),
     );
-    for id in &result.items {
+    for id in run.output.items().expect("item plan") {
         println!(
             "  {}  (helpfulness {:.2})",
             engine.corpus().text(*id).unwrap_or("?"),
