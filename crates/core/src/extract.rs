@@ -122,6 +122,23 @@ pub fn yes_no_list(text: &str, expected: usize) -> Result<Vec<bool>, EngineError
     Ok(out)
 }
 
+/// Parse a packed multi-item response: one answer line per packed item,
+/// `expected` lines required (numbering and preamble stripped).
+///
+/// A count mismatch — the numbered-list dropout/duplication failure mode of
+/// long packed prompts — is an extraction error; the dispatcher reacts by
+/// bisecting the pack and retrying (see `Engine::run_packed`).
+pub fn packed_answers(text: &str, expected: usize) -> Result<Vec<String>, EngineError> {
+    let answers = list_items(text);
+    if answers.len() != expected {
+        return Err(EngineError::Extraction {
+            expected: "packed answer list",
+            response: text.to_owned(),
+        });
+    }
+    Ok(answers)
+}
+
 /// Parse a grouped-duplicates response (`Group N: a | b | c` per line).
 pub fn groups(text: &str) -> Vec<Vec<String>> {
     let mut out = Vec::new();
@@ -332,6 +349,23 @@ mod tests {
         assert_eq!(yes_no_list(text, 3).unwrap(), vec![true, false, true]);
         assert!(yes_no_list(text, 4).is_err(), "count mismatch is an error");
         assert!(yes_no_list("garbage", 1).is_err());
+    }
+
+    #[test]
+    fn packed_answers_requires_exact_count() {
+        let text = "Here is the sorted list:\n1. Yes\n2. No\n3. berkeley\n";
+        assert_eq!(
+            packed_answers(text, 3).unwrap(),
+            vec!["Yes", "No", "berkeley"]
+        );
+        assert!(matches!(
+            packed_answers(text, 4),
+            Err(EngineError::Extraction { .. })
+        ));
+        assert!(matches!(
+            packed_answers(text, 2),
+            Err(EngineError::Extraction { .. })
+        ));
     }
 
     #[test]

@@ -9,10 +9,22 @@ use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
 /// Assign each item one of `labels`, returning labels in input order.
+/// Classification packs into multi-item prompts at the engine's configured
+/// [`Engine::pack_width`].
 pub fn categorize(
     engine: &Engine,
     items: &[ItemId],
     labels: &[String],
+) -> Result<Outcome<Vec<String>>, EngineError> {
+    categorize_packed(engine, items, labels, engine.pack_width())
+}
+
+/// [`categorize`] at an explicit pack width (`1` = per-item dispatch).
+pub fn categorize_packed(
+    engine: &Engine,
+    items: &[ItemId],
+    labels: &[String],
+    pack: usize,
 ) -> Result<Outcome<Vec<String>>, EngineError> {
     if labels.is_empty() {
         return Err(EngineError::InvalidInput(
@@ -26,9 +38,19 @@ pub fn categorize(
             labels: labels.to_vec(),
         })
         .collect();
-    let responses = engine.run_many(tasks)?;
     let mut meter = CostMeter::new();
     let mut out = Vec::with_capacity(items.len());
+    if pack > 1 {
+        let run = engine.run_packed(tasks, pack)?;
+        for resp in &run.responses {
+            meter.add(resp.usage, engine.cost_of(resp.usage));
+        }
+        for answer in &run.answers {
+            out.push(extract::choice(answer, labels)?);
+        }
+        return Ok(meter.into_outcome(out));
+    }
+    let responses = engine.run_many(tasks)?;
     for resp in &responses {
         meter.add(resp.usage, engine.cost_of(resp.usage));
         out.push(extract::choice(&resp.text, labels)?);

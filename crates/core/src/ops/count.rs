@@ -40,14 +40,41 @@ impl CountStrategy {
             CountStrategy::PerItem => n as u64,
         }
     }
+
+    /// Whether this strategy's checks can ride packed multi-item prompts.
+    /// Eyeball batches are already one-prompt-per-batch; only the per-item
+    /// checks benefit from packing.
+    pub fn packable(&self) -> bool {
+        matches!(self, CountStrategy::PerItem)
+    }
+
+    /// Expected LLM calls to count `n` items at pack width `pack`.
+    pub fn packed_calls(&self, n: usize, pack: usize) -> u64 {
+        match self {
+            CountStrategy::PerItem => n.div_ceil(pack.max(1)) as u64,
+            CountStrategy::Eyeball { .. } => self.estimated_calls(n),
+        }
+    }
 }
 
-/// Count how many of `items` satisfy `predicate`.
+/// Count how many of `items` satisfy `predicate`. Per-item checks pack into
+/// multi-item prompts at the engine's configured [`Engine::pack_width`].
 pub fn count(
     engine: &Engine,
     items: &[ItemId],
     predicate: &str,
     strategy: CountStrategy,
+) -> Result<Outcome<u64>, EngineError> {
+    count_packed(engine, items, predicate, strategy, engine.pack_width())
+}
+
+/// [`count`] at an explicit pack width (`1` = per-item dispatch).
+pub fn count_packed(
+    engine: &Engine,
+    items: &[ItemId],
+    predicate: &str,
+    strategy: CountStrategy,
+    pack: usize,
 ) -> Result<Outcome<u64>, EngineError> {
     let mut meter = CostMeter::new();
     match strategy {
@@ -78,8 +105,20 @@ pub fn count(
                     predicate: predicate.to_owned(),
                 })
                 .collect();
-            let responses = engine.run_many(tasks)?;
             let mut total = 0u64;
+            if pack > 1 {
+                let run = engine.run_packed(tasks, pack)?;
+                for resp in &run.responses {
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                }
+                for answer in &run.answers {
+                    if extract::yes_no(answer)? {
+                        total += 1;
+                    }
+                }
+                return Ok(meter.into_outcome(total));
+            }
+            let responses = engine.run_many(tasks)?;
             for resp in &responses {
                 meter.add(resp.usage, engine.cost_of(resp.usage));
                 if extract::yes_no(&resp.text)? {

@@ -68,6 +68,28 @@ impl FilterStrategy {
         }
     }
 
+    /// Whether this strategy's checks can ride packed multi-item prompts.
+    /// The confidence gate cannot: it consumes the per-answer confidence
+    /// signal, which a multi-answer response does not carry per item.
+    pub fn packable(&self) -> bool {
+        !matches!(self, FilterStrategy::ConfidenceGated { .. })
+    }
+
+    /// Expected LLM calls to filter `n` items at pack width `pack`
+    /// (planner cost hint): packable strategies pay ⌈n/pack⌉ per pass.
+    pub fn packed_calls(&self, n: usize, pack: usize) -> u64 {
+        let pack = if self.packable() { pack.max(1) } else { 1 };
+        match self {
+            FilterStrategy::Single => n.div_ceil(pack) as u64,
+            FilterStrategy::MajorityVote { votes, .. } => {
+                n.div_ceil(pack) as u64 * u64::from((*votes).max(1))
+            }
+            FilterStrategy::ConfidenceGated { .. } => {
+                (n as f64 * self.calls_per_item()).ceil() as u64
+            }
+        }
+    }
+
     /// How cost scales with item count (`1` = linear), for extrapolation.
     pub fn cost_exponent(&self) -> u32 {
         1
@@ -75,13 +97,27 @@ impl FilterStrategy {
 }
 
 /// Filter `items` by `predicate`, returning the ids that pass, in input
-/// order.
+/// order. Packs checks into multi-item prompts at the engine's configured
+/// [`Engine::pack_width`].
 pub fn filter(
     engine: &Engine,
     items: &[ItemId],
     predicate: &str,
     strategy: FilterStrategy,
 ) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+    filter_packed(engine, items, predicate, strategy, engine.pack_width())
+}
+
+/// [`filter`] at an explicit pack width (`1` = per-item dispatch). The plan
+/// executor calls this with the planner's per-node width choice.
+pub fn filter_packed(
+    engine: &Engine,
+    items: &[ItemId],
+    predicate: &str,
+    strategy: FilterStrategy,
+    pack: usize,
+) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+    let pack = if strategy.packable() { pack.max(1) } else { 1 };
     let mut meter = CostMeter::new();
     let mut kept = Vec::new();
     match strategy {
@@ -93,6 +129,18 @@ pub fn filter(
                     predicate: predicate.to_owned(),
                 })
                 .collect();
+            if pack > 1 {
+                let run = engine.run_packed(tasks, pack)?;
+                for resp in &run.responses {
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                }
+                for (answer, id) in run.answers.iter().zip(items) {
+                    if extract::yes_no(answer)? {
+                        kept.push(*id);
+                    }
+                }
+                return Ok(meter.into_outcome(kept));
+            }
             let responses = engine.run_many(tasks)?;
             for (resp, id) in responses.iter().zip(items) {
                 meter.add(resp.usage, engine.cost_of(resp.usage));
@@ -170,6 +218,37 @@ pub fn filter(
         } => {
             let votes = votes.max(1);
             let temperature = f64::from(temperature_pct) / 100.0;
+            if pack > 1 {
+                // One packed pass per vote round: every round packs the
+                // whole item set at this round's sample index, so a round
+                // costs ⌈n/pack⌉ calls instead of n.
+                let tasks: Vec<TaskDescriptor> = items
+                    .iter()
+                    .map(|id| TaskDescriptor::CheckPredicate {
+                        item: *id,
+                        predicate: predicate.to_owned(),
+                    })
+                    .collect();
+                let mut yes_counts = vec![0u32; items.len()];
+                for s in 0..votes {
+                    let run =
+                        engine.run_packed_sampled(tasks.clone(), pack, temperature, s)?;
+                    for resp in &run.responses {
+                        meter.add(resp.usage, engine.cost_of(resp.usage));
+                    }
+                    for (count, answer) in yes_counts.iter_mut().zip(&run.answers) {
+                        if extract::yes_no(answer)? {
+                            *count += 1;
+                        }
+                    }
+                }
+                for (&id, yes) in items.iter().zip(yes_counts) {
+                    if yes * 2 > votes {
+                        kept.push(id);
+                    }
+                }
+                return Ok(meter.into_outcome(kept));
+            }
             // All votes for all items go through one pipelined dispatch.
             let specs: Vec<_> = items
                 .iter()

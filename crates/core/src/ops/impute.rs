@@ -55,6 +55,17 @@ impl ImputeStrategy {
             ImputeStrategy::Hybrid { .. } => n.div_ceil(2) as u64,
         }
     }
+
+    /// Whether this strategy's LLM calls can ride packed multi-item
+    /// prompts (only the strategies that call the LLM at all).
+    pub fn packable(&self) -> bool {
+        !matches!(self, ImputeStrategy::KnnOnly { .. })
+    }
+
+    /// Expected LLM calls to impute `n` records at pack width `pack`.
+    pub fn packed_calls(&self, n: usize, pack: usize) -> u64 {
+        self.estimated_calls(n).div_ceil(pack.max(1) as u64)
+    }
 }
 
 /// A labeled reference pool: records whose target-attribute values are
@@ -106,13 +117,26 @@ impl LabeledPool {
 }
 
 /// Impute `attribute` for each record in `records`, returning predicted
-/// values in input order.
+/// values in input order. LLM calls pack into multi-item prompts at the
+/// engine's configured [`Engine::pack_width`].
 pub fn impute(
     engine: &Engine,
     records: &[ItemId],
     attribute: &str,
     pool: &LabeledPool,
     strategy: &ImputeStrategy,
+) -> Result<Outcome<Vec<String>>, EngineError> {
+    impute_packed(engine, records, attribute, pool, strategy, engine.pack_width())
+}
+
+/// [`impute`] at an explicit pack width (`1` = per-record dispatch).
+pub fn impute_packed(
+    engine: &Engine,
+    records: &[ItemId],
+    attribute: &str,
+    pool: &LabeledPool,
+    strategy: &ImputeStrategy,
+    pack: usize,
 ) -> Result<Outcome<Vec<String>>, EngineError> {
     match strategy {
         ImputeStrategy::KnnOnly { k } => {
@@ -128,8 +152,18 @@ pub fn impute(
                 .iter()
                 .map(|id| impute_task(engine, pool, *id, attribute, *shots))
                 .collect();
-            let responses = engine.run_many(tasks)?;
             let mut values = Vec::with_capacity(records.len());
+            if pack > 1 {
+                let run = engine.run_packed(tasks, pack)?;
+                for resp in &run.responses {
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                }
+                for answer in &run.answers {
+                    values.push(extract::value(answer)?);
+                }
+                return Ok(meter.into_outcome(values));
+            }
+            let responses = engine.run_many(tasks)?;
             for resp in &responses {
                 meter.add(resp.usage, engine.cost_of(resp.usage));
                 values.push(extract::value(&resp.text)?);
@@ -154,10 +188,20 @@ pub fn impute(
                 .iter()
                 .map(|&i| impute_task(engine, pool, records[i], attribute, *shots))
                 .collect();
-            let responses = engine.run_many(tasks)?;
-            for (resp, &i) in responses.iter().zip(&llm_indices) {
-                meter.add(resp.usage, engine.cost_of(resp.usage));
-                values[i] = Some(extract::value(&resp.text)?);
+            if pack > 1 {
+                let run = engine.run_packed(tasks, pack)?;
+                for resp in &run.responses {
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                }
+                for (answer, &i) in run.answers.iter().zip(&llm_indices) {
+                    values[i] = Some(extract::value(answer)?);
+                }
+            } else {
+                let responses = engine.run_many(tasks)?;
+                for (resp, &i) in responses.iter().zip(&llm_indices) {
+                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    values[i] = Some(extract::value(&resp.text)?);
+                }
             }
             Ok(meter.into_outcome(
                 values

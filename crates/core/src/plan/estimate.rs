@@ -147,6 +147,76 @@ impl<'a> Estimator<'a> {
         strategy.calls_per_item() * self.check_cost(predicate)
     }
 
+    /// A representative packed prompt task for a packable node at width
+    /// `b`: the node's point-wise task over the first `b` source items.
+    /// Rendering it prices the *shared-prefix* economics for real — the
+    /// instruction is counted once and each extra item adds only its text.
+    fn representative_pack(&self, node: &PhysicalNode, b: usize) -> Option<TaskDescriptor> {
+        let items = &self.source[..b.min(self.source.len())];
+        if items.is_empty() {
+            return None;
+        }
+        let tasks: Vec<TaskDescriptor> = match node {
+            PhysicalNode::Filter { predicate, .. } | PhysicalNode::Count { predicate, .. } => {
+                items
+                    .iter()
+                    .map(|&item| TaskDescriptor::CheckPredicate {
+                        item,
+                        predicate: predicate.clone(),
+                    })
+                    .collect()
+            }
+            PhysicalNode::Categorize { labels, .. }
+            | PhysicalNode::KeepLabel { labels, .. } => items
+                .iter()
+                .map(|&item| TaskDescriptor::Classify {
+                    item,
+                    labels: labels.clone(),
+                })
+                .collect(),
+            PhysicalNode::Impute {
+                attribute,
+                labeled,
+                strategy,
+                ..
+            } => {
+                let shots = match strategy {
+                    ImputeStrategy::KnnOnly { .. } => return None,
+                    ImputeStrategy::LlmOnly { shots }
+                    | ImputeStrategy::Hybrid { shots, .. } => *shots,
+                };
+                let examples: Vec<(ItemId, String)> =
+                    labeled.iter().take(shots).cloned().collect();
+                items
+                    .iter()
+                    .map(|&item| TaskDescriptor::Impute {
+                        item,
+                        attribute: attribute.clone(),
+                        examples: examples.clone(),
+                    })
+                    .collect()
+            }
+            _ => return None,
+        };
+        Some(TaskDescriptor::Packed { tasks })
+    }
+
+    /// Prompt tokens of a representative packed prompt at width `b` — the
+    /// planner's context-window fitting probe.
+    pub(crate) fn packed_prompt_tokens(&self, node: &PhysicalNode, b: usize) -> Option<u32> {
+        let task = self.representative_pack(node, b)?;
+        let prompt =
+            crate::template::render(&task, self.engine.corpus(), self.engine.render_opts())
+                .ok()?;
+        Some(crowdprompt_oracle::tokenizer::count_tokens(&prompt))
+    }
+
+    /// Estimated USD of one packed prompt at width `b` for a packable node.
+    fn packed_pack_cost(&self, node: &PhysicalNode, b: usize) -> f64 {
+        self.representative_pack(node, b)
+            .map_or(0.0, |task| self.cost_of(task))
+    }
+
     /// A sort-list prompt over the first `n` source items.
     fn sort_list_cost(&self, n: usize, criterion: SortCriterion) -> f64 {
         let take = n.clamp(2, self.source.len().max(2)).min(self.source.len());
@@ -247,10 +317,17 @@ impl<'a> Estimator<'a> {
             PhysicalNode::Filter {
                 predicate,
                 strategy,
+                pack,
                 ..
             } => {
-                let calls = (n as f64 * strategy.calls_per_item()).ceil() as u64;
-                (calls, calls as f64 * self.check_cost(predicate))
+                if *pack > 1 && strategy.packable() {
+                    let calls = strategy.packed_calls(n, *pack);
+                    let per_pack = self.packed_pack_cost(node, (*pack).min(n.max(1)));
+                    (calls, calls as f64 * per_pack)
+                } else {
+                    let calls = (n as f64 * strategy.calls_per_item()).ceil() as u64;
+                    (calls, calls as f64 * self.check_cost(predicate))
+                }
             }
             PhysicalNode::Sort {
                 criterion,
@@ -278,20 +355,36 @@ impl<'a> Estimator<'a> {
                     (n as u64 + pairs, cost)
                 }
             }
-            PhysicalNode::Categorize { labels } | PhysicalNode::KeepLabel { labels, .. } => {
-                let per = self.per_item_cost(|item| TaskDescriptor::Classify {
-                    item,
-                    labels: labels.clone(),
-                });
-                (n as u64, n as f64 * per)
+            PhysicalNode::Categorize { labels, pack }
+            | PhysicalNode::KeepLabel { labels, pack, .. } => {
+                if *pack > 1 {
+                    let calls = n.div_ceil((*pack).max(1)) as u64;
+                    let per_pack = self.packed_pack_cost(node, (*pack).min(n.max(1)));
+                    (calls, calls as f64 * per_pack)
+                } else {
+                    let per = self.per_item_cost(|item| TaskDescriptor::Classify {
+                        item,
+                        labels: labels.clone(),
+                    });
+                    (n as u64, n as f64 * per)
+                }
             }
             PhysicalNode::Count {
                 predicate,
                 strategy,
-            } => (
-                strategy.estimated_calls(n),
-                self.count_cost(strategy, predicate, n),
-            ),
+                pack,
+            } => {
+                if *pack > 1 && strategy.packable() {
+                    let calls = strategy.packed_calls(n, *pack);
+                    let per_pack = self.packed_pack_cost(node, (*pack).min(n.max(1)));
+                    (calls, calls as f64 * per_pack)
+                } else {
+                    (
+                        strategy.estimated_calls(n),
+                        self.count_cost(strategy, predicate, n),
+                    )
+                }
+            }
             PhysicalNode::Max { criterion, strategy } => {
                 if n < 2 {
                     (0, 0.0) // degenerate max is answered without the model
@@ -344,10 +437,19 @@ impl<'a> Estimator<'a> {
                 attribute,
                 labeled,
                 strategy,
-            } => (
-                strategy.estimated_calls(n),
-                self.impute_cost(strategy, attribute, labeled, n),
-            ),
+                pack,
+            } => {
+                if *pack > 1 && strategy.packable() {
+                    let calls = strategy.packed_calls(n, *pack);
+                    let per_pack = self.packed_pack_cost(node, (*pack).min(n.max(1)));
+                    (calls, calls as f64 * per_pack)
+                } else {
+                    (
+                        strategy.estimated_calls(n),
+                        self.impute_cost(strategy, attribute, labeled, n),
+                    )
+                }
+            }
         };
         NodeEstimate {
             rows_in,

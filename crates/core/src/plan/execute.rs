@@ -188,9 +188,11 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
             PhysicalNode::Filter {
                 predicate,
                 strategy,
+                pack,
                 ..
             } => {
-                let out = ops::filter::filter(engine, &items, predicate, *strategy)?;
+                let out =
+                    ops::filter::filter_packed(engine, &items, predicate, *strategy, *pack)?;
                 push_report(&mut steps, name, items_in, out.value.len(), &out);
                 items = out.value;
             }
@@ -220,26 +222,49 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 push_report(&mut steps, name, items_in, out.value.len(), &out);
                 items = out.value;
             }
-            PhysicalNode::Categorize { labels } => {
-                let out = ops::categorize::categorize(engine, &items, labels)?;
+            PhysicalNode::Categorize { labels, pack } => {
+                let out = ops::categorize::categorize_packed(engine, &items, labels, *pack)?;
                 push_report(&mut steps, name, items_in, items_in, &out);
                 output = Some(PlanOutput::Labels(out.value));
             }
-            PhysicalNode::KeepLabel { labels, keep } => {
-                // Streamed: tasks are rendered and admitted inside the
-                // worker pool as they are pulled, overlapping model calls.
-                let responses = engine.run_stream(items.iter().map(|id| {
-                    TaskDescriptor::Classify {
-                        item: *id,
-                        labels: labels.clone(),
-                    }
-                }))?;
+            PhysicalNode::KeepLabel { labels, keep, pack } => {
                 let mut meter = CostMeter::new();
                 let mut kept = Vec::new();
-                for (resp, id) in responses.iter().zip(&items) {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
-                    if extract::choice(&resp.text, labels)? == *keep {
-                        kept.push(*id);
+                if *pack > 1 {
+                    // Packed: B classifications per prompt.
+                    let run = engine.run_packed(
+                        items
+                            .iter()
+                            .map(|id| TaskDescriptor::Classify {
+                                item: *id,
+                                labels: labels.clone(),
+                            })
+                            .collect(),
+                        *pack,
+                    )?;
+                    for resp in &run.responses {
+                        meter.add(resp.usage, engine.cost_of(resp.usage));
+                    }
+                    for (answer, id) in run.answers.iter().zip(&items) {
+                        if extract::choice(answer, labels)? == *keep {
+                            kept.push(*id);
+                        }
+                    }
+                } else {
+                    // Streamed: tasks are rendered and admitted inside the
+                    // worker pool as they are pulled, overlapping model
+                    // calls.
+                    let responses = engine.run_stream(items.iter().map(|id| {
+                        TaskDescriptor::Classify {
+                            item: *id,
+                            labels: labels.clone(),
+                        }
+                    }))?;
+                    for (resp, id) in responses.iter().zip(&items) {
+                        meter.add(resp.usage, engine.cost_of(resp.usage));
+                        if extract::choice(&resp.text, labels)? == *keep {
+                            kept.push(*id);
+                        }
                     }
                 }
                 let out = meter.into_outcome(kept);
@@ -249,8 +274,9 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
             PhysicalNode::Count {
                 predicate,
                 strategy,
+                pack,
             } => {
-                let out = ops::count::count(engine, &items, predicate, *strategy)?;
+                let out = ops::count::count_packed(engine, &items, predicate, *strategy, *pack)?;
                 push_report(&mut steps, name, items_in, 1, &out);
                 output = Some(PlanOutput::Count(out.value));
             }
@@ -292,9 +318,12 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 attribute,
                 labeled,
                 strategy,
+                pack,
             } => {
                 let pool = LabeledPool::build(engine, labeled)?;
-                let out = ops::impute::impute(engine, &items, attribute, &pool, strategy)?;
+                let out = ops::impute::impute_packed(
+                    engine, &items, attribute, &pool, strategy, *pack,
+                )?;
                 push_report(&mut steps, name, items_in, items_in, &out);
                 output = Some(PlanOutput::Values(out.value));
             }

@@ -55,6 +55,8 @@ pub enum PhysicalNode {
         strategy: FilterStrategy,
         /// Selectivity estimate used for row/cost propagation.
         selectivity: f64,
+        /// Prompt pack width (`1` = per-item dispatch).
+        pack: usize,
     },
     /// Order the items.
     Sort {
@@ -81,6 +83,8 @@ pub enum PhysicalNode {
     Categorize {
         /// Candidate labels.
         labels: Vec<String>,
+        /// Prompt pack width (`1` = per-item dispatch).
+        pack: usize,
     },
     /// Label every item, keep those labelled `keep`.
     KeepLabel {
@@ -88,6 +92,8 @@ pub enum PhysicalNode {
         labels: Vec<String>,
         /// Surviving label.
         keep: String,
+        /// Prompt pack width (`1` = per-item dispatch).
+        pack: usize,
     },
     /// Count items satisfying the predicate (terminal).
     Count {
@@ -95,6 +101,8 @@ pub enum PhysicalNode {
         predicate: String,
         /// Resolved strategy.
         strategy: CountStrategy,
+        /// Prompt pack width (`1` = per-item dispatch).
+        pack: usize,
     },
     /// Find the maximum item (terminal).
     Max {
@@ -133,6 +141,8 @@ pub enum PhysicalNode {
         labeled: Vec<(ItemId, String)>,
         /// Resolved strategy.
         strategy: ImputeStrategy,
+        /// Prompt pack width (`1` = per-item dispatch).
+        pack: usize,
     },
 }
 
@@ -155,16 +165,18 @@ impl PhysicalNode {
         }
     }
 
-    /// The resolved strategy, rendered for EXPLAIN.
+    /// The resolved strategy, rendered for EXPLAIN (a `xpack-B` suffix
+    /// marks nodes dispatching packed multi-item prompts).
     pub fn strategy_label(&self) -> String {
-        match self {
+        let base = match self {
             PhysicalNode::Filter { strategy, .. } => strategy.name(),
             PhysicalNode::Sort { strategy, .. } => strategy.name(),
             PhysicalNode::Take { .. } => "free".to_owned(),
             PhysicalNode::TopK {
                 shortlist_factor, ..
             } => format!("rate-shortlist-x{shortlist_factor}+pairwise"),
-            PhysicalNode::Categorize { labels } | PhysicalNode::KeepLabel { labels, .. } => {
+            PhysicalNode::Categorize { labels, .. }
+            | PhysicalNode::KeepLabel { labels, .. } => {
                 format!("classify-{}", labels.len())
             }
             PhysicalNode::Count { strategy, .. } => strategy.name(),
@@ -179,6 +191,45 @@ impl PhysicalNode {
             },
             PhysicalNode::Join { strategy, .. } => strategy.name(),
             PhysicalNode::Impute { strategy, .. } => strategy.name(),
+        };
+        match self.pack() {
+            Some(pack) if pack > 1 => format!("{base} xpack-{pack}"),
+            _ => base,
+        }
+    }
+
+    /// The node's prompt pack width, if it is a point-wise node whose
+    /// dispatch can pack: `Some(1)` means per-item dispatch, `Some(B > 1)`
+    /// means B items per prompt, `None` means the node never packs (either
+    /// by kind, or because its resolved strategy cannot — e.g. a
+    /// confidence-gated filter needs per-answer confidence).
+    pub fn pack(&self) -> Option<usize> {
+        match self {
+            PhysicalNode::Filter { strategy, pack, .. } => {
+                strategy.packable().then_some(*pack)
+            }
+            PhysicalNode::Count { strategy, pack, .. } => {
+                strategy.packable().then_some(*pack)
+            }
+            PhysicalNode::Impute { strategy, pack, .. } => {
+                strategy.packable().then_some(*pack)
+            }
+            PhysicalNode::Categorize { pack, .. } | PhysicalNode::KeepLabel { pack, .. } => {
+                Some(*pack)
+            }
+            _ => None,
+        }
+    }
+
+    /// Set the prompt pack width on a packable node (no-op otherwise).
+    pub(crate) fn set_pack(&mut self, width: usize) {
+        match self {
+            PhysicalNode::Filter { pack, .. }
+            | PhysicalNode::Count { pack, .. }
+            | PhysicalNode::Categorize { pack, .. }
+            | PhysicalNode::KeepLabel { pack, .. }
+            | PhysicalNode::Impute { pack, .. } => *pack = width.max(1),
+            _ => {}
         }
     }
 }
@@ -690,6 +741,116 @@ mod tests {
             .plan_on(&engine)
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn pack_width_knob_packs_pointwise_nodes_and_notes_the_delta() {
+        let (engine, ids) = engine(40, budget::Budget::Unlimited);
+        let engine = engine.with_pack_width(16);
+        let plan = Query::over(&ids)
+            .filter("even")
+            .plan_on(&engine)
+            .unwrap();
+        assert_eq!(plan.nodes()[0].node.pack(), Some(16));
+        assert_eq!(
+            plan.nodes()[0].estimate.calls,
+            3,
+            "40 items at width 16 = 3 packs"
+        );
+        assert!(plan
+            .notes()
+            .iter()
+            .any(|n| n.contains("packed filter[even] at width 16")
+                && n.contains("vs 40 calls")));
+        assert!(plan.explain().contains("xpack-16"));
+        // Execution actually dispatches packs: 3 backend calls, not 40.
+        plan.execute_on(&engine).unwrap();
+        assert_eq!(engine.client().stats().calls(), 3);
+    }
+
+    #[test]
+    fn planner_caps_pack_width_at_the_context_window() {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..64)
+            .map(|i| {
+                let id = w.add_item(format!(
+                    "a deliberately wordy catalog record number {i:03} with plenty of text"
+                ));
+                w.set_flag(id, "even", i % 2 == 0);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        // A 200-token window: a 64-item pack cannot fit, singletons can.
+        let profile = crowdprompt_oracle::ModelProfile::perfect().with_context_window(200);
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 7));
+        let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus)
+            .with_pack_width(64);
+        let plan = Query::over(&ids).filter("even").plan_on(&engine).unwrap();
+        let pack = plan.nodes()[0].node.pack().unwrap();
+        assert!(pack < 64, "width must be capped, got {pack}");
+        assert!(plan
+            .notes()
+            .iter()
+            .any(|n| n.contains("capped") && n.contains("context window")));
+    }
+
+    #[test]
+    fn confidence_gated_filter_never_packs() {
+        let (engine, ids) = engine(20, budget::Budget::Unlimited);
+        let engine = engine.with_pack_width(8);
+        let plan = Query::over(&ids)
+            .filter_with(
+                "even",
+                FS::ConfidenceGated {
+                    min_confidence_pct: 65,
+                    votes: 5,
+                },
+            )
+            .plan_on(&engine)
+            .unwrap();
+        assert_eq!(plan.nodes()[0].node.pack(), None);
+        assert!(!plan.explain().contains("xpack"));
+        assert!(!plan.notes().iter().any(|n| n.contains("packed")));
+    }
+
+    #[test]
+    fn session_wrapper_packs_like_direct_ops() {
+        use crate::session::Session;
+        // Same world, same seed: the session wrapper (plan path) and the
+        // direct operator call must dispatch identical packed requests.
+        let build = || {
+            let mut w = WorldModel::new();
+            let ids: Vec<ItemId> = (0..24)
+                .map(|i| {
+                    let id = w.add_item(format!("wrapper item {i}"));
+                    w.set_flag(id, "even", i % 2 == 0);
+                    id
+                })
+                .collect();
+            let corpus = Corpus::from_world(&w, &ids);
+            let llm = Arc::new(SimulatedLlm::new(
+                ModelProfile::gpt35_like(),
+                Arc::new(w),
+                7,
+            ));
+            (Arc::new(LlmClient::new(llm)), corpus, ids)
+        };
+        let (client, corpus, ids) = build();
+        let session = Session::builder()
+            .client(Arc::clone(&client))
+            .corpus(corpus.clone())
+            .pack_width(8)
+            .build();
+        let via_session = session
+            .filter(&ids, "even", FS::Single)
+            .unwrap();
+        let (client2, corpus2, ids2) = build();
+        let engine = Engine::new(client2, corpus2).with_pack_width(8);
+        let direct = crate::ops::filter::filter(&engine, &ids2, "even", FS::Single).unwrap();
+        assert_eq!(via_session.value, direct.value);
+        assert_eq!(via_session.calls, direct.calls);
+        assert_eq!(via_session.usage, direct.usage);
     }
 
     #[test]

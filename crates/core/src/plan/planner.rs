@@ -168,9 +168,11 @@ fn downgrade(node: &PhysicalNode) -> Option<PhysicalNode> {
         PhysicalNode::Count {
             predicate,
             strategy: CountStrategy::PerItem,
+            pack,
         } => Some(PhysicalNode::Count {
             predicate: predicate.clone(),
             strategy: CountStrategy::Eyeball { batch_size: 10 },
+            pack: *pack,
         }),
         PhysicalNode::Max {
             criterion,
@@ -183,6 +185,7 @@ fn downgrade(node: &PhysicalNode) -> Option<PhysicalNode> {
             attribute,
             labeled,
             strategy,
+            pack,
         } => {
             let next = match strategy {
                 ImputeStrategy::LlmOnly { shots } => ImputeStrategy::Hybrid {
@@ -196,6 +199,7 @@ fn downgrade(node: &PhysicalNode) -> Option<PhysicalNode> {
                 attribute: attribute.clone(),
                 labeled: labeled.clone(),
                 strategy: next,
+                pack: *pack,
             })
         }
         _ => None,
@@ -306,6 +310,7 @@ pub(crate) fn plan(
                     predicate: predicate.clone(),
                     strategy: strategy.unwrap_or(FilterStrategy::Single),
                     selectivity: selectivity.unwrap_or(FilterStrategy::DEFAULT_SELECTIVITY),
+                    pack: 1,
                 },
                 strategy.is_some(),
             ),
@@ -335,6 +340,7 @@ pub(crate) fn plan(
             LogicalOp::Categorize { labels } => (
                 PhysicalNode::Categorize {
                     labels: labels.clone(),
+                    pack: 1,
                 },
                 true,
             ),
@@ -342,6 +348,7 @@ pub(crate) fn plan(
                 PhysicalNode::KeepLabel {
                     labels: labels.clone(),
                     keep: keep.clone(),
+                    pack: 1,
                 },
                 true,
             ),
@@ -352,6 +359,7 @@ pub(crate) fn plan(
                 PhysicalNode::Count {
                     predicate: predicate.clone(),
                     strategy: strategy.unwrap_or(CountStrategy::PerItem),
+                    pack: 1,
                 },
                 strategy.is_some(),
             ),
@@ -440,6 +448,7 @@ pub(crate) fn plan(
                     strategy: strategy
                         .clone()
                         .unwrap_or(ImputeStrategy::LlmOnly { shots: 3 }),
+                    pack: 1,
                 },
                 strategy.is_some(),
             ),
@@ -475,6 +484,7 @@ pub(crate) fn plan(
                                 predicate,
                                 strategy,
                                 selectivity,
+                                ..
                             } => {
                                 estimator.filter_item_cost(predicate, strategy)
                                     / (1.0 - selectivity).max(1e-6)
@@ -497,6 +507,69 @@ pub(crate) fn plan(
                 }
             }
             i = j.max(i + 1);
+        }
+    }
+
+    // Rewrite 4b: multi-item prompt packing. When the engine's pack-width
+    // knob is set, each point-wise node (filter, per-item count,
+    // categorize/keep-label, LLM impute) packs B items per prompt: the
+    // planner picks B = min(knob, rows) capped so a representative packed
+    // prompt still fits the model's context window, and records the
+    // packed-vs-per-item estimate delta. Packing is call-count monotone
+    // (⌈n/B⌉ ≤ n for every B ≥ 1), so a larger feasible B never hurts the
+    // node's budget fit.
+    let knob = engine.pack_width();
+    if knob > 1 {
+        let mut rows = source.len();
+        for l in &mut lowered {
+            let rows_in = rows;
+            rows = super::estimate::rows_out(&l.node, rows_in);
+            if l.node.pack().is_none() {
+                continue;
+            }
+            let mut width = knob.min(rows_in.max(1));
+            if let Some(estimator) = lazy_estimator
+                .as_ref()
+                .filter(|_| options.estimate_costs)
+            {
+                let window = engine.client().model().context_window();
+                let capped = width;
+                while width > 1 {
+                    match estimator.packed_prompt_tokens(&l.node, width) {
+                        Some(tokens) if tokens > window => width /= 2,
+                        _ => break,
+                    }
+                }
+                if width < capped {
+                    notes.push(format!(
+                        "pack width for {} capped at {width} (a {capped}-item prompt \
+                         overflows the {window}-token context window)",
+                        l.node.name(),
+                    ));
+                }
+            }
+            if width <= 1 {
+                continue;
+            }
+            l.node.set_pack(width);
+            if let Some(estimator) = lazy_estimator
+                .as_ref()
+                .filter(|_| options.estimate_costs)
+            {
+                let packed = estimator.node(&l.node, rows_in);
+                let mut per_item = l.node.clone();
+                per_item.set_pack(1);
+                let unpacked = estimator.node(&per_item, rows_in);
+                notes.push(format!(
+                    "packed {} at width {width}: est {} calls ~${:.4} vs {} calls \
+                     ~${:.4} per-item",
+                    l.node.name(),
+                    packed.calls,
+                    packed.cost_usd,
+                    unpacked.calls,
+                    unpacked.cost_usd,
+                ));
+            }
         }
     }
 

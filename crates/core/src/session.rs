@@ -29,6 +29,7 @@ pub struct SessionBuilder {
     corpus: Corpus,
     budget: Budget,
     parallelism: usize,
+    pack_width: usize,
     temperature: f64,
     seed: u64,
     criterion_label: String,
@@ -61,6 +62,19 @@ impl SessionBuilder {
     #[must_use]
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = workers;
+        self
+    }
+
+    /// Set the prompt pack width (default 1 = off): point-wise operators
+    /// (filter, per-item count, categorize, LLM impute) pack up to this
+    /// many items into one multi-item prompt, cutting backend calls to
+    /// ⌈n/width⌉ per pass. The planner may choose a smaller per-node width
+    /// when a packed prompt would overflow the model's context window, and
+    /// unparseable packed responses are bisected and retried down to the
+    /// per-item path — results are unaffected, only call counts change.
+    #[must_use]
+    pub fn pack_width(mut self, width: usize) -> Self {
+        self.pack_width = width;
         self
     }
 
@@ -103,6 +117,7 @@ impl SessionBuilder {
         let mut engine = Engine::new(client, self.corpus)
             .with_budget(self.budget)
             .with_parallelism(self.parallelism)
+            .with_pack_width(self.pack_width)
             .with_temperature(self.temperature)
             .with_seed(self.seed)
             .with_criterion_label(self.criterion_label);
@@ -172,6 +187,7 @@ impl Session {
             corpus: Corpus::new(),
             budget: Budget::Unlimited,
             parallelism: 8,
+            pack_width: 1,
             temperature: 0.0,
             seed: 0,
             criterion_label: "by the given criterion".to_owned(),

@@ -179,7 +179,74 @@ pub fn render(
                  Is that answer correct? Start your response with Yes or No.",
             ))
         }
+        TaskDescriptor::Packed { tasks } => render_packed(tasks, corpus),
     }
+}
+
+/// Render a packed multi-item prompt: the shared instruction (hoisted from
+/// the first sub-task) stated once, then one numbered line per item, with a
+/// numbered-answer output contract. This is where packing's token saving
+/// comes from — the per-item marginal cost is the item text alone.
+fn render_packed(tasks: &[TaskDescriptor], corpus: &Corpus) -> Result<String, EngineError> {
+    let first = tasks.first().ok_or_else(|| {
+        EngineError::InvalidInput("packed task with no sub-tasks".into())
+    })?;
+    let n = tasks.len();
+    let mut out = match first {
+        TaskDescriptor::CheckPredicate { predicate, .. } => format!(
+            "For each of the {n} numbered items below, answer whether it \
+             satisfies: {predicate}. Respond with one line per item, in \
+             order: \"N. Yes\" or \"N. No\", and nothing else.\n\n",
+        ),
+        TaskDescriptor::Classify { labels, .. } => format!(
+            "Classify each of the {n} numbered items below into exactly one \
+             of these categories: {}. Respond with one line per item, in \
+             order: \"N. <category>\", and nothing else.\n\n",
+            labels.join(", "),
+        ),
+        TaskDescriptor::Impute { attribute, .. } => format!(
+            "Fill in the missing \"{attribute}\" value for each of the {n} \
+             numbered records below. Respond with one line per record, in \
+             order: \"N. <value>\", and nothing else.\n\n",
+        ),
+        other => {
+            return Err(EngineError::InvalidInput(format!(
+                "task kind {:?} is not packable",
+                other.kind()
+            )))
+        }
+    };
+    for (i, task) in tasks.iter().enumerate() {
+        match task {
+            TaskDescriptor::CheckPredicate { item, .. }
+            | TaskDescriptor::Classify { item, .. } => {
+                out.push_str(&format!("{}. {}\n", i + 1, text_of(corpus, *item)?));
+            }
+            TaskDescriptor::Impute {
+                item,
+                attribute,
+                examples,
+            } => {
+                out.push_str(&format!("{}. Record: {}\n", i + 1, text_of(corpus, *item)?));
+                // Few-shot examples are per record (each record's nearest
+                // labelled neighbors), so they render inline — packing
+                // amortizes the instruction, not the examples.
+                for (ex_id, value) in examples {
+                    out.push_str(&format!(
+                        "   (similar record: {} has {attribute}: {value})\n",
+                        text_of(corpus, *ex_id)?,
+                    ));
+                }
+            }
+            other => {
+                return Err(EngineError::InvalidInput(format!(
+                    "task kind {:?} is not packable",
+                    other.kind()
+                )))
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn criterion_phrase(label: &str, criterion: SortCriterion) -> String {

@@ -182,6 +182,65 @@ proptest! {
         }
     }
 
+    // -- packed execution ----------------------------------------------------
+
+    #[test]
+    fn packed_filter_is_bit_identical_to_per_item(
+        flags in prop::collection::vec(prop::bool::ANY, 1..40),
+        width in 2usize..12,
+        force_bisection in prop::bool::ANY,
+    ) {
+        use crowdprompt_core::ops::filter::{filter, FilterStrategy};
+        use crowdprompt_core::{Budget, Corpus, Engine};
+        use crowdprompt_oracle::model::{ModelProfile, NoiseProfile};
+        use crowdprompt_oracle::sim::SimulatedLlm;
+        use crowdprompt_oracle::world::WorldModel;
+        use crowdprompt_oracle::LlmClient;
+        use std::sync::Arc;
+
+        // Accuracy-1.0 answers with heavy formatting noise; optionally
+        // every pack's numbered answer list comes back broken, forcing
+        // bisection all the way down to singletons.
+        let build = |pack: usize, dropout: f64| {
+            let mut w = WorldModel::new();
+            let ids: Vec<_> = flags
+                .iter()
+                .enumerate()
+                .map(|(i, &flag)| {
+                    let id = w.add_item(format!("prop item {i}"));
+                    w.set_flag(id, "keep", flag);
+                    id
+                })
+                .collect();
+            let corpus = Corpus::from_world(&w, &ids);
+            let profile = ModelProfile::perfect().with_noise(NoiseProfile {
+                chatter_level: 0.9,
+                malformed_rate: 0.3,
+                packed_dropout_rate: dropout,
+                ..NoiseProfile::perfect()
+            });
+            let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 99));
+            let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus)
+                .with_budget(Budget::Unlimited)
+                .with_pack_width(pack);
+            (engine, ids)
+        };
+        let (baseline_engine, ids) = build(1, 0.0);
+        let baseline = filter(&baseline_engine, &ids, "keep", FilterStrategy::Single)
+            .expect("per-item path");
+        let dropout = if force_bisection { 1.0 } else { 0.0 };
+        let (packed_engine, ids) = build(width, dropout);
+        let packed = filter(&packed_engine, &ids, "keep", FilterStrategy::Single)
+            .expect("packed path");
+        prop_assert_eq!(&packed.value, &baseline.value);
+        // Spend attribution stays exact under bisection: the operator's
+        // meter, the client ledger, and the budget tracker must agree.
+        let ledger = packed_engine.client().ledger();
+        prop_assert_eq!(packed.calls, ledger.calls());
+        prop_assert_eq!(u64::from(packed.usage.total()), ledger.total_tokens());
+        prop_assert_eq!(packed_engine.budget().spent_tokens(), ledger.total_tokens());
+    }
+
     #[test]
     fn calibrated_threshold_f1_is_achievable_max(
         scores in prop::collection::vec(0.0f64..1.0, 2..30)

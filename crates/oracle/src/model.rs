@@ -95,6 +95,11 @@ pub struct NoiseProfile {
     pub malformed_rate: f64,
     /// How verbose the chatter around answers is, in `[0,1]`.
     pub chatter_level: f64,
+    /// Probability that a multi-item packed prompt's numbered answer list
+    /// comes back unusable (a dropped or duplicated line — the numbered-list
+    /// failure mode long prompts exhibit), forcing the dispatcher to bisect
+    /// the pack and retry. Applies only to packs of more than one item.
+    pub packed_dropout_rate: f64,
 
     // -- transport failure injection ------------------------------------------
     /// Probability a call fails with `RateLimited` (retryable).
@@ -134,6 +139,7 @@ impl Default for NoiseProfile {
             verify_accuracy: 0.85,
             malformed_rate: 0.01,
             chatter_level: 0.4,
+            packed_dropout_rate: 0.02,
             rate_limit_prob: 0.0,
             unavailable_prob: 0.0,
         }
@@ -173,6 +179,7 @@ impl NoiseProfile {
             verify_accuracy: 1.0,
             malformed_rate: 0.0,
             chatter_level: 0.0,
+            packed_dropout_rate: 0.0,
             rate_limit_prob: 0.0,
             unavailable_prob: 0.0,
         }

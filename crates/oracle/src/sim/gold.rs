@@ -63,9 +63,11 @@ pub fn gold_answer(world: &WorldModel, task: &TaskDescriptor) -> Option<String> 
             }
             Some(count.to_string())
         }
+        // Multi-answer tasks have no single canonical answer string.
         TaskDescriptor::SortList { .. }
         | TaskDescriptor::GroupEntities { .. }
-        | TaskDescriptor::CompareBatch { .. } => None,
+        | TaskDescriptor::CompareBatch { .. }
+        | TaskDescriptor::Packed { .. } => None,
         TaskDescriptor::Verify { original, .. } => {
             // The gold answer to "is this proposed answer right?" is itself a
             // yes/no derived from the inner gold answer.

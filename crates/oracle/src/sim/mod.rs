@@ -65,6 +65,22 @@ impl SimulatedLlm {
         ChaCha8Rng::seed_from_u64(key)
     }
 
+    /// RNG for one sub-task inside a packed prompt, keyed by the *sub-task*
+    /// (plus the request's sampling coordinates) rather than the packed
+    /// request: the same item asked the same question at the same
+    /// temperature/sample draws the same answer no matter which pack carries
+    /// it, so bisection retries of a failed pack answer consistently.
+    fn packed_sub_rng(&self, request: &CompletionRequest, sub: &TaskDescriptor) -> ChaCha8Rng {
+        let mut key = hash::combine(sub.fingerprint(), request.temperature.to_bits());
+        if request.temperature > 0.0 {
+            key = hash::combine(key, u64::from(request.sample_index));
+        }
+        ChaCha8Rng::seed_from_u64(hash::combine(
+            self.seed,
+            hash::combine(key, hash::fnv1a_str("task")),
+        ))
+    }
+
     fn chatter_style(&self, request: &CompletionRequest, allow_malformed: bool) -> ChatterStyle {
         let mut rng = self.rng_for(request, "chatter");
         let malformed = allow_malformed
@@ -98,6 +114,25 @@ impl SimulatedLlm {
             } if scale_min >= scale_max => Err(LlmError::InvalidRequest(format!(
                 "rating scale [{scale_min}, {scale_max}] is empty"
             ))),
+            TaskDescriptor::Packed { tasks } => {
+                // Re-check the packing contract: [`TaskDescriptor::packed`]
+                // enforces it at construction, but requests can be built by
+                // hand.
+                let Some(first) = tasks.first() else {
+                    return Err(LlmError::InvalidRequest(
+                        "packed task with no sub-tasks".into(),
+                    ));
+                };
+                if tasks
+                    .iter()
+                    .any(|t| !t.packable() || !first.pack_compatible(t))
+                {
+                    return Err(LlmError::InvalidRequest(
+                        "packed sub-tasks must be packable and share one instruction".into(),
+                    ));
+                }
+                Ok(())
+            }
             _ => Ok(()),
         }
     }
@@ -244,6 +279,59 @@ impl SimulatedLlm {
                     None,
                 ),
             },
+            TaskDescriptor::Packed { tasks } => {
+                let mut answers: Vec<String> = Vec::with_capacity(tasks.len());
+                for sub in tasks {
+                    let mut srng = self.packed_sub_rng(request, sub);
+                    let line = match sub {
+                        TaskDescriptor::CheckPredicate { item, predicate } => {
+                            let (yes, _) = misc::simulate_check_with_confidence(
+                                world, noise, *item, predicate, &mut srng,
+                            );
+                            if yes { "Yes" } else { "No" }.to_owned()
+                        }
+                        TaskDescriptor::Classify { item, labels } => {
+                            misc::simulate_classify(world, noise, *item, labels, &mut srng)
+                        }
+                        TaskDescriptor::Impute {
+                            item,
+                            attribute,
+                            examples,
+                        } => impute::simulate_impute(
+                            world,
+                            noise,
+                            *item,
+                            attribute,
+                            examples.len(),
+                            &mut srng,
+                        ),
+                        // `validate` rejects anything else before generation.
+                        other => format!("<unpackable {}>", other.kind()),
+                    };
+                    answers.push(line);
+                }
+                // Numbered-list dropout: long packed outputs occasionally
+                // lose or duplicate a line, leaving the list unparseable
+                // against the expected item count — the failure mode the
+                // dispatcher's bisection handles.
+                if answers.len() > 1 && noise.packed_dropout_rate > 0.0 {
+                    let mut frng = self.rng_for(request, "packed-dropout");
+                    if frng.random_bool(noise.packed_dropout_rate.clamp(0.0, 1.0)) {
+                        let victim = frng.random_range(0..answers.len());
+                        if frng.random_bool(0.5) {
+                            answers.remove(victim);
+                        } else {
+                            let dup = answers[victim].clone();
+                            answers.insert(victim, dup);
+                        }
+                    }
+                }
+                let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
+                (
+                    chatter::wrap_list(&refs, self.chatter_style(request, false)),
+                    None,
+                )
+            }
         }
     }
 }
@@ -488,6 +576,144 @@ mod tests {
         assert_eq!(resp.usage.prompt_tokens, count_tokens(prompt));
         assert!(resp.usage.completion_tokens >= 1);
         assert_eq!(resp.model, "sim-perfect");
+    }
+
+    #[test]
+    fn packed_check_matches_world_truth() {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..6)
+            .map(|i| {
+                let id = w.add_item(format!("packed item {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                id
+            })
+            .collect();
+        let llm = SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 3);
+        let tasks: Vec<TaskDescriptor> = ids
+            .iter()
+            .map(|id| TaskDescriptor::CheckPredicate {
+                item: *id,
+                predicate: "p".into(),
+            })
+            .collect();
+        let packed = TaskDescriptor::packed(tasks).unwrap();
+        let resp = llm
+            .complete(&CompletionRequest::new("packed", packed))
+            .unwrap();
+        let lines: Vec<&str> = resp.text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for (i, line) in lines.iter().enumerate() {
+            let expected = if i % 2 == 0 { "Yes" } else { "No" };
+            assert!(line.contains(expected), "line {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn packed_answers_are_chunking_invariant() {
+        // The same sub-task answers identically whichever pack carries it,
+        // so bisection retries of a failed pack stay consistent.
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..4)
+            .map(|i| {
+                let id = w.add_item(format!("inv item {i}"));
+                w.set_flag(id, "p", true);
+                id
+            })
+            .collect();
+        // Noisy checks: answers are RNG draws, so invariance is non-trivial.
+        let profile = ModelProfile::gpt35_like().with_noise(NoiseProfile {
+            check_accuracy: 0.5,
+            chatter_level: 0.0,
+            malformed_rate: 0.0,
+            packed_dropout_rate: 0.0,
+            ..NoiseProfile::default()
+        });
+        let llm = SimulatedLlm::new(profile, Arc::new(w), 11);
+        let check = |id: ItemId| TaskDescriptor::CheckPredicate {
+            item: id,
+            predicate: "p".into(),
+        };
+        let whole = llm
+            .complete(&CompletionRequest::new(
+                "whole",
+                TaskDescriptor::packed(ids.iter().copied().map(check).collect()).unwrap(),
+            ))
+            .unwrap();
+        let halves: Vec<String> = ids
+            .chunks(2)
+            .map(|half| {
+                llm.complete(&CompletionRequest::new(
+                    "half",
+                    TaskDescriptor::packed(half.iter().copied().map(check).collect()).unwrap(),
+                ))
+                .unwrap()
+                .text
+            })
+            .collect();
+        let whole_lines: Vec<&str> = whole.text.lines().collect();
+        let half_lines: Vec<&str> = halves.iter().flat_map(|t| t.lines()).collect();
+        // Strip the "N. " numbering before comparing payloads.
+        let payload = |l: &str| l.split_once(". ").map(|(_, p)| p.to_owned()).unwrap();
+        assert_eq!(
+            whole_lines.iter().map(|l| payload(l)).collect::<Vec<_>>(),
+            half_lines.iter().map(|l| payload(l)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn packed_dropout_breaks_the_line_count() {
+        let mut w = WorldModel::new();
+        let ids: Vec<ItemId> = (0..8)
+            .map(|i| {
+                let id = w.add_item(format!("drop item {i}"));
+                w.set_flag(id, "p", true);
+                id
+            })
+            .collect();
+        let profile = ModelProfile::perfect().with_noise(NoiseProfile {
+            packed_dropout_rate: 1.0,
+            ..NoiseProfile::perfect()
+        });
+        let llm = SimulatedLlm::new(profile, Arc::new(w), 5);
+        let packed = TaskDescriptor::packed(
+            ids.iter()
+                .map(|id| TaskDescriptor::CheckPredicate {
+                    item: *id,
+                    predicate: "p".into(),
+                })
+                .collect(),
+        )
+        .unwrap();
+        let resp = llm
+            .complete(&CompletionRequest::new("packed", packed))
+            .unwrap();
+        assert_ne!(resp.text.lines().count(), 8, "dropout must break the list");
+    }
+
+    #[test]
+    fn hand_built_invalid_packs_rejected() {
+        let (llm, ids) = setup();
+        let mixed = TaskDescriptor::Packed {
+            tasks: vec![
+                TaskDescriptor::CheckPredicate {
+                    item: ids[0],
+                    predicate: "p".into(),
+                },
+                TaskDescriptor::Classify {
+                    item: ids[1],
+                    labels: vec!["a".into()],
+                },
+            ],
+        };
+        assert!(matches!(
+            llm.complete(&CompletionRequest::new("bad", mixed)),
+            Err(LlmError::InvalidRequest(_))
+        ));
+        let empty = TaskDescriptor::Packed { tasks: vec![] };
+        assert!(matches!(
+            llm.complete(&CompletionRequest::new("bad", empty)),
+            Err(LlmError::InvalidRequest(_))
+        ));
     }
 
     #[test]

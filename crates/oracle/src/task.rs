@@ -127,6 +127,19 @@ pub enum TaskDescriptor {
         /// The answer whose correctness is being checked.
         proposed_answer: String,
     },
+    /// B point-wise unit tasks packed into one prompt with a numbered-answer
+    /// output contract: the shared instruction (predicate, label set, or
+    /// attribute) is stated once and the model answers one line per item, in
+    /// order. Packing amortizes the instruction prefix and divides the call
+    /// count by B — the per-prompt batching lever of §4 applied to the
+    /// point-wise operators (filter, categorize, per-item count, impute).
+    ///
+    /// Build through [`TaskDescriptor::packed`], which enforces the packing
+    /// contract (non-empty, all sub-tasks packable, pairwise compatible).
+    Packed {
+        /// The packed sub-tasks, in presentation (and answer) order.
+        tasks: Vec<TaskDescriptor>,
+    },
 }
 
 impl TaskDescriptor {
@@ -144,7 +157,71 @@ impl TaskDescriptor {
             TaskDescriptor::CheckPredicate { .. } => "check_predicate",
             TaskDescriptor::Classify { .. } => "classify",
             TaskDescriptor::Verify { .. } => "verify",
+            TaskDescriptor::Packed { .. } => "packed",
         }
+    }
+
+    /// Whether this task kind may appear inside a [`TaskDescriptor::Packed`]
+    /// prompt: point-wise tasks over a single item whose answer fits one
+    /// line (a yes/no verdict, a label, or an attribute value).
+    pub fn packable(&self) -> bool {
+        matches!(
+            self,
+            TaskDescriptor::CheckPredicate { .. }
+                | TaskDescriptor::Classify { .. }
+                | TaskDescriptor::Impute { .. }
+        )
+    }
+
+    /// Whether two packable tasks may share one packed prompt: same kind and
+    /// same shared instruction (predicate / label set / attribute), so the
+    /// instruction prefix can be hoisted and stated once. Few-shot examples
+    /// (impute) may differ per record — they render per item.
+    pub fn pack_compatible(&self, other: &TaskDescriptor) -> bool {
+        match (self, other) {
+            (
+                TaskDescriptor::CheckPredicate { predicate: a, .. },
+                TaskDescriptor::CheckPredicate { predicate: b, .. },
+            ) => a == b,
+            (
+                TaskDescriptor::Classify { labels: a, .. },
+                TaskDescriptor::Classify { labels: b, .. },
+            ) => a == b,
+            (
+                TaskDescriptor::Impute { attribute: a, .. },
+                TaskDescriptor::Impute { attribute: b, .. },
+            ) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Pack point-wise tasks into one multi-item prompt descriptor.
+    ///
+    /// Enforces the packing contract: at least one task, every task
+    /// [`TaskDescriptor::packable`], and all tasks
+    /// [`TaskDescriptor::pack_compatible`] with the first (one shared
+    /// instruction per prompt). Nested packs are rejected by `packable`.
+    pub fn packed(tasks: Vec<TaskDescriptor>) -> Result<TaskDescriptor, crate::error::LlmError> {
+        use crate::error::LlmError;
+        let first = tasks
+            .first()
+            .ok_or_else(|| LlmError::InvalidRequest("packed task with no sub-tasks".into()))?;
+        for task in &tasks {
+            if !task.packable() {
+                return Err(LlmError::InvalidRequest(format!(
+                    "task kind {:?} is not packable",
+                    task.kind()
+                )));
+            }
+            if !first.pack_compatible(task) {
+                return Err(LlmError::InvalidRequest(format!(
+                    "packed sub-tasks must share one instruction: {:?} vs {:?}",
+                    first.kind(),
+                    task.kind()
+                )));
+            }
+        }
+        Ok(TaskDescriptor::Packed { tasks })
     }
 
     /// Stable content fingerprint (order-sensitive where order matters).
@@ -237,6 +314,11 @@ impl TaskDescriptor {
                 f.write_u64(original.fingerprint());
                 f.write_str(proposed_answer);
             }
+            TaskDescriptor::Packed { tasks } => {
+                for t in tasks {
+                    f.write_u64(t.fingerprint());
+                }
+            }
         }
         f.finish()
     }
@@ -261,6 +343,9 @@ impl TaskDescriptor {
                 v
             }
             TaskDescriptor::Verify { original, .. } => original.items(),
+            TaskDescriptor::Packed { tasks } => {
+                tasks.iter().flat_map(TaskDescriptor::items).collect()
+            }
         }
     }
 }
@@ -335,6 +420,55 @@ mod tests {
             proposed_answer: "yes".into(),
         };
         assert_ne!(v1.fingerprint(), v2.fingerprint());
+    }
+
+    #[test]
+    fn packed_constructor_enforces_contract() {
+        let check = |i: u64| TaskDescriptor::CheckPredicate {
+            item: ItemId(i),
+            predicate: "p".into(),
+        };
+        // Valid homogeneous pack.
+        let packed = TaskDescriptor::packed(vec![check(1), check(2)]).unwrap();
+        assert_eq!(packed.kind(), "packed");
+        assert_eq!(packed.items(), vec![ItemId(1), ItemId(2)]);
+        // Empty pack rejected.
+        assert!(TaskDescriptor::packed(vec![]).is_err());
+        // Mismatched predicates rejected.
+        let other = TaskDescriptor::CheckPredicate {
+            item: ItemId(3),
+            predicate: "q".into(),
+        };
+        assert!(TaskDescriptor::packed(vec![check(1), other]).is_err());
+        // Non-packable kinds rejected.
+        let compare = TaskDescriptor::Compare {
+            left: ItemId(1),
+            right: ItemId(2),
+            criterion: SortCriterion::LatentScore,
+        };
+        assert!(TaskDescriptor::packed(vec![compare]).is_err());
+        // Nested packs rejected (packed itself is not packable).
+        let inner = TaskDescriptor::packed(vec![check(1)]).unwrap();
+        assert!(TaskDescriptor::packed(vec![inner]).is_err());
+    }
+
+    #[test]
+    fn packed_fingerprint_is_order_sensitive_and_composition_sensitive() {
+        let check = |i: u64| TaskDescriptor::CheckPredicate {
+            item: ItemId(i),
+            predicate: "p".into(),
+        };
+        let ab = TaskDescriptor::packed(vec![check(1), check(2)]).unwrap();
+        let ba = TaskDescriptor::packed(vec![check(2), check(1)]).unwrap();
+        let abc = TaskDescriptor::packed(vec![check(1), check(2), check(3)]).unwrap();
+        assert_ne!(ab.fingerprint(), ba.fingerprint());
+        assert_ne!(ab.fingerprint(), abc.fingerprint());
+        // A pack of one is not fingerprint-identical to the bare task (the
+        // engine dispatches singletons unpacked precisely for cache parity).
+        assert_ne!(
+            TaskDescriptor::packed(vec![check(1)]).unwrap().fingerprint(),
+            check(1).fingerprint()
+        );
     }
 
     #[test]

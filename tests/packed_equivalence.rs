@@ -1,0 +1,349 @@
+//! Packed/per-item equivalence: for every packing-enabled operator ×
+//! strategy, execution with multi-item prompt packing must produce
+//! bit-identical results to the per-item path, and the operator's reported
+//! spend must agree exactly with the client ledger and the budget tracker.
+//!
+//! The model profile used here answers with *accuracy 1.0* (verdicts are a
+//! pure function of the world) while injecting every formatting hazard the
+//! extraction layer handles — heavy chatter, the paper's contradictory
+//! malformed pattern, and (in the bisection tests) a fault-injecting sim
+//! world whose packed numbered lists come back with dropped or duplicated
+//! lines. Equality below therefore pins the *packing mechanics* — chunking,
+//! multi-answer parsing, bisection, reassembly — independent of model
+//! noise. With answer noise, packed answers are draws from the same
+//! calibrated distribution but not the same draws; the bisection guarantee
+//! is that any pack the parser rejects degrades, item by item, into exactly
+//! the per-item requests.
+//!
+//! Each comparison runs on two *fresh* engines built from the same world
+//! and simulator seed, so neither path can borrow the other's cache.
+
+use std::sync::Arc;
+
+use crowdprompt::core::ops;
+use crowdprompt::core::ops::impute::LabeledPool;
+use crowdprompt::core::{Budget, Corpus, Engine};
+use crowdprompt::oracle::model::NoiseProfile;
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::oracle::{LlmClient, ModelProfile, SimulatedLlm};
+use crowdprompt::prelude::*;
+
+/// Accuracy-1.0 noise with every formatting hazard turned up.
+fn chatty_noise(packed_dropout_rate: f64) -> NoiseProfile {
+    NoiseProfile {
+        chatter_level: 0.9,
+        malformed_rate: 0.3,
+        packed_dropout_rate,
+        ..NoiseProfile::perfect()
+    }
+}
+
+fn world(n: usize) -> (WorldModel, Vec<ItemId>) {
+    let mut w = WorldModel::new();
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let id = w.add_item(format!(
+            "catalog record {i:03} vendor {} lot {}",
+            i % 7,
+            i % 13
+        ));
+        w.set_flag(id, "active", i % 2 == 0);
+        w.set_flag(id, "rare", i % 5 == 0);
+        w.set_attr(id, "label", if i % 3 == 0 { "bulk" } else { "retail" });
+        ids.push(id);
+    }
+    (w, ids)
+}
+
+/// A fresh engine over a fresh copy of the world (same seed).
+fn engine(n: usize, dropout: f64, pack: usize) -> (Engine, Vec<ItemId>) {
+    let (w, ids) = world(n);
+    let corpus = Corpus::from_world(&w, &ids);
+    let profile = ModelProfile::perfect().with_noise(chatty_noise(dropout));
+    let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 42));
+    let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus)
+        .with_budget(Budget::Unlimited)
+        .with_pack_width(pack);
+    (engine, ids)
+}
+
+/// The operator's reported accounting must agree exactly with the client
+/// ledger and the budget tracker (no double counting across packed
+/// dispatches, bisection retries, or singleton fallbacks).
+fn assert_spend_attribution<T>(engine: &Engine, out: &crowdprompt::core::Outcome<T>) {
+    let ledger = engine.client().ledger();
+    assert_eq!(out.calls, ledger.calls(), "outcome calls == ledger calls");
+    assert_eq!(
+        u64::from(out.usage.total()),
+        ledger.total_tokens(),
+        "outcome usage == ledger usage"
+    );
+    assert_eq!(
+        engine.budget().spent_tokens(),
+        ledger.total_tokens(),
+        "budget spend == ledger spend"
+    );
+}
+
+#[test]
+fn packed_filter_single_matches_per_item_at_every_width() {
+    let (baseline_engine, ids) = engine(53, 0.0, 1);
+    let baseline = ops::filter::filter(
+        &baseline_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    assert_spend_attribution(&baseline_engine, &baseline);
+    for width in [2, 7, 16, 64] {
+        let (packed_engine, ids) = engine(53, 0.0, width);
+        let packed = ops::filter::filter(
+            &packed_engine,
+            &ids,
+            "active",
+            FilterStrategy::Single,
+        )
+        .unwrap();
+        assert_eq!(packed.value, baseline.value, "width {width}");
+        assert_eq!(
+            packed.calls,
+            53u64.div_ceil(width as u64),
+            "width {width} call count"
+        );
+        assert_spend_attribution(&packed_engine, &packed);
+    }
+}
+
+#[test]
+fn packed_majority_vote_matches_per_item() {
+    let strategy = FilterStrategy::MajorityVote {
+        votes: 5,
+        temperature_pct: 70,
+    };
+    let (baseline_engine, ids) = engine(30, 0.0, 1);
+    let baseline = ops::filter::filter(&baseline_engine, &ids, "rare", strategy).unwrap();
+    let (packed_engine, ids) = engine(30, 0.0, 8);
+    let packed = ops::filter::filter(&packed_engine, &ids, "rare", strategy).unwrap();
+    assert_eq!(packed.value, baseline.value);
+    // 5 vote rounds of ⌈30/8⌉ packs each.
+    assert_eq!(packed.calls, 5 * 4);
+    assert_spend_attribution(&packed_engine, &packed);
+}
+
+#[test]
+fn confidence_gated_filter_ignores_the_pack_knob() {
+    let strategy = FilterStrategy::ConfidenceGated {
+        min_confidence_pct: 65,
+        votes: 3,
+    };
+    let (baseline_engine, ids) = engine(24, 0.0, 1);
+    let baseline = ops::filter::filter(&baseline_engine, &ids, "active", strategy).unwrap();
+    let (packed_engine, ids) = engine(24, 0.0, 8);
+    let gated = ops::filter::filter(&packed_engine, &ids, "active", strategy).unwrap();
+    assert_eq!(gated.value, baseline.value);
+    assert_eq!(
+        gated.calls, baseline.calls,
+        "the gate consumes per-answer confidence and must never pack"
+    );
+}
+
+#[test]
+fn forced_bisection_degrades_to_exactly_the_per_item_path() {
+    // Every multi-item pack comes back unparseable: the dispatcher must
+    // bisect down to singletons, whose requests *are* the per-item path's.
+    let (baseline_engine, ids) = engine(37, 0.0, 1);
+    let baseline = ops::filter::filter(
+        &baseline_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    let (packed_engine, ids) = engine(37, 1.0, 16);
+    let packed = ops::filter::filter(
+        &packed_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    assert_eq!(packed.value, baseline.value);
+    assert!(
+        packed.calls > 37,
+        "failed packs plus singleton retries exceed n, got {}",
+        packed.calls
+    );
+    assert_spend_attribution(&packed_engine, &packed);
+}
+
+#[test]
+fn partial_dropout_still_reassembles_identically() {
+    let (baseline_engine, ids) = engine(61, 0.0, 1);
+    let baseline = ops::filter::filter(
+        &baseline_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    // Half the packs fail and bisect; results must be unchanged.
+    let (packed_engine, ids) = engine(61, 0.5, 8);
+    let packed = ops::filter::filter(
+        &packed_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    assert_eq!(packed.value, baseline.value);
+    assert_spend_attribution(&packed_engine, &packed);
+}
+
+#[test]
+fn packed_count_matches_per_item() {
+    let (baseline_engine, ids) = engine(47, 0.0, 1);
+    let baseline =
+        ops::count::count(&baseline_engine, &ids, "rare", CountStrategy::PerItem).unwrap();
+    let (packed_engine, ids) = engine(47, 0.3, 16);
+    let packed =
+        ops::count::count(&packed_engine, &ids, "rare", CountStrategy::PerItem).unwrap();
+    assert_eq!(packed.value, baseline.value);
+    assert_spend_attribution(&packed_engine, &packed);
+
+    // Eyeball batches are already one-prompt-per-batch: the knob is inert.
+    let (a, ids) = engine(40, 0.0, 1);
+    let (b, ids_b) = engine(40, 0.0, 16);
+    assert_eq!(ids, ids_b);
+    let strategy = CountStrategy::Eyeball { batch_size: 10 };
+    let coarse_a = ops::count::count(&a, &ids, "rare", strategy).unwrap();
+    let coarse_b = ops::count::count(&b, &ids, "rare", strategy).unwrap();
+    assert_eq!(coarse_a.value, coarse_b.value);
+    assert_eq!(coarse_a.calls, coarse_b.calls);
+}
+
+#[test]
+fn packed_categorize_matches_per_item() {
+    let labels = vec!["bulk".to_owned(), "retail".to_owned()];
+    let (baseline_engine, ids) = engine(44, 0.0, 1);
+    let baseline = ops::categorize::categorize(&baseline_engine, &ids, &labels).unwrap();
+    let (packed_engine, ids) = engine(44, 0.4, 12);
+    let packed = ops::categorize::categorize(&packed_engine, &ids, &labels).unwrap();
+    assert_eq!(packed.value, baseline.value);
+    assert_spend_attribution(&packed_engine, &packed);
+}
+
+#[test]
+fn packed_keep_label_plan_matches_per_item_plan() {
+    let labels = vec!["bulk".to_owned(), "retail".to_owned()];
+    let run_with = |pack: usize, dropout: f64| {
+        let (engine, ids) = engine(36, dropout, pack);
+        let run = Query::over(&ids)
+            .keep_label(labels.clone(), "bulk")
+            .plan_on(&engine)
+            .unwrap()
+            .execute_on(&engine)
+            .unwrap();
+        run.output.items().unwrap().to_vec()
+    };
+    let baseline = run_with(1, 0.0);
+    assert_eq!(run_with(9, 0.0), baseline);
+    assert_eq!(run_with(9, 1.0), baseline, "forced bisection");
+}
+
+/// Records in two well-separated text clusters plus ambiguous strays, for
+/// the impute strategies.
+fn impute_world() -> (WorldModel, Vec<ItemId>, Vec<(ItemId, String)>) {
+    let mut w = WorldModel::new();
+    let mut ids = Vec::new();
+    let mut labeled = Vec::new();
+    for i in 0..10 {
+        let id = w.add_item(format!("mission taqueria {i}; street valencia; area 415"));
+        w.set_attr(id, "city", "san francisco");
+        labeled.push((id, "san francisco".to_owned()));
+        ids.push(id);
+    }
+    for i in 0..10 {
+        let id = w.add_item(format!("shattuck bistro {i}; street shattuck; area 510"));
+        w.set_attr(id, "city", "berkeley");
+        labeled.push((id, "berkeley".to_owned()));
+        ids.push(id);
+    }
+    for i in 0..6 {
+        let id = w.add_item(format!("corner diner {i}; street main"));
+        let city = if i % 2 == 0 { "san francisco" } else { "berkeley" };
+        w.set_attr(id, "city", city);
+        ids.push(id);
+    }
+    (w, ids, labeled)
+}
+
+#[test]
+fn packed_impute_matches_per_item_for_llm_and_hybrid() {
+    let build = |pack: usize, dropout: f64| {
+        let (w, ids, labeled) = impute_world();
+        let corpus = Corpus::from_world(&w, &ids);
+        let profile = ModelProfile::perfect().with_noise(chatty_noise(dropout));
+        let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 13));
+        let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus)
+            .with_budget(Budget::Unlimited)
+            .with_pack_width(pack);
+        (engine, ids, labeled)
+    };
+    for strategy in [
+        ImputeStrategy::LlmOnly { shots: 0 },
+        ImputeStrategy::LlmOnly { shots: 3 },
+        ImputeStrategy::Hybrid { k: 3, shots: 2 },
+    ] {
+        let (baseline_engine, ids, labeled) = build(1, 0.0);
+        let pool = LabeledPool::build(&baseline_engine, &labeled).unwrap();
+        let baseline =
+            ops::impute::impute(&baseline_engine, &ids, "city", &pool, &strategy).unwrap();
+
+        let (packed_engine, ids, labeled) = build(8, 0.4);
+        let pool = LabeledPool::build(&packed_engine, &labeled).unwrap();
+        let packed =
+            ops::impute::impute(&packed_engine, &ids, "city", &pool, &strategy).unwrap();
+        assert_eq!(packed.value, baseline.value, "{strategy:?}");
+        assert!(
+            packed.calls <= baseline.calls,
+            "{strategy:?}: packing must not add calls ({} vs {})",
+            packed.calls,
+            baseline.calls
+        );
+        assert_spend_attribution(&packed_engine, &packed);
+    }
+}
+
+#[test]
+fn packed_session_spends_less_for_the_same_answer() {
+    let (per_item_engine, ids) = engine(64, 0.0, 1);
+    let per_item = ops::filter::filter(
+        &per_item_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    let (packed_engine, ids) = engine(64, 0.0, 16);
+    let packed = ops::filter::filter(
+        &packed_engine,
+        &ids,
+        "active",
+        FilterStrategy::Single,
+    )
+    .unwrap();
+    assert_eq!(packed.value, per_item.value);
+    assert!(
+        packed.calls * 4 <= per_item.calls,
+        "≥4x call reduction: {} vs {}",
+        packed.calls,
+        per_item.calls
+    );
+    assert!(
+        packed.usage.prompt_tokens < per_item.usage.prompt_tokens,
+        "shared instruction prefix amortizes: {} vs {}",
+        packed.usage.prompt_tokens,
+        per_item.usage.prompt_tokens
+    );
+}
