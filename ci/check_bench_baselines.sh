@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Guard the checked-in BENCH_*.json baselines against bench bit-rot.
+#
+# Every baseline the README cites must keep its required entries: a renamed
+# criterion group, a dropped record_* line, or a bench that silently stops
+# recording would otherwise hollow the baseline out while CI stays green.
+# Run from the repository root (CI does); exits non-zero listing every
+# missing entry.
+
+set -euo pipefail
+
+fail=0
+
+require() {
+  local file=$1
+  shift
+  if [[ ! -f "$file" ]]; then
+    echo "MISSING BASELINE FILE: $file" >&2
+    fail=1
+    return
+  fi
+  local key
+  for key in "$@"; do
+    if ! grep -q "\"name\":\"$key\"" "$file"; then
+      echo "$file is missing required entry: $key" >&2
+      fail=1
+    fi
+  done
+}
+
+require BENCH_exec.json \
+  client_hot_cache/seed_mutex/8 \
+  client_hot_cache/sharded/8 \
+  client_cold_burst_16t/seed_mutex \
+  client_cold_burst_16t/sharded_coalescing \
+  engine_run_many_dup_heavy/adaptive_claims \
+  engine_run_many_dup_heavy/fixed_claim_1
+
+require BENCH_embed.json \
+  embed_index_build_20k/flat_store \
+  embed_single_query_20k/seed_sort \
+  embed_single_query_20k/fused_heap \
+  embed_batch_blocking_20kx256/seed_per_record_loop \
+  embed_batch_blocking_20kx256/batched_fused
+
+require BENCH_pack.json \
+  filter_pack_4096/per_item \
+  filter_pack_4096/packed_w8 \
+  filter_pack_4096/packed_w16 \
+  filter_pack_4096/backend_calls_per_item \
+  filter_pack_4096/backend_calls_packed_w16
+
+require BENCH_route.json \
+  route_tail/unhedged_p99_ns \
+  route_tail/hedged_p99_ns \
+  route_call/unhedged \
+  route_call/hedged \
+  route_burst/unhedged \
+  route_burst/hedged
+
+if [[ $fail -ne 0 ]]; then
+  echo "bench baseline check FAILED" >&2
+  exit 1
+fi
+echo "bench baselines OK"

@@ -70,7 +70,14 @@ impl SeedBruteForceIndex {
 /// embedding space has realistic near-duplicate structure.
 fn synthetic_corpus(n: usize) -> Vec<String> {
     const BRANDS: [&str; 8] = [
-        "acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell", "cyberdyne",
+        "acme",
+        "globex",
+        "initech",
+        "umbrella",
+        "stark",
+        "wayne",
+        "tyrell",
+        "cyberdyne",
     ];
     const NOUNS: [&str; 10] = [
         "widget", "gadget", "sprocket", "fastener", "gizmo", "adapter", "bracket", "coupler",

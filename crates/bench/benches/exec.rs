@@ -116,9 +116,11 @@ fn bench_hot_cache(c: &mut Criterion) {
         for r in &requests {
             seed.complete(r).unwrap();
         }
-        group.bench_with_input(BenchmarkId::new("seed_mutex", threads), &threads, |b, &t| {
-            b.iter(|| hammer(&seed, &requests, t, |c, r| drop(c.complete(r).unwrap())))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("seed_mutex", threads),
+            &threads,
+            |b, &t| b.iter(|| hammer(&seed, &requests, t, |c, r| drop(c.complete(r).unwrap()))),
+        );
 
         let sharded = LlmClient::new(llm as Arc<dyn LanguageModel>);
         for r in &requests {
@@ -278,5 +280,10 @@ fn bench_engine_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hot_cache, bench_cold_burst, bench_engine_pipeline);
+criterion_group!(
+    benches,
+    bench_hot_cache,
+    bench_cold_burst,
+    bench_engine_pipeline
+);
 criterion_main!(benches);

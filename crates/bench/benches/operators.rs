@@ -73,8 +73,7 @@ fn bench_resolve(c: &mut Criterion) {
     };
     let data = CitationDataset::generate(&params, 5);
     let session = session_for(&data.world, &data.mentions, "as citations");
-    let questions: Vec<(ItemId, ItemId)> =
-        data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+    let questions: Vec<(ItemId, ItemId)> = data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
     let mut group = c.benchmark_group("resolve_100_pairs");
     group.sample_size(20);
     group.bench_function("pairwise_baseline", |b| {

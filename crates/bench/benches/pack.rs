@@ -81,7 +81,10 @@ fn burst_world() -> (Arc<WorldModel>, Vec<ItemId>) {
     let mut w = WorldModel::new();
     let ids = (0..ITEMS)
         .map(|i| {
-            let id = w.add_item(format!("support ticket {i}: customer reports issue {}", i % 97));
+            let id = w.add_item(format!(
+                "support ticket {i}: customer reports issue {}",
+                i % 97
+            ));
             w.set_flag(id, "relevant", i % 3 == 0);
             id
         })
@@ -95,10 +98,13 @@ fn engine_over(
     llm: Arc<dyn LanguageModel>,
     pack: usize,
 ) -> Engine {
-    Engine::new(Arc::new(LlmClient::new(llm)), Corpus::from_world(world, ids))
-        .with_budget(Budget::Unlimited)
-        .with_parallelism(16)
-        .with_pack_width(pack)
+    Engine::new(
+        Arc::new(LlmClient::new(llm)),
+        Corpus::from_world(world, ids),
+    )
+    .with_budget(Budget::Unlimited)
+    .with_parallelism(16)
+    .with_pack_width(pack)
 }
 
 /// Append an extra JSON line (same file the criterion shim writes) for
@@ -133,9 +139,7 @@ fn bench_filter_burst(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || engine_over(&world, &ids, Arc::clone(&llm), pack),
-                |engine| {
-                    filter(&engine, &ids, "relevant", FilterStrategy::Single).unwrap()
-                },
+                |engine| filter(&engine, &ids, "relevant", FilterStrategy::Single).unwrap(),
                 BatchSize::SmallInput,
             )
         });

@@ -18,8 +18,8 @@ use std::sync::Arc;
 use crowdprompt_bench::{arg_u64, mean, session_over};
 use crowdprompt_core::consistency::{repair_ranking, violations};
 use crowdprompt_core::ops::count::CountStrategy;
-use crowdprompt_core::optimize::{evaluate_sort_strategies, recommend};
 use crowdprompt_core::ops::sort::SortStrategy;
+use crowdprompt_core::optimize::{evaluate_sort_strategies, recommend};
 use crowdprompt_core::quality::dawid_skene;
 use crowdprompt_core::{Corpus, Engine};
 use crowdprompt_data::FlavorDataset;
@@ -75,7 +75,13 @@ fn ablation_chunks(seed: u64) {
     );
     let mut table = Table::new(
         "A7 — sorting 100 words: large-list strategies compared",
-        &["Strategy", "Kendall tau-b", "Missing (pre-repair)", "Calls", "Tokens"],
+        &[
+            "Strategy",
+            "Kendall tau-b",
+            "Missing (pre-repair)",
+            "Calls",
+            "Tokens",
+        ],
     );
     let strategies: [(String, SortStrategy); 5] = [
         ("one prompt".to_owned(), SortStrategy::SinglePrompt),
@@ -128,7 +134,11 @@ fn ablation_proxy(seed: u64) {
         ..NoiseProfile::perfect()
     });
     let corpus = Corpus::from_world(&data.world, &data.items);
-    let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(data.world.clone()), seed));
+    let llm = Arc::new(SimulatedLlm::new(
+        profile,
+        Arc::new(data.world.clone()),
+        seed,
+    ));
     let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus);
 
     // Train on the first 60 snippets; evaluate on the rest.
@@ -144,13 +154,18 @@ fn ablation_proxy(seed: u64) {
         .collect();
     let mut table = Table::new(
         "A5 — LLM-trained proxy for sentiment filtering (240 eval snippets, 60 training labels)",
-        &["Confidence threshold", "Accuracy", "Proxy decisions", "LLM decisions", "Tokens"],
+        &[
+            "Confidence threshold",
+            "Accuracy",
+            "Proxy decisions",
+            "LLM decisions",
+            "Tokens",
+        ],
     );
     for threshold in [0.0f64, 0.02, 0.05, 0.1, 2.0] {
-        let out = filter_with_proxy(&engine, rest, "positive", &proxy, threshold)
-            .expect("filter runs");
-        let kept: std::collections::HashSet<ItemId> =
-            out.value.kept.iter().copied().collect();
+        let out =
+            filter_with_proxy(&engine, rest, "positive", &proxy, threshold).expect("filter runs");
+        let kept: std::collections::HashSet<ItemId> = out.value.kept.iter().copied().collect();
         let correct = rest
             .iter()
             .zip(&gold)
@@ -169,7 +184,9 @@ fn ablation_proxy(seed: u64) {
         ]);
     }
     println!("{}", table.render());
-    println!("(low thresholds trust the free proxy broadly; raising them buys back LLM accuracy)\n");
+    println!(
+        "(low thresholds trust the free proxy broadly; raising them buys back LLM accuracy)\n"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -272,15 +289,32 @@ fn ablation_batch(seed: u64) {
         })
         .collect();
     let truth = 80u64;
-    let session = session_over(ModelProfile::gpt35_like(), &world, &items, seed, "sentiment");
+    let session = session_over(
+        ModelProfile::gpt35_like(),
+        &world,
+        &items,
+        seed,
+        "sentiment",
+    );
 
     let mut table = Table::new(
         format!("A1 — counting {n} items: batch size vs accuracy and cost"),
-        &["Strategy", "Batch", "Estimate", "Abs error", "Calls", "Tokens"],
+        &[
+            "Strategy",
+            "Batch",
+            "Estimate",
+            "Abs error",
+            "Calls",
+            "Tokens",
+        ],
     );
     for batch in [10usize, 25, 50, 100, 200] {
         let out = session
-            .count(&items, "positive", CountStrategy::Eyeball { batch_size: batch })
+            .count(
+                &items,
+                "positive",
+                CountStrategy::Eyeball { batch_size: batch },
+            )
             .expect("count runs");
         table.add_row(&[
             "eyeball".to_owned(),
@@ -354,7 +388,14 @@ fn ablation_consistency(seed: u64) {
     // both regimes are shown.
     let mut table = Table::new(
         "A2 — pairwise ranking of 10 items: Copeland vs min-feedback repair as noise grows",
-        &["noise model", "level", "tau (Copeland)", "tau (repair)", "violations (Copeland)", "violations (repair)"],
+        &[
+            "noise model",
+            "level",
+            "tau (Copeland)",
+            "tau (repair)",
+            "violations (Copeland)",
+            "violations (repair)",
+        ],
     );
     for (regime, level) in [
         ("thurstone", 0.05f64),
@@ -438,21 +479,17 @@ fn ablation_consistency(seed: u64) {
             let wins = |a: usize, b: usize| beats[a][b];
             // Copeland: order by win count only.
             let mut copeland: Vec<usize> = (0..n).collect();
-            let score: Vec<usize> =
-                (0..n).map(|a| (0..n).filter(|&b| wins(a, b)).count()).collect();
+            let score: Vec<usize> = (0..n)
+                .map(|a| (0..n).filter(|&b| wins(a, b)).count())
+                .collect();
             copeland.sort_by(|&a, &b| score[b].cmp(&score[a]).then(a.cmp(&b)));
             // Exact min-feedback repair.
             let repaired = repair_ranking(n, &wins, 12);
 
-            let order_of = |idx: &[usize]| -> Vec<ItemId> {
-                idx.iter().map(|&i| items[i]).collect()
-            };
-            taus_c.push(
-                kendall_tau_b_rankings(&order_of(&copeland), &gold).unwrap_or(0.0),
-            );
-            taus_r.push(
-                kendall_tau_b_rankings(&order_of(&repaired), &gold).unwrap_or(0.0),
-            );
+            let order_of =
+                |idx: &[usize]| -> Vec<ItemId> { idx.iter().map(|&i| items[i]).collect() };
+            taus_c.push(kendall_tau_b_rankings(&order_of(&copeland), &gold).unwrap_or(0.0));
+            taus_r.push(kendall_tau_b_rankings(&order_of(&repaired), &gold).unwrap_or(0.0));
             viol_c.push(violations(&copeland, &wins) as f64);
             viol_r.push(violations(&repaired, &wins) as f64);
         }
@@ -553,7 +590,11 @@ fn ablation_quality(seed: u64) {
                 malformed_rate: 0.0,
                 ..NoiseProfile::perfect()
             });
-        let llm = Arc::new(SimulatedLlm::new(profile, Arc::clone(&world), seed + m as u64));
+        let llm = Arc::new(SimulatedLlm::new(
+            profile,
+            Arc::clone(&world),
+            seed + m as u64,
+        ));
         let corpus = Corpus::from_world(&world, &items);
         let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus);
         let tasks: Vec<TaskDescriptor> = items
@@ -584,12 +625,8 @@ fn ablation_quality(seed: u64) {
             yes * 2 > votes.len()
         })
         .collect();
-    let majority_acc = majority
-        .iter()
-        .zip(&truth)
-        .filter(|(a, b)| a == b)
-        .count() as f64
-        / n_items as f64;
+    let majority_acc =
+        majority.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / n_items as f64;
 
     // Dawid–Skene EM.
     let ds = dawid_skene(&votes, 100);
@@ -602,7 +639,9 @@ fn ablation_quality(seed: u64) {
         / n_items as f64;
 
     let mut table = Table::new(
-        format!("A4 — quality control over {n_items} predicate checks, 3 models of unequal accuracy"),
+        format!(
+            "A4 — quality control over {n_items} predicate checks, 3 models of unequal accuracy"
+        ),
         &["Method", "Accuracy", "Estimated worker accuracies"],
     );
     for (m, acc) in single_accuracy.iter().enumerate() {

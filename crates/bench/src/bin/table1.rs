@@ -10,10 +10,10 @@
 //! Usage: `table1 [--trials N] [--seed S] [--markdown]`
 
 use crowdprompt_bench::{arg_u64, arg_usize, mean, session_over};
-use crowdprompt_metrics::stats::fmt_mean_sd;
 use crowdprompt_core::ops::sort::SortStrategy;
 use crowdprompt_data::FlavorDataset;
 use crowdprompt_metrics::rank::kendall_tau_b_rankings;
+use crowdprompt_metrics::stats::fmt_mean_sd;
 use crowdprompt_metrics::Table;
 use crowdprompt_oracle::task::SortCriterion;
 use crowdprompt_oracle::ModelProfile;

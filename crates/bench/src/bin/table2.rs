@@ -87,6 +87,10 @@ fn main() {
     );
     println!(
         "shape: sort-then-insert is near-perfect (tau > 0.97): {}",
-        if avg_hybrid > 0.97 { "HOLDS" } else { "VIOLATED" }
+        if avg_hybrid > 0.97 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -42,14 +42,15 @@ fn main() {
         seed,
         "as citations",
     );
-    let questions: Vec<(ItemId, ItemId)> =
-        data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+    let questions: Vec<(ItemId, ItemId)> = data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
     let gold: Vec<bool> = data.pairs.iter().map(|(_, _, d)| *d).collect();
-    let index = session
-        .mention_index(&data.mentions)
-        .expect("index builds");
+    let index = session.mention_index(&data.mentions).expect("index builds");
 
-    let paper = [(0.658, 0.503, 0.952), (0.706, 0.569, 0.930), (0.722, 0.593, 0.923)];
+    let paper = [
+        (0.658, 0.503, 0.952),
+        (0.706, 0.569, 0.930),
+        (0.722, 0.593, 0.923),
+    ];
     let mut table = Table::new(
         format!(
             "Table 3 — duplicate citations, {} validation pairs (sim-gpt-3.5-turbo)",

@@ -70,7 +70,11 @@ fn main() {
     let markdown = args.iter().any(|a| a == "--markdown");
 
     let strategies: [(&str, ImputeStrategy, (f64, f64)); 5] = [
-        ("Naive k-NN", ImputeStrategy::KnnOnly { k: 3 }, (73.26, 67.69)),
+        (
+            "Naive k-NN",
+            ImputeStrategy::KnnOnly { k: 3 },
+            (73.26, 67.69),
+        ),
         (
             "Hybrid (no examples)",
             ImputeStrategy::Hybrid { k: 3, shots: 0 },
@@ -96,7 +100,13 @@ fn main() {
     let rest = restaurants(n, seed);
     let buy_data = buy(n, seed + 1);
     let rest_session = session_over(model(), &rest.world, &rest.records, seed, "restaurants");
-    let buy_session = session_over(model(), &buy_data.world, &buy_data.records, seed, "products");
+    let buy_session = session_over(
+        model(),
+        &buy_data.world,
+        &buy_data.records,
+        seed,
+        "products",
+    );
 
     let mut cells: Vec<(Cell, Cell)> = Vec::new();
     for (_, strategy, _) in &strategies {

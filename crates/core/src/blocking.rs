@@ -112,7 +112,11 @@ impl BlockingIndex {
         let hits = if let Some(&p) = self.pos.get(&id) {
             // Indexed item: query straight off its stored row (no
             // re-embedding, no copy), excluding itself inside the scan.
-            let raw = self.index.nearest_rows(&[p], k).pop().expect("one row query");
+            let raw = self
+                .index
+                .nearest_rows(&[p], k)
+                .pop()
+                .expect("one row query");
             self.to_hits(raw)
         } else if let Some(text) = engine.corpus().text(id) {
             self.to_hits(self.index.nearest(&self.embedder.embed(text), k))

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use crowdprompt_oracle::task::TaskDescriptor;
-use crowdprompt_oracle::LlmClient;
+use crowdprompt_oracle::{LlmClient, LlmError};
 
 use crate::corpus::Corpus;
 use crate::error::EngineError;
@@ -132,17 +132,47 @@ impl ModelCascade {
             let votes = tier.votes.max(1);
             let specs: Vec<(TaskDescriptor, f64, u32)> = unresolved
                 .iter()
-                .flat_map(|(_, task, _)| {
-                    (0..votes).map(|s| (task.clone(), tier.temperature, s))
-                })
+                .flat_map(|(_, task, _)| (0..votes).map(|s| (task.clone(), tier.temperature, s)))
                 .collect();
-            let responses = engine.run_sampled_many(specs)?;
             let is_last_tier = t + 1 == self.tiers.len();
+            // Snapshot the tier client's ledger: if the dispatch fails
+            // partway, the calls it completed before failing fast are
+            // already billed there, and the outcome meter must not lose
+            // them.
+            let ledger = tier.client.ledger();
+            let before = (ledger.calls(), ledger.usage(), ledger.spend_usd());
+            let responses = match engine.run_sampled_many(specs) {
+                Ok(responses) => responses,
+                // Failure-aware escalation: a tier whose serving capacity is
+                // gone — every backend circuit-broken, or transient-failure
+                // retries exhausted — escalates the whole unresolved batch
+                // to the next tier instead of failing the cascade. Only the
+                // last tier's failures are terminal.
+                Err(EngineError::Llm(
+                    LlmError::CircuitOpen { .. } | LlmError::RetriesExhausted { .. },
+                )) if !is_last_tier => {
+                    // The failed dispatch's partial spend (successes billed
+                    // before the fail-fast stop; responses discarded) is
+                    // folded in from the ledger delta, keeping the outcome
+                    // meter consistent with ledger and budget. Cache hits
+                    // are free in the ledger and therefore absent here —
+                    // acceptable, since their responses were lost anyway.
+                    let usage = ledger.usage();
+                    meter.calls += ledger.calls() - before.0;
+                    meter.usage += crowdprompt_oracle::Usage {
+                        prompt_tokens: usage.prompt_tokens - before.1.prompt_tokens,
+                        completion_tokens: usage.completion_tokens - before.1.completion_tokens,
+                    };
+                    meter.cost_usd += ledger.spend_usd() - before.2;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let mut escalating = Vec::new();
             for (k, (index, task, prior_votes)) in unresolved.into_iter().enumerate() {
                 let mut yes = 0u32;
                 for resp in &responses[k * votes as usize..(k + 1) * votes as usize] {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                     if extract::yes_no(&resp.text)? {
                         yes += 1;
                     }
@@ -198,7 +228,7 @@ pub fn sequential_ask(
     let mut votes = 0u32;
     while votes < max_votes.max(1) {
         let resp = engine.run_sampled(task.clone(), temperature, votes)?;
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(&resp));
         votes += 1;
         if extract::yes_no(&resp.text)? {
             log_odds += step;
@@ -242,10 +272,8 @@ mod tests {
             malformed_rate: 0.0,
             ..NoiseProfile::perfect()
         });
-        profile.pricing = crowdprompt_oracle::Pricing::new(
-            0.0002 * price_mult,
-            0.0004 * price_mult,
-        );
+        profile.pricing =
+            crowdprompt_oracle::Pricing::new(0.0002 * price_mult, 0.0004 * price_mult);
         profile.name = format!("tier-{price_mult}");
         let llm = SimulatedLlm::new(profile, Arc::new(world.clone()), seed);
         Arc::new(LlmClient::new(Arc::new(llm)).without_cache())
@@ -281,7 +309,9 @@ mod tests {
             ],
             corpus,
         );
-        let out = cascade.ask_many(ids.iter().map(|id| check(*id)).collect()).unwrap();
+        let out = cascade
+            .ask_many(ids.iter().map(|id| check(*id)).collect())
+            .unwrap();
         for (v, (i, _)) in out.value.iter().zip(ids.iter().enumerate()) {
             assert_eq!(v.deepest_tier, 0, "perfect cheap tier suffices");
             assert_eq!(v.answer, i % 2 == 0);
@@ -313,9 +343,14 @@ mod tests {
             corpus,
         )
         .with_margin(0.8);
-        let out = cascade.ask_many(ids.iter().map(|id| check(*id)).collect()).unwrap();
+        let out = cascade
+            .ask_many(ids.iter().map(|id| check(*id)).collect())
+            .unwrap();
         let escalated = out.value.iter().filter(|v| v.deepest_tier == 1).count();
-        assert!(escalated > 10, "coin-flip tier should often escalate: {escalated}");
+        assert!(
+            escalated > 10,
+            "coin-flip tier should often escalate: {escalated}"
+        );
         let correct = out
             .value
             .iter()
@@ -360,7 +395,7 @@ mod tests {
         for id in &ids {
             for s in 0..3 {
                 let resp = engine.run_sampled(check(*id), 1.0, s).unwrap();
-                expensive_cost += engine.cost_of(resp.usage);
+                expensive_cost += engine.cost_of_response(&resp);
             }
         }
         assert!(
@@ -376,15 +411,7 @@ mod tests {
         let (w, ids) = world_with_flags(2);
         let client = client_with_accuracy(&w, 0.95, 1.0, 7);
         let engine = Engine::new(client, Corpus::from_world(&w, &ids));
-        let out = sequential_ask(
-            &engine,
-            check(ids[0]),
-            0.9,
-            (19.0f64).ln(),
-            25,
-            1.0,
-        )
-        .unwrap();
+        let out = sequential_ask(&engine, check(ids[0]), 0.9, (19.0f64).ln(), 25, 1.0).unwrap();
         let (answer, votes) = out.value;
         assert!(answer, "item 0 is valid");
         assert!(votes <= 4, "agreement should stop early, used {votes}");

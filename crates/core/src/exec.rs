@@ -160,6 +160,10 @@ fn model_gate(model: &str, limit: usize) -> Arc<Semaphore> {
 pub struct Engine {
     client: Arc<LlmClient>,
     corpus: Corpus,
+    /// Worst-case serving-price over reference-price ratio for a routed
+    /// client (`1.0` otherwise): budget admission scales estimates by this
+    /// so a USD cap holds even when a pricier backend serves the call.
+    admission_price_factor: f64,
     budget: BudgetTracker,
     parallelism: usize,
     pipeline: PipelineConfig,
@@ -174,9 +178,13 @@ impl Engine {
     /// An engine over the given client and corpus with an unlimited budget,
     /// temperature 0, modest parallelism, and the default pipeline tuning.
     pub fn new(client: Arc<LlmClient>, corpus: Corpus) -> Self {
+        let admission_price_factor = client
+            .router()
+            .map_or(1.0, |router| router.admission_price_factor());
         Engine {
             client,
             corpus,
+            admission_price_factor,
             budget: BudgetTracker::new(Budget::Unlimited),
             parallelism: 8,
             pipeline: PipelineConfig::default(),
@@ -288,9 +296,21 @@ impl Engine {
         self.pack_width
     }
 
-    /// Dollar cost of a usage under the engine's model pricing.
+    /// Dollar cost of a usage under the engine's *reference* model pricing
+    /// (for a routed client, the cheapest backend's schedule). Estimates
+    /// price against this; actual responses are priced by
+    /// [`Engine::cost_of_response`].
     pub fn cost_of(&self, usage: crowdprompt_oracle::Usage) -> f64 {
         self.client.model().pricing().cost_usd(usage)
+    }
+
+    /// Dollar cost of a completed response, priced at the schedule of the
+    /// backend that served it ([`CompletionResponse::pricing`]). With
+    /// multi-backend routing this is what keeps operator cost meters, the
+    /// budget tracker, and the client ledger mutually consistent; for a
+    /// single-backend client it equals `cost_of(response.usage)`.
+    pub fn cost_of_response(&self, response: &CompletionResponse) -> f64 {
+        response.pricing.cost_usd(response.usage)
     }
 
     fn estimate_completion_tokens(task: &TaskDescriptor) -> u32 {
@@ -331,15 +351,32 @@ impl Engine {
         Ok((est_usd, est_tokens))
     }
 
-    fn build_request(&self, task: TaskDescriptor) -> Result<CompletionRequest, EngineError> {
-        let (request, est_usd, est_tokens) = self.render_and_estimate(task)?;
-        // Budget admission on the estimate; actuals recorded after the call.
-        if !self.budget.admit(est_usd, est_tokens) {
+    /// The USD amount a call is *admitted* at: the reference-priced
+    /// estimate scaled by the routing layer's worst-case price factor, so
+    /// a `Budget::Usd` cap holds even when the priciest backend serves a
+    /// call estimated at the cheapest schedule. `1×` for single-backend
+    /// clients — admission then equals the estimate exactly as before.
+    fn admission_usd(&self, est_usd: f64) -> f64 {
+        est_usd * self.admission_price_factor
+    }
+
+    /// Admit one estimated call against the budget at its conservative
+    /// admission price; `Err` carries the refused amount.
+    fn admit_estimate(&self, est_usd: f64, est_tokens: u64) -> Result<(), EngineError> {
+        let admit_usd = self.admission_usd(est_usd);
+        if !self.budget.admit(admit_usd, est_tokens) {
             return Err(EngineError::BudgetExceeded {
-                needed_usd: est_usd,
+                needed_usd: admit_usd,
                 remaining_usd: self.budget.remaining_usd(),
             });
         }
+        Ok(())
+    }
+
+    fn build_request(&self, task: TaskDescriptor) -> Result<CompletionRequest, EngineError> {
+        let (request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+        // Budget admission on the estimate; actuals recorded after the call.
+        self.admit_estimate(est_usd, est_tokens)?;
         Ok(request)
     }
 
@@ -354,7 +391,7 @@ impl Engine {
     fn record_spend(&self, response: &CompletionResponse) {
         if !response.cached {
             self.budget.record(
-                self.cost_of(response.usage),
+                self.cost_of_response(response),
                 u64::from(response.usage.total()),
             );
         }
@@ -368,7 +405,7 @@ impl Engine {
                 cost_usd: if response.cached {
                     0.0
                 } else {
-                    self.cost_of(response.usage)
+                    self.cost_of_response(response)
                 },
                 cached: response.cached,
             });
@@ -404,16 +441,17 @@ impl Engine {
         let (mut pending_usd, mut pending_tokens) = (0.0f64, 0u64);
         for task in tasks {
             let (request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+            let admit_usd = self.admission_usd(est_usd);
             if !self
                 .budget
-                .admit(pending_usd + est_usd, pending_tokens + est_tokens)
+                .admit(pending_usd + admit_usd, pending_tokens + est_tokens)
             {
                 return Err(EngineError::BudgetExceeded {
-                    needed_usd: est_usd,
+                    needed_usd: admit_usd,
                     remaining_usd: self.budget.remaining_usd(),
                 });
             }
-            pending_usd += est_usd;
+            pending_usd += admit_usd;
             pending_tokens += est_tokens;
             requests.push(request);
         }
@@ -535,9 +573,7 @@ impl Engine {
                     }
                 };
                 let (mut request, est_usd, est_tokens) = self.render_and_estimate(task)?;
-                if len > 1
-                    && count_tokens(&request.prompt) > self.client.model().context_window()
-                {
+                if len > 1 && count_tokens(&request.prompt) > self.client.model().context_window() {
                     let mid = len / 2;
                     next.push((start, chunk[..mid].to_vec()));
                     next.push((start + mid, chunk[mid..].to_vec()));
@@ -784,12 +820,7 @@ impl Engine {
                 est_usd,
                 est_tokens,
             } => {
-                if !self.budget.admit(est_usd, est_tokens) {
-                    return Err(EngineError::BudgetExceeded {
-                        needed_usd: est_usd,
-                        remaining_usd: self.budget.remaining_usd(),
-                    });
-                }
+                self.admit_estimate(est_usd, est_tokens)?;
                 self.execute_request(&request, gate)
             }
             Work::Task(task) => self.execute_one(task, gate),
@@ -920,12 +951,7 @@ mod tests {
             criterion: crowdprompt_oracle::task::SortCriterion::LatentScore,
         };
         let answers: std::collections::HashSet<String> = (0..32)
-            .map(|i| {
-                engine
-                    .run_sampled(task.clone(), 1.0, i)
-                    .unwrap()
-                    .text
-            })
+            .map(|i| engine.run_sampled(task.clone(), 1.0, i).unwrap().text)
             .collect();
         assert!(answers.len() > 1, "expected varied samples");
     }
@@ -1167,9 +1193,7 @@ mod tests {
             current: AtomicU64::new(0),
             peak: AtomicU64::new(0),
         });
-        let client = Arc::new(LlmClient::new(
-            Arc::clone(&probe) as Arc<dyn LanguageModel>
-        ));
+        let client = Arc::new(LlmClient::new(Arc::clone(&probe) as Arc<dyn LanguageModel>));
         let engine = Engine::new(client, corpus)
             .with_parallelism(8)
             .with_pipeline(PipelineConfig {
@@ -1195,7 +1219,9 @@ mod tests {
                     for id in chunk {
                         // Distinct per-thread sample indices defeat the
                         // cache so every call reaches the backend.
-                        engine.run_sampled(check_task(*id), 0.8, id.0 as u32).unwrap();
+                        engine
+                            .run_sampled(check_task(*id), 0.8, id.0 as u32)
+                            .unwrap();
                     }
                 });
             }

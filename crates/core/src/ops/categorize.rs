@@ -43,7 +43,7 @@ pub fn categorize_packed(
     if pack > 1 {
         let run = engine.run_packed(tasks, pack)?;
         for resp in &run.responses {
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(resp));
         }
         for answer in &run.answers {
             out.push(extract::choice(answer, labels)?);
@@ -52,7 +52,7 @@ pub fn categorize_packed(
     }
     let responses = engine.run_many(tasks)?;
     for resp in &responses {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         out.push(extract::choice(&resp.text, labels)?);
     }
     Ok(meter.into_outcome(out))
@@ -69,7 +69,11 @@ mod tests {
     use std::sync::Arc;
 
     fn setup(noise: NoiseProfile) -> (Engine, Vec<ItemId>, Vec<String>) {
-        let labels = vec!["positive".to_owned(), "negative".to_owned(), "neutral".to_owned()];
+        let labels = vec![
+            "positive".to_owned(),
+            "negative".to_owned(),
+            "neutral".to_owned(),
+        ];
         let mut w = WorldModel::new();
         let mut ids = Vec::new();
         for i in 0..30 {
@@ -80,7 +84,11 @@ mod tests {
         let corpus = Corpus::from_world(&w, &ids);
         let profile = ModelProfile::gpt35_like().with_noise(noise);
         let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 31));
-        (Engine::new(Arc::new(LlmClient::new(llm)), corpus), ids, labels)
+        (
+            Engine::new(Arc::new(LlmClient::new(llm)), corpus),
+            ids,
+            labels,
+        )
     }
 
     #[test]

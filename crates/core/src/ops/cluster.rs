@@ -73,8 +73,10 @@ fn cluster_impl(
 
     // Stage 1: coarse grouping of the seed batch.
     let seed: Vec<ItemId> = items[..seed_size].to_vec();
-    let resp = engine.run(TaskDescriptor::GroupEntities { items: seed.clone() })?;
-    meter.add(resp.usage, engine.cost_of(resp.usage));
+    let resp = engine.run(TaskDescriptor::GroupEntities {
+        items: seed.clone(),
+    })?;
+    meter.add(resp.usage, engine.cost_of_response(&resp));
     let parsed = extract::groups(&resp.text);
     let mut groups: Vec<Vec<ItemId>> = Vec::new();
     let mut assigned: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
@@ -105,7 +107,9 @@ fn cluster_impl(
     // under a reliable model, fewer calls); blocked, the probe list is
     // truncated to the `probe_cap` nearest.
     for &id in &items[seed_size..] {
-        let blocking = blocking.as_ref().expect("index built when stage 2 is non-empty");
+        let blocking = blocking
+            .as_ref()
+            .expect("index built when stage 2 is non-empty");
         // One fused dot per representative, computed once, then sorted.
         let mut order: Vec<(f32, usize)> = groups
             .iter()
@@ -128,7 +132,7 @@ fn cluster_impl(
                 left: id,
                 right: representative,
             })?;
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(&resp));
             if extract::yes_no(&resp.text)? {
                 groups[gi].push(id);
                 placed = true;

@@ -34,9 +34,7 @@ impl CountStrategy {
     /// Expected LLM calls to count `n` items (planner cost hint).
     pub fn estimated_calls(&self, n: usize) -> u64 {
         match self {
-            CountStrategy::Eyeball { batch_size } => {
-                n.div_ceil((*batch_size).max(1)) as u64
-            }
+            CountStrategy::Eyeball { batch_size } => n.div_ceil((*batch_size).max(1)) as u64,
             CountStrategy::PerItem => n as u64,
         }
     }
@@ -91,7 +89,7 @@ pub fn count_packed(
             let responses = engine.run_many(tasks)?;
             let mut total = 0u64;
             for (resp, chunk) in responses.iter().zip(items.chunks(batch_size)) {
-                meter.add(resp.usage, engine.cost_of(resp.usage));
+                meter.add(resp.usage, engine.cost_of_response(resp));
                 // Clamp implausible estimates to the batch size.
                 total += extract::count(&resp.text)?.min(chunk.len() as u64);
             }
@@ -109,7 +107,7 @@ pub fn count_packed(
             if pack > 1 {
                 let run = engine.run_packed(tasks, pack)?;
                 for resp in &run.responses {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                 }
                 for answer in &run.answers {
                     if extract::yes_no(answer)? {
@@ -120,7 +118,7 @@ pub fn count_packed(
             }
             let responses = engine.run_many(tasks)?;
             for resp in &responses {
-                meter.add(resp.usage, engine.cost_of(resp.usage));
+                meter.add(resp.usage, engine.cost_of_response(resp));
                 if extract::yes_no(&resp.text)? {
                     total += 1;
                 }
@@ -184,7 +182,11 @@ mod tests {
         assert!(coarse.usage.total() < fine.usage.total());
         // Both should land in a sane band around the truth.
         let band = |v: u64| (v as i64 - truth as i64).unsigned_abs();
-        assert!(band(coarse.value) <= 15, "coarse {} vs {truth}", coarse.value);
+        assert!(
+            band(coarse.value) <= 15,
+            "coarse {} vs {truth}",
+            coarse.value
+        );
         assert!(band(fine.value) <= 10, "fine {} vs {truth}", fine.value);
     }
 

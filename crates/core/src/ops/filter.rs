@@ -62,9 +62,7 @@ impl FilterStrategy {
         match self {
             FilterStrategy::Single => 1.0,
             FilterStrategy::MajorityVote { votes, .. } => f64::from((*votes).max(1)),
-            FilterStrategy::ConfidenceGated { votes, .. } => {
-                1.0 + 0.3 * f64::from((*votes).max(1))
-            }
+            FilterStrategy::ConfidenceGated { votes, .. } => 1.0 + 0.3 * f64::from((*votes).max(1)),
         }
     }
 
@@ -132,7 +130,7 @@ pub fn filter_packed(
             if pack > 1 {
                 let run = engine.run_packed(tasks, pack)?;
                 for resp in &run.responses {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                 }
                 for (answer, id) in run.answers.iter().zip(items) {
                     if extract::yes_no(answer)? {
@@ -143,7 +141,7 @@ pub fn filter_packed(
             }
             let responses = engine.run_many(tasks)?;
             for (resp, id) in responses.iter().zip(items) {
-                meter.add(resp.usage, engine.cost_of(resp.usage));
+                meter.add(resp.usage, engine.cost_of_response(resp));
                 if extract::yes_no(&resp.text)? {
                     kept.push(*id);
                 }
@@ -167,7 +165,7 @@ pub fn filter_packed(
             let mut escalate: Vec<ItemId> = Vec::new();
             let mut verdicts: Vec<(ItemId, bool)> = Vec::new();
             for (resp, id) in responses.iter().zip(items) {
-                meter.add(resp.usage, engine.cost_of(resp.usage));
+                meter.add(resp.usage, engine.cost_of_response(resp));
                 let answer = extract::yes_no(&resp.text)?;
                 if resp.confidence.unwrap_or(1.0) >= threshold {
                     verdicts.push((*id, answer));
@@ -197,15 +195,14 @@ pub fn filter_packed(
             for (k, &id) in escalate.iter().enumerate() {
                 let mut yes = 0u32;
                 for resp in &responses[k * votes as usize..(k + 1) * votes as usize] {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                     if extract::yes_no(&resp.text)? {
                         yes += 1;
                     }
                 }
                 verdicts.push((id, yes * 2 > votes));
             }
-            let keep: std::collections::HashMap<ItemId, bool> =
-                verdicts.into_iter().collect();
+            let keep: std::collections::HashMap<ItemId, bool> = verdicts.into_iter().collect();
             for &id in items {
                 if keep.get(&id).copied().unwrap_or(false) {
                     kept.push(id);
@@ -231,10 +228,9 @@ pub fn filter_packed(
                     .collect();
                 let mut yes_counts = vec![0u32; items.len()];
                 for s in 0..votes {
-                    let run =
-                        engine.run_packed_sampled(tasks.clone(), pack, temperature, s)?;
+                    let run = engine.run_packed_sampled(tasks.clone(), pack, temperature, s)?;
                     for resp in &run.responses {
-                        meter.add(resp.usage, engine.cost_of(resp.usage));
+                        meter.add(resp.usage, engine.cost_of_response(resp));
                     }
                     for (count, answer) in yes_counts.iter_mut().zip(&run.answers) {
                         if extract::yes_no(answer)? {
@@ -269,7 +265,7 @@ pub fn filter_packed(
             for (k, &id) in items.iter().enumerate() {
                 let mut yes = 0u32;
                 for resp in &responses[k * votes as usize..(k + 1) * votes as usize] {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                     if extract::yes_no(&resp.text)? {
                         yes += 1;
                     }
@@ -330,8 +326,7 @@ mod tests {
             ..NoiseProfile::perfect()
         };
         let (engine, ids, expected) = setup(60, noise);
-        let expected_set: std::collections::HashSet<ItemId> =
-            expected.iter().copied().collect();
+        let expected_set: std::collections::HashSet<ItemId> = expected.iter().copied().collect();
         let accuracy = |kept: &[ItemId]| {
             let kept_set: std::collections::HashSet<ItemId> = kept.iter().copied().collect();
             ids.iter()
@@ -366,8 +361,7 @@ mod tests {
             ..NoiseProfile::perfect()
         };
         let (engine, ids, expected) = setup(60, noise);
-        let expected_set: std::collections::HashSet<ItemId> =
-            expected.iter().copied().collect();
+        let expected_set: std::collections::HashSet<ItemId> = expected.iter().copied().collect();
         let accuracy = |kept: &[ItemId]| {
             let kept_set: std::collections::HashSet<ItemId> = kept.iter().copied().collect();
             ids.iter()

@@ -78,10 +78,7 @@ pub struct LabeledPool {
 
 impl LabeledPool {
     /// Build a pool from labeled items, embedding their corpus texts.
-    pub fn build(
-        engine: &Engine,
-        labeled: &[(ItemId, String)],
-    ) -> Result<Self, EngineError> {
+    pub fn build(engine: &Engine, labeled: &[(ItemId, String)]) -> Result<Self, EngineError> {
         let items: Vec<ItemId> = labeled.iter().map(|(id, _)| *id).collect();
         let labels = labeled.iter().map(|(id, l)| (*id, l.clone())).collect();
         Ok(LabeledPool {
@@ -126,7 +123,14 @@ pub fn impute(
     pool: &LabeledPool,
     strategy: &ImputeStrategy,
 ) -> Result<Outcome<Vec<String>>, EngineError> {
-    impute_packed(engine, records, attribute, pool, strategy, engine.pack_width())
+    impute_packed(
+        engine,
+        records,
+        attribute,
+        pool,
+        strategy,
+        engine.pack_width(),
+    )
 }
 
 /// [`impute`] at an explicit pack width (`1` = per-record dispatch).
@@ -156,7 +160,7 @@ pub fn impute_packed(
             if pack > 1 {
                 let run = engine.run_packed(tasks, pack)?;
                 for resp in &run.responses {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                 }
                 for answer in &run.answers {
                     values.push(extract::value(answer)?);
@@ -165,7 +169,7 @@ pub fn impute_packed(
             }
             let responses = engine.run_many(tasks)?;
             for resp in &responses {
-                meter.add(resp.usage, engine.cost_of(resp.usage));
+                meter.add(resp.usage, engine.cost_of_response(resp));
                 values.push(extract::value(&resp.text)?);
             }
             Ok(meter.into_outcome(values))
@@ -191,7 +195,7 @@ pub fn impute_packed(
             if pack > 1 {
                 let run = engine.run_packed(tasks, pack)?;
                 for resp in &run.responses {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                 }
                 for (answer, &i) in run.answers.iter().zip(&llm_indices) {
                     values[i] = Some(extract::value(answer)?);
@@ -199,7 +203,7 @@ pub fn impute_packed(
             } else {
                 let responses = engine.run_many(tasks)?;
                 for (resp, &i) in responses.iter().zip(&llm_indices) {
-                    meter.add(resp.usage, engine.cost_of(resp.usage));
+                    meter.add(resp.usage, engine.cost_of_response(resp));
                     values[i] = Some(extract::value(&resp.text)?);
                 }
             }
@@ -298,7 +302,11 @@ mod tests {
         for i in 0..ambiguous {
             // Texts that straddle the two clusters.
             let id = w.add_item(format!("name is corner diner {i}; street is main"));
-            let city = if i % 2 == 0 { "san francisco" } else { "berkeley" };
+            let city = if i % 2 == 0 {
+                "san francisco"
+            } else {
+                "berkeley"
+            };
             w.set_attr(id, "city", city);
             gold.insert(id, city.to_owned());
             ids.push(id);
@@ -338,7 +346,11 @@ mod tests {
             .zip(&ids)
             .filter(|(v, id)| *v == &gold[*id])
             .count();
-        assert_eq!(correct, ids.len(), "leave-one-out k-NN should be exact here");
+        assert_eq!(
+            correct,
+            ids.len(),
+            "leave-one-out k-NN should be exact here"
+        );
     }
 
     #[test]
@@ -414,10 +426,22 @@ mod tests {
         let (w, ids, gold) = impute_world(8, 0);
         let engine = engine_over(w, &ids, NoiseProfile::perfect());
         let pool = LabeledPool::build(&engine, &labeled(&ids, &gold)).unwrap();
-        let zero = impute(&engine, &ids, "city", &pool, &ImputeStrategy::LlmOnly { shots: 0 })
-            .unwrap();
-        let three = impute(&engine, &ids, "city", &pool, &ImputeStrategy::LlmOnly { shots: 3 })
-            .unwrap();
+        let zero = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::LlmOnly { shots: 0 },
+        )
+        .unwrap();
+        let three = impute(
+            &engine,
+            &ids,
+            "city",
+            &pool,
+            &ImputeStrategy::LlmOnly { shots: 3 },
+        )
+        .unwrap();
         assert!(three.usage.prompt_tokens > zero.usage.prompt_tokens);
     }
 

@@ -98,13 +98,16 @@ pub fn fuzzy_join(
 
     let tasks: Vec<TaskDescriptor> = candidate_pairs
         .iter()
-        .map(|(l, r)| TaskDescriptor::SameEntity { left: *l, right: *r })
+        .map(|(l, r)| TaskDescriptor::SameEntity {
+            left: *l,
+            right: *r,
+        })
         .collect();
     let responses = engine.run_many(tasks)?;
     let mut meter = CostMeter::new();
     let mut matches = Vec::new();
     for (resp, pair) in responses.iter().zip(&candidate_pairs) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         if extract::yes_no(&resp.text)? {
             matches.push(*pair);
         }
@@ -129,12 +132,7 @@ fn blocked_candidates(
     let index = BlockingIndex::build(engine, right)?;
     let mut left_texts = Vec::with_capacity(left.len());
     for &l in left {
-        left_texts.push(
-            engine
-                .corpus()
-                .text(l)
-                .ok_or(EngineError::UnknownItem(l))?,
-        );
+        left_texts.push(engine.corpus().text(l).ok_or(EngineError::UnknownItem(l))?);
     }
     let neighborhoods = index.nearest_texts(&left_texts, candidates.max(1));
     let mut pairs = Vec::new();

@@ -104,7 +104,7 @@ fn tournament(
             }
             let resp = &responses[r];
             r += 1;
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(resp));
             next.push(if extract::yes_no(&resp.text)? {
                 pair[0]
             } else {
@@ -139,18 +139,14 @@ fn rate_then_playoff(
     let responses = engine.run_many(tasks)?;
     let mut rated: Vec<(u8, ItemId)> = Vec::with_capacity(items.len());
     for (resp, id) in responses.iter().zip(items) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         rated.push((extract::rating(&resp.text)?, *id));
     }
     match criterion {
         SortCriterion::LatentScore => rated.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1))),
         SortCriterion::Lexicographic => rated.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1))),
     }
-    let finalists: Vec<ItemId> = rated
-        .iter()
-        .take(playoff_size)
-        .map(|(_, id)| *id)
-        .collect();
+    let finalists: Vec<ItemId> = rated.iter().take(playoff_size).map(|(_, id)| *id).collect();
     // Fine: round-robin among finalists with consistency repair.
     let m = finalists.len();
     let mut tasks = Vec::with_capacity(m * (m - 1) / 2);
@@ -171,7 +167,7 @@ fn rate_then_playoff(
         for j in (i + 1)..m {
             let resp = &responses[k];
             k += 1;
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(resp));
             if extract::yes_no(&resp.text)? {
                 beats[i][j] = true;
             } else {
@@ -214,8 +210,13 @@ mod tests {
     #[test]
     fn tournament_perfect_finds_max() {
         let (engine, ids, best) = setup(16, NoiseProfile::perfect(), 1);
-        let out = find_max(&engine, &ids, SortCriterion::LatentScore, MaxStrategy::Tournament)
-            .unwrap();
+        let out = find_max(
+            &engine,
+            &ids,
+            SortCriterion::LatentScore,
+            MaxStrategy::Tournament,
+        )
+        .unwrap();
         assert_eq!(out.value, best);
         assert_eq!(out.calls, 15);
     }
@@ -223,8 +224,13 @@ mod tests {
     #[test]
     fn tournament_handles_odd_sizes() {
         let (engine, ids, best) = setup(7, NoiseProfile::perfect(), 2);
-        let out = find_max(&engine, &ids, SortCriterion::LatentScore, MaxStrategy::Tournament)
-            .unwrap();
+        let out = find_max(
+            &engine,
+            &ids,
+            SortCriterion::LatentScore,
+            MaxStrategy::Tournament,
+        )
+        .unwrap();
         assert_eq!(out.value, best);
         assert_eq!(out.calls, 6);
     }
@@ -258,8 +264,13 @@ mod tests {
         let mut playoff_hits = 0;
         for seed in 0..30 {
             let (engine, ids, best) = setup(16, noise.clone(), seed);
-            let t = find_max(&engine, &ids, SortCriterion::LatentScore, MaxStrategy::Tournament)
-                .unwrap();
+            let t = find_max(
+                &engine,
+                &ids,
+                SortCriterion::LatentScore,
+                MaxStrategy::Tournament,
+            )
+            .unwrap();
             if t.value == best {
                 tournament_hits += 1;
             }
@@ -286,8 +297,13 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let (engine, ids, _) = setup(3, NoiseProfile::perfect(), 4);
-        assert!(find_max(&engine, &[], SortCriterion::LatentScore, MaxStrategy::Tournament)
-            .is_err());
+        assert!(find_max(
+            &engine,
+            &[],
+            SortCriterion::LatentScore,
+            MaxStrategy::Tournament
+        )
+        .is_err());
         let out = find_max(
             &engine,
             &ids[..1],

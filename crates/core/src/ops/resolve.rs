@@ -104,9 +104,7 @@ pub fn resolve_pairs(
         ResolveStrategy::Pairwise => pairwise(engine, pairs),
         ResolveStrategy::TransitivityAugmented { k } => {
             let index = index.ok_or_else(|| {
-                EngineError::InvalidInput(
-                    "TransitivityAugmented requires a MentionIndex".into(),
-                )
+                EngineError::InvalidInput("TransitivityAugmented requires a MentionIndex".into())
             })?;
             transitivity_augmented(engine, pairs, *k, index)
         }
@@ -120,12 +118,15 @@ fn ask_same_entity_batch(
 ) -> Result<Vec<bool>, EngineError> {
     let tasks: Vec<TaskDescriptor> = pairs
         .iter()
-        .map(|(a, b)| TaskDescriptor::SameEntity { left: *a, right: *b })
+        .map(|(a, b)| TaskDescriptor::SameEntity {
+            left: *a,
+            right: *b,
+        })
         .collect();
     let responses = engine.run_many(tasks)?;
     let mut out = Vec::with_capacity(pairs.len());
     for resp in &responses {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         out.push(extract::yes_no(&resp.text)?);
     }
     Ok(out)
@@ -153,8 +154,7 @@ fn transitivity_augmented(
     //    Deduplicate comparisons globally — the client cache would dedupe
     //    the LLM calls anyway, but deduping here keeps accounting honest.
     let mut comparisons: Vec<(ItemId, ItemId)> = Vec::new();
-    let mut seen: std::collections::HashSet<(ItemId, ItemId)> =
-        std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<(ItemId, ItemId)> = std::collections::HashSet::new();
     for &(a, b) in pairs {
         let mut set: Vec<ItemId> = vec![a, b];
         set.extend(index.neighbors(engine, a, k));
@@ -199,11 +199,9 @@ fn transitivity_augmented(
     // 4. A question pair is a duplicate iff its records are connected.
     let verdicts: Vec<bool> = pairs
         .iter()
-        .map(|&(a, b)| {
-            match (node_of.get(&a), node_of.get(&b)) {
-                (Some(&na), Some(&nb)) => uf.connected(na, nb),
-                _ => false,
-            }
+        .map(|&(a, b)| match (node_of.get(&a), node_of.get(&b)) {
+            (Some(&na), Some(&nb)) => uf.connected(na, nb),
+            _ => false,
         })
         .collect();
     Ok(meter.into_outcome(verdicts))
@@ -230,8 +228,7 @@ pub fn dedup(
     //    threads inside the index) instead of a per-record loop.
     let neighborhoods = index.blocking().neighbors_many(engine, items, candidates);
     let mut pairs: Vec<(ItemId, ItemId)> = Vec::new();
-    let mut seen: std::collections::HashSet<(ItemId, ItemId)> =
-        std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<(ItemId, ItemId)> = std::collections::HashSet::new();
     for (&id, hits) in items.iter().zip(&neighborhoods) {
         for hit in hits.iter().filter(|h| h.distance <= max_distance) {
             let key = (id.min(hit.item), id.max(hit.item));
@@ -243,11 +240,7 @@ pub fn dedup(
     // 2. Oracle confirmation.
     let answers = ask_same_entity_batch(engine, &pairs, &mut meter)?;
     // 3. Transitive closure into clusters.
-    let pos: HashMap<ItemId, usize> = items
-        .iter()
-        .enumerate()
-        .map(|(i, id)| (*id, i))
-        .collect();
+    let pos: HashMap<ItemId, usize> = items.iter().enumerate().map(|(i, id)| (*id, i)).collect();
     let mut uf = UnionFind::new(items.len());
     for (&(a, b), &yes) in pairs.iter().zip(&answers) {
         if yes {
@@ -284,7 +277,13 @@ mod tests {
         let mut clusters: Vec<[ItemId; 3]> = Vec::new();
         const FIRSTS: [&str; 5] = ["Ada", "Grace", "Alan", "Edsger", "Barbara"];
         const LASTS: [&str; 7] = [
-            "Abiteboul", "Widom", "Stonebraker", "Kraska", "Hellerstein", "Madden", "Franklin",
+            "Abiteboul",
+            "Widom",
+            "Stonebraker",
+            "Kraska",
+            "Hellerstein",
+            "Madden",
+            "Franklin",
         ];
         const TOPICS: [&str; 6] = [
             "sensor stream joins",
@@ -295,10 +294,19 @@ mod tests {
             "incremental graph analytics",
         ];
         const VENUES: [(&str, &str); 4] = [
-            ("Proceedings of the International Conference on Data Engineering", "ICDE"),
-            ("ACM SIGMOD International Conference on Management of Data", "SIGMOD"),
+            (
+                "Proceedings of the International Conference on Data Engineering",
+                "ICDE",
+            ),
+            (
+                "ACM SIGMOD International Conference on Management of Data",
+                "SIGMOD",
+            ),
             ("Proceedings of the VLDB Endowment", "PVLDB"),
-            ("International Conference on Extending Database Technology", "EDBT"),
+            (
+                "International Conference on Extending Database Technology",
+                "EDBT",
+            ),
         ];
         for c in 0..n_clusters {
             let first = FIRSTS[c % FIRSTS.len()];
@@ -334,11 +342,7 @@ mod tests {
         (w, mentions, pairs)
     }
 
-    fn engine_over(
-        w: WorldModel,
-        mentions: &[ItemId],
-        noise: NoiseProfile,
-    ) -> Engine {
+    fn engine_over(w: WorldModel, mentions: &[ItemId], noise: NoiseProfile) -> Engine {
         let corpus = Corpus::from_world(&w, mentions);
         let profile = ModelProfile::gpt35_like().with_noise(noise);
         let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 5));
@@ -349,8 +353,7 @@ mod tests {
     fn pairwise_perfect_oracle_is_exact() {
         let (w, mentions, pairs) = er_world(6);
         let engine = engine_over(w, &mentions, NoiseProfile::perfect());
-        let questions: Vec<(ItemId, ItemId)> =
-            pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+        let questions: Vec<(ItemId, ItemId)> = pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
         let out = resolve_pairs(&engine, &questions, &ResolveStrategy::Pairwise, None).unwrap();
         for (verdict, (_, _, gold)) in out.value.iter().zip(&pairs) {
             assert_eq!(verdict, gold);
@@ -373,8 +376,7 @@ mod tests {
         };
         let (w, mentions, pairs) = er_world(40);
         let engine = engine_over(w, &mentions, noise);
-        let questions: Vec<(ItemId, ItemId)> =
-            pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+        let questions: Vec<(ItemId, ItemId)> = pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
 
         let baseline =
             resolve_pairs(&engine, &questions, &ResolveStrategy::Pairwise, None).unwrap();

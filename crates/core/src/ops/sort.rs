@@ -183,8 +183,7 @@ fn single_prompt(
     criterion: SortCriterion,
 ) -> Result<Outcome<SortResult>, EngineError> {
     let mut meter = CostMeter::new();
-    let (order, missing, hallucinated) =
-        run_list_sort(engine, items, criterion, &mut meter)?;
+    let (order, missing, hallucinated) = run_list_sort(engine, items, criterion, &mut meter)?;
     // Reinsert missing items at seeded-random positions (Table 2 baseline
     // scoring) so the result is a permutation of the input.
     let order = reinsert_missing(engine, items, order);
@@ -206,7 +205,7 @@ fn run_list_sort(
         items: items.to_vec(),
         criterion,
     })?;
-    meter.add(resp.usage, engine.cost_of(resp.usage));
+    meter.add(resp.usage, engine.cost_of_response(&resp));
     let lines = extract::list_items(&resp.text);
     let requested: HashSet<ItemId> = items.iter().copied().collect();
     let mut seen: HashSet<ItemId> = HashSet::with_capacity(items.len());
@@ -271,7 +270,7 @@ fn pairwise(
         for j in (i + 1)..n {
             let resp = &responses[k];
             k += 1;
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(resp));
             let left_first = extract::yes_no(&resp.text)?;
             let winner = if left_first { items[i] } else { items[j] };
             *wins.get_mut(&winner).expect("seeded above") += 1;
@@ -316,7 +315,7 @@ fn pairwise_batched(
     let mut meter = CostMeter::new();
     let mut wins: HashMap<ItemId, u32> = items.iter().map(|id| (*id, 0)).collect();
     for (resp, chunk) in responses.iter().zip(all_pairs.chunks(batch_size)) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         let answers = extract::yes_no_list(&resp.text, chunk.len())?;
         for (yes, (l, r)) in answers.iter().zip(chunk) {
             let winner = if *yes { *l } else { *r };
@@ -356,7 +355,7 @@ fn rating(
     let mut meter = CostMeter::new();
     let mut rated: Vec<(u8, ItemId)> = Vec::with_capacity(items.len());
     for (resp, id) in responses.iter().zip(items) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         rated.push((extract::rating(&resp.text)?, *id));
     }
     match criterion {
@@ -382,8 +381,7 @@ fn sort_then_insert(
     criterion: SortCriterion,
 ) -> Result<Outcome<SortResult>, EngineError> {
     let mut meter = CostMeter::new();
-    let (mut order, missing, hallucinated) =
-        run_list_sort(engine, items, criterion, &mut meter)?;
+    let (mut order, missing, hallucinated) = run_list_sort(engine, items, criterion, &mut meter)?;
     let present: HashSet<ItemId> = order.iter().copied().collect();
     let missing_items: Vec<ItemId> = items
         .iter()
@@ -419,8 +417,8 @@ fn sort_then_insert(
         for (j, _) in order.iter().enumerate() {
             let r1 = &responses[2 * j];
             let r2 = &responses[2 * j + 1];
-            meter.add(r1.usage, engine.cost_of(r1.usage));
-            meter.add(r2.usage, engine.cost_of(r2.usage));
+            meter.add(r1.usage, engine.cost_of_response(r1));
+            meter.add(r2.usage, engine.cost_of_response(r2));
             let mut v = 0u8;
             if extract::yes_no(&r1.text)? {
                 v += 1; // "w before x" asked directly
@@ -479,8 +477,7 @@ fn chunked_merge(
             runs.push(chunk.to_vec());
             continue;
         }
-        let (mut run, missing, hallucinated) =
-            run_list_sort(engine, chunk, criterion, &mut meter)?;
+        let (mut run, missing, hallucinated) = run_list_sort(engine, chunk, criterion, &mut meter)?;
         missing_total += missing;
         hallucinated_total += hallucinated;
         let present: HashSet<ItemId> = run.iter().copied().collect();
@@ -522,7 +519,7 @@ fn merge_runs(
             right: b[bi],
             criterion,
         })?;
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(&resp));
         if extract::yes_no(&resp.text)? {
             out.push(a[ai]);
             ai += 1;
@@ -561,7 +558,7 @@ fn bucket_then_compare(
     let mut meter = CostMeter::new();
     let mut by_bucket: HashMap<u8, Vec<ItemId>> = HashMap::new();
     for (resp, id) in responses.iter().zip(items) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         by_bucket
             .entry(extract::rating(&resp.text)?)
             .or_default()
@@ -619,7 +616,7 @@ fn pairwise_repaired(
         for j in (i + 1)..m {
             let resp = &responses[k];
             k += 1;
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(resp));
             let left_first = extract::yes_no(&resp.text)?;
             if left_first {
                 beats[i][j] = true;
@@ -628,8 +625,7 @@ fn pairwise_repaired(
             }
         }
     }
-    let order_idx =
-        crate::consistency::repair_ranking(m, &|a, b| beats[a][b], 12);
+    let order_idx = crate::consistency::repair_ranking(m, &|a, b| beats[a][b], 12);
     Ok(order_idx.into_iter().map(|i| members[i]).collect())
 }
 
@@ -718,11 +714,8 @@ mod tests {
         assert_eq!(out.calls, 7);
         // Perfect oracle quantizes exactly; with 7 distinct scores over 7
         // levels the ordering should broadly agree with gold (ties allowed).
-        let tau = crowdprompt_metrics::rank::kendall_tau_b_rankings(
-            &out.value.order,
-            &gold,
-        )
-        .unwrap();
+        let tau =
+            crowdprompt_metrics::rank::kendall_tau_b_rankings(&out.value.order, &gold).unwrap();
         assert!(tau > 0.8, "tau {tau}");
     }
 
@@ -746,8 +739,8 @@ mod tests {
         let mut w = WorldModel::new();
         let words = [
             "apple", "banana", "cherry", "date", "elder", "fig", "grape", "honey", "iris",
-            "jasmine", "kiwi", "lemon", "mango", "nectar", "olive", "peach", "quince",
-            "raisin", "squash", "tomato",
+            "jasmine", "kiwi", "lemon", "mango", "nectar", "olive", "peach", "quince", "raisin",
+            "squash", "tomato",
         ];
         let ids: Vec<ItemId> = words
             .iter()
@@ -783,8 +776,7 @@ mod tests {
         assert_eq!(sorted_ids, expect);
         // And the insertion should keep quality high.
         let tau =
-            crowdprompt_metrics::rank::kendall_tau_b_rankings(&out.value.order, &gold)
-                .unwrap();
+            crowdprompt_metrics::rank::kendall_tau_b_rankings(&out.value.order, &gold).unwrap();
         assert!(tau > 0.9, "tau {tau}");
     }
 

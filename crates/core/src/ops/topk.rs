@@ -42,7 +42,7 @@ pub fn top_k(
     let responses = engine.run_many(tasks)?;
     let mut rated: Vec<(u8, ItemId)> = Vec::with_capacity(items.len());
     for (resp, id) in responses.iter().zip(items) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         rated.push((extract::rating(&resp.text)?, *id));
     }
     match criterion {
@@ -92,7 +92,7 @@ fn rank_exactly(
         for j in (i + 1)..m {
             let resp = &responses[idx];
             idx += 1;
-            meter.add(resp.usage, engine.cost_of(resp.usage));
+            meter.add(resp.usage, engine.cost_of_response(resp));
             if extract::yes_no(&resp.text)? {
                 beats[i][j] = true;
             } else {

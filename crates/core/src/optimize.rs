@@ -93,10 +93,8 @@ pub fn pareto_frontier(trials: &[StrategyTrial]) -> Vec<StrategyTrial> {
         .iter()
         .filter(|t| {
             !trials.iter().any(|other| {
-                other.accuracy >= t.accuracy
-                    && other.sample_cost_usd < t.sample_cost_usd
-                    || (other.accuracy > t.accuracy
-                        && other.sample_cost_usd <= t.sample_cost_usd)
+                other.accuracy >= t.accuracy && other.sample_cost_usd < t.sample_cost_usd
+                    || (other.accuracy > t.accuracy && other.sample_cost_usd <= t.sample_cost_usd)
             })
         })
         .cloned()
@@ -237,9 +235,14 @@ mod tests {
                 scale_max: 7,
             },
         ];
-        let trials =
-            evaluate_sort_strategies(&engine, &ids, &gold, SortCriterion::LatentScore, &candidates)
-                .unwrap();
+        let trials = evaluate_sort_strategies(
+            &engine,
+            &ids,
+            &gold,
+            SortCriterion::LatentScore,
+            &candidates,
+        )
+        .unwrap();
         assert_eq!(trials.len(), 3);
         // Perfect oracle: single-prompt and pairwise hit tau = 1.
         assert!(trials[0].accuracy > 0.99);

@@ -84,11 +84,7 @@ impl<'a> Estimator<'a> {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let total: f64 = self
-            .samples
-            .iter()
-            .map(|&id| self.cost_of(make(id)))
-            .sum();
+        let total: f64 = self.samples.iter().map(|&id| self.cost_of(make(id))).sum();
         total / self.samples.len() as f64
     }
 
@@ -157,23 +153,22 @@ impl<'a> Estimator<'a> {
             return None;
         }
         let tasks: Vec<TaskDescriptor> = match node {
-            PhysicalNode::Filter { predicate, .. } | PhysicalNode::Count { predicate, .. } => {
+            PhysicalNode::Filter { predicate, .. } | PhysicalNode::Count { predicate, .. } => items
+                .iter()
+                .map(|&item| TaskDescriptor::CheckPredicate {
+                    item,
+                    predicate: predicate.clone(),
+                })
+                .collect(),
+            PhysicalNode::Categorize { labels, .. } | PhysicalNode::KeepLabel { labels, .. } => {
                 items
                     .iter()
-                    .map(|&item| TaskDescriptor::CheckPredicate {
+                    .map(|&item| TaskDescriptor::Classify {
                         item,
-                        predicate: predicate.clone(),
+                        labels: labels.clone(),
                     })
                     .collect()
             }
-            PhysicalNode::Categorize { labels, .. }
-            | PhysicalNode::KeepLabel { labels, .. } => items
-                .iter()
-                .map(|&item| TaskDescriptor::Classify {
-                    item,
-                    labels: labels.clone(),
-                })
-                .collect(),
             PhysicalNode::Impute {
                 attribute,
                 labeled,
@@ -182,11 +177,11 @@ impl<'a> Estimator<'a> {
             } => {
                 let shots = match strategy {
                     ImputeStrategy::KnnOnly { .. } => return None,
-                    ImputeStrategy::LlmOnly { shots }
-                    | ImputeStrategy::Hybrid { shots, .. } => *shots,
+                    ImputeStrategy::LlmOnly { shots } | ImputeStrategy::Hybrid { shots, .. } => {
+                        *shots
+                    }
                 };
-                let examples: Vec<(ItemId, String)> =
-                    labeled.iter().take(shots).cloned().collect();
+                let examples: Vec<(ItemId, String)> = labeled.iter().take(shots).cloned().collect();
                 items
                     .iter()
                     .map(|&item| TaskDescriptor::Impute {
@@ -206,8 +201,7 @@ impl<'a> Estimator<'a> {
     pub(crate) fn packed_prompt_tokens(&self, node: &PhysicalNode, b: usize) -> Option<u32> {
         let task = self.representative_pack(node, b)?;
         let prompt =
-            crate::template::render(&task, self.engine.corpus(), self.engine.render_opts())
-                .ok()?;
+            crate::template::render(&task, self.engine.corpus(), self.engine.render_opts()).ok()?;
         Some(crowdprompt_oracle::tokenizer::count_tokens(&prompt))
     }
 
@@ -385,15 +379,16 @@ impl<'a> Estimator<'a> {
                     )
                 }
             }
-            PhysicalNode::Max { criterion, strategy } => {
+            PhysicalNode::Max {
+                criterion,
+                strategy,
+            } => {
                 if n < 2 {
                     (0, 0.0) // degenerate max is answered without the model
                 } else {
                     let calls = strategy.estimated_calls(n);
                     let cost = match strategy {
-                        MaxStrategy::Tournament => {
-                            calls as f64 * self.compare_cost(*criterion)
-                        }
+                        MaxStrategy::Tournament => calls as f64 * self.compare_cost(*criterion),
                         MaxStrategy::RateThenPlayoff {
                             buckets,
                             playoff_size,
@@ -426,7 +421,10 @@ impl<'a> Estimator<'a> {
                 } else {
                     0.0
                 };
-                (1 + assign, seed_cost + assign as f64 * self.same_entity_cost())
+                (
+                    1 + assign,
+                    seed_cost + assign as f64 * self.same_entity_cost(),
+                )
             }
             PhysicalNode::Cluster { .. } => (0, 0.0), // empty input clusters free
             PhysicalNode::Join { right, strategy } => {

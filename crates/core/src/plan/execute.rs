@@ -191,8 +191,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 pack,
                 ..
             } => {
-                let out =
-                    ops::filter::filter_packed(engine, &items, predicate, *strategy, *pack)?;
+                let out = ops::filter::filter_packed(engine, &items, predicate, *strategy, *pack)?;
                 push_report(&mut steps, name, items_in, out.value.len(), &out);
                 items = out.value;
             }
@@ -243,7 +242,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                         *pack,
                     )?;
                     for resp in &run.responses {
-                        meter.add(resp.usage, engine.cost_of(resp.usage));
+                        meter.add(resp.usage, engine.cost_of_response(resp));
                     }
                     for (answer, id) in run.answers.iter().zip(&items) {
                         if extract::choice(answer, labels)? == *keep {
@@ -254,14 +253,13 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                     // Streamed: tasks are rendered and admitted inside the
                     // worker pool as they are pulled, overlapping model
                     // calls.
-                    let responses = engine.run_stream(items.iter().map(|id| {
-                        TaskDescriptor::Classify {
+                    let responses =
+                        engine.run_stream(items.iter().map(|id| TaskDescriptor::Classify {
                             item: *id,
                             labels: labels.clone(),
-                        }
-                    }))?;
+                        }))?;
                     for (resp, id) in responses.iter().zip(&items) {
-                        meter.add(resp.usage, engine.cost_of(resp.usage));
+                        meter.add(resp.usage, engine.cost_of_response(resp));
                         if extract::choice(&resp.text, labels)? == *keep {
                             kept.push(*id);
                         }
@@ -293,8 +291,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 max_distance,
             } => {
                 let index = MentionIndex::build(engine, &items)?;
-                let out =
-                    ops::resolve::dedup(engine, &items, &index, *candidates, *max_distance)?;
+                let out = ops::resolve::dedup(engine, &items, &index, *candidates, *max_distance)?;
                 push_report(&mut steps, name, items_in, out.value.len(), &out);
                 output = Some(PlanOutput::Groups(out.value));
             }
@@ -321,9 +318,8 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 pack,
             } => {
                 let pool = LabeledPool::build(engine, labeled)?;
-                let out = ops::impute::impute_packed(
-                    engine, &items, attribute, &pool, strategy, *pack,
-                )?;
+                let out =
+                    ops::impute::impute_packed(engine, &items, attribute, &pool, strategy, *pack)?;
                 push_report(&mut steps, name, items_in, items_in, &out);
                 output = Some(PlanOutput::Values(out.value));
             }

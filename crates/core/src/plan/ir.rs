@@ -286,7 +286,12 @@ impl Query {
 
     /// [`Query::top_k`] with an explicit shortlist multiplier.
     #[must_use]
-    pub fn top_k_with(mut self, criterion: SortCriterion, k: usize, shortlist_factor: usize) -> Self {
+    pub fn top_k_with(
+        mut self,
+        criterion: SortCriterion,
+        k: usize,
+        shortlist_factor: usize,
+    ) -> Self {
         self.ops.push(LogicalOp::TopK {
             criterion,
             k,

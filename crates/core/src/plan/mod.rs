@@ -175,8 +175,7 @@ impl PhysicalNode {
             PhysicalNode::TopK {
                 shortlist_factor, ..
             } => format!("rate-shortlist-x{shortlist_factor}+pairwise"),
-            PhysicalNode::Categorize { labels, .. }
-            | PhysicalNode::KeepLabel { labels, .. } => {
+            PhysicalNode::Categorize { labels, .. } | PhysicalNode::KeepLabel { labels, .. } => {
                 format!("classify-{}", labels.len())
             }
             PhysicalNode::Count { strategy, .. } => strategy.name(),
@@ -205,15 +204,9 @@ impl PhysicalNode {
     /// confidence-gated filter needs per-answer confidence).
     pub fn pack(&self) -> Option<usize> {
         match self {
-            PhysicalNode::Filter { strategy, pack, .. } => {
-                strategy.packable().then_some(*pack)
-            }
-            PhysicalNode::Count { strategy, pack, .. } => {
-                strategy.packable().then_some(*pack)
-            }
-            PhysicalNode::Impute { strategy, pack, .. } => {
-                strategy.packable().then_some(*pack)
-            }
+            PhysicalNode::Filter { strategy, pack, .. } => strategy.packable().then_some(*pack),
+            PhysicalNode::Count { strategy, pack, .. } => strategy.packable().then_some(*pack),
+            PhysicalNode::Impute { strategy, pack, .. } => strategy.packable().then_some(*pack),
             PhysicalNode::Categorize { pack, .. } | PhysicalNode::KeepLabel { pack, .. } => {
                 Some(*pack)
             }
@@ -383,7 +376,11 @@ mod tests {
             })
             .collect();
         let corpus = Corpus::from_world(&w, &ids);
-        let llm = Arc::new(SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(w), 7));
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::gpt35_like(),
+            Arc::new(w),
+            7,
+        ));
         let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus)
             .with_budget(budget)
             .with_seed(3);
@@ -562,10 +559,7 @@ mod tests {
             .calibrate_sort(&sample, &gold)
             .plan_on(&engine)
             .unwrap();
-        assert!(plan
-            .notes()
-            .iter()
-            .any(|n| n.contains("validation trial")));
+        assert!(plan.notes().iter().any(|n| n.contains("validation trial")));
         assert!(engine.budget().spent_tokens() > 0, "trials spend for real");
     }
 
@@ -588,10 +582,9 @@ mod tests {
         let kept = crate::ops::filter::filter(&eager_engine, &ids2, "even", FS::Single)
             .unwrap()
             .value;
-        let top =
-            crate::ops::topk::top_k(&eager_engine, &kept, SortCriterion::LatentScore, 3, 2)
-                .unwrap()
-                .value;
+        let top = crate::ops::topk::top_k(&eager_engine, &kept, SortCriterion::LatentScore, 3, 2)
+            .unwrap()
+            .value;
         assert_eq!(run.output.items().unwrap(), top);
         assert_eq!(
             planned_engine.budget().spent_tokens(),
@@ -747,10 +740,7 @@ mod tests {
     fn pack_width_knob_packs_pointwise_nodes_and_notes_the_delta() {
         let (engine, ids) = engine(40, budget::Budget::Unlimited);
         let engine = engine.with_pack_width(16);
-        let plan = Query::over(&ids)
-            .filter("even")
-            .plan_on(&engine)
-            .unwrap();
+        let plan = Query::over(&ids).filter("even").plan_on(&engine).unwrap();
         assert_eq!(plan.nodes()[0].node.pack(), Some(16));
         assert_eq!(
             plan.nodes()[0].estimate.calls,
@@ -760,8 +750,7 @@ mod tests {
         assert!(plan
             .notes()
             .iter()
-            .any(|n| n.contains("packed filter[even] at width 16")
-                && n.contains("vs 40 calls")));
+            .any(|n| n.contains("packed filter[even] at width 16") && n.contains("vs 40 calls")));
         assert!(plan.explain().contains("xpack-16"));
         // Execution actually dispatches packs: 3 backend calls, not 40.
         plan.execute_on(&engine).unwrap();
@@ -784,8 +773,7 @@ mod tests {
         // A 200-token window: a 64-item pack cannot fit, singletons can.
         let profile = crowdprompt_oracle::ModelProfile::perfect().with_context_window(200);
         let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 7));
-        let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus)
-            .with_pack_width(64);
+        let engine = Engine::new(Arc::new(LlmClient::new(llm)), corpus).with_pack_width(64);
         let plan = Query::over(&ids).filter("even").plan_on(&engine).unwrap();
         let pack = plan.nodes()[0].node.pack().unwrap();
         assert!(pack < 64, "width must be capped, got {pack}");
@@ -842,9 +830,7 @@ mod tests {
             .corpus(corpus.clone())
             .pack_width(8)
             .build();
-        let via_session = session
-            .filter(&ids, "even", FS::Single)
-            .unwrap();
+        let via_session = session.filter(&ids, "even", FS::Single).unwrap();
         let (client2, corpus2, ids2) = build();
         let engine = Engine::new(client2, corpus2).with_pack_width(8);
         let direct = crate::ops::filter::filter(&engine, &ids2, "even", FS::Single).unwrap();

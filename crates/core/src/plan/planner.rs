@@ -232,6 +232,29 @@ pub(crate) fn plan(
     options: PlanOptions,
 ) -> Result<Plan, EngineError> {
     let mut notes: Vec<String> = Vec::new();
+    // Per-backend pricing note: a routed client serves one tier from
+    // several backends with different price multipliers; estimates below
+    // price calls at the router's *reference* (cheapest-eligible) schedule,
+    // while execution records actual spend at whichever backend serves each
+    // call. Recorded here so EXPLAIN shows which schedule the numbers mean.
+    // Skipped on the wrapper fast path, like every other estimate cost.
+    if options.estimate_costs {
+        if let Some(router) = engine.client().router() {
+            let registry = router.registry();
+            let roster: Vec<String> = registry
+                .backends()
+                .iter()
+                .map(|b| format!("'{}'", b.id()))
+                .collect();
+            notes.push(format!(
+                "routing tier '{}' over {} backends ({}); estimates priced at cheapest '{}'",
+                registry.tier(),
+                registry.len(),
+                roster.join(", "),
+                router.reference_backend_id(),
+            ));
+        }
+    }
     let (source, ops, calibration) = query.into_parts();
     let ops = &ops;
     // Terminal ops (labels, counts, clusters, …) end the chain, and
@@ -320,7 +343,9 @@ pub(crate) fn plan(
             } => (
                 PhysicalNode::Sort {
                     criterion: *criterion,
-                    strategy: strategy.clone().unwrap_or_else(|| default_sort_strategy(rows)),
+                    strategy: strategy
+                        .clone()
+                        .unwrap_or_else(|| default_sort_strategy(rows)),
                 },
                 strategy.is_some(),
             ),
@@ -414,9 +439,8 @@ pub(crate) fn plan(
                     Some(s) => (s.clone(), true),
                     None => {
                         if options.push_blocking {
-                            notes.push(
-                                "pushed blocking into join (4 candidates/record)".to_owned(),
-                            );
+                            notes
+                                .push("pushed blocking into join (4 candidates/record)".to_owned());
                             (
                                 JoinStrategy::Blocked {
                                     candidates: 4,
@@ -462,15 +486,12 @@ pub(crate) fn plan(
         let mut i = 0;
         while i < lowered.len() {
             let mut j = i;
-            while j < lowered.len()
-                && matches!(lowered[j].node, PhysicalNode::Filter { .. })
-            {
+            while j < lowered.len() && matches!(lowered[j].node, PhysicalNode::Filter { .. }) {
                 j += 1;
             }
             if j - i >= 2 {
                 let estimator = lazy_estimator.as_ref().expect("built when reordering");
-                let before: Vec<String> =
-                    lowered[i..j].iter().map(|l| l.node.name()).collect();
+                let before: Vec<String> = lowered[i..j].iter().map(|l| l.node.name()).collect();
                 // Rank = per-item cost / rows removed per dollar-relevant
                 // item, i.e. cost/(1 − selectivity): the classic predicate
                 // ordering. With default (equal) selectivities it reduces
@@ -496,8 +517,7 @@ pub(crate) fn plan(
                     .collect();
                 keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
                 lowered.splice(i..i, keyed.into_iter().map(|(_, l)| l));
-                let after: Vec<String> =
-                    lowered[i..j].iter().map(|l| l.node.name()).collect();
+                let after: Vec<String> = lowered[i..j].iter().map(|l| l.node.name()).collect();
                 if before != after {
                     notes.push(format!(
                         "reordered filters cheapest-first: {} -> {}",
@@ -528,10 +548,7 @@ pub(crate) fn plan(
                 continue;
             }
             let mut width = knob.min(rows_in.max(1));
-            if let Some(estimator) = lazy_estimator
-                .as_ref()
-                .filter(|_| options.estimate_costs)
-            {
+            if let Some(estimator) = lazy_estimator.as_ref().filter(|_| options.estimate_costs) {
                 let window = engine.client().model().context_window();
                 let capped = width;
                 while width > 1 {
@@ -552,10 +569,7 @@ pub(crate) fn plan(
                 continue;
             }
             l.node.set_pack(width);
-            if let Some(estimator) = lazy_estimator
-                .as_ref()
-                .filter(|_| options.estimate_costs)
-            {
+            if let Some(estimator) = lazy_estimator.as_ref().filter(|_| options.estimate_costs) {
                 let packed = estimator.node(&l.node, rows_in);
                 let mut per_item = l.node.clone();
                 per_item.set_pack(1);
@@ -599,10 +613,8 @@ pub(crate) fn plan(
     // chain share one trial run instead of re-spending on the same sample.
     if let Some(cal) = calibration.as_ref().filter(|_| options.run_calibration) {
         let estimator = lazy_estimator.as_ref().expect("built when calibrating");
-        let mut trials_cache: std::collections::HashMap<
-            String,
-            Vec<optimize::StrategyTrial>,
-        > = std::collections::HashMap::new();
+        let mut trials_cache: std::collections::HashMap<String, Vec<optimize::StrategyTrial>> =
+            std::collections::HashMap::new();
         for idx in 0..lowered.len() {
             if lowered[idx].pinned {
                 continue;
@@ -637,8 +649,7 @@ pub(crate) fn plan(
                 .filter(|(i, _)| *i != idx)
                 .map(|(_, e)| e.cost_usd)
                 .sum();
-            let node_budget =
-                (remaining_usd_equivalent(engine, estimator) - others).max(0.0);
+            let node_budget = (remaining_usd_equivalent(engine, estimator) - others).max(0.0);
             if let Some(pick) =
                 optimize::recommend(&trials, cal.sample.len(), rows_here, node_budget)
             {

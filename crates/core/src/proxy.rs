@@ -74,7 +74,7 @@ pub fn train_proxy(
     let mut negative_centroid = vec![0.0f32; dims];
     let (mut n_pos, mut n_neg) = (0usize, 0usize);
     for (resp, id) in responses.iter().zip(sample) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         let label = extract::yes_no(&resp.text)?;
         let text = engine
             .corpus()
@@ -161,7 +161,7 @@ pub fn filter_with_proxy(
     let responses = engine.run_many(tasks)?;
     let mut llm_verdicts: Vec<(ItemId, bool)> = Vec::with_capacity(uncertain.len());
     for (resp, id) in responses.iter().zip(&uncertain) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         llm_verdicts.push((*id, extract::yes_no(&resp.text)?));
     }
     // Reassemble in input order.
@@ -261,8 +261,7 @@ mod tests {
             out.value.llm_decisions
         );
         // Correctness against gold.
-        let kept: std::collections::HashSet<ItemId> =
-            out.value.kept.iter().copied().collect();
+        let kept: std::collections::HashSet<ItemId> = out.value.kept.iter().copied().collect();
         for (id, g) in rest.iter().zip(&gold[20..]) {
             assert_eq!(kept.contains(id), *g);
         }

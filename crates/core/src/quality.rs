@@ -44,7 +44,7 @@ pub fn self_consistent_yes_no(
         .map(|s| (task.clone(), temperature, s))
         .collect();
     for resp in engine.run_sampled_many(specs)? {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(&resp));
         if extract::yes_no(&resp.text)? {
             yes += 1;
         }
@@ -67,7 +67,7 @@ pub fn estimate_accuracy_yes_no(
     let responses = engine.run_many(tasks.iter().map(|(t, _)| t.clone()).collect())?;
     let mut correct = 0usize;
     for (resp, (_, gold)) in responses.iter().zip(tasks) {
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(resp));
         if extract::yes_no(&resp.text)? == *gold {
             correct += 1;
         }
@@ -86,7 +86,7 @@ pub fn verify_answer(
         original: Box::new(original),
         proposed_answer: proposed_answer.to_owned(),
     })?;
-    meter.add(resp.usage, engine.cost_of(resp.usage));
+    meter.add(resp.usage, engine.cost_of_response(&resp));
     let verdict = extract::yes_no(&resp.text)?;
     Ok(meter.into_outcome(verdict))
 }
@@ -113,7 +113,7 @@ pub fn ask_with_verification(
         } else {
             engine.run_sampled(task.clone(), 1.0, rounds)?
         };
-        meter.add(resp.usage, engine.cost_of(resp.usage));
+        meter.add(resp.usage, engine.cost_of_response(&resp));
         answer = extract::yes_no(&resp.text)?;
         rounds += 1;
         // Verification pass.
@@ -121,7 +121,7 @@ pub fn ask_with_verification(
             original: Box::new(task.clone()),
             proposed_answer: if answer { "yes".into() } else { "no".into() },
         })?;
-        meter.add(verdict.usage, engine.cost_of(verdict.usage));
+        meter.add(verdict.usage, engine.cost_of_response(&verdict));
         if extract::yes_no(&verdict.text)? {
             break;
         }
@@ -412,10 +412,7 @@ mod tests {
             ..NoiseProfile::perfect()
         });
         let llm = Arc::new(SimulatedLlm::new(profile, Arc::new(w), 71));
-        let engine = Engine::new(
-            Arc::new(LlmClient::new(llm).without_cache()),
-            corpus,
-        );
+        let engine = Engine::new(Arc::new(LlmClient::new(llm).without_cache()), corpus);
         let mut single_correct = 0usize;
         let mut verified_correct = 0usize;
         let mut extra_rounds = 0u32;

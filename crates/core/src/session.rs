@@ -6,7 +6,10 @@
 //! methods returning cost-annotated [`Outcome`]s.
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use crowdprompt_oracle::backend::{Backend, BackendRegistry};
+use crowdprompt_oracle::route::{HedgeConfig, RoutePolicy};
 use crowdprompt_oracle::task::SortCriterion;
 use crowdprompt_oracle::world::ItemId;
 use crowdprompt_oracle::LlmClient;
@@ -26,6 +29,9 @@ use crate::trace::Trace;
 /// Builder for [`Session`].
 pub struct SessionBuilder {
     client: Option<Arc<LlmClient>>,
+    backends: Vec<Arc<dyn Backend>>,
+    hedge_after: Option<Duration>,
+    max_retries: Option<u32>,
     corpus: Corpus,
     budget: Budget,
     parallelism: usize,
@@ -37,10 +43,46 @@ pub struct SessionBuilder {
 }
 
 impl SessionBuilder {
-    /// Set the model client (required).
+    /// Set the model client (required unless [`SessionBuilder::backends`]
+    /// is used instead).
     #[must_use]
     pub fn client(mut self, client: Arc<LlmClient>) -> Self {
         self.client = Some(client);
+        self
+    }
+
+    /// Route the session across a set of heterogeneous backends serving one
+    /// model tier, instead of a single client. The session builds a routed
+    /// [`LlmClient`] over them: least-loaded/cheapest-eligible selection,
+    /// retry-with-backoff across backends, a per-backend circuit breaker,
+    /// and (with [`SessionBuilder::hedge_after`]) hedged requests. A
+    /// registry of exactly one transparent backend is result-identical to
+    /// passing the model as a plain client.
+    ///
+    /// Mutually exclusive with [`SessionBuilder::client`].
+    #[must_use]
+    pub fn backends(mut self, backends: Vec<Arc<dyn Backend>>) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// Enable hedged requests: a call that has not answered within
+    /// `max(delay, observed p90 of the serving backend)` is duplicated onto
+    /// the next-best backend; the first success wins and the loser is
+    /// cancelled without being charged. Requires
+    /// [`SessionBuilder::backends`].
+    #[must_use]
+    pub fn hedge_after(mut self, delay: Duration) -> Self {
+        self.hedge_after = Some(delay);
+        self
+    }
+
+    /// Set how many extra attempts the routing layer makes on transient
+    /// failure (each retry prefers a backend that has not failed this
+    /// request yet). Requires [`SessionBuilder::backends`].
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = Some(retries);
         self
     }
 
@@ -111,9 +153,37 @@ impl SessionBuilder {
     /// Build the session, surfacing configuration errors as values —
     /// the library-friendly form of [`SessionBuilder::build`].
     pub fn try_build(self) -> Result<Session, EngineError> {
-        let client = self.client.ok_or_else(|| {
-            EngineError::InvalidInput("SessionBuilder requires a client".into())
-        })?;
+        let client = match (self.client, self.backends.is_empty()) {
+            (Some(_), false) => {
+                return Err(EngineError::InvalidInput(
+                    "SessionBuilder takes either a client or backends, not both".into(),
+                ))
+            }
+            (Some(client), true) => {
+                if self.hedge_after.is_some() || self.max_retries.is_some() {
+                    return Err(EngineError::InvalidInput(
+                        "hedge_after/max_retries configure the routing layer; \
+                         they require backends(...)"
+                            .into(),
+                    ));
+                }
+                client
+            }
+            (None, false) => {
+                let registry = BackendRegistry::new(self.backends)?;
+                let policy = RoutePolicy {
+                    max_retries: self.max_retries.unwrap_or(3),
+                    hedge: self.hedge_after.map(HedgeConfig::after),
+                    ..RoutePolicy::default()
+                };
+                Arc::new(LlmClient::routed(registry, policy))
+            }
+            (None, true) => {
+                return Err(EngineError::InvalidInput(
+                    "SessionBuilder requires a client".into(),
+                ))
+            }
+        };
         let mut engine = Engine::new(client, self.corpus)
             .with_budget(self.budget)
             .with_parallelism(self.parallelism)
@@ -184,6 +254,9 @@ impl Session {
     pub fn builder() -> SessionBuilder {
         SessionBuilder {
             client: None,
+            backends: Vec::new(),
+            hedge_after: None,
+            max_retries: None,
             corpus: Corpus::new(),
             budget: Budget::Unlimited,
             parallelism: 8,
@@ -261,10 +334,7 @@ impl Session {
     }
 
     /// Build a labeled pool for imputation.
-    pub fn labeled_pool(
-        &self,
-        labeled: &[(ItemId, String)],
-    ) -> Result<LabeledPool, EngineError> {
+    pub fn labeled_pool(&self, labeled: &[(ItemId, String)]) -> Result<LabeledPool, EngineError> {
         LabeledPool::build(&self.engine, labeled)
     }
 
@@ -367,7 +437,8 @@ impl Session {
             .plan_with(&self.engine, PlanOptions::wrapper())?
             .execute_on(&self.engine)?;
         Ok(run.into_outcome(|out| {
-            out.into_items().expect("single-node top-k plan yields items")
+            out.into_items()
+                .expect("single-node top-k plan yields items")
         }))
     }
 
@@ -487,7 +558,11 @@ mod tests {
         let (s, ids) = session();
         assert_eq!(s.spent_usd(), 0.0);
         let out = s
-            .sort(&ids, SortCriterion::LatentScore, &SortStrategy::SinglePrompt)
+            .sort(
+                &ids,
+                SortCriterion::LatentScore,
+                &SortStrategy::SinglePrompt,
+            )
             .unwrap();
         assert_eq!(out.value.order[0], ids[9]);
         // Perfect model is free; spend stays 0 but calls happened.
@@ -511,7 +586,11 @@ mod tests {
     fn session_max_and_topk_agree() {
         let (s, ids) = session();
         let max = s
-            .max(&ids, SortCriterion::LatentScore, ops::max::MaxStrategy::Tournament)
+            .max(
+                &ids,
+                SortCriterion::LatentScore,
+                ops::max::MaxStrategy::Tournament,
+            )
             .unwrap();
         let top = s.top_k(&ids, SortCriterion::LatentScore, 3, 2).unwrap();
         assert_eq!(max.value, top.value[0]);
@@ -537,11 +616,7 @@ mod tests {
     #[test]
     fn try_build_succeeds_with_client() {
         let w = WorldModel::new();
-        let llm = Arc::new(SimulatedLlm::new(
-            ModelProfile::perfect(),
-            Arc::new(w),
-            1,
-        ));
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 1));
         let session = Session::builder()
             .client(Arc::new(LlmClient::new(llm)))
             .try_build()

@@ -188,9 +188,9 @@ pub fn render(
 /// numbered-answer output contract. This is where packing's token saving
 /// comes from — the per-item marginal cost is the item text alone.
 fn render_packed(tasks: &[TaskDescriptor], corpus: &Corpus) -> Result<String, EngineError> {
-    let first = tasks.first().ok_or_else(|| {
-        EngineError::InvalidInput("packed task with no sub-tasks".into())
-    })?;
+    let first = tasks
+        .first()
+        .ok_or_else(|| EngineError::InvalidInput("packed task with no sub-tasks".into()))?;
     let n = tasks.len();
     let mut out = match first {
         TaskDescriptor::CheckPredicate { predicate, .. } => format!(
@@ -218,8 +218,7 @@ fn render_packed(tasks: &[TaskDescriptor], corpus: &Corpus) -> Result<String, En
     };
     for (i, task) in tasks.iter().enumerate() {
         match task {
-            TaskDescriptor::CheckPredicate { item, .. }
-            | TaskDescriptor::Classify { item, .. } => {
+            TaskDescriptor::CheckPredicate { item, .. } | TaskDescriptor::Classify { item, .. } => {
                 out.push_str(&format!("{}. {}\n", i + 1, text_of(corpus, *item)?));
             }
             TaskDescriptor::Impute {

@@ -225,7 +225,11 @@ mod tests {
                 let id = w.add_item(format!("product review {i:02}"));
                 w.set_score(id, i as f64 / 30.0);
                 w.set_flag(id, "in_stock", i % 2 == 0);
-                w.set_attr(id, "label", if i % 3 == 0 { "electronics" } else { "other" });
+                w.set_attr(
+                    id,
+                    "label",
+                    if i % 3 == 0 { "electronics" } else { "other" },
+                );
                 id
             })
             .collect();
@@ -253,7 +257,10 @@ mod tests {
         assert_eq!(result.steps[0].items_in, 30);
         assert_eq!(result.steps[0].items_out, 15);
         assert_eq!(result.steps[2].calls, 0, "truncate is free");
-        assert_eq!(result.total_calls(), result.steps.iter().map(|s| s.calls).sum::<u64>());
+        assert_eq!(
+            result.total_calls(),
+            result.steps.iter().map(|s| s.calls).sum::<u64>()
+        );
     }
 
     #[test]

@@ -22,49 +22,120 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 const FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Barbara", "Carlos", "Diane", "Edgar", "Fei", "Grace", "Hector", "Ines",
-    "Jim", "Kate", "Leslie", "Michael", "Nina", "Omar", "Priya", "Quentin", "Rosa", "Sam",
-    "Tanya", "Umesh", "Vera", "Wei", "Xavier", "Yuki", "Zoe",
+    "Ada", "Alan", "Barbara", "Carlos", "Diane", "Edgar", "Fei", "Grace", "Hector", "Ines", "Jim",
+    "Kate", "Leslie", "Michael", "Nina", "Omar", "Priya", "Quentin", "Rosa", "Sam", "Tanya",
+    "Umesh", "Vera", "Wei", "Xavier", "Yuki", "Zoe",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Abiteboul", "Bernstein", "Chen", "Dewitt", "Ellison", "Franklin", "Garcia", "Hellerstein",
-    "Ioannidis", "Jagadish", "Kraska", "Lohman", "Madden", "Naughton", "Olston", "Pavlo",
-    "Quass", "Ramakrishnan", "Stonebraker", "Tan", "Ullman", "Valduriez", "Widom", "Xu",
-    "Yang", "Zaharia",
+    "Abiteboul",
+    "Bernstein",
+    "Chen",
+    "Dewitt",
+    "Ellison",
+    "Franklin",
+    "Garcia",
+    "Hellerstein",
+    "Ioannidis",
+    "Jagadish",
+    "Kraska",
+    "Lohman",
+    "Madden",
+    "Naughton",
+    "Olston",
+    "Pavlo",
+    "Quass",
+    "Ramakrishnan",
+    "Stonebraker",
+    "Tan",
+    "Ullman",
+    "Valduriez",
+    "Widom",
+    "Xu",
+    "Yang",
+    "Zaharia",
 ];
 
 /// (full venue name, abbreviation)
 const VENUES: &[(&str, &str)] = &[
     ("Proceedings of the VLDB Endowment", "PVLDB"),
-    ("ACM SIGMOD International Conference on Management of Data", "SIGMOD"),
+    (
+        "ACM SIGMOD International Conference on Management of Data",
+        "SIGMOD",
+    ),
     ("IEEE International Conference on Data Engineering", "ICDE"),
     ("International Conference on Very Large Data Bases", "VLDB"),
     ("ACM Transactions on Database Systems", "TODS"),
     ("Conference on Innovative Data Systems Research", "CIDR"),
-    ("International Conference on Extending Database Technology", "EDBT"),
-    ("ACM SIGKDD Conference on Knowledge Discovery and Data Mining", "KDD"),
+    (
+        "International Conference on Extending Database Technology",
+        "EDBT",
+    ),
+    (
+        "ACM SIGKDD Conference on Knowledge Discovery and Data Mining",
+        "KDD",
+    ),
 ];
 
 const TITLE_ADJECTIVES: &[&str] = &[
-    "scalable", "adaptive", "distributed", "approximate", "crowdsourced", "parallel",
-    "incremental", "declarative", "efficient", "robust", "secure", "temporal", "spatial",
-    "probabilistic", "interactive", "streaming",
+    "scalable",
+    "adaptive",
+    "distributed",
+    "approximate",
+    "crowdsourced",
+    "parallel",
+    "incremental",
+    "declarative",
+    "efficient",
+    "robust",
+    "secure",
+    "temporal",
+    "spatial",
+    "probabilistic",
+    "interactive",
+    "streaming",
 ];
 
 const TITLE_NOUNS: &[&str] = &[
-    "query processing", "entity resolution", "join algorithms", "index structures",
-    "data cleaning", "schema matching", "view maintenance", "transaction management",
-    "graph analytics", "workload forecasting", "data integration", "keyword search",
-    "top-k ranking", "skyline computation", "provenance tracking", "sampling techniques",
-    "cardinality estimation", "data imputation", "record linkage", "cache management",
+    "query processing",
+    "entity resolution",
+    "join algorithms",
+    "index structures",
+    "data cleaning",
+    "schema matching",
+    "view maintenance",
+    "transaction management",
+    "graph analytics",
+    "workload forecasting",
+    "data integration",
+    "keyword search",
+    "top-k ranking",
+    "skyline computation",
+    "provenance tracking",
+    "sampling techniques",
+    "cardinality estimation",
+    "data imputation",
+    "record linkage",
+    "cache management",
 ];
 
 const TITLE_CONTEXTS: &[&str] = &[
-    "large-scale databases", "moving objects", "sensor networks", "relational engines",
-    "data lakes", "social networks", "scientific workflows", "main-memory systems",
-    "federated settings", "noisy crowds", "web tables", "time series", "knowledge bases",
-    "wide-area networks", "column stores", "multi-tenant clouds",
+    "large-scale databases",
+    "moving objects",
+    "sensor networks",
+    "relational engines",
+    "data lakes",
+    "social networks",
+    "scientific workflows",
+    "main-memory systems",
+    "federated settings",
+    "noisy crowds",
+    "web tables",
+    "time series",
+    "knowledge bases",
+    "wide-area networks",
+    "column stores",
+    "multi-tenant clouds",
 ];
 
 /// A latent paper entity.
@@ -212,8 +283,8 @@ impl CitationDataset {
             .filter(|(_, ids)| ids.len() >= 2)
             .map(|(i, _)| i)
             .collect();
-        let n_pos = ((params.n_pairs as f64) * params.positive_fraction.clamp(0.0, 1.0))
-            .round() as usize;
+        let n_pos =
+            ((params.n_pairs as f64) * params.positive_fraction.clamp(0.0, 1.0)).round() as usize;
         let mut pairs: Vec<(ItemId, ItemId, bool)> = Vec::with_capacity(params.n_pairs);
         for i in 0..n_pos {
             let e = duplicated[i % duplicated.len().max(1)];
@@ -311,10 +382,7 @@ fn render_canonical(e: &Entity) -> String {
         .map(|(f, l)| format!("{f} {l}"))
         .collect::<Vec<_>>()
         .join(", ");
-    format!(
-        "{authors}. {}. {}, {}.",
-        e.title, VENUES[e.venue].0, e.year
-    )
+    format!("{authors}. {}. {}, {}.", e.title, VENUES[e.venue].0, e.year)
 }
 
 fn render_light(e: &Entity, near_style: bool) -> String {
@@ -448,8 +516,14 @@ mod tests {
         }
         let sizes: std::collections::HashSet<usize> = by_cluster.values().copied().collect();
         assert!(sizes.contains(&1), "some singletons");
-        assert!(sizes.contains(&3), "some triples (bridge_fraction = 1 in small())");
-        assert!(!sizes.contains(&2), "with bridge_fraction 1, mentions come as 1 or 3");
+        assert!(
+            sizes.contains(&3),
+            "some triples (bridge_fraction = 1 in small())"
+        );
+        assert!(
+            !sizes.contains(&2),
+            "with bridge_fraction 1, mentions come as 1 or 3"
+        );
     }
 
     #[test]
@@ -471,7 +545,10 @@ mod tests {
             let canon_heavy = trigram_jaccard(texts[0], texts[2]);
             sum_light += canon_light;
             sum_heavy += canon_heavy;
-            assert!(canon_light > 0.25, "light variant too dissimilar: {canon_light}");
+            assert!(
+                canon_light > 0.25,
+                "light variant too dissimilar: {canon_light}"
+            );
             checked += 1;
         }
         assert!(checked > 5);

@@ -95,18 +95,38 @@ const CITIES: &[City] = &[
 const SHARED_STREETS: &[&str] = &["main st", "oak ave", "park ave", "1st st"];
 
 const CUISINES: &[&str] = &[
-    "italian", "french", "mexican", "thai", "japanese", "indian", "bbq", "seafood",
-    "vegetarian", "diner", "steakhouse", "tapas",
+    "italian",
+    "french",
+    "mexican",
+    "thai",
+    "japanese",
+    "indian",
+    "bbq",
+    "seafood",
+    "vegetarian",
+    "diner",
+    "steakhouse",
+    "tapas",
 ];
 
 const RESTAURANT_HEADS: &[&str] = &[
-    "golden", "blue", "little", "grand", "royal", "rustic", "urban", "old town",
-    "corner", "harbor", "garden", "silver",
+    "golden", "blue", "little", "grand", "royal", "rustic", "urban", "old town", "corner",
+    "harbor", "garden", "silver",
 ];
 
 const RESTAURANT_TAILS: &[&str] = &[
-    "fork", "table", "kitchen", "bistro", "grill", "cafe", "house", "spoon", "oven",
-    "tavern", "cantina", "brasserie",
+    "fork",
+    "table",
+    "kitchen",
+    "bistro",
+    "grill",
+    "cafe",
+    "house",
+    "spoon",
+    "oven",
+    "tavern",
+    "cantina",
+    "brasserie",
 ];
 
 /// Generate a Restaurants-style dataset: impute the `city` attribute.

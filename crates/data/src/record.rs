@@ -75,10 +75,7 @@ impl Record {
 
     /// Look up a field by attribute name.
     pub fn get(&self, attr: &str) -> Option<&Value> {
-        self.fields
-            .iter()
-            .find(|(a, _)| a == attr)
-            .map(|(_, v)| v)
+        self.fields.iter().find(|(a, _)| a == attr).map(|(_, v)| v)
     }
 
     /// All fields in insertion order.

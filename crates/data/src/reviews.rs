@@ -19,9 +19,16 @@ const OPENERS: &[(&str, f64, f64)] = &[
 ];
 
 const SUBJECTS: &[&str] = &[
-    "this blender", "the new headphones", "this paperback", "the hotel room",
-    "this coffee maker", "the streaming service", "this keyboard", "the hiking boots",
-    "this board game", "the desk lamp",
+    "this blender",
+    "the new headphones",
+    "this paperback",
+    "the hotel room",
+    "this coffee maker",
+    "the streaming service",
+    "this keyboard",
+    "the hiking boots",
+    "this board game",
+    "the desk lamp",
 ];
 
 /// (phrase, sentiment contribution, salience contribution)
@@ -123,7 +130,11 @@ mod tests {
     #[test]
     fn gold_ordering_descends() {
         let d = ReviewsDataset::generate(40, 9);
-        let scores: Vec<f64> = d.gold.iter().map(|id| d.world.score(*id).unwrap()).collect();
+        let scores: Vec<f64> = d
+            .gold
+            .iter()
+            .map(|id| d.world.score(*id).unwrap())
+            .collect();
         for w in scores.windows(2) {
             assert!(w[0] >= w[1]);
         }

@@ -64,8 +64,7 @@ mod tests {
     #[test]
     fn samples_are_distinct_words() {
         let d = WordsDataset::sample(100, 42);
-        let set: std::collections::HashSet<&str> =
-            d.items.iter().map(|i| d.word(*i)).collect();
+        let set: std::collections::HashSet<&str> = d.items.iter().map(|i| d.word(*i)).collect();
         assert_eq!(set.len(), 100);
     }
 

@@ -141,11 +141,7 @@ pub trait NearestNeighbors: Send + Sync {
         k: usize,
         excludes: &[Option<usize>],
     ) -> Vec<Vec<Neighbor>> {
-        assert_eq!(
-            queries.len(),
-            excludes.len(),
-            "one exclude slot per query"
-        );
+        assert_eq!(queries.len(), excludes.len(), "one exclude slot per query");
         batch_queries(self, queries, k, Some(excludes))
     }
 }
@@ -456,11 +452,7 @@ impl BruteForceIndex {
             assert_eq!(queries.len(), e.len(), "one exclude slot per query");
         }
         crate::parallel::partition_chunks(queries.len(), workers, |range| {
-            self.scan_block(
-                &queries[range.clone()],
-                k,
-                excludes.map(|e| &e[range]),
-            )
+            self.scan_block(&queries[range.clone()], k, excludes.map(|e| &e[range]))
         })
     }
 
@@ -678,9 +670,7 @@ impl VpTreeIndex {
 /// Insert into a small sorted vec bounded at `k` (k is tiny in all our
 /// workloads, so linear insertion beats a heap here).
 fn push_candidate(top: &mut Vec<Candidate>, cand: Candidate, k: usize) {
-    let pos = top
-        .binary_search_by(|c| c.cmp(&cand))
-        .unwrap_or_else(|p| p);
+    let pos = top.binary_search_by(|c| c.cmp(&cand)).unwrap_or_else(|p| p);
     top.insert(pos, cand);
     if top.len() > k {
         top.pop();
@@ -849,7 +839,9 @@ mod tests {
     use super::*;
 
     fn grid(n: usize) -> Vec<Vec<f32>> {
-        (0..n).map(|i| vec![i as f32, (i * i % 17) as f32]).collect()
+        (0..n)
+            .map(|i| vec![i as f32, (i * i % 17) as f32])
+            .collect()
     }
 
     #[test]
@@ -880,11 +872,7 @@ mod tests {
 
     #[test]
     fn cosine_metric_works() {
-        let vectors = vec![
-            vec![1.0, 0.0],
-            vec![0.9, 0.1],
-            vec![0.0, 1.0],
-        ];
+        let vectors = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![0.0, 1.0]];
         let idx = BruteForceIndex::new(vectors, Metric::Cosine);
         let hits = idx.nearest(&[1.0, 0.0], 2);
         assert_eq!(hits[0].index, 0);
@@ -985,9 +973,10 @@ mod tests {
     #[test]
     fn nearest_many_excluding_matches_sequential() {
         let idx = BruteForceIndex::new(grid(25), Metric::L2);
-        let queries: Vec<Vec<f32>> = (0..25).map(|i| vec![i as f32, (i * i % 17) as f32]).collect();
-        let excludes: Vec<Option<usize>> =
-            (0..25).map(|i| (i % 3 == 0).then_some(i)).collect();
+        let queries: Vec<Vec<f32>> = (0..25)
+            .map(|i| vec![i as f32, (i * i % 17) as f32])
+            .collect();
+        let excludes: Vec<Option<usize>> = (0..25).map(|i| (i % 3 == 0).then_some(i)).collect();
         let batch = idx.nearest_many_excluding(&queries, 3, &excludes);
         for i in 0..queries.len() {
             let expected = match excludes[i] {

@@ -32,10 +32,7 @@ impl VectorStore {
         let len = rows.len();
         let mut data = Vec::with_capacity(dims * len);
         for row in &rows {
-            assert!(
-                row.len() == dims,
-                "all vectors must share a dimensionality"
-            );
+            assert!(row.len() == dims, "all vectors must share a dimensionality");
             data.extend_from_slice(row);
         }
         let norms_sq = (0..len)

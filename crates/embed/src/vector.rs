@@ -50,7 +50,11 @@ pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if any `bs[i]` length differs from `a`, or if
 /// `out.len() != bs.len()`.
 pub fn dot_unrolled_many(a: &[f32], bs: &[&[f32]], out: &mut [f32]) {
-    assert_eq!(bs.len(), out.len(), "dot_unrolled_many: output length mismatch");
+    assert_eq!(
+        bs.len(),
+        out.len(),
+        "dot_unrolled_many: output length mismatch"
+    );
     #[cfg(target_arch = "x86_64")]
     if avx2_available() {
         // SAFETY: AVX2 support was verified at runtime.

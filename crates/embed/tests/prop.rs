@@ -8,17 +8,14 @@
 //! bit-for-bit at any worker count.
 
 use crowdprompt_embed::{
-    cosine_similarity, dot_unrolled, embed_all_with_workers,
-    knn::batch_nearest_with_workers, l2_distance, BruteForceIndex, Embedder, Metric,
-    NearestNeighbors, Neighbor, NgramEmbedder, VpTreeIndex,
+    cosine_similarity, dot_unrolled, embed_all_with_workers, knn::batch_nearest_with_workers,
+    l2_distance, BruteForceIndex, Embedder, Metric, NearestNeighbors, Neighbor, NgramEmbedder,
+    VpTreeIndex,
 };
 use proptest::prelude::*;
 
 fn vectors(n: usize, dims: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    prop::collection::vec(
-        prop::collection::vec(-10.0f32..10.0, dims..=dims),
-        1..n,
-    )
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, dims..=dims), 1..n)
 }
 
 /// Replica of the seed `BruteForceIndex::nearest` *algorithm*: materialize
@@ -41,7 +38,12 @@ fn seed_sort_reference(
         .iter()
         .enumerate()
         .filter(|(i, _)| Some(*i) != exclude)
-        .map(|(i, v)| (metric.rank_key(dot_unrolled(query, v), qq, dot_unrolled(v, v)), i))
+        .map(|(i, v)| {
+            (
+                metric.rank_key(dot_unrolled(query, v), qq, dot_unrolled(v, v)),
+                i,
+            )
+        })
         .filter(|(key, _)| !key.is_nan())
         .collect();
     keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));

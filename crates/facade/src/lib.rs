@@ -101,6 +101,7 @@ pub mod prelude {
     };
     pub use crowdprompt_oracle::task::SortCriterion;
     pub use crowdprompt_oracle::{
-        CompletionRequest, LanguageModel, LlmClient, ModelProfile, SimulatedLlm,
+        Backend, BackendRegistry, CompletionRequest, LanguageModel, LatencyProfile, LlmClient,
+        ModelProfile, RoutePolicy, SimBackend, SimulatedLlm,
     };
 }

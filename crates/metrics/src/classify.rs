@@ -90,11 +90,7 @@ pub fn accuracy<T: PartialEq>(predicted: &[T], gold: &[T]) -> Option<f64> {
     if predicted.is_empty() {
         return None;
     }
-    let correct = predicted
-        .iter()
-        .zip(gold)
-        .filter(|(p, g)| p == g)
-        .count();
+    let correct = predicted.iter().zip(gold).filter(|(p, g)| p == g).count();
     Some(correct as f64 / predicted.len() as f64)
 }
 

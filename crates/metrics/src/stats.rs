@@ -49,11 +49,7 @@ pub fn bootstrap_ci(values: &[f64], confidence: f64, resamples: usize, seed: u64
 
 /// Format `mean ± sd` with the given precision.
 pub fn fmt_mean_sd(values: &[f64], places: usize) -> String {
-    format!(
-        "{:.places$} ± {:.places$}",
-        mean(values),
-        std_dev(values),
-    )
+    format!("{:.places$} ± {:.places$}", mean(values), std_dev(values),)
 }
 
 #[cfg(test)]

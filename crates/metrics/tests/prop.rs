@@ -1,8 +1,6 @@
 //! Property tests for the metrics crate.
 
-use crowdprompt_metrics::rank::{
-    inversions, kendall_tau_b, kendall_tau_b_reference, spearman_rho,
-};
+use crowdprompt_metrics::rank::{inversions, kendall_tau_b, kendall_tau_b_reference, spearman_rho};
 use proptest::prelude::*;
 
 fn score_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -40,9 +40,7 @@ pub fn wrap_yes_no(answer: bool, style: ChatterStyle) -> String {
     match style.variant % 4 {
         0 => format!("{word}."),
         1 => format!("{word}, based on the information provided."),
-        2 => format!(
-            "After comparing the two, my answer is {word}. (Not {opposite}.)"
-        ),
+        2 => format!("After comparing the two, my answer is {word}. (Not {opposite}.)"),
         _ => format!("{word} — the records appear to support this conclusion."),
     }
 }
@@ -160,10 +158,7 @@ mod tests {
 
     #[test]
     fn groups_render_each_group() {
-        let s = wrap_groups(
-            &[vec!["a", "a'"], vec!["b"]],
-            style(0.0, 0, false),
-        );
+        let s = wrap_groups(&[vec!["a", "a'"], vec!["b"]], style(0.0, 0, false));
         assert!(s.contains("Group 1: a | a'"));
         assert!(s.contains("Group 2: b"));
     }

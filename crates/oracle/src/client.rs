@@ -38,6 +38,7 @@ use parking_lot::Mutex;
 
 use crate::error::LlmError;
 use crate::pricing::CostLedger;
+use crate::route::{RoutePolicy, Router};
 use crate::types::{CompletionRequest, CompletionResponse, LanguageModel};
 
 /// Default number of cache shards (must be a power of two).
@@ -252,7 +253,12 @@ impl ShardedCache {
     /// The cache insert happens before the flight is removed so that no
     /// window exists in which a new thread misses both the cache and the
     /// flight table and re-executes the backend call.
-    fn publish(&self, key: u64, flight: &Arc<Flight>, result: Result<CompletionResponse, LlmError>) {
+    fn publish(
+        &self,
+        key: u64,
+        flight: &Arc<Flight>,
+        result: Result<CompletionResponse, LlmError>,
+    ) {
         let shard = self.shard(key);
         if let Ok(response) = &result {
             shard.responses.lock().map.insert(key, response.clone());
@@ -265,6 +271,7 @@ impl ShardedCache {
 /// A caching, coalescing, retrying client over any [`LanguageModel`].
 pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
+    router: Option<Arc<Router>>,
     retry: RetryPolicy,
     cache: ShardedCache,
     ledger: CostLedger,
@@ -279,6 +286,7 @@ impl LlmClient {
     pub fn new(model: Arc<dyn LanguageModel>) -> Self {
         LlmClient {
             model,
+            router: None,
             retry: RetryPolicy::default(),
             cache: ShardedCache::new(DEFAULT_CACHE_SHARDS),
             ledger: CostLedger::new(),
@@ -286,6 +294,32 @@ impl LlmClient {
             cache_enabled: true,
             coalesce_enabled: true,
         }
+    }
+
+    /// A client dispatching through a multi-backend [`Router`] instead of a
+    /// single model.
+    ///
+    /// The router sits *below* this client's cache and coalescing: a
+    /// request that is retried across backends or hedged onto two backends
+    /// still surfaces exactly one response here, so the ledger charges
+    /// exactly one call — priced at the serving backend's schedule via
+    /// [`CompletionResponse::pricing`]. Client-level retries are disabled
+    /// (the router owns retry policy); router behaviour counters are
+    /// reachable through [`LlmClient::router`].
+    pub fn routed(registry: crate::backend::BackendRegistry, policy: RoutePolicy) -> Self {
+        let router = Arc::new(Router::new(registry, policy));
+        let mut client = LlmClient::new(Arc::clone(&router) as Arc<dyn LanguageModel>);
+        client.retry = RetryPolicy {
+            max_attempts: 1,
+            backoff_ms: 0,
+        };
+        client.router = Some(router);
+        client
+    }
+
+    /// The router behind this client, when built with [`LlmClient::routed`].
+    pub fn router(&self) -> Option<&Arc<Router>> {
+        self.router.as_ref()
     }
 
     /// Override the retry policy (builder style).
@@ -463,7 +497,10 @@ impl LlmClient {
             match self.model.complete(&req) {
                 Ok(resp) => {
                     self.stats.calls.fetch_add(1, Ordering::Relaxed);
-                    self.ledger.record(resp.usage, self.model.pricing());
+                    // Priced at the serving backend's schedule (the
+                    // response carries it), not the model's reference
+                    // pricing — with routing these can differ per call.
+                    self.ledger.record(resp.usage, resp.pricing);
                     return Ok(resp);
                 }
                 Err(e) if e.is_retryable() => {
@@ -744,8 +781,14 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
             gated.release.store(true, Ordering::SeqCst);
-            let texts: Vec<String> = handles.into_iter().map(|h| h.join().unwrap().text).collect();
-            assert!(texts.windows(2).all(|w| w[0] == w[1]), "all joiners share one result");
+            let texts: Vec<String> = handles
+                .into_iter()
+                .map(|h| h.join().unwrap().text)
+                .collect();
+            assert!(
+                texts.windows(2).all(|w| w[0] == w[1]),
+                "all joiners share one result"
+            );
         });
         assert_eq!(client.stats().calls(), 1, "exactly one backend call");
         assert_eq!(gated.entered.load(Ordering::SeqCst), 1);
@@ -774,7 +817,10 @@ mod tests {
             fn pricing(&self) -> Pricing {
                 self.inner.pricing()
             }
-            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
+            fn complete(
+                &self,
+                request: &CompletionRequest,
+            ) -> Result<CompletionResponse, LlmError> {
                 while !self.release.load(Ordering::SeqCst) {
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
@@ -813,7 +859,11 @@ mod tests {
                 }
             }
         });
-        assert_eq!(joiner_results.len(), THREADS - 1, "leader panicked, joiners returned");
+        assert_eq!(
+            joiner_results.len(),
+            THREADS - 1,
+            "leader panicked, joiners returned"
+        );
         for r in &joiner_results {
             assert!(
                 matches!(r, Err(LlmError::ServiceUnavailable)),
@@ -854,7 +904,11 @@ mod tests {
             total,
             "every request is accounted exactly once"
         );
-        assert_eq!(stats.calls(), KEYS as u64, "each distinct key executes once");
+        assert_eq!(
+            stats.calls(),
+            KEYS as u64,
+            "each distinct key executes once"
+        );
         assert_eq!(client.ledger().calls(), KEYS as u64);
     }
 

@@ -26,6 +26,21 @@ pub enum LlmError {
     },
     /// Transient provider-side failure (HTTP 5xx equivalent).
     ServiceUnavailable,
+    /// The call hung past its deadline and was abandoned (client-side
+    /// timeout). Retryable: a retry hits a different server moment.
+    Timeout {
+        /// How long the call waited before being abandoned, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// The call was cancelled by its dispatcher (e.g. a hedged request whose
+    /// twin answered first). Not retryable — cancellation is deliberate.
+    Cancelled,
+    /// Every backend serving the model tier is circuit-broken (failing
+    /// repeatedly and cooling down); no call was attempted.
+    CircuitOpen {
+        /// The model tier whose backends are all open.
+        model: String,
+    },
     /// The request referenced an unknown model name.
     UnknownModel(String),
     /// A budget guard refused to admit the call.
@@ -60,6 +75,13 @@ impl fmt::Display for LlmError {
                 write!(f, "rate limited; retry after {retry_after_ms} ms")
             }
             LlmError::ServiceUnavailable => write!(f, "service temporarily unavailable"),
+            LlmError::Timeout { elapsed_ms } => {
+                write!(f, "call timed out after {elapsed_ms} ms")
+            }
+            LlmError::Cancelled => write!(f, "call cancelled by dispatcher"),
+            LlmError::CircuitOpen { model } => {
+                write!(f, "all backends for model '{model}' are circuit-broken")
+            }
             LlmError::UnknownModel(name) => write!(f, "unknown model: {name}"),
             LlmError::BudgetExhausted {
                 needed_usd,
@@ -70,7 +92,10 @@ impl fmt::Display for LlmError {
             ),
             LlmError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             LlmError::RetriesExhausted { attempts, last } => {
-                write!(f, "retries exhausted after {attempts} attempts; last error: {last}")
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempts; last error: {last}"
+                )
             }
         }
     }
@@ -83,7 +108,7 @@ impl LlmError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            LlmError::RateLimited { .. } | LlmError::ServiceUnavailable
+            LlmError::RateLimited { .. } | LlmError::ServiceUnavailable | LlmError::Timeout { .. }
         )
     }
 }
@@ -96,6 +121,9 @@ mod tests {
     fn retryable_classification() {
         assert!(LlmError::RateLimited { retry_after_ms: 10 }.is_retryable());
         assert!(LlmError::ServiceUnavailable.is_retryable());
+        assert!(LlmError::Timeout { elapsed_ms: 100 }.is_retryable());
+        assert!(!LlmError::Cancelled.is_retryable());
+        assert!(!LlmError::CircuitOpen { model: "m".into() }.is_retryable());
         assert!(!LlmError::ContextOverflow {
             prompt_tokens: 10,
             context_window: 5

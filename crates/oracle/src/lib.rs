@@ -23,22 +23,26 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod chatter;
 pub mod client;
 pub mod error;
 pub mod hash;
 pub mod model;
 pub mod pricing;
+pub mod route;
 pub mod sim;
 pub mod task;
 pub mod tokenizer;
 pub mod types;
 pub mod world;
 
+pub use backend::{Backend, BackendRegistry, CancelToken, LatencyProfile, SimBackend};
 pub use client::{ClientStats, LlmClient, RetryPolicy};
 pub use error::LlmError;
 pub use model::{ModelProfile, NoiseProfile};
 pub use pricing::{CostLedger, Pricing};
+pub use route::{BreakerConfig, HedgeConfig, RoutePolicy, Router, RouterStats};
 pub use sim::SimulatedLlm;
 pub use task::{CountMode, SortCriterion, TaskDescriptor};
 pub use tokenizer::count_tokens;

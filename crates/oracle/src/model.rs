@@ -106,6 +106,12 @@ pub struct NoiseProfile {
     pub rate_limit_prob: f64,
     /// Probability a call fails with `ServiceUnavailable` (retryable).
     pub unavailable_prob: f64,
+    /// Probability a call hangs past its deadline and fails with `Timeout`
+    /// (retryable). When injected at the transport layer
+    /// ([`crate::backend::SimBackend`]) the call burns its full straggler
+    /// latency before failing, so timeouts cost wall-clock as well as a
+    /// retry — the failure mode hedged dispatch exists for.
+    pub timeout_prob: f64,
 }
 
 impl Default for NoiseProfile {
@@ -142,6 +148,7 @@ impl Default for NoiseProfile {
             packed_dropout_rate: 0.02,
             rate_limit_prob: 0.0,
             unavailable_prob: 0.0,
+            timeout_prob: 0.0,
         }
     }
 }
@@ -182,6 +189,7 @@ impl NoiseProfile {
             packed_dropout_rate: 0.0,
             rate_limit_prob: 0.0,
             unavailable_prob: 0.0,
+            timeout_prob: 0.0,
         }
     }
 }

@@ -54,8 +54,7 @@ pub fn simulate_same_entity_with_confidence<R: Rng>(
     let p_yes = p_yes.clamp(0.0, 1.0);
     let answer = rng.random_bool(p_yes);
     let base = if answer { p_yes } else { 1.0 - p_yes };
-    let confidence =
-        (base + crate::sim::randx::gauss(rng) * 0.08).clamp(0.5, 0.99);
+    let confidence = (base + crate::sim::randx::gauss(rng) * 0.08).clamp(0.5, 0.99);
     (answer, confidence)
 }
 

@@ -34,9 +34,10 @@ pub fn simulate_impute<R: Rng>(
         // with structural variants (spaces, camel-case) can come out
         // "wrongly" formatted. Few-shot examples teach the expected format,
         // halving the variant probability per shot.
-        let variant_p =
-            noise.impute_format_variant_rate * 0.5f64.powi(n_examples as i32);
-        if has_format_variants(&gold) && variant_p > 0.0 && rng.random_bool(variant_p.clamp(0.0, 1.0))
+        let variant_p = noise.impute_format_variant_rate * 0.5f64.powi(n_examples as i32);
+        if has_format_variants(&gold)
+            && variant_p > 0.0
+            && rng.random_bool(variant_p.clamp(0.0, 1.0))
         {
             return format_variant(&gold, rng);
         }

@@ -61,8 +61,7 @@ pub fn simulate_check_with_confidence<R: Rng>(
     let answer = if correct { truth } else { !truth };
     let base = if correct { acc } else { 1.0 - acc };
     // Jitter: confidences correlate with correctness without revealing it.
-    let confidence =
-        (base + crate::sim::randx::gauss(rng) * 0.08).clamp(0.5, 0.99);
+    let confidence = (base + crate::sim::randx::gauss(rng) * 0.08).clamp(0.5, 0.99);
     (answer, confidence)
 }
 
@@ -183,7 +182,11 @@ mod tests {
         let mut w = WorldModel::new();
         let id = w.add_item("review text");
         w.set_attr(id, "label", "positive");
-        let labels = vec!["positive".to_owned(), "negative".to_owned(), "neutral".to_owned()];
+        let labels = vec![
+            "positive".to_owned(),
+            "negative".to_owned(),
+            "neutral".to_owned(),
+        ];
         let noise = NoiseProfile::default();
         for seed in 0..100 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -145,8 +145,7 @@ impl SimulatedLlm {
         let mut rng = self.rng_for(request, "task");
         match &request.task {
             TaskDescriptor::SortList { items, criterion } => {
-                let out =
-                    sorting::simulate_sort_list(world, noise, items, *criterion, &mut rng);
+                let out = sorting::simulate_sort_list(world, noise, items, *criterion, &mut rng);
                 let refs: Vec<&str> = out.entries.iter().map(String::as_str).collect();
                 (
                     chatter::wrap_list(&refs, self.chatter_style(request, false)),
@@ -242,17 +241,15 @@ impl SimulatedLlm {
                 // PerItem mode should arrive as CheckPredicate tasks; if a
                 // caller sends it here anyway, eyeball it (coarse fallback).
                 let _ = matches!(mode, CountMode::Eyeball);
-                let c =
-                    misc::simulate_count_eyeball(world, noise, items, predicate, &mut rng);
+                let c = misc::simulate_count_eyeball(world, noise, items, predicate, &mut rng);
                 (
                     chatter::wrap_count(c, items.len(), self.chatter_style(request, false)),
                     None,
                 )
             }
             TaskDescriptor::CheckPredicate { item, predicate } => {
-                let (yes, confidence) = misc::simulate_check_with_confidence(
-                    world, noise, *item, predicate, &mut rng,
-                );
+                let (yes, confidence) =
+                    misc::simulate_check_with_confidence(world, noise, *item, predicate, &mut rng);
                 (
                     chatter::wrap_yes_no(yes, self.chatter_style(request, true)),
                     Some(confidence),
@@ -268,8 +265,7 @@ impl SimulatedLlm {
             TaskDescriptor::Verify {
                 original,
                 proposed_answer,
-            } => match misc::simulate_verify(world, noise, original, proposed_answer, &mut rng)
-            {
+            } => match misc::simulate_verify(world, noise, original, proposed_answer, &mut rng) {
                 Some(ok) => (
                     chatter::wrap_yes_no(ok, self.chatter_style(request, true)),
                     Some(noise.verify_accuracy.clamp(0.5, 1.0)),
@@ -367,7 +363,7 @@ impl LanguageModel for SimulatedLlm {
         // and a retry will hit the same fate — callers model that by
         // bumping `sample_index`, which is folded in here explicitly.
         let noise = &self.profile.noise;
-        if noise.rate_limit_prob > 0.0 || noise.unavailable_prob > 0.0 {
+        if noise.rate_limit_prob > 0.0 || noise.unavailable_prob > 0.0 || noise.timeout_prob > 0.0 {
             let key = hash::combine(
                 self.seed,
                 hash::combine(
@@ -384,6 +380,9 @@ impl LanguageModel for SimulatedLlm {
             }
             if trng.random_bool(noise.unavailable_prob.clamp(0.0, 1.0)) {
                 return Err(LlmError::ServiceUnavailable);
+            }
+            if trng.random_bool(noise.timeout_prob.clamp(0.0, 1.0)) {
+                return Err(LlmError::Timeout { elapsed_ms: 50 });
             }
         }
 
@@ -406,6 +405,7 @@ impl LanguageModel for SimulatedLlm {
             },
             model: self.profile.name.clone(),
             cached: false,
+            pricing: self.profile.pricing,
             confidence,
         })
     }

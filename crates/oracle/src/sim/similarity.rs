@@ -51,11 +51,7 @@ pub fn common_prefix_ratio(a: &str, b: &str) -> f64 {
     if min_len == 0 {
         return 0.0;
     }
-    let common = ca
-        .iter()
-        .zip(cb.iter())
-        .take_while(|(x, y)| x == y)
-        .count();
+    let common = ca.iter().zip(cb.iter()).take_while(|(x, y)| x == y).count();
     common as f64 / min_len as f64
 }
 
@@ -124,11 +120,12 @@ mod tests {
 
     #[test]
     fn similarity_symmetric() {
-        let (a, b) = ("crowdsourcing entity resolution", "entity resolution crowds");
-        assert!((trigram_jaccard(a, b) - trigram_jaccard(b, a)).abs() < 1e-12);
-        assert!(
-            (levenshtein_similarity(a, b) - levenshtein_similarity(b, a)).abs() < 1e-12
+        let (a, b) = (
+            "crowdsourcing entity resolution",
+            "entity resolution crowds",
         );
+        assert!((trigram_jaccard(a, b) - trigram_jaccard(b, a)).abs() < 1e-12);
+        assert!((levenshtein_similarity(a, b) - levenshtein_similarity(b, a)).abs() < 1e-12);
     }
 
     #[test]

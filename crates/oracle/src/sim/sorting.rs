@@ -83,7 +83,11 @@ pub fn simulate_sort_list<R: Rng>(
     for &(_, id) in &keyed {
         let pos = presentation_pos[&id];
         let in_middle = n >= 3 && pos >= n / 3 && pos < 2 * n / 3;
-        let mult = if in_middle { noise.sort_middle_bias } else { 1.0 };
+        let mult = if in_middle {
+            noise.sort_middle_bias
+        } else {
+            1.0
+        };
         let p_drop = (base_drop * mult).clamp(0.0, 0.9);
         if rng.random_bool(p_drop) {
             dropped += 1;
@@ -152,8 +156,7 @@ pub fn simulate_compare_with_confidence<R: Rng>(
             let sl = world.score(left).unwrap_or(0.5);
             let sr = world.score(right).unwrap_or(0.5);
             let delta = sl - sr;
-            (sigmoid(delta / noise.compare_sigma.max(1e-12)) + noise.position_bias)
-                .clamp(0.0, 1.0)
+            (sigmoid(delta / noise.compare_sigma.max(1e-12)) + noise.position_bias).clamp(0.0, 1.0)
         }
         SortCriterion::Lexicographic => {
             let kl = world.sort_key(left).unwrap_or("");
@@ -170,8 +173,7 @@ pub fn simulate_compare_with_confidence<R: Rng>(
     let base = if answer { p_yes } else { 1.0 - p_yes };
     // Jitter: real logprob confidences correlate with correctness but are
     // not an oracle for it.
-    let confidence =
-        (base + crate::sim::randx::gauss(rng) * 0.08).clamp(0.5, 0.99);
+    let confidence = (base + crate::sim::randx::gauss(rng) * 0.08).clamp(0.5, 0.99);
     (answer, confidence)
 }
 
@@ -272,8 +274,7 @@ mod tests {
         let mut total = 0usize;
         for seed in 0..50 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let out =
-                simulate_sort_list(&w, &noise, &ids, SortCriterion::LatentScore, &mut rng);
+            let out = simulate_sort_list(&w, &noise, &ids, SortCriterion::LatentScore, &mut rng);
             total += out.dropped;
         }
         let avg = total as f64 / 50.0;
@@ -310,17 +311,32 @@ mod tests {
         let mut correct_narrow = 0;
         for seed in 0..400 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            if simulate_compare(&w, &noise, ids[0], ids[9], SortCriterion::LatentScore, &mut rng)
-            {
+            if simulate_compare(
+                &w,
+                &noise,
+                ids[0],
+                ids[9],
+                SortCriterion::LatentScore,
+                &mut rng,
+            ) {
                 correct_wide += 1;
             }
             let mut rng = ChaCha8Rng::seed_from_u64(seed + 10_000);
-            if simulate_compare(&w, &noise, ids[4], ids[5], SortCriterion::LatentScore, &mut rng)
-            {
+            if simulate_compare(
+                &w,
+                &noise,
+                ids[4],
+                ids[5],
+                SortCriterion::LatentScore,
+                &mut rng,
+            ) {
                 correct_narrow += 1;
             }
         }
-        assert!(correct_wide > 380, "wide-gap accuracy too low: {correct_wide}/400");
+        assert!(
+            correct_wide > 380,
+            "wide-gap accuracy too low: {correct_wide}/400"
+        );
         assert!(
             correct_narrow < correct_wide,
             "narrow gap should be harder ({correct_narrow} vs {correct_wide})"
@@ -410,8 +426,14 @@ mod tests {
         let mut batched_correct = 0;
         for seed in 0..600 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            if simulate_compare(&w, &noise, pair.0, pair.1, SortCriterion::LatentScore, &mut rng)
-            {
+            if simulate_compare(
+                &w,
+                &noise,
+                pair.0,
+                pair.1,
+                SortCriterion::LatentScore,
+                &mut rng,
+            ) {
                 single_correct += 1;
             }
             let mut rng = ChaCha8Rng::seed_from_u64(seed + 50_000);
@@ -452,7 +474,15 @@ mod tests {
         };
         for seed in 0..100 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let r = simulate_rate(&w, &noise, ids[0], 1, 7, SortCriterion::LatentScore, &mut rng);
+            let r = simulate_rate(
+                &w,
+                &noise,
+                ids[0],
+                1,
+                7,
+                SortCriterion::LatentScore,
+                &mut rng,
+            );
             assert!((1..=7).contains(&r));
         }
     }

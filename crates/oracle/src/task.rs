@@ -466,7 +466,9 @@ mod tests {
         // A pack of one is not fingerprint-identical to the bare task (the
         // engine dispatches singletons unpacked precisely for cache parity).
         assert_ne!(
-            TaskDescriptor::packed(vec![check(1)]).unwrap().fingerprint(),
+            TaskDescriptor::packed(vec![check(1)])
+                .unwrap()
+                .fingerprint(),
             check(1).fingerprint()
         );
     }

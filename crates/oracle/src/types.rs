@@ -132,6 +132,12 @@ pub struct CompletionResponse {
     /// Whether this response was served from a client-side cache (cached
     /// responses incur no spend; budget guards skip them).
     pub cached: bool,
+    /// The billing schedule this response is charged under — the serving
+    /// backend's pricing, not necessarily the tier's reference pricing.
+    /// With multi-backend routing, backends carry price multipliers, so
+    /// the ledger, budget tracker, and operator cost meters all price a
+    /// response from this field to stay mutually consistent.
+    pub pricing: Pricing,
     /// The model's confidence in its answer, in `(0.5, 1.0]`, when the task
     /// has a binary answer — the simulator's analogue of answer-token log
     /// probabilities (§2 of the paper notes real APIs expose these).

@@ -131,9 +131,7 @@ impl WorldModel {
 
     /// True attribute value, if registered.
     pub fn attr(&self, id: ItemId, attr: &str) -> Option<&str> {
-        self.attrs
-            .get(&(id, attr.to_owned()))
-            .map(String::as_str)
+        self.attrs.get(&(id, attr.to_owned())).map(String::as_str)
     }
 
     /// Predicate truth, if registered.

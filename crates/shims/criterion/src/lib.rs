@@ -73,7 +73,10 @@ impl Criterion {
 
     fn report(&self, name: &str, bencher: &Bencher) {
         let ns = bencher.ns_per_iter.unwrap_or(f64::NAN);
-        println!("bench: {name:<48} {ns:>14.1} ns/iter  ({} iters)", bencher.iters);
+        println!(
+            "bench: {name:<48} {ns:>14.1} ns/iter  ({} iters)",
+            bencher.iters
+        );
         if let Some(path) = &self.json_path {
             let line = format!(
                 "{{\"name\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}\n",

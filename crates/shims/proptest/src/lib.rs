@@ -87,10 +87,7 @@ pub mod strategy {
 
         /// Generate a value, then generate from the strategy `f` builds
         /// out of it (dependent generation).
-        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
-            self,
-            f: F,
-        ) -> FlatMap<Self, F>
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
         where
             Self: Sized,
         {

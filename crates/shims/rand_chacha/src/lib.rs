@@ -50,7 +50,11 @@ impl ChaCha8Rng {
             quarter_round(&mut working, 2, 7, 8, 13);
             quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for (out, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(self.state.iter())) {
+        for (out, (w, s)) in self
+            .buf
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
             *out = w.wrapping_add(*s);
         }
         // 64-bit block counter in words 12..14.

@@ -16,11 +16,7 @@ use crowdprompt::prelude::*;
 fn main() {
     let data = FlavorDataset::sample(40, 9);
 
-    let llm = SimulatedLlm::new(
-        ModelProfile::gpt35_like(),
-        Arc::new(data.world.clone()),
-        9,
-    );
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 9);
     let session = Session::builder()
         .client(Arc::new(LlmClient::new(Arc::new(llm))))
         .corpus(Corpus::from_world(&data.world, &data.items))
@@ -62,7 +58,10 @@ fn main() {
 
     println!("\nPareto frontier (no strategy dominates these):");
     for t in pareto_frontier(&trials) {
-        println!("  {:<24} tau {:+.3} at ${:.5}", t.name, t.accuracy, t.sample_cost_usd);
+        println!(
+            "  {:<24} tau {:+.3} at ${:.5}",
+            t.name, t.accuracy, t.sample_cost_usd
+        );
     }
 
     // Recommendations for a 100k-item production run at various budgets.
@@ -71,8 +70,8 @@ fn main() {
     println!("budget      pick                     extrapolated cost");
     println!("{}", "-".repeat(58));
     for budget in [1.0f64, 25.0, 500.0, 100_000.0] {
-        let pick = recommend(&trials, sample.len(), full_n, budget)
-            .expect("candidates are non-empty");
+        let pick =
+            recommend(&trials, sample.len(), full_n, budget).expect("candidates are non-empty");
         println!(
             "${budget:<10} {:<24} ${:.2}",
             pick.name,

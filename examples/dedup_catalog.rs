@@ -20,11 +20,7 @@ fn main() {
     };
     let data = CitationDataset::generate(&params, 21);
 
-    let llm = SimulatedLlm::new(
-        ModelProfile::gpt35_like(),
-        Arc::new(data.world.clone()),
-        21,
-    );
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 21);
     let session = Session::builder()
         .client(Arc::new(LlmClient::new(Arc::new(llm))))
         .corpus(Corpus::from_world(&data.world, &data.mentions))
@@ -83,9 +79,7 @@ fn main() {
     }
     let precision = tp as f64 / (tp + fp).max(1) as f64;
     let recall = tp as f64 / (tp + fn_).max(1) as f64;
-    println!(
-        "pairwise precision {precision:.3}, recall {recall:.3} against the latent clustering"
-    );
+    println!("pairwise precision {precision:.3}, recall {recall:.3} against the latent clustering");
 
     let example = clusters.iter().find(|c| c.len() >= 3);
     if let Some(group) = example {

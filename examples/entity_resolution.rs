@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use crowdprompt::data::{CitationDataset, CitationParams};
 use crowdprompt::metrics::BinaryConfusion;
-use crowdprompt::prelude::*;
 use crowdprompt::oracle::world::ItemId;
+use crowdprompt::prelude::*;
 
 fn main() {
     // A synthetic DBLP-vs-Scholar style corpus: latent paper entities
@@ -28,19 +28,14 @@ fn main() {
     };
     let data = CitationDataset::generate(&params, 11);
 
-    let llm = SimulatedLlm::new(
-        ModelProfile::gpt35_like(),
-        Arc::new(data.world.clone()),
-        11,
-    );
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 11);
     let session = Session::builder()
         .client(Arc::new(LlmClient::new(Arc::new(llm))))
         .corpus(Corpus::from_world(&data.world, &data.mentions))
         .budget(Budget::usd(5.0))
         .build();
 
-    let questions: Vec<(ItemId, ItemId)> =
-        data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+    let questions: Vec<(ItemId, ItemId)> = data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
     let gold: Vec<bool> = data.pairs.iter().map(|(_, _, d)| *d).collect();
 
     // The embedding index over all mentions (the ada-002 stand-in).
@@ -57,8 +52,14 @@ fn main() {
     println!("{}", "-".repeat(64));
     for (name, strategy) in [
         ("baseline      ", ResolveStrategy::Pairwise),
-        ("transitive k=1", ResolveStrategy::TransitivityAugmented { k: 1 }),
-        ("transitive k=2", ResolveStrategy::TransitivityAugmented { k: 2 }),
+        (
+            "transitive k=1",
+            ResolveStrategy::TransitivityAugmented { k: 1 },
+        ),
+        (
+            "transitive k=2",
+            ResolveStrategy::TransitivityAugmented { k: 2 },
+        ),
     ] {
         let out = session
             .resolve_pairs(&questions, &strategy, Some(&index))
@@ -85,8 +86,8 @@ fn main() {
             Some(&index),
         )
         .unwrap();
-    if let Some(i) = (0..questions.len())
-        .find(|&i| gold[i] && !baseline.value[i] && augmented.value[i])
+    if let Some(i) =
+        (0..questions.len()).find(|&i| gold[i] && !baseline.value[i] && augmented.value[i])
     {
         let (a, b) = questions[i];
         println!("\nexample flip (missed directly, recovered by transitivity):");

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use crowdprompt::data::products::restaurants;
-use crowdprompt::prelude::*;
 use crowdprompt::oracle::world::ItemId;
+use crowdprompt::prelude::*;
 
 fn main() {
     let data = restaurants(300, 5);
@@ -46,7 +46,10 @@ fn main() {
             / data.records.len() as f64
     };
 
-    println!("Imputing `city` for {} restaurant records\n", data.records.len());
+    println!(
+        "Imputing `city` for {} restaurant records\n",
+        data.records.len()
+    );
     println!("strategy          accuracy  LLM calls  tokens   cost");
     println!("{}", "-".repeat(58));
     for (name, strategy) in [

@@ -80,8 +80,14 @@ fn main() {
         .filter(|(i, v)| v.answer == (i % 3 != 0))
         .count();
     println!("cascade over {} claims:", items.len());
-    println!("  escalated to the strong model: {escalated}/{}", items.len());
-    println!("  accuracy: {:.1}%", 100.0 * correct as f64 / items.len() as f64);
+    println!(
+        "  escalated to the strong model: {escalated}/{}",
+        items.len()
+    );
+    println!(
+        "  accuracy: {:.1}%",
+        100.0 * correct as f64 / items.len() as f64
+    );
     println!("  cost: ${:.4}", out.cost_usd);
 
     // All-strong comparison.
@@ -99,7 +105,7 @@ fn main() {
                     s,
                 )
                 .unwrap();
-            all_strong_cost += engine.cost_of(resp.usage);
+            all_strong_cost += engine.cost_of_response(&resp);
         }
     }
     println!("  (asking the strong model everything: ${all_strong_cost:.4})");

@@ -65,8 +65,8 @@ fn main() {
     // 2. Self-consistency: sample the same task 9 times at temperature 1,
     //    majority vote.
     let hard_item = items[0];
-    let voted = self_consistent_yes_no(&engine, check(hard_item), 9, 1.0)
-        .expect("self-consistency runs");
+    let voted =
+        self_consistent_yes_no(&engine, check(hard_item), 9, 1.0).expect("self-consistency runs");
     println!(
         "2. self-consistency on one task: verdict={} after {} samples (truth: true)",
         voted.value, voted.calls
@@ -92,8 +92,8 @@ fn main() {
     }
     let ds = dawid_skene(&votes, 100);
     let labels = ds.labels();
-    let em_acc = labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
-        / items.len() as f64;
+    let em_acc =
+        labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / items.len() as f64;
     println!(
         "3. Dawid-Skene over 3 models: label accuracy {:.3}; estimated model accuracies {:?}",
         em_acc,

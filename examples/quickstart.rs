@@ -19,11 +19,7 @@ fn main() {
     // 2. A model. The simulator stands in for a chat-completion API and is
     //    calibrated to gpt-3.5-turbo-like noise. Any `LanguageModel`
     //    implementation plugs in here.
-    let llm = SimulatedLlm::new(
-        ModelProfile::gpt35_like(),
-        Arc::new(data.world.clone()),
-        7,
-    );
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 7);
 
     // 3. A declarative session: corpus + budget + criterion.
     let session = Session::builder()

@@ -29,7 +29,10 @@ fn main() {
         .seed(2)
         .build();
 
-    println!("Sorting {} words alphabetically (sim-claude-2)\n", data.items.len());
+    println!(
+        "Sorting {} words alphabetically (sim-claude-2)\n",
+        data.items.len()
+    );
     for (name, strategy) in [
         ("one prompt      ", SortStrategy::SinglePrompt),
         ("sort then insert", SortStrategy::SortThenInsert),

@@ -74,7 +74,10 @@ fn usd_budget_partial_progress_then_refusal() {
         }
     }
     assert!(refused, "budget should eventually refuse");
-    assert!(session.spent_usd() <= 0.004 + 0.001, "overshoot bounded by one call");
+    assert!(
+        session.spent_usd() <= 0.004 + 0.001,
+        "overshoot bounded by one call"
+    );
 }
 
 #[test]
@@ -141,8 +144,8 @@ fn recommendation_degrades_gracefully_with_budget() {
     // The frontier never contains a strictly dominated strategy.
     let frontier = pareto_frontier(&trials);
     for f in &frontier {
-        assert!(!trials.iter().any(|t| {
-            t.accuracy > f.accuracy && t.sample_cost_usd < f.sample_cost_usd
-        }));
+        assert!(!trials
+            .iter()
+            .any(|t| { t.accuracy > f.accuracy && t.sample_cost_usd < f.sample_cost_usd }));
     }
 }

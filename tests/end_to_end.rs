@@ -113,7 +113,9 @@ fn filter_count_categorize_max_topk_cluster_roundtrip() {
         .unwrap();
     assert_eq!(max.value, items[23]);
 
-    let top = session.top_k(&items, SortCriterion::LatentScore, 3, 3).unwrap();
+    let top = session
+        .top_k(&items, SortCriterion::LatentScore, 3, 3)
+        .unwrap();
     assert_eq!(top.value, vec![items[23], items[22], items[21]]);
 
     let clusters = session.cluster(&items, 8).unwrap();
@@ -151,11 +153,7 @@ fn budget_is_shared_across_operations() {
 #[test]
 fn tight_budget_rejects_expensive_strategy_but_allows_cheap_one() {
     let data = FlavorDataset::paper(4);
-    let llm = SimulatedLlm::new(
-        ModelProfile::gpt35_like(),
-        Arc::new(data.world.clone()),
-        4,
-    );
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 4);
     let session = Session::builder()
         .client(Arc::new(LlmClient::new(Arc::new(llm))))
         .corpus(Corpus::from_world(&data.world, &data.items))

@@ -18,11 +18,7 @@ use crowdprompt::prelude::*;
 #[test]
 fn sentiment_workload_sorts_filters_and_counts() {
     let data = ReviewsDataset::generate(60, 5);
-    let llm = SimulatedLlm::new(
-        ModelProfile::gpt35_like(),
-        Arc::new(data.world.clone()),
-        5,
-    );
+    let llm = SimulatedLlm::new(ModelProfile::gpt35_like(), Arc::new(data.world.clone()), 5);
     let session = Session::builder()
         .client(Arc::new(LlmClient::new(Arc::new(llm))))
         .corpus(Corpus::from_world(&data.world, &data.items))
@@ -32,7 +28,11 @@ fn sentiment_workload_sorts_filters_and_counts() {
 
     // Sorting on sentiment should clearly beat chance.
     let sorted = session
-        .sort(&data.items, SortCriterion::LatentScore, &SortStrategy::Pairwise)
+        .sort(
+            &data.items,
+            SortCriterion::LatentScore,
+            &SortStrategy::Pairwise,
+        )
         .unwrap();
     let tau = kendall_tau_b_rankings(&sorted.value.order, &data.gold).unwrap();
     assert!(tau > 0.5, "tau {tau}");
@@ -46,7 +46,12 @@ fn sentiment_workload_sorts_filters_and_counts() {
         )
         .unwrap();
     let err = (count.value as i64 - data.positive_count as i64).unsigned_abs();
-    assert!(err <= 8, "count {} vs truth {}", count.value, data.positive_count);
+    assert!(
+        err <= 8,
+        "count {} vs truth {}",
+        count.value,
+        data.positive_count
+    );
 
     // Tracing captured both operations.
     let summary = session.trace().unwrap().summary();
@@ -148,8 +153,12 @@ fn cascade_routes_hard_items_to_strong_model() {
             ..NoiseProfile::perfect()
         });
         Arc::new(
-            LlmClient::new(Arc::new(SimulatedLlm::new(profile, Arc::clone(&world), seed)))
-                .without_cache(),
+            LlmClient::new(Arc::new(SimulatedLlm::new(
+                profile,
+                Arc::clone(&world),
+                seed,
+            )))
+            .without_cache(),
         )
     };
     let cascade = ModelCascade::new(
@@ -179,7 +188,10 @@ fn cascade_routes_hard_items_to_strong_model() {
         .collect();
     let out = cascade.ask_many(tasks).unwrap();
     let escalated = out.value.iter().filter(|v| v.deepest_tier == 1).count();
-    assert!(escalated > 5, "weak tier should escalate often: {escalated}");
+    assert!(
+        escalated > 5,
+        "weak tier should escalate often: {escalated}"
+    );
     let correct = out
         .value
         .iter()

@@ -24,17 +24,81 @@ fn flagged_world(n: usize) -> (WorldModel, Vec<ItemId>) {
     (w, items)
 }
 
-fn session_with(noise: NoiseProfile, retry: RetryPolicy, seed: u64) -> (Session, Vec<ItemId>) {
+/// Which dispatch stack a scenario runs against: a plain single-backend
+/// client (retries in the client), or a routed registry of one or two
+/// backends (retries in the routing layer). Transport-failure scenarios run
+/// across all of them — their guarantees must not depend on the backend set.
+#[derive(Debug, Clone, Copy)]
+enum Fleet {
+    Direct,
+    RoutedSingle,
+    RoutedPair,
+}
+
+const ALL_FLEETS: [Fleet; 3] = [Fleet::Direct, Fleet::RoutedSingle, Fleet::RoutedPair];
+
+/// Build a session over the given fleet with `attempts` total transport
+/// attempts per call (however the stack spreads them).
+///
+/// The routed fleets pin an effectively-disabled circuit breaker: these
+/// scenarios drive 100%-failure storms through parallel workers, and a
+/// default-threshold breaker would race the assertions (tripping turns
+/// `RetriesExhausted` into `CircuitOpen` depending on scheduling). The
+/// retry contract is the thing under test here; breaker behaviour has its
+/// own tests in `oracle::route`.
+fn fleet_session(
+    noise: NoiseProfile,
+    attempts: u32,
+    seed: u64,
+    fleet: Fleet,
+) -> (Session, Vec<ItemId>) {
+    use crowdprompt::oracle::route::BreakerConfig;
     let (w, items) = flagged_world(30);
     let profile = ModelProfile::gpt35_like().with_noise(noise);
-    let llm = SimulatedLlm::new(profile, Arc::new(w.clone()), seed);
-    let client = LlmClient::new(Arc::new(llm)).with_retry(retry);
-    let session = Session::builder()
-        .client(Arc::new(client))
+    let llm: Arc<dyn LanguageModel> =
+        Arc::new(SimulatedLlm::new(profile, Arc::new(w.clone()), seed));
+    let routed = |backends: Vec<Arc<dyn Backend>>| {
+        Arc::new(LlmClient::routed(
+            BackendRegistry::new(backends).unwrap(),
+            RoutePolicy {
+                max_retries: attempts.saturating_sub(1),
+                breaker: BreakerConfig {
+                    failure_threshold: u32::MAX,
+                    cooldown: std::time::Duration::from_millis(1),
+                },
+                ..RoutePolicy::default()
+            },
+        ))
+    };
+    let builder = Session::builder()
         .corpus(Corpus::from_world(&w, &items))
-        .criterion("by index")
-        .build();
+        .criterion("by index");
+    let session = match fleet {
+        Fleet::Direct => builder.client(Arc::new(LlmClient::new(llm).with_retry(RetryPolicy {
+            max_attempts: attempts,
+            backoff_ms: 0,
+        }))),
+        Fleet::RoutedSingle => builder.client(routed(vec![
+            Arc::new(SimBackend::new("solo", llm)) as Arc<dyn Backend>
+        ])),
+        Fleet::RoutedPair => builder.client(routed(vec![
+            Arc::new(SimBackend::new("east", Arc::clone(&llm))) as Arc<dyn Backend>,
+            Arc::new(SimBackend::new("west", llm)) as Arc<dyn Backend>,
+        ])),
+    }
+    .build();
     (session, items)
+}
+
+/// Transport retries performed anywhere in the stack: the client's own
+/// retry loop plus the routing layer's cross-backend retries.
+fn transport_retries(session: &Session) -> u64 {
+    let client = session.engine().client();
+    client.stats().retries() + client.router().map_or(0, |r| r.stats().retries)
+}
+
+fn session_with(noise: NoiseProfile, retry: RetryPolicy, seed: u64) -> (Session, Vec<ItemId>) {
+    fleet_session(noise, retry.max_attempts, seed, Fleet::Direct)
 }
 
 #[test]
@@ -44,22 +108,18 @@ fn flaky_transport_is_absorbed_by_retries() {
         unavailable_prob: 0.1,
         ..NoiseProfile::perfect()
     };
-    let (session, items) = session_with(
-        noise,
-        RetryPolicy {
-            max_attempts: 8,
-            backoff_ms: 0,
-        },
-        5,
-    );
-    // A 30-item filter fires 30 calls; with 40% failure probability and 8
-    // attempts, every call should eventually succeed.
-    let out = session
-        .filter(&items, "keep", FilterStrategy::Single)
-        .expect("retries should absorb transient failures");
-    assert_eq!(out.value.len(), 15);
-    // Retries actually happened.
-    assert!(session.engine().client().stats().retries() > 0);
+    for fleet in ALL_FLEETS {
+        let (session, items) = fleet_session(noise.clone(), 8, 5, fleet);
+        // A 30-item filter fires 30 calls; with 40% failure probability and
+        // 8 attempts, every call should eventually succeed — whichever
+        // layer owns the retry loop.
+        let out = session
+            .filter(&items, "keep", FilterStrategy::Single)
+            .expect("retries should absorb transient failures");
+        assert_eq!(out.value.len(), 15, "{fleet:?}");
+        // Retries actually happened somewhere in the stack.
+        assert!(transport_retries(&session) > 0, "{fleet:?}");
+    }
 }
 
 #[test]
@@ -68,22 +128,20 @@ fn persistent_transport_failure_surfaces_retries_exhausted() {
         rate_limit_prob: 1.0,
         ..NoiseProfile::perfect()
     };
-    let (session, items) = session_with(
-        noise,
-        RetryPolicy {
-            max_attempts: 3,
-            backoff_ms: 0,
-        },
-        6,
-    );
-    let err = session
-        .filter(&items, "keep", FilterStrategy::Single)
-        .unwrap_err();
-    match err {
-        EngineError::Llm(LlmError::RetriesExhausted { attempts, .. }) => {
-            assert_eq!(attempts, 3);
+    for fleet in ALL_FLEETS {
+        let (session, items) = fleet_session(noise.clone(), 3, 6, fleet);
+        let err = session
+            .filter(&items, "keep", FilterStrategy::Single)
+            .unwrap_err();
+        match err {
+            EngineError::Llm(LlmError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(
+                    attempts, 3,
+                    "{fleet:?}: total attempts are configured, not assumed"
+                );
+            }
+            other => panic!("{fleet:?}: expected retry exhaustion, got {other:?}"),
         }
-        other => panic!("expected retry exhaustion, got {other:?}"),
     }
 }
 

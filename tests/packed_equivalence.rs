@@ -88,23 +88,13 @@ fn assert_spend_attribution<T>(engine: &Engine, out: &crowdprompt::core::Outcome
 #[test]
 fn packed_filter_single_matches_per_item_at_every_width() {
     let (baseline_engine, ids) = engine(53, 0.0, 1);
-    let baseline = ops::filter::filter(
-        &baseline_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let baseline =
+        ops::filter::filter(&baseline_engine, &ids, "active", FilterStrategy::Single).unwrap();
     assert_spend_attribution(&baseline_engine, &baseline);
     for width in [2, 7, 16, 64] {
         let (packed_engine, ids) = engine(53, 0.0, width);
-        let packed = ops::filter::filter(
-            &packed_engine,
-            &ids,
-            "active",
-            FilterStrategy::Single,
-        )
-        .unwrap();
+        let packed =
+            ops::filter::filter(&packed_engine, &ids, "active", FilterStrategy::Single).unwrap();
         assert_eq!(packed.value, baseline.value, "width {width}");
         assert_eq!(
             packed.calls,
@@ -153,21 +143,11 @@ fn forced_bisection_degrades_to_exactly_the_per_item_path() {
     // Every multi-item pack comes back unparseable: the dispatcher must
     // bisect down to singletons, whose requests *are* the per-item path's.
     let (baseline_engine, ids) = engine(37, 0.0, 1);
-    let baseline = ops::filter::filter(
-        &baseline_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let baseline =
+        ops::filter::filter(&baseline_engine, &ids, "active", FilterStrategy::Single).unwrap();
     let (packed_engine, ids) = engine(37, 1.0, 16);
-    let packed = ops::filter::filter(
-        &packed_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let packed =
+        ops::filter::filter(&packed_engine, &ids, "active", FilterStrategy::Single).unwrap();
     assert_eq!(packed.value, baseline.value);
     assert!(
         packed.calls > 37,
@@ -180,22 +160,12 @@ fn forced_bisection_degrades_to_exactly_the_per_item_path() {
 #[test]
 fn partial_dropout_still_reassembles_identically() {
     let (baseline_engine, ids) = engine(61, 0.0, 1);
-    let baseline = ops::filter::filter(
-        &baseline_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let baseline =
+        ops::filter::filter(&baseline_engine, &ids, "active", FilterStrategy::Single).unwrap();
     // Half the packs fail and bisect; results must be unchanged.
     let (packed_engine, ids) = engine(61, 0.5, 8);
-    let packed = ops::filter::filter(
-        &packed_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let packed =
+        ops::filter::filter(&packed_engine, &ids, "active", FilterStrategy::Single).unwrap();
     assert_eq!(packed.value, baseline.value);
     assert_spend_attribution(&packed_engine, &packed);
 }
@@ -206,8 +176,7 @@ fn packed_count_matches_per_item() {
     let baseline =
         ops::count::count(&baseline_engine, &ids, "rare", CountStrategy::PerItem).unwrap();
     let (packed_engine, ids) = engine(47, 0.3, 16);
-    let packed =
-        ops::count::count(&packed_engine, &ids, "rare", CountStrategy::PerItem).unwrap();
+    let packed = ops::count::count(&packed_engine, &ids, "rare", CountStrategy::PerItem).unwrap();
     assert_eq!(packed.value, baseline.value);
     assert_spend_attribution(&packed_engine, &packed);
 
@@ -271,7 +240,11 @@ fn impute_world() -> (WorldModel, Vec<ItemId>, Vec<(ItemId, String)>) {
     }
     for i in 0..6 {
         let id = w.add_item(format!("corner diner {i}; street main"));
-        let city = if i % 2 == 0 { "san francisco" } else { "berkeley" };
+        let city = if i % 2 == 0 {
+            "san francisco"
+        } else {
+            "berkeley"
+        };
         w.set_attr(id, "city", city);
         ids.push(id);
     }
@@ -302,8 +275,7 @@ fn packed_impute_matches_per_item_for_llm_and_hybrid() {
 
         let (packed_engine, ids, labeled) = build(8, 0.4);
         let pool = LabeledPool::build(&packed_engine, &labeled).unwrap();
-        let packed =
-            ops::impute::impute(&packed_engine, &ids, "city", &pool, &strategy).unwrap();
+        let packed = ops::impute::impute(&packed_engine, &ids, "city", &pool, &strategy).unwrap();
         assert_eq!(packed.value, baseline.value, "{strategy:?}");
         assert!(
             packed.calls <= baseline.calls,
@@ -318,21 +290,11 @@ fn packed_impute_matches_per_item_for_llm_and_hybrid() {
 #[test]
 fn packed_session_spends_less_for_the_same_answer() {
     let (per_item_engine, ids) = engine(64, 0.0, 1);
-    let per_item = ops::filter::filter(
-        &per_item_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let per_item =
+        ops::filter::filter(&per_item_engine, &ids, "active", FilterStrategy::Single).unwrap();
     let (packed_engine, ids) = engine(64, 0.0, 16);
-    let packed = ops::filter::filter(
-        &packed_engine,
-        &ids,
-        "active",
-        FilterStrategy::Single,
-    )
-    .unwrap();
+    let packed =
+        ops::filter::filter(&packed_engine, &ids, "active", FilterStrategy::Single).unwrap();
     assert_eq!(packed.value, per_item.value);
     assert!(
         packed.calls * 4 <= per_item.calls,

@@ -75,7 +75,10 @@ fn table1_shape_pairwise_beats_rating_beats_single_on_average() {
         tau[0]
     );
     // Cost ordering is strict and large.
-    assert!(tokens[2] > tokens[1] * 4, "pairwise is order-of-magnitude pricier");
+    assert!(
+        tokens[2] > tokens[1] * 4,
+        "pairwise is order-of-magnitude pricier"
+    );
     assert!(tokens[1] > tokens[0], "rating costs more than one prompt");
 }
 
@@ -108,8 +111,7 @@ fn table2_shape_sort_then_insert_repairs_omissions() {
                 &SortStrategy::SortThenInsert,
             )
             .unwrap();
-        hybrid_tau_sum +=
-            kendall_tau_b_rankings(&hybrid.value.order, &data.gold).unwrap();
+        hybrid_tau_sum += kendall_tau_b_rankings(&hybrid.value.order, &data.gold).unwrap();
         // The hybrid's output is complete.
         assert_eq!(hybrid.value.order.len(), data.items.len());
     }
@@ -136,8 +138,7 @@ fn table3_shape_transitivity_raises_recall_and_f1() {
         11,
         "as citations",
     );
-    let questions: Vec<(ItemId, ItemId)> =
-        data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+    let questions: Vec<(ItemId, ItemId)> = data.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
     let gold: Vec<bool> = data.pairs.iter().map(|(_, _, d)| *d).collect();
     let index = session.mention_index(&data.mentions).unwrap();
 
@@ -163,7 +164,10 @@ fn table3_shape_transitivity_raises_recall_and_f1() {
     let (f1_a, rec_a, prec_a) = score(&aug.value);
 
     assert!(f1_a > f1_b + 0.02, "F1 {f1_b:.3} -> {f1_a:.3} should rise");
-    assert!(rec_a > rec_b + 0.03, "recall {rec_b:.3} -> {rec_a:.3} should rise");
+    assert!(
+        rec_a > rec_b + 0.03,
+        "recall {rec_b:.3} -> {rec_a:.3} should rise"
+    );
     assert!(
         prec_a > prec_b - 0.08,
         "precision {prec_b:.3} -> {prec_a:.3} should dip only slightly"
@@ -199,7 +203,12 @@ fn table4_shape_hybrid_matches_llm_at_half_cost() {
                 / data.records.len() as f64
         };
         let knn = session
-            .impute(&data.records, &data.target, &pool, &ImputeStrategy::KnnOnly { k: 3 })
+            .impute(
+                &data.records,
+                &data.target,
+                &pool,
+                &ImputeStrategy::KnnOnly { k: 3 },
+            )
             .unwrap();
         let hybrid = session
             .impute(

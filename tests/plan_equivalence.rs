@@ -62,7 +62,10 @@ fn assert_ledgers_match(plan_engine: &Engine, eager_engine: &Engine, what: &str)
     );
     let a = plan_engine.budget().spent_usd();
     let b = eager_engine.budget().spent_usd();
-    assert!((a - b).abs() < 1e-12, "{what}: usd ledgers diverge {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-12,
+        "{what}: usd ledgers diverge {a} vs {b}"
+    );
 }
 
 fn assert_accounting_match<T: PartialEq + std::fmt::Debug>(
@@ -378,7 +381,9 @@ fn session_wrappers_report_plan_identical_outcomes() {
     let s1 = session(&w);
     let via_session = s1.filter(&ids, "active", FilterStrategy::Single).unwrap();
     let s2 = session(&w);
-    let plan = s2.plan(s2.query(&ids).filter_with("active", FilterStrategy::Single)).unwrap();
+    let plan = s2
+        .plan(s2.query(&ids).filter_with("active", FilterStrategy::Single))
+        .unwrap();
     let via_plan = plan
         .execute(&s2)
         .unwrap()
