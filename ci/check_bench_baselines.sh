@@ -37,11 +37,16 @@ require BENCH_exec.json \
   engine_run_many_dup_heavy/fixed_claim_1
 
 require BENCH_embed.json \
+  embed_index_build_20k/seed_nested \
   embed_index_build_20k/flat_store \
   embed_single_query_20k/seed_sort \
   embed_single_query_20k/fused_heap \
   embed_batch_blocking_20kx256/seed_per_record_loop \
-  embed_batch_blocking_20kx256/batched_fused
+  embed_batch_blocking_20kx256/batched_fused \
+  embed_1m_query/exact_fused \
+  embed_1m_query/ivf_sq8 \
+  embed_1m_build/ivf_ns \
+  embed_1m_recall/at10_x1000
 
 require BENCH_pack.json \
   filter_pack_4096/per_item \
@@ -57,6 +62,48 @@ require BENCH_route.json \
   route_call/hedged \
   route_burst/unhedged \
   route_burst/hedged
+
+# --- Ratio guards over the recorded numbers themselves -----------------------
+# A baseline that merely *exists* can still record a regression. The PR-6
+# acceptance numbers are pinned here: the flat-store build must stay within
+# 2x of the seed's nested layout, the IVF probe must stay >=10x faster than
+# the exact fused scan on the 1M tier, and its measured recall@10 must stay
+# >=0.95 against the exact oracle.
+
+# Extract the first numeric field (ns_per_iter or ns) for a named entry.
+value_of() {
+  local file=$1 key=$2
+  grep "\"name\":\"$key\"" "$file" | tail -1 \
+    | sed -E 's/.*"ns(_per_iter)?"[: ]*([0-9.]+).*/\2/'
+}
+
+ratio_guard() {
+  local desc=$1 num=$2 den=$3 op=$4 bound=$5
+  if [[ -z "$num" || -z "$den" ]]; then
+    echo "ratio guard '$desc' skipped: missing entries" >&2
+    fail=1
+    return
+  fi
+  if ! awk -v n="$num" -v d="$den" -v b="$bound" -v op="$op" \
+      'BEGIN { r = n / d; ok = (op == "le") ? (r <= b) : (r >= b); exit !ok }'; then
+    echo "ratio guard FAILED: $desc ($num / $den vs bound $bound)" >&2
+    fail=1
+  fi
+}
+
+if [[ -f BENCH_embed.json ]]; then
+  ratio_guard "flat_store build <= 2x seed_nested" \
+    "$(value_of BENCH_embed.json embed_index_build_20k/flat_store)" \
+    "$(value_of BENCH_embed.json embed_index_build_20k/seed_nested)" \
+    le 2.0
+  ratio_guard "1M exact scan >= 10x slower than IVF probe" \
+    "$(value_of BENCH_embed.json embed_1m_query/exact_fused)" \
+    "$(value_of BENCH_embed.json embed_1m_query/ivf_sq8)" \
+    ge 10.0
+  ratio_guard "1M recall@10 >= 0.95" \
+    "$(value_of BENCH_embed.json embed_1m_recall/at10_x1000)" \
+    1000 ge 0.95
+fi
 
 if [[ $fail -ne 0 ]]; then
   echo "bench baseline check FAILED" >&2

@@ -2,10 +2,10 @@
 //! that `resolve`, `join`, `cluster`, and `impute` all route their non-LLM
 //! candidate pruning through.
 //!
-//! A [`BlockingIndex`] embeds a corpus of items once (via the parallel
-//! [`Embedder::embed_all`]), stores the vectors in the flat
-//! [`crowdprompt_embed::VectorStore`], picks brute-force vs VP-tree per
-//! corpus shape ([`KnnIndex::auto`]), and serves *batched* neighbor
+//! A [`BlockingIndex`] embeds a corpus of items once, straight into the
+//! flat [`crowdprompt_embed::VectorStore`] layout (via the parallel
+//! [`Embedder::embed_all_flat`] — no nested-row intermediate), picks
+//! brute-force vs VP-tree per corpus shape, and serves *batched* neighbor
 //! queries — operators hand it whole item collections instead of looping
 //! one record at a time. Neighbor lookups for indexed items are memoized
 //! (`(item, k)` → hits), and an indexed item's own stored vector is reused
@@ -15,7 +15,8 @@
 use std::collections::HashMap;
 
 use crowdprompt_embed::{
-    dot_unrolled, Embedder, KnnIndex, Metric, NearestNeighbors, Neighbor, NgramEmbedder,
+    dot_unrolled, predict_auto_kind, Embedder, KnnIndex, Metric, NearestNeighbors, Neighbor,
+    NgramEmbedder, VectorStore,
 };
 use crowdprompt_oracle::world::ItemId;
 
@@ -42,6 +43,7 @@ pub struct BlockingIndex {
     index: KnnIndex,
     embedder: NgramEmbedder,
     metric: Metric,
+    recall_target: Option<f32>,
     cache: parking_lot::Mutex<HashMap<(ItemId, usize), Vec<BlockingHit>>>,
 }
 
@@ -49,9 +51,30 @@ impl BlockingIndex {
     /// Build an index over the given items using the engine's corpus texts
     /// and the ada-like n-gram embedder (L2 distance, as in §3.3).
     ///
-    /// Texts are embedded through the parallel [`Embedder::embed_all`] and
-    /// the index implementation is chosen by [`KnnIndex::auto`].
+    /// The recall target is inherited from the engine
+    /// ([`Engine::blocking_recall_target`]), so every blocking consumer —
+    /// dedup, join, cluster, impute-knn — picks up approximate blocking
+    /// from one engine knob. See [`BlockingIndex::build_with`].
     pub fn build(engine: &Engine, items: &[ItemId]) -> Result<Self, EngineError> {
+        Self::build_with(engine, items, engine.blocking_recall_target())
+    }
+
+    /// Build with an explicit recall target, overriding the engine's.
+    ///
+    /// Texts are embedded through the parallel
+    /// [`Embedder::embed_all_flat`] (one corpus-sized buffer, no per-row
+    /// allocations) and the index implementation is chosen by
+    /// [`KnnIndex::auto_tuned_from_store`]:
+    /// small or low-dimensional corpora get the exact brute/VP paths
+    /// regardless of the target, and a target of `None` (or `>= 1.0`)
+    /// keeps even million-row corpora exact. A sub-1.0 target on a large
+    /// high-dimensional corpus builds the approximate IVF + SQ8 tier
+    /// tuned for that recall@k.
+    pub fn build_with(
+        engine: &Engine,
+        items: &[ItemId],
+        recall_target: Option<f32>,
+    ) -> Result<Self, EngineError> {
         let embedder = NgramEmbedder::ada_like();
         let mut texts = Vec::with_capacity(items.len());
         for &id in items {
@@ -62,20 +85,42 @@ impl BlockingIndex {
                     .ok_or(EngineError::UnknownItem(id))?,
             );
         }
-        let vectors = embedder.embed_all(&texts);
+        // The embedder writes straight into the store's flat row-major
+        // layout — no per-row vectors to allocate, repack, and free.
+        let store = VectorStore::from_flat(embedder.embed_all_flat(&texts), embedder.dimensions());
         let metric = Metric::L2;
         let mut pos = HashMap::with_capacity(items.len());
         for (i, &id) in items.iter().enumerate() {
             pos.entry(id).or_insert(i);
         }
+        let index = match recall_target {
+            Some(target) => KnnIndex::auto_tuned_from_store(store, metric, target),
+            None => KnnIndex::auto_from_store(store, metric),
+        };
         Ok(BlockingIndex {
             items: items.to_vec(),
             pos,
-            index: KnnIndex::auto(vectors, metric),
+            index,
             embedder,
             metric,
+            recall_target,
             cache: parking_lot::Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The recall target this index was built with (`None` = exact).
+    pub fn recall_target(&self) -> Option<f32> {
+        self.recall_target
+    }
+
+    /// Which k-NN implementation [`BlockingIndex::build_with`] would pick
+    /// for a corpus of `len` items at the given recall target, without
+    /// embedding or building anything — the planner's cost model uses
+    /// this to annotate plans and adjust neighbor-call economics. Mirrors
+    /// the ada-like embedder shape (256 dims, L2).
+    pub fn predicted_index_kind(len: usize, recall_target: Option<f32>) -> &'static str {
+        let dims = NgramEmbedder::ada_like().dimensions();
+        predict_auto_kind(len, dims, Metric::L2, recall_target.unwrap_or(1.0))
     }
 
     /// Number of indexed items.
@@ -94,7 +139,7 @@ impl BlockingIndex {
     }
 
     /// Which k-NN implementation backs this index (`"brute_force"` /
-    /// `"vp_tree"`).
+    /// `"vp_tree"` / `"ivf_sq8"`).
     pub fn index_kind(&self) -> &'static str {
         self.index.kind()
     }
@@ -339,6 +384,41 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0][0].item, ids[3]);
         assert!(hits[0][0].distance < 0.2);
+    }
+
+    #[test]
+    fn recall_target_is_inherited_from_the_engine() {
+        let (engine, ids) = setup(10);
+        let engine = engine.with_blocking_recall_target(0.95);
+        let index = BlockingIndex::build(&engine, &ids).unwrap();
+        assert_eq!(index.recall_target(), Some(0.95));
+        // Small corpora stay exact regardless of the target.
+        assert_eq!(index.index_kind(), "brute_force");
+        let exact = BlockingIndex::build_with(&engine, &ids, None).unwrap();
+        assert_eq!(exact.recall_target(), None);
+    }
+
+    #[test]
+    fn predicted_index_kind_matches_auto_routing() {
+        use crowdprompt_embed::AUTO_IVF_MIN_LEN;
+        // Below the IVF floor (or without a sub-1.0 target): exact.
+        assert_eq!(
+            BlockingIndex::predicted_index_kind(100, Some(0.9)),
+            "brute_force"
+        );
+        assert_eq!(
+            BlockingIndex::predicted_index_kind(AUTO_IVF_MIN_LEN, None),
+            "brute_force"
+        );
+        assert_eq!(
+            BlockingIndex::predicted_index_kind(AUTO_IVF_MIN_LEN, Some(1.0)),
+            "brute_force"
+        );
+        // At scale with a sub-1.0 target: the approximate tier.
+        assert_eq!(
+            BlockingIndex::predicted_index_kind(AUTO_IVF_MIN_LEN, Some(0.95)),
+            "ivf_sq8"
+        );
     }
 
     #[test]

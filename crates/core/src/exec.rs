@@ -168,6 +168,7 @@ pub struct Engine {
     parallelism: usize,
     pipeline: PipelineConfig,
     pack_width: usize,
+    blocking_recall_target: Option<f32>,
     temperature: f64,
     seed: u64,
     render_opts: RenderOptions,
@@ -189,6 +190,7 @@ impl Engine {
             parallelism: 8,
             pipeline: PipelineConfig::default(),
             pack_width: 1,
+            blocking_recall_target: None,
             temperature: 0.0,
             seed: 0,
             render_opts: RenderOptions::default(),
@@ -229,6 +231,20 @@ impl Engine {
     #[must_use]
     pub fn with_pack_width(mut self, width: usize) -> Self {
         self.pack_width = width.max(1);
+        self
+    }
+
+    /// Opt blocking into approximate nearest-neighbor search (builder
+    /// style): on large high-dimensional corpora, [`BlockingIndex`]
+    /// builds an IVF + SQ8 index tuned for this recall@k target instead
+    /// of an exact scan. Every blocking consumer (dedup, join, cluster,
+    /// impute-knn) inherits the setting. A target `>= 1.0` (and the
+    /// `None` default) keeps blocking exact.
+    ///
+    /// [`BlockingIndex`]: crate::blocking::BlockingIndex
+    #[must_use]
+    pub fn with_blocking_recall_target(mut self, target: f32) -> Self {
+        self.blocking_recall_target = Some(target);
         self
     }
 
@@ -294,6 +310,12 @@ impl Engine {
     /// The configured prompt pack width (`1` = packing disabled).
     pub fn pack_width(&self) -> usize {
         self.pack_width
+    }
+
+    /// The blocking recall target (`None` = exact blocking; see
+    /// [`Engine::with_blocking_recall_target`]).
+    pub fn blocking_recall_target(&self) -> Option<f32> {
+        self.blocking_recall_target
     }
 
     /// Dollar cost of a usage under the engine's *reference* model pricing

@@ -106,6 +106,28 @@ impl<'a> Estimator<'a> {
         })
     }
 
+    /// Scale on blocking-driven candidate-verification call counts. Exact
+    /// blocking sends every candidate slot to the oracle; approximate
+    /// (IVF) blocking at recall `r` fills roughly `1 − r` of the slots
+    /// with farther rows instead of true neighbors, and those land beyond
+    /// the operators' distance cap and are pruned before any LLM call —
+    /// so expected verification calls scale by `r` when the corpus shape
+    /// predicts the approximate tier.
+    fn blocking_call_factor(&self, indexed_len: usize) -> f64 {
+        match self.engine.blocking_recall_target() {
+            Some(target)
+                if target < 1.0
+                    && crate::blocking::BlockingIndex::predicted_index_kind(
+                        indexed_len,
+                        Some(target),
+                    ) == "ivf_sq8" =>
+            {
+                f64::from(target)
+            }
+            _ => 1.0,
+        }
+    }
+
     fn same_entity_cost(&self) -> f64 {
         self.sample_pair().map_or(0.0, |(left, right)| {
             self.cost_of(TaskDescriptor::SameEntity { left, right })
@@ -404,6 +426,7 @@ impl<'a> Estimator<'a> {
             PhysicalNode::Resolve { candidates, .. } => {
                 // Symmetric neighborhoods roughly halve the candidate pairs.
                 let pairs = (n * (*candidates).max(1)).div_ceil(2) as u64;
+                let pairs = (pairs as f64 * self.blocking_call_factor(n)).round() as u64;
                 (pairs, pairs as f64 * self.same_entity_cost())
             }
             PhysicalNode::Cluster {
@@ -413,6 +436,7 @@ impl<'a> Estimator<'a> {
                 let seed = (*seed_size).clamp(1, n);
                 let probes = probe_cap.unwrap_or_else(|| (seed / 2).max(1));
                 let assign = (n.saturating_sub(seed) * probes) as u64;
+                let assign = (assign as f64 * self.blocking_call_factor(n)).round() as u64;
                 let take = seed.min(self.source.len());
                 let seed_cost = if take >= 2 {
                     self.cost_of(TaskDescriptor::GroupEntities {
@@ -429,6 +453,13 @@ impl<'a> Estimator<'a> {
             PhysicalNode::Cluster { .. } => (0, 0.0), // empty input clusters free
             PhysicalNode::Join { right, strategy } => {
                 let calls = strategy.estimated_calls(n, right.len());
+                // Only blocked joins route through the blocking index (an
+                // all-pairs join never touches it).
+                let calls = if matches!(strategy, crate::ops::join::JoinStrategy::Blocked { .. }) {
+                    (calls as f64 * self.blocking_call_factor(right.len())).round() as u64
+                } else {
+                    calls
+                };
                 (calls, calls as f64 * self.same_entity_cost())
             }
             PhysicalNode::Impute {

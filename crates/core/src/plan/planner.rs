@@ -318,6 +318,21 @@ pub(crate) fn plan(
         || (options.run_calibration && calibration.is_some());
     let lazy_estimator = needs_estimator.then(|| Estimator::new(engine, &source));
 
+    // Blocking-consumer annotation: when the engine carries a sub-1.0
+    // recall target and the corpus shape would route the shared blocking
+    // index to the approximate IVF tier, record it — the estimator scales
+    // candidate-verification calls by the same prediction.
+    let approx_blocking_note = |notes: &mut Vec<String>, len: usize, what: &str| {
+        if let Some(target) = engine.blocking_recall_target() {
+            if crate::blocking::BlockingIndex::predicted_index_kind(len, Some(target)) == "ivf_sq8"
+            {
+                notes.push(format!(
+                    "{what} blocking predicted approximate (ivf_sq8, recall target {target})"
+                ));
+            }
+        }
+    };
+
     // Rewrite 2/3: resolve strategies (defaults + blocking push-in),
     // tracking estimated rows so size-dependent defaults see realistic n.
     let mut lowered: Vec<Lowered> = Vec::with_capacity(fused.len());
@@ -404,14 +419,18 @@ pub(crate) fn plan(
             LogicalOp::Resolve {
                 candidates,
                 max_distance,
-            } => (
-                PhysicalNode::Resolve {
-                    candidates: *candidates,
-                    max_distance: *max_distance,
-                },
-                true,
-            ),
+            } => {
+                approx_blocking_note(&mut notes, rows, "resolve");
+                (
+                    PhysicalNode::Resolve {
+                        candidates: *candidates,
+                        max_distance: *max_distance,
+                    },
+                    true,
+                )
+            }
             LogicalOp::Cluster { seed_size, probe } => {
+                approx_blocking_note(&mut notes, rows, "cluster");
                 let (probe_cap, pinned) = match probe {
                     ClusterProbe::Exhaustive => (None, true),
                     ClusterProbe::Cap(cap) => (Some(*cap), true),
@@ -435,6 +454,7 @@ pub(crate) fn plan(
                 )
             }
             LogicalOp::Join { right, strategy } => {
+                approx_blocking_note(&mut notes, right.len(), "join");
                 let (resolved, pinned) = match strategy {
                     Some(s) => (s.clone(), true),
                     None => {

@@ -36,6 +36,7 @@ pub struct SessionBuilder {
     budget: Budget,
     parallelism: usize,
     pack_width: usize,
+    blocking_recall_target: Option<f32>,
     temperature: f64,
     seed: u64,
     criterion_label: String,
@@ -120,6 +121,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Opt blocking into approximate nearest-neighbor search at this
+    /// recall@k target: on large high-dimensional corpora the blocking
+    /// index becomes IVF + SQ8 instead of an exact scan, and dedup, join,
+    /// cluster, and impute-knn all inherit it. Targets `>= 1.0` keep
+    /// blocking exact (the default).
+    #[must_use]
+    pub fn blocking_recall_target(mut self, target: f32) -> Self {
+        self.blocking_recall_target = Some(target);
+        self
+    }
+
     /// Set sampling temperature (default 0, as in all the paper's studies).
     #[must_use]
     pub fn temperature(mut self, t: f64) -> Self {
@@ -191,6 +203,9 @@ impl SessionBuilder {
             .with_temperature(self.temperature)
             .with_seed(self.seed)
             .with_criterion_label(self.criterion_label);
+        if let Some(target) = self.blocking_recall_target {
+            engine = engine.with_blocking_recall_target(target);
+        }
         let trace = if self.trace {
             let trace = Arc::new(Trace::new());
             engine = engine.with_trace(Arc::clone(&trace));
@@ -261,6 +276,7 @@ impl Session {
             budget: Budget::Unlimited,
             parallelism: 8,
             pack_width: 1,
+            blocking_recall_target: None,
             temperature: 0.0,
             seed: 0,
             criterion_label: "by the given criterion".to_owned(),

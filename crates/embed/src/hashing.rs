@@ -9,6 +9,26 @@ pub trait Embedder: Send + Sync {
     /// Embed one text.
     fn embed(&self, text: &str) -> Vec<f32>;
 
+    /// Embed one text into a caller-provided slice of exactly
+    /// [`Embedder::dimensions`] elements, overwriting its contents.
+    ///
+    /// The default implementation copies from [`Embedder::embed`];
+    /// implementations that can fill in place (like [`NgramEmbedder`])
+    /// override it to skip the per-row allocation, which is what lets
+    /// [`Embedder::embed_all_flat`] build a corpus-sized buffer with a
+    /// single allocation.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dimensions()`.
+    fn embed_into(&self, text: &str, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.dimensions(),
+            "output slice must match the embedder dimensionality"
+        );
+        out.copy_from_slice(&self.embed(text));
+    }
+
     /// Embed a batch of texts.
     ///
     /// The default implementation partitions the batch across
@@ -21,6 +41,21 @@ pub trait Embedder: Send + Sync {
         let workers = std::thread::available_parallelism().map_or(1, usize::from);
         // Below ~16 texts per worker, spawn cost beats the win.
         embed_all_with_workers(self, texts, workers.min(texts.len() / 16))
+    }
+
+    /// Embed a batch of texts into one flat row-major buffer
+    /// (`texts.len() * dimensions` elements), the native layout of
+    /// [`crate::VectorStore`].
+    ///
+    /// This is the index-build fast path: one corpus-sized allocation,
+    /// each worker filling a disjoint range in place via
+    /// [`Embedder::embed_into`] — no per-row `Vec`s to allocate, repack,
+    /// and free. Values are identical to flattening
+    /// [`Embedder::embed_all`].
+    fn embed_all_flat(&self, texts: &[&str]) -> Vec<f32> {
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        // Below ~16 texts per worker, spawn cost beats the win.
+        embed_all_flat_with_workers(self, texts, workers.min(texts.len() / 16))
     }
 }
 
@@ -38,6 +73,46 @@ pub fn embed_all_with_workers<E: Embedder + ?Sized>(
     crate::parallel::partition_chunks(texts.len(), workers, |range| {
         texts[range].iter().map(|t| embedder.embed(t)).collect()
     })
+}
+
+/// The partitioning driver behind the default
+/// [`Embedder::embed_all_flat`], with an explicit worker count: one flat
+/// row-major buffer is allocated up front and split into `workers`
+/// contiguous row ranges, each filled in place on its own
+/// `std::thread::scope` worker through [`Embedder::embed_into`]. Output
+/// is identical to flattening [`embed_all_with_workers`]. Exposed so the
+/// parallel path is testable deterministically on any machine.
+pub fn embed_all_flat_with_workers<E: Embedder + ?Sized>(
+    embedder: &E,
+    texts: &[&str],
+    workers: usize,
+) -> Vec<f32> {
+    let dims = embedder.dimensions();
+    if texts.is_empty() || dims == 0 {
+        return Vec::new();
+    }
+    let mut flat = vec![0.0f32; dims * texts.len()];
+    let workers = workers.clamp(1, texts.len());
+    if workers <= 1 {
+        for (text, out) in texts.iter().zip(flat.chunks_mut(dims)) {
+            embedder.embed_into(text, out);
+        }
+        return flat;
+    }
+    let chunk_rows = texts.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (texts_chunk, flat_chunk) in texts
+            .chunks(chunk_rows)
+            .zip(flat.chunks_mut(chunk_rows * dims))
+        {
+            scope.spawn(move || {
+                for (text, out) in texts_chunk.iter().zip(flat_chunk.chunks_mut(dims)) {
+                    embedder.embed_into(text, out);
+                }
+            });
+        }
+    });
+    flat
 }
 
 /// Character n-gram + word unigram feature-hash embedder.
@@ -99,6 +174,17 @@ impl Embedder for NgramEmbedder {
 
     fn embed(&self, text: &str) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dimensions];
+        self.embed_into(text, &mut v);
+        v
+    }
+
+    fn embed_into(&self, text: &str, v: &mut [f32]) {
+        assert_eq!(
+            v.len(),
+            self.dimensions,
+            "output slice must match the embedder dimensionality"
+        );
+        v.fill(0.0);
         let lowered = text.to_lowercase();
         let chars: Vec<char> = lowered.chars().collect();
         if chars.len() >= self.ngram {
@@ -119,8 +205,7 @@ impl Embedder for NgramEmbedder {
                 v[idx] += 2.0 * sign; // word features weigh more than char n-grams
             }
         }
-        normalize(&mut v);
-        v
+        normalize(v);
     }
 }
 
@@ -194,6 +279,37 @@ mod tests {
         let batch = e.embed_all(&texts);
         assert_eq!(batch[0], e.embed("alpha"));
         assert_eq!(batch[1], e.embed("beta"));
+    }
+
+    #[test]
+    fn embed_into_matches_embed_and_overwrites() {
+        let e = NgramEmbedder::ada_like();
+        let mut out = vec![7.0f32; 256]; // stale garbage must be overwritten
+        e.embed_into("chocolate fudge", &mut out);
+        assert_eq!(out, e.embed("chocolate fudge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice must match")]
+    fn embed_into_wrong_len_panics() {
+        NgramEmbedder::ada_like().embed_into("x", &mut [0.0f32; 3]);
+    }
+
+    #[test]
+    fn embed_all_flat_matches_embed_all_at_any_worker_count() {
+        let e = NgramEmbedder::new(32, 3);
+        let texts: Vec<String> = (0..37).map(|i| format!("record number {i}")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let expected: Vec<f32> = e.embed_all(&refs).into_iter().flatten().collect();
+        for workers in [0usize, 1, 2, 3, 7, 64] {
+            assert_eq!(
+                embed_all_flat_with_workers(&e, &refs, workers),
+                expected,
+                "workers={workers}"
+            );
+        }
+        assert_eq!(e.embed_all_flat(&refs), expected);
+        assert_eq!(e.embed_all_flat(&[]), Vec::<f32>::new());
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub struct Neighbor {
 /// ascending key, ties broken by ascending index. `total_cmp` keeps NaN
 /// out of `unwrap_or(Equal)` territory (NaN keys are filtered before
 /// ranking anyway).
-fn key_cmp(a: (f32, usize), b: (f32, usize)) -> std::cmp::Ordering {
+pub(crate) fn key_cmp(a: (f32, usize), b: (f32, usize)) -> std::cmp::Ordering {
     a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
 }
 
@@ -212,9 +212,9 @@ pub fn batch_nearest_with_workers<I: NearestNeighbors + ?Sized>(
 /// the *worst* candidate at the top (max-heap), so a full heap evicts its
 /// worst member in `O(log k)` when a better candidate arrives.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
-    key: f32,
-    index: usize,
+pub(crate) struct Candidate {
+    pub(crate) key: f32,
+    pub(crate) index: usize,
 }
 
 impl PartialEq for Candidate {
@@ -238,13 +238,13 @@ impl Ord for Candidate {
 ///
 /// Replaces the seed's materialize-all-then-sort: `O(n log k)` comparisons
 /// and `O(k)` memory instead of `O(n log n)` and `O(n)`.
-struct TopK {
+pub(crate) struct TopK {
     heap: std::collections::BinaryHeap<Candidate>,
     k: usize,
 }
 
 impl TopK {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         TopK {
             heap: std::collections::BinaryHeap::with_capacity(k + 1),
             k,
@@ -252,11 +252,11 @@ impl TopK {
     }
 
     /// Current worst kept candidate, if the heap is full.
-    fn threshold(&self) -> Option<Candidate> {
+    pub(crate) fn threshold(&self) -> Option<Candidate> {
         (self.heap.len() == self.k).then(|| *self.heap.peek().expect("non-empty when full"))
     }
 
-    fn push(&mut self, cand: Candidate) {
+    pub(crate) fn push(&mut self, cand: Candidate) {
         debug_assert!(!cand.key.is_nan(), "NaN keys are filtered before ranking");
         if self.heap.len() < self.k {
             self.heap.push(cand);
@@ -268,7 +268,7 @@ impl TopK {
     }
 
     /// Drain into `(key, index)` pairs ascending by the ranking order.
-    fn into_sorted(self) -> Vec<Candidate> {
+    pub(crate) fn into_sorted(self) -> Vec<Candidate> {
         let mut out = self.heap.into_vec();
         out.sort_unstable();
         out
@@ -297,6 +297,13 @@ impl BruteForceIndex {
             store: VectorStore::from_rows(vectors),
             metric,
         }
+    }
+
+    /// Wrap an already-built [`VectorStore`] without copying — the IVF
+    /// index shares one store between its exact fallback path and its
+    /// quantized lists.
+    pub fn from_store(store: VectorStore, metric: Metric) -> Self {
+        BruteForceIndex { store, metric }
     }
 
     /// The flat vector storage backing this index.
@@ -545,7 +552,13 @@ impl VpTreeIndex {
     /// # Panics
     /// Panics if vector dimensionalities differ.
     pub fn new(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
-        let store = VectorStore::from_rows(vectors);
+        VpTreeIndex::from_store(VectorStore::from_rows(vectors), metric)
+    }
+
+    /// Build directly from flat storage (e.g. the output of
+    /// [`crate::hashing::Embedder::embed_all_flat`] via
+    /// [`VectorStore::from_flat`]), skipping the nested-row intermediate.
+    pub fn from_store(store: VectorStore, metric: Metric) -> Self {
         let mut tree = VpTreeIndex {
             nodes: Vec::with_capacity(store.len()),
             store,
@@ -713,36 +726,91 @@ pub const AUTO_VPTREE_MIN_LEN: usize = 4096;
 /// the tree degenerates to a slower, cache-hostile linear scan.
 pub const AUTO_VPTREE_MAX_DIMS: usize = 24;
 
-/// An exact index that picks its implementation per corpus
-/// ([`KnnIndex::auto`]), or wraps an explicit choice.
+/// Corpus size at which [`KnnIndex::auto_tuned`] starts considering the
+/// approximate IVF tier: below this, one fused exact scan is already
+/// cheap and the k-means build cost cannot pay for itself.
+pub const AUTO_IVF_MIN_LEN: usize = 65_536;
+
+/// Minimum dimensionality for the IVF tier: narrow corpora route to the
+/// VP-tree (exact *and* sublinear) instead, so approximation would only
+/// give up recall without buying speed.
+pub const AUTO_IVF_MIN_DIMS: usize = 32;
+
+/// Recall@k the auto-tuned IVF parameters aim for when the caller does
+/// not specify a target (see [`crate::ivf::IvfParams::for_corpus`]).
+pub const DEFAULT_RECALL_TARGET: f32 = 0.95;
+
+/// An index that picks its implementation per corpus ([`KnnIndex::auto`] /
+/// [`KnnIndex::auto_tuned`]), or wraps an explicit choice.
 #[derive(Debug, Clone)]
 pub enum KnnIndex {
     /// Fused linear scan (the default for every high-dimensional corpus).
     BruteForce(BruteForceIndex),
     /// Vantage-point tree (large, low-dimensional corpora).
     VpTree(VpTreeIndex),
+    /// Approximate IVF + SQ8 tier (very large, high-dimensional corpora
+    /// with a sub-1.0 recall target).
+    Ivf(crate::ivf::IvfIndex),
 }
 
 impl KnnIndex {
-    /// Build the index variant suited to the corpus shape: a VP-tree for
-    /// large low-dimensional L2 corpora (`len >= `[`AUTO_VPTREE_MIN_LEN`]`
-    /// && dims <= `[`AUTO_VPTREE_MAX_DIMS`]), the fused brute-force scan
-    /// otherwise. Only [`Metric::L2`] corpora are ever routed to the
-    /// tree: its pruning relies on the triangle inequality, which
-    /// `1 − cos` does not satisfy, so a cosine VP-tree could silently
-    /// drop true neighbors.
+    /// Build the exact index variant suited to the corpus shape: a
+    /// VP-tree for large low-dimensional L2 corpora
+    /// (`len >= `[`AUTO_VPTREE_MIN_LEN`]` && dims <=
+    /// `[`AUTO_VPTREE_MAX_DIMS`]), the fused brute-force scan otherwise.
+    /// Only [`Metric::L2`] corpora are ever routed to the tree: its
+    /// pruning relies on the triangle inequality, which `1 − cos` does
+    /// not satisfy, so a cosine VP-tree could silently drop true
+    /// neighbors. Never selects the approximate tier — use
+    /// [`KnnIndex::auto_tuned`] to opt in.
     ///
     /// # Panics
     /// Panics if vector dimensionalities differ.
     pub fn auto(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
-        let dims = vectors.first().map_or(0, Vec::len);
+        KnnIndex::auto_from_store(VectorStore::from_rows(vectors), metric)
+    }
+
+    /// [`KnnIndex::auto`] over flat storage: same shape-based routing,
+    /// but the corpus arrives as an already-built [`VectorStore`] (e.g.
+    /// from [`crate::hashing::Embedder::embed_all_flat`] +
+    /// [`VectorStore::from_flat`]), so no nested-row intermediate is
+    /// ever materialized. This is the production index-build path.
+    pub fn auto_from_store(store: VectorStore, metric: Metric) -> Self {
         if metric == Metric::L2
-            && vectors.len() >= AUTO_VPTREE_MIN_LEN
-            && dims <= AUTO_VPTREE_MAX_DIMS
+            && store.len() >= AUTO_VPTREE_MIN_LEN
+            && store.dims() <= AUTO_VPTREE_MAX_DIMS
         {
-            KnnIndex::VpTree(VpTreeIndex::new(vectors, metric))
+            KnnIndex::VpTree(VpTreeIndex::from_store(store, metric))
         } else {
-            KnnIndex::BruteForce(BruteForceIndex::new(vectors, metric))
+            KnnIndex::BruteForce(BruteForceIndex::from_store(store, metric))
+        }
+    }
+
+    /// Like [`KnnIndex::auto`], but with an explicit recall target that
+    /// unlocks the approximate IVF tier for corpora where an exact scan
+    /// is the bottleneck: [`Metric::L2`], `len >= `[`AUTO_IVF_MIN_LEN`],
+    /// `dims >= `[`AUTO_IVF_MIN_DIMS`]. A `recall_target >= 1.0` demands
+    /// exact results and always routes to the exact paths;
+    /// `recall_target < 1.0` on a qualifying corpus builds an
+    /// [`crate::ivf::IvfIndex`] with parameters tuned for that target
+    /// ([`crate::ivf::IvfParams::for_corpus`]). Small or narrow corpora
+    /// ignore the target and behave exactly like [`KnnIndex::auto`].
+    ///
+    /// # Panics
+    /// Panics if vector dimensionalities differ.
+    pub fn auto_tuned(vectors: Vec<Vec<f32>>, metric: Metric, recall_target: f32) -> Self {
+        KnnIndex::auto_tuned_from_store(VectorStore::from_rows(vectors), metric, recall_target)
+    }
+
+    /// [`KnnIndex::auto_tuned`] over flat storage (see
+    /// [`KnnIndex::auto_from_store`] for why the flat entry point
+    /// exists).
+    pub fn auto_tuned_from_store(store: VectorStore, metric: Metric, recall_target: f32) -> Self {
+        if predict_auto_kind(store.len(), store.dims(), metric, recall_target) == "ivf_sq8" {
+            let params = crate::ivf::IvfParams::for_corpus(store.len(), recall_target);
+            KnnIndex::Ivf(crate::ivf::IvfIndex::build(store, metric, params))
+        } else {
+            KnnIndex::auto_from_store(store, metric)
         }
     }
 
@@ -760,15 +828,20 @@ impl KnnIndex {
                 .iter()
                 .map(|&r| i.nearest_excluding(i.store().row(r), k, r))
                 .collect(),
+            KnnIndex::Ivf(i) => rows
+                .iter()
+                .map(|&r| i.nearest_excluding(i.store().row(r), k, r))
+                .collect(),
         }
     }
 
     /// Which implementation backs this index (`"brute_force"` /
-    /// `"vp_tree"`).
+    /// `"vp_tree"` / `"ivf_sq8"`).
     pub fn kind(&self) -> &'static str {
         match self {
             KnnIndex::BruteForce(_) => "brute_force",
             KnnIndex::VpTree(_) => "vp_tree",
+            KnnIndex::Ivf(_) => "ivf_sq8",
         }
     }
 
@@ -777,6 +850,7 @@ impl KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.store(),
             KnnIndex::VpTree(i) => i.store(),
+            KnnIndex::Ivf(i) => i.store(),
         }
     }
 
@@ -785,7 +859,32 @@ impl KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.metric(),
             KnnIndex::VpTree(i) => i.metric(),
+            KnnIndex::Ivf(i) => i.metric(),
         }
+    }
+}
+
+/// Which implementation [`KnnIndex::auto_tuned`] would pick for a corpus
+/// of this shape, without building anything (`"brute_force"` /
+/// `"vp_tree"` / `"ivf_sq8"`). The planner uses this to annotate plans
+/// and adjust call estimates for approximate blocking before any index
+/// exists.
+pub fn predict_auto_kind(
+    len: usize,
+    dims: usize,
+    metric: Metric,
+    recall_target: f32,
+) -> &'static str {
+    if metric == Metric::L2
+        && recall_target < 1.0
+        && len >= AUTO_IVF_MIN_LEN
+        && dims >= AUTO_IVF_MIN_DIMS
+    {
+        "ivf_sq8"
+    } else if metric == Metric::L2 && len >= AUTO_VPTREE_MIN_LEN && dims <= AUTO_VPTREE_MAX_DIMS {
+        "vp_tree"
+    } else {
+        "brute_force"
     }
 }
 
@@ -794,6 +893,7 @@ impl NearestNeighbors for KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.len(),
             KnnIndex::VpTree(i) => i.len(),
+            KnnIndex::Ivf(i) => i.len(),
         }
     }
 
@@ -801,6 +901,7 @@ impl NearestNeighbors for KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.nearest(query, k),
             KnnIndex::VpTree(i) => i.nearest(query, k),
+            KnnIndex::Ivf(i) => i.nearest(query, k),
         }
     }
 
@@ -808,6 +909,7 @@ impl NearestNeighbors for KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.nearest_excluding(query, k, exclude),
             KnnIndex::VpTree(i) => i.nearest_excluding(query, k, exclude),
+            KnnIndex::Ivf(i) => i.nearest_excluding(query, k, exclude),
         }
     }
 
@@ -818,6 +920,7 @@ impl NearestNeighbors for KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.nearest_many(queries, k),
             KnnIndex::VpTree(i) => i.nearest_many(queries, k),
+            KnnIndex::Ivf(i) => i.nearest_many(queries, k),
         }
     }
 
@@ -830,6 +933,7 @@ impl NearestNeighbors for KnnIndex {
         match self {
             KnnIndex::BruteForce(i) => i.nearest_many_excluding(queries, k, excludes),
             KnnIndex::VpTree(i) => i.nearest_many_excluding(queries, k, excludes),
+            KnnIndex::Ivf(i) => i.nearest_many_excluding(queries, k, excludes),
         }
     }
 }
@@ -1013,6 +1117,30 @@ mod tests {
         let brute = BruteForceIndex::new(tall, Metric::L2);
         let query = vec![17.3, 4.0];
         assert_eq!(idx.nearest(&query, 5), brute.nearest(&query, 5));
+    }
+
+    #[test]
+    fn auto_from_store_matches_auto_routing_and_answers() {
+        // Same routing decisions and identical answers whether the
+        // corpus arrives as nested rows or as a flat store.
+        for (vectors, metric) in [
+            (grid(100), Metric::L2),
+            (grid(AUTO_VPTREE_MIN_LEN), Metric::L2),
+            (grid(100), Metric::Cosine),
+        ] {
+            let dims = vectors[0].len();
+            let flat: Vec<f32> = vectors.iter().flatten().copied().collect();
+            let nested = KnnIndex::auto(vectors, metric);
+            let from_store =
+                KnnIndex::auto_from_store(VectorStore::from_flat(flat.clone(), dims), metric);
+            assert_eq!(nested.kind(), from_store.kind());
+            let query = vec![17.3, 4.0];
+            assert_eq!(nested.nearest(&query, 5), from_store.nearest(&query, 5));
+            let tuned =
+                KnnIndex::auto_tuned_from_store(VectorStore::from_flat(flat, dims), metric, 0.9);
+            // Too small for the IVF tier: the target is ignored.
+            assert_eq!(tuned.kind(), nested.kind());
+        }
     }
 
     #[test]

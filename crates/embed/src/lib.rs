@@ -20,15 +20,22 @@
 #![warn(missing_docs)]
 
 pub mod hashing;
+pub mod ivf;
 pub mod knn;
 mod parallel;
+pub mod quant;
 pub mod store;
 pub mod vector;
 
-pub use hashing::{embed_all_with_workers, Embedder, NgramEmbedder};
+pub use hashing::{embed_all_flat_with_workers, embed_all_with_workers, Embedder, NgramEmbedder};
+pub use ivf::{IvfIndex, IvfParams};
 pub use knn::{
-    BruteForceIndex, KnnIndex, Metric, NearestNeighbors, Neighbor, VpTreeIndex,
-    AUTO_VPTREE_MAX_DIMS, AUTO_VPTREE_MIN_LEN,
+    predict_auto_kind, BruteForceIndex, KnnIndex, Metric, NearestNeighbors, Neighbor, VpTreeIndex,
+    AUTO_IVF_MIN_DIMS, AUTO_IVF_MIN_LEN, AUTO_VPTREE_MAX_DIMS, AUTO_VPTREE_MIN_LEN,
+    DEFAULT_RECALL_TARGET,
 };
+pub use quant::{approx_l2_sq, quantize_into, QuantMeta, QuantizedBlock, ScanQuery, ScanTerms};
 pub use store::VectorStore;
-pub use vector::{cosine_similarity, dot, dot_unrolled, l2_distance, normalize};
+pub use vector::{
+    cosine_similarity, dot, dot_u8, dot_u8_many, dot_unrolled, l2_distance, normalize,
+};

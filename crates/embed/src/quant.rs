@@ -1,0 +1,407 @@
+//! 8-bit scalar quantization for the IVF residual scan.
+//!
+//! Each vector (an IVF *residual*, `row − centroid`) is quantized
+//! independently with an affine map: `code = round((x − offset) / scale)`
+//! where `offset = min(x)` and `scale = (max(x) − min(x)) / 255`, so every
+//! coordinate lands exactly in `0..=255` and dequantizes to
+//! `offset + scale · code` with at most half a quantization step of error
+//! per dimension ([`QuantMeta::round_trip_bound`]).
+//!
+//! The point of the affine form is that a squared L2 distance between two
+//! quantized vectors decomposes into *integer* sums that are precomputed
+//! per vector plus one `u8 × u8` dot product per pair
+//! ([`approx_l2_sq`]) — which is the fused [`crate::vector::dot_u8_many`]
+//! kernel, exact and bit-identical on every ISA. The float fix-up around
+//! the integer core is a fixed scalar expression evaluated in `f64`, so
+//! the approximate ranking keys are deterministic everywhere too.
+
+/// Per-vector dequantization parameters plus the precomputed integer code
+/// sums the fused distance fix-up needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantMeta {
+    /// Additive term of the affine dequantization (the vector's minimum).
+    pub offset: f32,
+    /// Quantization step: `(max − min) / 255` (`0.0` for constant vectors).
+    pub scale: f32,
+    /// `Σ code[d]` — exact integer sum of the codes.
+    pub code_sum: u64,
+    /// `Σ code[d]²` — exact integer sum of squared codes.
+    pub code_sq_sum: u64,
+}
+
+impl QuantMeta {
+    /// Per-dimension round-trip error bound: `|dequant(quant(x)) − x|` is
+    /// at most half a quantization step, plus a small slack for the `f32`
+    /// rounding of the forward map and the dequantization itself (the
+    /// half-step is the exact-arithmetic bound; each of the handful of
+    /// float operations contributes a relative epsilon on quantities no
+    /// larger than `|offset| + 255 · scale`).
+    pub fn round_trip_bound(&self) -> f32 {
+        let magnitude = self.offset.abs() + self.scale * 255.0;
+        0.5 * self.scale + magnitude * (f32::EPSILON * 8.0) + f32::MIN_POSITIVE
+    }
+}
+
+/// Quantize one finite vector into `codes`, returning its [`QuantMeta`].
+///
+/// `codes` is cleared and refilled (callers reuse one scratch buffer or
+/// append into a flat store via [`QuantizedBlock::push`]).
+///
+/// # Panics
+/// Panics (debug) if any coordinate is non-finite — the IVF build filters
+/// non-finite rows before quantization.
+pub fn quantize_into(row: &[f32], codes: &mut Vec<u8>) -> QuantMeta {
+    debug_assert!(
+        row.iter().all(|x| x.is_finite()),
+        "quantize_into requires finite coordinates"
+    );
+    codes.clear();
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in row {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if row.is_empty() {
+        min = 0.0;
+        max = 0.0;
+    }
+    let scale = if max > min { (max - min) / 255.0 } else { 0.0 };
+    let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+    let mut code_sum = 0u64;
+    let mut code_sq_sum = 0u64;
+    for &x in row {
+        let q = (((x - min) * inv).round()).clamp(0.0, 255.0) as u8;
+        code_sum += u64::from(q);
+        code_sq_sum += u64::from(q) * u64::from(q);
+        codes.push(q);
+    }
+    QuantMeta {
+        offset: min,
+        scale,
+        code_sum,
+        code_sq_sum,
+    }
+}
+
+/// Approximate squared L2 distance between two quantized vectors from
+/// their metadata and the integer dot product of their codes.
+///
+/// With `x̂[d] = oₓ + sₓ·X[d]` and `ŷ[d] = o_y + s_y·Y[d]`,
+///
+/// ```text
+/// ‖x̂ − ŷ‖² = dims·Δo² + sₓ²·ΣX² + s_y²·ΣY²
+///           + 2Δo·(sₓ·ΣX − s_y·ΣY) − 2·sₓ·s_y·ΣXY ,   Δo = oₓ − o_y
+/// ```
+///
+/// where every `Σ` is an exact integer (`ΣXY` is the fused
+/// [`crate::vector::dot_u8`]/[`crate::vector::dot_u8_many`] kernel
+/// output). The fix-up is
+/// evaluated in `f64` and clamped at zero, so ranking keys are finite,
+/// non-negative, and deterministic across ISAs.
+pub fn approx_l2_sq(dims: usize, x: &QuantMeta, y: &QuantMeta, dot_xy: u64) -> f32 {
+    let (sx, sy) = (f64::from(x.scale), f64::from(y.scale));
+    let delta = f64::from(x.offset) - f64::from(y.offset);
+    let d2 = dims as f64 * delta * delta
+        + sx * sx * x.code_sq_sum as f64
+        + sy * sy * y.code_sq_sum as f64
+        + 2.0 * delta * (sx * x.code_sum as f64 - sy * y.code_sum as f64)
+        - 2.0 * sx * sy * dot_xy as f64;
+    d2.max(0.0) as f32
+}
+
+/// Query-side constants of the [`approx_l2_sq`] decomposition, hoisted
+/// out of the per-row scan loop ([`ScanQuery::new`] once per probed
+/// list, [`ScanQuery::key`] per row). The expression is evaluated in the
+/// exact same f64 operation order as [`approx_l2_sq`], so the produced
+/// keys are bit-identical — only the per-row `u64 → f64` conversions and
+/// query-side multiplies are amortized.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanQuery {
+    dims: f64,
+    offset: f64,
+    /// `sₓ²·ΣX²` — the query's own quadratic term.
+    sq_s: f64,
+    /// `sₓ·ΣX` — the query's scaled code sum.
+    sum_s: f64,
+    /// `2·sₓ` — coefficient of the cross term.
+    two_s: f64,
+}
+
+impl ScanQuery {
+    /// Hoist the query residual's constants (`dims` is the vector
+    /// dimensionality shared by both sides).
+    pub fn new(dims: usize, x: &QuantMeta) -> Self {
+        let sx = f64::from(x.scale);
+        ScanQuery {
+            dims: dims as f64,
+            offset: f64::from(x.offset),
+            sq_s: sx * sx * x.code_sq_sum as f64,
+            sum_s: sx * x.code_sum as f64,
+            two_s: 2.0 * sx,
+        }
+    }
+
+    /// The approximate squared L2 key against one stored row — exactly
+    /// [`approx_l2_sq`]'s value, from the row's precomputed
+    /// [`ScanTerms`] and the integer code dot product.
+    #[inline(always)]
+    pub fn key(&self, y: &ScanTerms, dot_xy: u64) -> f32 {
+        let delta = self.offset - f64::from(y.offset);
+        let d2 =
+            self.dims * delta * delta + self.sq_s + y.sq_s + 2.0 * delta * (self.sum_s - y.sum_s)
+                - self.two_s * f64::from(y.scale) * dot_xy as f64;
+        d2.max(0.0) as f32
+    }
+}
+
+/// Row-side precomputed terms of the [`approx_l2_sq`] decomposition,
+/// derived once at build time ([`QuantizedBlock`] stores one per row,
+/// same 24 bytes as the [`QuantMeta`] it is derived from).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanTerms {
+    /// `s_y·ΣY` in f64 (the exact product [`approx_l2_sq`] forms).
+    pub sum_s: f64,
+    /// `s_y²·ΣY²` in f64.
+    pub sq_s: f64,
+    /// The row's [`QuantMeta::offset`].
+    pub offset: f32,
+    /// The row's [`QuantMeta::scale`].
+    pub scale: f32,
+}
+
+impl ScanTerms {
+    /// Derive the scan terms from a row's quantization metadata.
+    pub fn from_meta(m: &QuantMeta) -> Self {
+        let sy = f64::from(m.scale);
+        ScanTerms {
+            sum_s: sy * m.code_sum as f64,
+            sq_s: sy * sy * m.code_sq_sum as f64,
+            offset: m.offset,
+            scale: m.scale,
+        }
+    }
+}
+
+/// Flat storage for a set of equal-dimension quantized vectors: one
+/// contiguous `Vec<u8>` of codes (row-major) plus per-row [`QuantMeta`].
+/// The IVF index keeps one block for the whole corpus, rows appended in
+/// inverted-list order so each probed list is a contiguous code range.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizedBlock {
+    dims: usize,
+    codes: Vec<u8>,
+    meta: Vec<QuantMeta>,
+    scan: Vec<ScanTerms>,
+}
+
+impl QuantizedBlock {
+    /// An empty block for `dims`-dimensional vectors.
+    pub fn new(dims: usize) -> Self {
+        QuantizedBlock {
+            dims,
+            codes: Vec::new(),
+            meta: Vec::new(),
+            scan: Vec::new(),
+        }
+    }
+
+    /// Reserve capacity for `rows` additional vectors.
+    pub fn reserve(&mut self, rows: usize) {
+        self.codes.reserve(rows * self.dims);
+        self.meta.reserve(rows);
+        self.scan.reserve(rows);
+    }
+
+    /// Quantize `row` and append it.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != dims`.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dims, "quantized row dimension mismatch");
+        let start = self.codes.len();
+        // quantize_into clears its buffer, so stage through a scratch that
+        // reuses the tail of the flat buffer without aliasing.
+        let mut scratch = std::mem::take(&mut self.codes);
+        scratch.truncate(start);
+        let mut tail = Vec::new();
+        let meta = quantize_into(row, &mut tail);
+        scratch.extend_from_slice(&tail);
+        self.codes = scratch;
+        self.scan.push(ScanTerms::from_meta(&meta));
+        self.meta.push(meta);
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the block holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Dimensionality of the stored vectors.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The `i`-th row's codes.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn codes(&self, i: usize) -> &[u8] {
+        &self.codes[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Codes for the contiguous row range `[start, end)` — the shape one
+    /// probed inverted list hands to [`crate::vector::dot_u8_many`].
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn codes_range(&self, start: usize, end: usize) -> &[u8] {
+        &self.codes[start * self.dims..end * self.dims]
+    }
+
+    /// The `i`-th row's [`QuantMeta`].
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn meta(&self, i: usize) -> &QuantMeta {
+        &self.meta[i]
+    }
+
+    /// Precomputed [`ScanTerms`] for the contiguous row range
+    /// `[start, end)` — the row-side constants of one probed list's scan.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    pub fn scan_range(&self, start: usize, end: usize) -> &[ScanTerms] {
+        &self.scan[start..end]
+    }
+
+    /// Reconstruct the `i`-th row (`offset + scale · code` per dimension).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn dequantize(&self, i: usize) -> Vec<f32> {
+        let m = self.meta[i];
+        self.codes(i)
+            .iter()
+            .map(|&c| m.offset + m.scale * f32::from(c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot_u8;
+
+    #[test]
+    fn round_trip_within_bound() {
+        let row: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 100) as f32 * 0.13 - 5.0)
+            .collect();
+        let mut codes = Vec::new();
+        let meta = quantize_into(&row, &mut codes);
+        assert_eq!(codes.len(), row.len());
+        let bound = meta.round_trip_bound();
+        for (&c, &x) in codes.iter().zip(&row) {
+            let back = meta.offset + meta.scale * f32::from(c);
+            assert!(
+                (back - x).abs() <= bound,
+                "|{back} - {x}| > {bound} (scale {})",
+                meta.scale
+            );
+        }
+    }
+
+    #[test]
+    fn constant_vector_is_exact() {
+        let row = vec![3.25f32; 16];
+        let mut codes = Vec::new();
+        let meta = quantize_into(&row, &mut codes);
+        assert_eq!(meta.scale, 0.0);
+        assert!(codes.iter().all(|&c| c == 0));
+        assert!(row.iter().all(|&x| meta.offset == x));
+    }
+
+    #[test]
+    fn empty_vector_quantizes() {
+        let mut codes = Vec::new();
+        let meta = quantize_into(&[], &mut codes);
+        assert!(codes.is_empty());
+        assert_eq!(meta.code_sum, 0);
+    }
+
+    #[test]
+    fn approx_l2_tracks_exact_on_dequantized_vectors() {
+        // On the *dequantized* vectors the decomposition is algebraically
+        // exact, so approx_l2_sq must match a direct computation closely.
+        let a: Vec<f32> = (0..32).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..32).map(|i| (i as f32 * 1.3).cos()).collect();
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let ma = quantize_into(&a, &mut ca);
+        let mb = quantize_into(&b, &mut cb);
+        let ahat: Vec<f32> = ca
+            .iter()
+            .map(|&c| ma.offset + ma.scale * f32::from(c))
+            .collect();
+        let bhat: Vec<f32> = cb
+            .iter()
+            .map(|&c| mb.offset + mb.scale * f32::from(c))
+            .collect();
+        let direct: f32 = ahat.iter().zip(&bhat).map(|(x, y)| (x - y) * (x - y)).sum();
+        let fused = approx_l2_sq(32, &ma, &mb, dot_u8(&ca, &cb));
+        assert!(
+            (fused - direct).abs() <= 1e-4 * (1.0 + direct),
+            "fused {fused} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn hoisted_scan_key_is_bit_identical_to_approx_l2_sq() {
+        let rows: Vec<Vec<f32>> = (0..20)
+            .map(|r| {
+                (0..48)
+                    .map(|d| ((r * 31 + d * 7) % 57) as f32 * 0.21 - 5.3)
+                    .collect()
+            })
+            .collect();
+        let mut q_codes = Vec::new();
+        let qmeta = quantize_into(&rows[0], &mut q_codes);
+        let scan_query = ScanQuery::new(48, &qmeta);
+        let mut y_codes = Vec::new();
+        for row in &rows[1..] {
+            let ymeta = quantize_into(row, &mut y_codes);
+            let dot = dot_u8(&q_codes, &y_codes);
+            let reference = approx_l2_sq(48, &qmeta, &ymeta, dot);
+            let hoisted = scan_query.key(&ScanTerms::from_meta(&ymeta), dot);
+            assert_eq!(hoisted.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_stores_rows_contiguously() {
+        let mut block = QuantizedBlock::new(4);
+        block.push(&[0.0, 1.0, 2.0, 3.0]);
+        block.push(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.codes(0).len(), 4);
+        assert_eq!(block.codes_range(0, 2).len(), 8);
+        assert_eq!(block.dequantize(1), vec![5.0; 4]);
+        let rt = block.dequantize(0);
+        let bound = block.meta(0).round_trip_bound();
+        for (got, want) in rt.iter().zip([0.0f32, 1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() <= bound);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn block_rejects_wrong_dims() {
+        QuantizedBlock::new(3).push(&[1.0]);
+    }
+}
