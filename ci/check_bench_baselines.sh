@@ -63,6 +63,14 @@ require BENCH_route.json \
   route_burst/unhedged \
   route_burst/hedged
 
+require BENCH_resilience.json \
+  resilience_batch/failfast_clean \
+  resilience_batch/degrade_clean \
+  resilience_outage/degrade_salvage \
+  resilience_outage/salvaged_of_64 \
+  resilience_resume/journal_write \
+  resilience_resume/journal_replay
+
 # --- Ratio guards over the recorded numbers themselves -----------------------
 # A baseline that merely *exists* can still record a regression. The PR-6
 # acceptance numbers are pinned here: the flat-store build must stay within
@@ -103,6 +111,24 @@ if [[ -f BENCH_embed.json ]]; then
   ratio_guard "1M recall@10 >= 0.95" \
     "$(value_of BENCH_embed.json embed_1m_recall/at10_x1000)" \
     1000 ge 0.95
+fi
+
+# PR-7 acceptance numbers: degrade-mode bookkeeping must stay near-free on
+# a healthy batch, a complete-journal resume must clearly beat a run that
+# has to dispatch, and the scripted outage with a healthy standby must
+# salvage the entire 64-task batch.
+if [[ -f BENCH_resilience.json ]]; then
+  ratio_guard "degrade-mode clean batch <= 1.5x fail-fast" \
+    "$(value_of BENCH_resilience.json resilience_batch/degrade_clean)" \
+    "$(value_of BENCH_resilience.json resilience_batch/failfast_clean)" \
+    le 1.5
+  ratio_guard "journal replay <= 0.85x journaled first run" \
+    "$(value_of BENCH_resilience.json resilience_resume/journal_replay)" \
+    "$(value_of BENCH_resilience.json resilience_resume/journal_write)" \
+    le 0.85
+  ratio_guard "outage salvage is total (64 of 64)" \
+    "$(value_of BENCH_resilience.json resilience_outage/salvaged_of_64)" \
+    64 ge 1.0
 fi
 
 if [[ $fail -ne 0 ]]; then

@@ -141,7 +141,25 @@ impl ModelCascade {
             // them.
             let ledger = tier.client.ledger();
             let before = (ledger.calls(), ledger.usage(), ledger.spend_usd());
-            let responses = match engine.run_sampled_many(specs) {
+            // A tier whose breakers are all mid-cooldown advertises its
+            // earliest half-open probe time in the error. When that probe is
+            // imminent, waiting it out and re-dispatching once is far
+            // cheaper than escalating the whole unresolved batch to a
+            // pricier tier; a longer cooldown escalates immediately.
+            const PROBE_WAIT_CAP_MS: u64 = 50;
+            let mut probed = false;
+            let dispatched = loop {
+                match engine.run_sampled_many(specs.clone()) {
+                    Err(EngineError::Llm(LlmError::CircuitOpen { retry_in_ms, .. }))
+                        if !probed && retry_in_ms <= PROBE_WAIT_CAP_MS =>
+                    {
+                        probed = true;
+                        std::thread::sleep(std::time::Duration::from_millis(retry_in_ms.max(1)));
+                    }
+                    other => break other,
+                }
+            };
+            let responses = match dispatched {
                 Ok(responses) => responses,
                 // Failure-aware escalation: a tier whose serving capacity is
                 // gone — every backend circuit-broken, or transient-failure

@@ -47,12 +47,37 @@
 //! same pipelined dispatcher; unparseable multi-answer responses are
 //! bisected and retried down to bare singletons, so packed execution
 //! degrades item-by-item into exactly the per-item path in the worst case.
+//!
+//! # Failure policy, deadlines, and the run journal
+//!
+//! By default the engine **fails fast**: the batch paths above stop on the
+//! first hard error, exactly as they always have. Three builder knobs add
+//! partial-execution semantics on top without touching that default:
+//!
+//! * [`Engine::with_failure_policy`] — under
+//!   [`FailurePolicy::Degrade`], the `*_outcome` entry points
+//!   ([`Engine::run_many_outcome`], [`Engine::run_sampled_many_outcome`],
+//!   [`Engine::run_packed_outcome`]) run every item to completion or
+//!   **quarantine**: an item whose error is non-retryable, or that stays
+//!   broken across the policy's per-item attempt allowance, is set aside
+//!   with its full error chain while the rest of the batch proceeds. One
+//!   poison task can no longer void a thousand healthy answers.
+//! * [`Engine::with_deadline_ms`] — a wall-clock allowance per run entry,
+//!   threaded onto every [`CompletionRequest`] so the client and router
+//!   clip retry backoff and hedge waits against it; in degrade mode,
+//!   work that has not been dispatched when the deadline passes is
+//!   quarantined as [`EngineError::DeadlineExceeded`] instead of started.
+//! * [`Engine::with_journal`] / [`Engine::resume`] — an append-only
+//!   [`RunJournal`] records every paid completion; a resumed engine
+//!   replays journaled completions (charging budget and ledger exactly as
+//!   the original calls did) and re-dispatches only the gap.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crowdprompt_oracle::error::LlmError;
 use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::tokenizer::count_tokens;
 use crowdprompt_oracle::types::{CompletionRequest, CompletionResponse};
@@ -63,6 +88,7 @@ use parking_lot::Mutex;
 use crate::budget::{Budget, BudgetTracker};
 use crate::corpus::Corpus;
 use crate::error::EngineError;
+use crate::journal::RunJournal;
 use crate::template::{render, RenderOptions};
 use crate::trace::{Trace, TraceEvent};
 
@@ -173,6 +199,14 @@ pub struct Engine {
     seed: u64,
     render_opts: RenderOptions,
     trace: Option<Arc<Trace>>,
+    failure_policy: FailurePolicy,
+    /// Wall-clock allowance per run entry point; threaded onto every
+    /// request so the dispatch stack clips sleeps against it.
+    deadline_ms: Option<u64>,
+    journal: Option<Arc<RunJournal>>,
+    /// Degraded-run notes operators leave for the plan layer (drained by
+    /// [`Engine::take_salvage`] after each plan node executes).
+    salvage: Mutex<Vec<OpSalvage>>,
 }
 
 impl Engine {
@@ -195,6 +229,10 @@ impl Engine {
             seed: 0,
             render_opts: RenderOptions::default(),
             trace: None,
+            failure_policy: FailurePolicy::FailFast,
+            deadline_ms: None,
+            journal: None,
+            salvage: Mutex::new(Vec::new()),
         }
     }
 
@@ -277,6 +315,49 @@ impl Engine {
         self
     }
 
+    /// Set the failure policy (builder style). The default,
+    /// [`FailurePolicy::FailFast`], keeps the classic stop-on-first-error
+    /// batch semantics; [`FailurePolicy::Degrade`] makes the operators use
+    /// the `*_outcome` entry points, salvaging every completable item and
+    /// quarantining the rest.
+    #[must_use]
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Set a wall-clock deadline, in milliseconds, granted to each run
+    /// entry point (builder style). The deadline is stamped onto every
+    /// request the run issues, so client retries, router backoff, and
+    /// hedge waits are all clipped against it and stop once it passes; in
+    /// degrade mode, work still undispatched at the deadline is
+    /// quarantined rather than started.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Attach a run journal (builder style): every paid completion is
+    /// appended to it, and requests whose fingerprint is already journaled
+    /// are *replayed* — served without a backend call but charged to
+    /// budget and ledger exactly as the original call was, so a resumed
+    /// run's results and accounting are bit-identical to an uninterrupted
+    /// one.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Resume an interrupted run from its journal. Today this is
+    /// [`Engine::with_journal`] under the name that states the intent:
+    /// completed work replays from the journal, only the gap re-runs.
+    #[must_use]
+    pub fn resume(self, journal: Arc<RunJournal>) -> Self {
+        self.with_journal(journal)
+    }
+
     /// The engine's corpus.
     pub fn corpus(&self) -> &Corpus {
         &self.corpus
@@ -316,6 +397,55 @@ impl Engine {
     /// [`Engine::with_blocking_recall_target`]).
     pub fn blocking_recall_target(&self) -> Option<f32> {
         self.blocking_recall_target
+    }
+
+    /// The engine's failure policy.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.failure_policy
+    }
+
+    /// The per-run wall-clock allowance, if any.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
+    /// The attached run journal, if any.
+    pub fn journal(&self) -> Option<&Arc<RunJournal>> {
+        self.journal.as_ref()
+    }
+
+    /// Whether operators should take their degraded (salvaging) paths.
+    pub fn degrades(&self) -> bool {
+        !matches!(self.failure_policy, FailurePolicy::FailFast)
+    }
+
+    /// Leave a degraded-run note for the plan layer. Operators call this
+    /// when a [`FailurePolicy::Degrade`] run quarantined items, so step
+    /// reports and EXPLAIN output can attribute the loss.
+    pub fn note_salvage(&self, note: OpSalvage) {
+        self.salvage.lock().push(note);
+    }
+
+    /// Drain the degraded-run notes accumulated since the last call. The
+    /// plan executor drains after each node; direct engine users may
+    /// inspect the notes themselves.
+    pub fn take_salvage(&self) -> Vec<OpSalvage> {
+        std::mem::take(&mut *self.salvage.lock())
+    }
+
+    /// This run's wall-clock deadline, anchored now.
+    fn run_deadline(&self) -> Option<Instant> {
+        self.deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms))
+    }
+
+    /// Per-item dispatch attempts the engine makes in degrade mode before
+    /// quarantining (each attempt still carries the client's own retries).
+    fn degrade_attempts(&self) -> u32 {
+        match self.failure_policy {
+            FailurePolicy::FailFast => 1,
+            FailurePolicy::Degrade { max_attempts } => max_attempts.max(1),
+        }
     }
 
     /// Dollar cost of a usage under the engine's *reference* model pricing
@@ -405,7 +535,7 @@ impl Engine {
     /// Execute one unit task.
     pub fn run(&self, task: TaskDescriptor) -> Result<CompletionResponse, EngineError> {
         let gate = self.gate();
-        self.execute_one(task, gate.as_deref())
+        self.execute_one(task, self.run_deadline(), gate.as_deref())
     }
 
     /// Record actual spend for a response; cache hits and coalesced joins
@@ -445,6 +575,7 @@ impl Engine {
         let mut request = self.build_request(task)?;
         request.temperature = temperature;
         request.sample_index = sample_index;
+        request.deadline = self.run_deadline();
         let gate = self.gate();
         self.execute_request(&request, gate.as_deref())
     }
@@ -459,10 +590,12 @@ impl Engine {
         // Admit the whole batch against the budget *cumulatively*: the i-th
         // task must fit after the estimated spend of tasks 0..i, so a batch
         // cannot be fully admitted against a budget it would blow through.
+        let deadline = self.run_deadline();
         let mut requests = Vec::with_capacity(tasks.len());
         let (mut pending_usd, mut pending_tokens) = (0.0f64, 0u64);
         for task in tasks {
-            let (request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+            let (mut request, est_usd, est_tokens) = self.render_and_estimate(task)?;
+            request.deadline = deadline;
             let admit_usd = self.admission_usd(est_usd);
             if !self
                 .budget
@@ -495,11 +628,13 @@ impl Engine {
         // semantics as the sequential `run_sampled` loops this batches up
         // (each vote admitted against *actual* spend so far, cache hits
         // free), not `run_many`'s stricter cumulative pre-admission.
+        let deadline = self.run_deadline();
         let mut work = Vec::with_capacity(specs.len());
         for (index, (task, temperature, sample_index)) in specs.into_iter().enumerate() {
             let (mut request, est_usd, est_tokens) = self.render_and_estimate(task)?;
             request.temperature = temperature;
             request.sample_index = sample_index;
+            request.deadline = deadline;
             work.push((
                 index,
                 Work::AdmitRequest {
@@ -572,6 +707,7 @@ impl Engine {
             }
         }
         let width = width.max(1);
+        let deadline = self.run_deadline();
         let mut answers: Vec<Option<String>> = vec![None; n];
         let mut responses: Vec<CompletionResponse> = Vec::new();
         // Pending chunks as (start index in `tasks`, sub-task run).
@@ -603,6 +739,7 @@ impl Engine {
                 }
                 request.temperature = temperature;
                 request.sample_index = sample_index;
+                request.deadline = deadline;
                 work.push((
                     meta.len(),
                     Work::AdmitRequest {
@@ -662,12 +799,314 @@ impl Engine {
         I: IntoIterator<Item = TaskDescriptor>,
         I::IntoIter: Send,
     {
+        let deadline = self.run_deadline();
         self.pump(
             tasks
                 .into_iter()
                 .enumerate()
-                .map(|(index, task)| (index, Work::Task(task))),
+                .map(move |(index, task)| (index, Work::Task(task, deadline))),
         )
+    }
+
+    /// Execute a batch in degrade mode: every item runs to completion or
+    /// quarantine, and the batch as a whole never fails. See
+    /// [`FailurePolicy::Degrade`] for the retry/quarantine rules; cache
+    /// and journal hits are salvaged even after the budget or the
+    /// deadline is exhausted, since they cost nothing to serve.
+    pub fn run_many_outcome(&self, tasks: Vec<TaskDescriptor>) -> RunOutcome {
+        let specs = tasks
+            .into_iter()
+            .map(|task| (task, self.temperature, 0))
+            .collect();
+        self.run_sampled_many_outcome(specs)
+    }
+
+    /// Degrade-mode form of [`Engine::run_sampled_many`]: one
+    /// `(task, temperature, sample_index)` spec per item, every item
+    /// salvaged or quarantined independently.
+    pub fn run_sampled_many_outcome(&self, specs: Vec<(TaskDescriptor, f64, u32)>) -> RunOutcome {
+        let deadline = self.run_deadline();
+        let raw = self.outcome_round(specs, deadline, self.degrade_attempts());
+        RunOutcome::from_raw(raw)
+    }
+
+    /// Degrade-mode form of [`Engine::run_packed`]: packs that fail hard
+    /// are bisected exactly like unparseable packs — transport errors and
+    /// poison items alike narrow down to singletons, and only the
+    /// irreducible singles are quarantined, so every healthy item packed
+    /// next to a broken one still completes. `Err` is reserved for the
+    /// caller bug of packing incompatible tasks.
+    pub fn run_packed_outcome(
+        &self,
+        tasks: Vec<TaskDescriptor>,
+        width: usize,
+    ) -> Result<PackedOutcome, EngineError> {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok(PackedOutcome::default());
+        }
+        if let Some(first) = tasks.first() {
+            if tasks
+                .iter()
+                .any(|t| !t.packable() || !first.pack_compatible(t))
+            {
+                return Err(EngineError::InvalidInput(
+                    "run_packed requires point-wise tasks sharing one instruction \
+                     (same predicate / label set / attribute)"
+                        .into(),
+                ));
+            }
+        }
+        let width = width.max(1);
+        let deadline = self.run_deadline();
+        let max_attempts = self.degrade_attempts();
+        let mut answers: Vec<Option<Result<String, EngineError>>> = vec![None; n];
+        let mut responses: Vec<CompletionResponse> = Vec::new();
+        let mut quarantined: Vec<Quarantine> = Vec::new();
+        let mut pending: Vec<(usize, Vec<TaskDescriptor>)> = Vec::new();
+        for (chunk_index, chunk) in tasks.chunks(width).enumerate() {
+            pending.push((chunk_index * width, chunk.to_vec()));
+        }
+        while !pending.is_empty() {
+            let mut meta: Vec<(usize, Vec<TaskDescriptor>)> = Vec::new();
+            let mut round: Vec<(TaskDescriptor, f64, u32)> = Vec::new();
+            let mut next: Vec<(usize, Vec<TaskDescriptor>)> = Vec::new();
+            for (start, chunk) in pending {
+                let len = chunk.len();
+                let task = if len == 1 {
+                    chunk[0].clone()
+                } else {
+                    TaskDescriptor::Packed {
+                        tasks: chunk.clone(),
+                    }
+                };
+                // Split oversize packs before dispatch, as the fail-fast
+                // packed path does; render errors follow the same degrade
+                // rule as dispatch errors (bisect packs, quarantine singles).
+                match self.render_and_estimate(task.clone()) {
+                    Ok((request, _, _))
+                        if len > 1
+                            && count_tokens(&request.prompt)
+                                > self.client.model().context_window() =>
+                    {
+                        let mid = len / 2;
+                        next.push((start, chunk[..mid].to_vec()));
+                        next.push((start + mid, chunk[mid..].to_vec()));
+                        continue;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        if len > 1 {
+                            let mid = len / 2;
+                            next.push((start, chunk[..mid].to_vec()));
+                            next.push((start + mid, chunk[mid..].to_vec()));
+                        } else {
+                            answers[start] = Some(Err(e.clone()));
+                            quarantined.push(Quarantine {
+                                index: start,
+                                errors: vec![e],
+                            });
+                        }
+                        continue;
+                    }
+                }
+                round.push((task, self.temperature, 0));
+                meta.push((start, chunk));
+            }
+            let results = self.outcome_round(round, deadline, max_attempts);
+            for ((start, chunk), result) in meta.into_iter().zip(results) {
+                let len = chunk.len();
+                match result {
+                    Ok(response) => {
+                        if len == 1 {
+                            answers[start] = Some(Ok(response.text.clone()));
+                        } else {
+                            match crate::extract::packed_answers(&response.text, len) {
+                                Ok(lines) => {
+                                    for (k, line) in lines.into_iter().enumerate() {
+                                        answers[start + k] = Some(Ok(line));
+                                    }
+                                }
+                                Err(_) => {
+                                    let mid = len / 2;
+                                    next.push((start, chunk[..mid].to_vec()));
+                                    next.push((start + mid, chunk[mid..].to_vec()));
+                                }
+                            }
+                        }
+                        responses.push(response);
+                    }
+                    Err(errors) => {
+                        if len > 1 {
+                            // A pack-level failure may be transport-wide or
+                            // one poison item; bisecting isolates it so the
+                            // healthy half still completes.
+                            let mid = len / 2;
+                            next.push((start, chunk[..mid].to_vec()));
+                            next.push((start + mid, chunk[mid..].to_vec()));
+                        } else {
+                            let last = errors.last().cloned().expect("non-empty error chain");
+                            answers[start] = Some(Err(last));
+                            quarantined.push(Quarantine {
+                                index: start,
+                                errors,
+                            });
+                        }
+                    }
+                }
+            }
+            pending = next;
+        }
+        quarantined.sort_by_key(|q| q.index);
+        Ok(PackedOutcome {
+            answers: answers
+                .into_iter()
+                .map(|a| a.expect("every slot answered, bisected, or quarantined"))
+                .collect(),
+            responses,
+            quarantined,
+        })
+    }
+
+    /// One degrade-mode round: run every spec to success or an exhausted
+    /// error chain, in input order, sharing the worker pool and gate.
+    fn outcome_round(
+        &self,
+        specs: Vec<(TaskDescriptor, f64, u32)>,
+        deadline: Option<Instant>,
+        max_attempts: u32,
+    ) -> Vec<Result<CompletionResponse, Vec<EngineError>>> {
+        let n = specs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let gate = self.gate();
+        let workers = self.parallelism.clamp(1, n);
+        if workers == 1 {
+            return specs
+                .into_iter()
+                .map(|(task, temperature, sample_index)| {
+                    self.degrade_execute(
+                        task,
+                        temperature,
+                        sample_index,
+                        deadline,
+                        max_attempts,
+                        gate.as_deref(),
+                    )
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        type Raw = Vec<(usize, Result<CompletionResponse, Vec<EngineError>>)>;
+        let collected: Mutex<Raw> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (task, temperature, sample_index) = specs[i].clone();
+                    let result = self.degrade_execute(
+                        task,
+                        temperature,
+                        sample_index,
+                        deadline,
+                        max_attempts,
+                        gate.as_deref(),
+                    );
+                    collected.lock().push((i, result));
+                });
+            }
+        });
+        let mut results = collected.into_inner();
+        results.sort_unstable_by_key(|(i, _)| *i);
+        results.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Worker body of the degrade-mode executor: render, serve locally if
+    /// possible, admit, then dispatch with up to `max_attempts` engine-level
+    /// attempts. Returns the response or the full error chain (one entry
+    /// per failed attempt) that exhausted the item.
+    fn degrade_execute(
+        &self,
+        task: TaskDescriptor,
+        temperature: f64,
+        sample_index: u32,
+        deadline: Option<Instant>,
+        max_attempts: u32,
+        gate: Option<&Semaphore>,
+    ) -> Result<CompletionResponse, Vec<EngineError>> {
+        /// Cap on the pause between engine-level attempts, so one poison
+        /// item honoring a long server hint cannot stall its worker.
+        const MAX_ATTEMPT_PAUSE_MS: u64 = 250;
+        /// Floor on that pause: a zero/absent hint (e.g. `CircuitOpen`
+        /// with an already-admissible probe whose half-open slot another
+        /// worker just claimed) must not let the loop spin through its
+        /// whole attempt allowance before the fault has wall-clock time
+        /// to clear.
+        const MIN_ATTEMPT_PAUSE_MS: u64 = 5;
+        let (mut request, est_usd, est_tokens) = match self.render_and_estimate(task) {
+            Ok(rendered) => rendered,
+            Err(e) => return Err(vec![e]),
+        };
+        request.temperature = temperature;
+        request.sample_index = sample_index;
+        request.deadline = deadline;
+        // A cache or journal hit costs nothing to serve: salvage it even
+        // when the budget or the deadline is already exhausted.
+        if let Some(local) = self.serve_local(&request) {
+            return Ok(local);
+        }
+        if let Err(e) = self.admit_estimate(est_usd, est_tokens) {
+            return Err(vec![e]);
+        }
+        let mut errors: Vec<EngineError> = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    errors.push(EngineError::DeadlineExceeded);
+                    return Err(errors);
+                }
+            }
+            match self.execute_request(&request, gate) {
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    let (retryable, hint) = match &e {
+                        EngineError::Llm(le) => (
+                            le.is_retryable()
+                                || matches!(
+                                    le,
+                                    LlmError::CircuitOpen { .. }
+                                        | LlmError::RetriesExhausted { .. }
+                                ),
+                            le.retry_hint_ms(),
+                        ),
+                        _ => (false, None),
+                    };
+                    errors.push(e);
+                    attempt += 1;
+                    if !retryable || attempt >= max_attempts {
+                        return Err(errors);
+                    }
+                    // Honor server/breaker hints between attempts, bounded
+                    // below by the spin floor and above by both the pause
+                    // cap and the remaining deadline.
+                    let mut wait = Duration::from_millis(
+                        hint.unwrap_or(MIN_ATTEMPT_PAUSE_MS)
+                            .clamp(MIN_ATTEMPT_PAUSE_MS, MAX_ATTEMPT_PAUSE_MS),
+                    );
+                    if let Some(d) = deadline {
+                        wait = wait.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
     }
 
     /// The per-model gate for this engine's client, if configured.
@@ -699,13 +1138,45 @@ impl Engine {
         }
     }
 
+    /// Serve a request from local state when a journal is attached: the
+    /// client cache first (free, as always), then the journal. A journal
+    /// replay re-seeds the cache (so later duplicates are free), then is
+    /// charged to budget, ledger, and trace exactly as the original paid
+    /// call was — resumed accounting matches uninterrupted accounting
+    /// bit for bit.
+    fn serve_local(&self, request: &CompletionRequest) -> Option<CompletionResponse> {
+        if let Some(hit) = self.client.peek_cached(request) {
+            self.record_trace(request.task.kind(), &hit);
+            return Some(hit);
+        }
+        let journal = self.journal.as_ref()?;
+        let replayed = journal.lookup(request.fingerprint())?;
+        self.client.seed_cache(request, &replayed);
+        self.client
+            .ledger()
+            .record(replayed.usage, replayed.pricing);
+        self.record_spend(&replayed);
+        self.record_trace(request.task.kind(), &replayed);
+        Some(replayed)
+    }
+
     /// Dispatch one pre-built request and account for it (worker body).
     fn execute_request(
         &self,
         request: &CompletionRequest,
         gate: Option<&Semaphore>,
     ) -> Result<CompletionResponse, EngineError> {
+        if self.journal.is_some() {
+            if let Some(local) = self.serve_local(request) {
+                return Ok(local);
+            }
+        }
         let response = self.gated_complete(request, gate)?;
+        if let Some(journal) = &self.journal {
+            if !response.cached {
+                journal.append(request.fingerprint(), &response);
+            }
+        }
         self.record_spend(&response);
         self.record_trace(request.task.kind(), &response);
         Ok(response)
@@ -716,9 +1187,11 @@ impl Engine {
     fn execute_one(
         &self,
         task: TaskDescriptor,
+        deadline: Option<Instant>,
         gate: Option<&Semaphore>,
     ) -> Result<CompletionResponse, EngineError> {
-        let request = self.build_request(task)?;
+        let mut request = self.build_request(task)?;
+        request.deadline = deadline;
         self.execute_request(&request, gate)
     }
 
@@ -845,7 +1318,7 @@ impl Engine {
                 self.admit_estimate(est_usd, est_tokens)?;
                 self.execute_request(&request, gate)
             }
-            Work::Task(task) => self.execute_one(task, gate),
+            Work::Task(task, deadline) => self.execute_one(task, deadline, gate),
         }
     }
 }
@@ -865,6 +1338,161 @@ pub struct PackedRun {
     pub responses: Vec<CompletionResponse>,
 }
 
+/// How the engine treats hard per-item failures in a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stop the whole batch on the first hard error (the classic
+    /// semantics, and the default — every pre-existing path is
+    /// bit-identical under it).
+    #[default]
+    FailFast,
+    /// Salvage everything salvageable: run each item independently,
+    /// quarantine the ones that stay broken, and never fail the batch.
+    Degrade {
+        /// Engine-level dispatch attempts per item before quarantine.
+        /// Each attempt still carries the client's own internal retries,
+        /// so this is the *outer* loop: re-asking after the client gave
+        /// up, with server/breaker hints honored in between. Clamped to
+        /// at least 1.
+        max_attempts: u32,
+    },
+}
+
+impl FailurePolicy {
+    /// A degrade policy with a modest default attempt allowance.
+    pub const fn degrade() -> Self {
+        FailurePolicy::Degrade { max_attempts: 3 }
+    }
+}
+
+/// One quarantined batch item: the work could not be completed and was
+/// set aside so the rest of the batch could proceed.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    /// Index of the item in the batch handed to the engine.
+    pub index: usize,
+    /// The full error chain, one entry per failed attempt, oldest first.
+    /// The last entry is what finally condemned the item.
+    pub errors: Vec<EngineError>,
+}
+
+/// The result of a degrade-mode batch ([`Engine::run_many_outcome`],
+/// [`Engine::run_sampled_many_outcome`]): per-item results in input order,
+/// with failed items quarantined rather than failing the batch.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// One result per input item, in input order. An `Err` holds the final
+    /// error that condemned the item; its full chain is in
+    /// [`RunOutcome::quarantined`] under the same index.
+    pub results: Vec<Result<CompletionResponse, EngineError>>,
+    /// Every quarantined item with its full error chain, in index order.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl RunOutcome {
+    /// Assemble an outcome from raw per-item results.
+    fn from_raw(raw: Vec<Result<CompletionResponse, Vec<EngineError>>>) -> RunOutcome {
+        let mut results = Vec::with_capacity(raw.len());
+        let mut quarantined = Vec::new();
+        for (index, item) in raw.into_iter().enumerate() {
+            match item {
+                Ok(response) => results.push(Ok(response)),
+                Err(errors) => {
+                    let last = errors.last().cloned().expect("non-empty error chain");
+                    results.push(Err(last));
+                    quarantined.push(Quarantine { index, errors });
+                }
+            }
+        }
+        RunOutcome {
+            results,
+            quarantined,
+        }
+    }
+
+    /// Number of items that completed.
+    pub fn ok_count(&self) -> usize {
+        self.results.len() - self.quarantined.len()
+    }
+
+    /// Whether every item completed (nothing quarantined).
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The completed responses with their input indices, in input order.
+    pub fn successes(&self) -> impl Iterator<Item = (usize, &CompletionResponse)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(index, result)| result.as_ref().ok().map(|r| (index, r)))
+    }
+
+    /// Summarize this outcome as an operator salvage note for the plan
+    /// layer (see [`Engine::note_salvage`]).
+    pub fn salvage_note(&self, op: &'static str) -> OpSalvage {
+        OpSalvage {
+            op,
+            salvaged: self.ok_count(),
+            quarantined: self
+                .quarantined
+                .iter()
+                .map(|q| {
+                    let last = q.errors.last().map(|e| e.to_string()).unwrap_or_default();
+                    (q.index, last)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The result of a degrade-mode packed dispatch
+/// ([`Engine::run_packed_outcome`]): like [`PackedRun`], but per-item
+/// answers are `Result`s and irreducibly broken items are quarantined.
+#[derive(Debug, Clone, Default)]
+pub struct PackedOutcome {
+    /// One answer per input task, in input order; `Err` for quarantined
+    /// items (their full chains are in [`PackedOutcome::quarantined`]).
+    pub answers: Vec<Result<String, EngineError>>,
+    /// Every response received, in dispatch order, for cost attribution.
+    pub responses: Vec<CompletionResponse>,
+    /// Quarantined input indices with their error chains, in index order.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl PackedOutcome {
+    /// Summarize this outcome as an operator salvage note for the plan
+    /// layer (see [`Engine::note_salvage`]).
+    pub fn salvage_note(&self, op: &'static str) -> OpSalvage {
+        OpSalvage {
+            op,
+            salvaged: self.answers.len() - self.quarantined.len(),
+            quarantined: self
+                .quarantined
+                .iter()
+                .map(|q| {
+                    let last = q.errors.last().map(|e| e.to_string()).unwrap_or_default();
+                    (q.index, last)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A note an operator leaves for the plan layer after salvaging a
+/// degraded run: how much survived and exactly what was lost. The plan
+/// executor drains these into the step report of the node that ran.
+#[derive(Debug, Clone)]
+pub struct OpSalvage {
+    /// The operator (or sub-strategy) that degraded, e.g. `"filter"`.
+    pub op: &'static str,
+    /// Items that completed normally.
+    pub salvaged: usize,
+    /// Quarantined input indices with the final error that condemned
+    /// each, in index order.
+    pub quarantined: Vec<(usize, String)>,
+}
+
 /// One unit of dispatcher work: a pre-admitted request (`run_many`), a
 /// rendered request still needing per-call budget admission
 /// (`run_sampled_many`), or a task to be rendered and admitted in the
@@ -876,7 +1504,7 @@ enum Work {
         est_usd: f64,
         est_tokens: u64,
     },
-    Task(TaskDescriptor),
+    Task(TaskDescriptor, Option<Instant>),
 }
 
 #[cfg(test)]

@@ -1,0 +1,416 @@
+//! An append-only, checksummed, crash-safe run journal.
+//!
+//! The journal is the engine's durable substrate: every *paid* completion
+//! (cache hits are already free) is appended as one self-checksummed line
+//! keyed by its request fingerprint. A later process opens the same file,
+//! replays the valid prefix, and — attached to an [`crate::Engine`] via
+//! [`crate::Engine::with_journal`] / [`crate::Engine::resume`] — serves
+//! journaled completions without re-dispatching them, re-running only the
+//! gap. Replayed completions are charged to the budget and ledger exactly
+//! as the original calls were, so a resumed run's results *and* accounting
+//! are bit-identical to an uninterrupted one (pinned by the
+//! `journal_resume` property test).
+//!
+//! # Format
+//!
+//! A text file: one header line (`crowdprompt-journal v1`), then one record
+//! per line of tab-separated fields:
+//!
+//! ```text
+//! fingerprint  text  prompt_tok  completion_tok  finish  model  in_rate  out_rate  confidence  checksum
+//! ```
+//!
+//! `fingerprint` is the request fingerprint (hex). `text` and `model` are
+//! escaped (`\t`, `\n`, `\r`, `\\`). Rates and confidence are `f64` *bit
+//! patterns* in hex — exact round-trips, so replayed pricing math is
+//! bit-identical to the original run's. `finish` is `S`top or `L`ength;
+//! `confidence` is `-` when absent. `checksum` is FNV-1a over every
+//! preceding byte of the line.
+//!
+//! # Crash safety
+//!
+//! Appends are single `write_all` calls of complete lines, flushed per
+//! record. A crash can only lose or tear the *final* line; [`RunJournal::open`]
+//! verifies each line's checksum in order and truncates the file at the
+//! first invalid or partial line, so a torn tail never poisons a resume —
+//! the affected task is simply re-run.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex as StdMutex;
+
+use crowdprompt_oracle::hash::fnv1a_str;
+use crowdprompt_oracle::pricing::Pricing;
+use crowdprompt_oracle::types::{CompletionResponse, FinishReason, Usage};
+
+/// The journal's header line (also its format version gate).
+const HEADER: &str = "crowdprompt-journal v1";
+
+/// Escape a string for single-line storage (`\` `\t` `\n` `\r`).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]; `None` on a malformed escape sequence.
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Serialize one record line (including the trailing newline).
+fn encode_line(fingerprint: u64, response: &CompletionResponse) -> String {
+    let payload = format!(
+        "{:016x}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}",
+        fingerprint,
+        escape(&response.text),
+        response.usage.prompt_tokens,
+        response.usage.completion_tokens,
+        match response.finish_reason {
+            FinishReason::Stop => 'S',
+            FinishReason::Length => 'L',
+        },
+        escape(&response.model),
+        response.pricing.usd_per_1k_input.to_bits(),
+        response.pricing.usd_per_1k_output.to_bits(),
+        match response.confidence {
+            Some(c) => format!("{:016x}", c.to_bits()),
+            None => "-".to_string(),
+        },
+    );
+    format!("{payload}\t{:016x}\n", fnv1a_str(&payload))
+}
+
+/// Parse one record line (without its newline); `None` on any corruption.
+fn decode_line(line: &str) -> Option<(u64, CompletionResponse)> {
+    let (payload, checksum) = line.rsplit_once('\t')?;
+    if u64::from_str_radix(checksum, 16).ok()? != fnv1a_str(payload) {
+        return None;
+    }
+    let fields: Vec<&str> = payload.split('\t').collect();
+    if fields.len() != 9 {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(fields[0], 16).ok()?;
+    let text = unescape(fields[1])?;
+    let usage = Usage {
+        prompt_tokens: fields[2].parse().ok()?,
+        completion_tokens: fields[3].parse().ok()?,
+    };
+    let finish_reason = match fields[4] {
+        "S" => FinishReason::Stop,
+        "L" => FinishReason::Length,
+        _ => return None,
+    };
+    let model = unescape(fields[5])?;
+    let pricing = Pricing::new(
+        f64::from_bits(u64::from_str_radix(fields[6], 16).ok()?),
+        f64::from_bits(u64::from_str_radix(fields[7], 16).ok()?),
+    );
+    let confidence = match fields[8] {
+        "-" => None,
+        bits => Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?)),
+    };
+    Some((
+        fingerprint,
+        CompletionResponse {
+            text,
+            usage,
+            finish_reason,
+            model,
+            cached: false,
+            pricing,
+            confidence,
+        },
+    ))
+}
+
+/// Lock-protected journal internals: the append handle and the replay map.
+struct JournalInner {
+    file: File,
+    records: HashMap<u64, CompletionResponse>,
+}
+
+/// An append-only, checksummed journal of completed LLM calls, keyed by
+/// request fingerprint. See the [module docs](self) for format and
+/// crash-safety details.
+pub struct RunJournal {
+    path: PathBuf,
+    inner: StdMutex<JournalInner>,
+}
+
+impl RunJournal {
+    /// Open (creating if absent) the journal at `path`.
+    ///
+    /// Existing records are verified in order; the file is truncated at the
+    /// first corrupt or partial line (the crash-recovery path), and valid
+    /// records are loaded for [`RunJournal::lookup`]. A file whose header
+    /// is present but wrong (another format/version) is an error rather
+    /// than silently clobbered.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<RunJournal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut contents = String::new();
+        // A torn write can leave invalid UTF-8; read bytes and take the
+        // valid prefix (the cut falls inside the torn tail we drop anyway).
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        match String::from_utf8(bytes) {
+            Ok(s) => contents = s,
+            Err(e) => {
+                let valid = e.utf8_error().valid_up_to();
+                let bytes = e.into_bytes();
+                contents.push_str(std::str::from_utf8(&bytes[..valid]).expect("checked prefix"));
+            }
+        }
+
+        let mut records = HashMap::new();
+        let mut valid_end: u64;
+        if contents.is_empty() {
+            let header = format!("{HEADER}\n");
+            file.write_all(header.as_bytes())?;
+            file.flush()?;
+            valid_end = header.len() as u64;
+        } else {
+            let Some(rest) = contents
+                .strip_prefix(HEADER)
+                .and_then(|r| r.strip_prefix('\n'))
+            else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("'{}' is not a {HEADER} file", path.display()),
+                ));
+            };
+            valid_end = (HEADER.len() + 1) as u64;
+            for line in rest.split_inclusive('\n') {
+                let Some(body) = line.strip_suffix('\n') else {
+                    break; // partial (torn) final line
+                };
+                let Some((fingerprint, response)) = decode_line(body) else {
+                    break; // checksum or field corruption
+                };
+                records.insert(fingerprint, response);
+                valid_end += line.len() as u64;
+            }
+            // Drop everything after the last valid record and position the
+            // append cursor there.
+            file.set_len(valid_end)?;
+        }
+        file.seek(SeekFrom::Start(valid_end))?;
+        Ok(RunJournal {
+            path,
+            inner: StdMutex::new(JournalInner { file, records }),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct journaled completions.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The journaled completion for a request fingerprint, if any. The
+    /// returned response has [`CompletionResponse::cached`] `false`: a
+    /// replay stands in for the *paid* call the original process made, and
+    /// is charged to budget and ledger exactly as that call was.
+    pub fn lookup(&self, fingerprint: u64) -> Option<CompletionResponse> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Append one completed call, keyed by its request fingerprint.
+    /// Duplicate fingerprints are ignored (first write wins — matching
+    /// the cache semantics replay feeds). Each record is written as one
+    /// flushed line, so a crash can tear at most the final record.
+    ///
+    /// I/O errors are swallowed: journaling is best-effort durability on
+    /// top of a run that must not fail because a disk hiccuped — a lost
+    /// record merely costs a re-run of that task on resume.
+    pub fn append(&self, fingerprint: u64, response: &CompletionResponse) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.records.contains_key(&fingerprint) {
+            return;
+        }
+        let line = encode_line(fingerprint, response);
+        if inner.file.write_all(line.as_bytes()).is_ok() {
+            let _ = inner.file.flush();
+            inner.records.insert(fingerprint, response.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "crowdprompt-journal-test-{}-{tag}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    fn sample_response(text: &str, conf: Option<f64>) -> CompletionResponse {
+        CompletionResponse {
+            text: text.to_string(),
+            usage: Usage {
+                prompt_tokens: 12,
+                completion_tokens: 3,
+            },
+            finish_reason: FinishReason::Stop,
+            model: "sim-gpt-3.5-turbo".into(),
+            cached: false,
+            pricing: Pricing::new(0.0005, 0.0015),
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let path = temp_path("roundtrip");
+        let weird = "line one\nline\ttwo \\ backslash\rcarriage";
+        {
+            let journal = RunJournal::open(&path).unwrap();
+            journal.append(0xdead_beef, &sample_response(weird, Some(0.875)));
+            journal.append(42, &sample_response("plain", None));
+        }
+        let reopened = RunJournal::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let got = reopened.lookup(0xdead_beef).unwrap();
+        assert_eq!(got.text, weird);
+        assert_eq!(got.usage.total(), 15);
+        assert_eq!(got.confidence, Some(0.875));
+        assert_eq!(got.pricing.usd_per_1k_input.to_bits(), 0.0005f64.to_bits());
+        assert!(!got.cached);
+        assert!(reopened.lookup(42).unwrap().confidence.is_none());
+        assert!(reopened.lookup(7).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_fingerprints_keep_first_record() {
+        let path = temp_path("dedup");
+        let journal = RunJournal::open(&path).unwrap();
+        journal.append(1, &sample_response("first", None));
+        journal.append(1, &sample_response("second", None));
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.lookup(1).unwrap().text, "first");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_path("torn");
+        {
+            let journal = RunJournal::open(&path).unwrap();
+            journal.append(10, &sample_response("kept", None));
+            journal.append(11, &sample_response("torn away", None));
+        }
+        // Simulate a crash mid-append: chop bytes off the final line.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let recovered = RunJournal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1, "torn record dropped");
+        assert_eq!(recovered.lookup(10).unwrap().text, "kept");
+        assert!(recovered.lookup(11).is_none());
+        // And the truncated file accepts fresh appends cleanly.
+        recovered.append(12, &sample_response("after recovery", None));
+        drop(recovered);
+        let reopened = RunJournal::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_invalidates_the_suffix() {
+        let path = temp_path("corrupt");
+        {
+            let journal = RunJournal::open(&path).unwrap();
+            journal.append(20, &sample_response("ok", None));
+            journal.append(21, &sample_response("will corrupt", None));
+            journal.append(22, &sample_response("after corruption", None));
+        }
+        // Flip a byte inside the second record's text.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = bytes
+            .windows(b"will corrupt".len())
+            .position(|w| w == b"will corrupt")
+            .unwrap();
+        bytes[pos] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = RunJournal::open(&path).unwrap();
+        // Append-only recovery is prefix-based: everything from the first
+        // bad line on is dropped, even later well-formed records.
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.lookup(20).is_some());
+        assert!(recovered.lookup(21).is_none());
+        assert!(recovered.lookup(22).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        assert!(RunJournal::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn escape_unescape_inverse() {
+        for s in ["", "plain", "a\tb\nc\rd\\e", "\\t literal", "\\"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert!(unescape("bad \\x escape").is_none());
+        assert!(unescape("trailing \\").is_none());
+    }
+}

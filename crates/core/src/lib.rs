@@ -15,7 +15,11 @@
 //!   example selection).
 //! * [`extract`] — robust answer extraction from free-text responses.
 //! * [`exec`] — the [`exec::Engine`]: budget-guarded, parallel task
-//!   execution over an [`crowdprompt_oracle::LlmClient`].
+//!   execution over an [`crowdprompt_oracle::LlmClient`], with a
+//!   [`exec::FailurePolicy`] governing fail-fast vs. degraded partial
+//!   execution.
+//! * [`journal`] — append-only, checksummed run journal enabling
+//!   crash-safe resume of interrupted runs.
 //! * [`consistency`] — transitive closure and ranking repair (§3.3).
 //! * [`blocking`] — the shared embedding-blocking index all operators
 //!   route non-LLM candidate pruning through (§3.4).
@@ -46,6 +50,7 @@ pub mod corpus;
 pub mod error;
 pub mod exec;
 pub mod extract;
+pub mod journal;
 pub mod ops;
 pub mod optimize;
 pub mod outcome;
@@ -61,7 +66,8 @@ pub use blocking::{BlockingHit, BlockingIndex};
 pub use budget::{Budget, BudgetTracker};
 pub use corpus::Corpus;
 pub use error::EngineError;
-pub use exec::Engine;
+pub use exec::{Engine, FailurePolicy, OpSalvage, PackedOutcome, Quarantine, RunOutcome};
+pub use journal::RunJournal;
 pub use outcome::Outcome;
 pub use plan::{Plan, PlanOptions, PlanOutput, PlanRun, Query};
 pub use session::Session;

@@ -4,7 +4,7 @@ use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, OpSalvage};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -38,6 +38,9 @@ pub fn categorize_packed(
             labels: labels.to_vec(),
         })
         .collect();
+    if engine.degrades() {
+        return categorize_degraded(engine, tasks, labels, pack);
+    }
     let mut meter = CostMeter::new();
     let mut out = Vec::with_capacity(items.len());
     if pack > 1 {
@@ -55,6 +58,58 @@ pub fn categorize_packed(
         meter.add(resp.usage, engine.cost_of_response(resp));
         out.push(extract::choice(&resp.text, labels)?);
     }
+    Ok(meter.into_outcome(out))
+}
+
+/// Degrade-mode categorize: quarantined items get an empty-string label so
+/// the output stays aligned with the input (an empty string can never be a
+/// real label — [`categorize`] rejects empty label sets, and
+/// [`extract::choice`] only returns members of the set). The casualties
+/// land in the engine's salvage note.
+fn categorize_degraded(
+    engine: &Engine,
+    tasks: Vec<TaskDescriptor>,
+    labels: &[String],
+    pack: usize,
+) -> Result<Outcome<Vec<String>>, EngineError> {
+    let total = tasks.len();
+    let mut meter = CostMeter::new();
+    let mut out = Vec::with_capacity(total);
+    let mut lost: Vec<(usize, String)> = Vec::new();
+    let answers: Vec<Result<String, EngineError>> = if pack > 1 {
+        let run = engine.run_packed_outcome(tasks, pack)?;
+        for resp in &run.responses {
+            meter.add(resp.usage, engine.cost_of_response(resp));
+        }
+        run.answers
+    } else {
+        let run = engine.run_many_outcome(tasks);
+        for (_, resp) in run.successes() {
+            meter.add(resp.usage, engine.cost_of_response(resp));
+        }
+        run.results
+            .into_iter()
+            .map(|r| r.map(|resp| resp.text))
+            .collect()
+    };
+    for (index, answer) in answers.iter().enumerate() {
+        let label = match answer {
+            Ok(text) => extract::choice(text, labels),
+            Err(e) => Err(e.clone()),
+        };
+        match label {
+            Ok(label) => out.push(label),
+            Err(e) => {
+                lost.push((index, e.to_string()));
+                out.push(String::new());
+            }
+        }
+    }
+    engine.note_salvage(OpSalvage {
+        op: "categorize",
+        salvaged: total - lost.len(),
+        quarantined: lost,
+    });
     Ok(meter.into_outcome(out))
 }
 

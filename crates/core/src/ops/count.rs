@@ -5,7 +5,7 @@ use crowdprompt_oracle::task::{CountMode, TaskDescriptor};
 use crowdprompt_oracle::world::ItemId;
 
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, OpSalvage};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -74,6 +74,9 @@ pub fn count_packed(
     strategy: CountStrategy,
     pack: usize,
 ) -> Result<Outcome<u64>, EngineError> {
+    if engine.degrades() {
+        return count_degraded(engine, items, predicate, strategy, pack);
+    }
     let mut meter = CostMeter::new();
     match strategy {
         CountStrategy::Eyeball { batch_size } => {
@@ -126,6 +129,99 @@ pub fn count_packed(
             Ok(meter.into_outcome(total))
         }
     }
+}
+
+/// Degrade-mode count: only items whose checks completed are counted; the
+/// rest are quarantined in the engine's salvage note (an eyeball batch
+/// that stays broken quarantines every item it covered). The returned
+/// count is therefore a *lower bound* when the note lists casualties.
+fn count_degraded(
+    engine: &Engine,
+    items: &[ItemId],
+    predicate: &str,
+    strategy: CountStrategy,
+    pack: usize,
+) -> Result<Outcome<u64>, EngineError> {
+    let mut meter = CostMeter::new();
+    let mut total = 0u64;
+    let mut lost: Vec<(usize, String)> = Vec::new();
+    match strategy {
+        CountStrategy::Eyeball { batch_size } => {
+            let batch_size = batch_size.max(1);
+            let tasks: Vec<TaskDescriptor> = items
+                .chunks(batch_size)
+                .map(|chunk| TaskDescriptor::CountPredicate {
+                    items: chunk.to_vec(),
+                    predicate: predicate.to_owned(),
+                    mode: CountMode::Eyeball,
+                })
+                .collect();
+            let run = engine.run_many_outcome(tasks);
+            for (batch, result) in run.results.iter().enumerate() {
+                let chunk_len = items
+                    .chunks(batch_size)
+                    .nth(batch)
+                    .map_or(0, <[ItemId]>::len);
+                let estimate = match result {
+                    Ok(resp) => {
+                        meter.add(resp.usage, engine.cost_of_response(resp));
+                        extract::count(&resp.text).map_err(|e| e.to_string())
+                    }
+                    Err(e) => Err(e.to_string()),
+                };
+                match estimate {
+                    Ok(n) => total += n.min(chunk_len as u64),
+                    Err(msg) => {
+                        for offset in 0..chunk_len {
+                            lost.push((batch * batch_size + offset, msg.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        CountStrategy::PerItem => {
+            let tasks: Vec<TaskDescriptor> = items
+                .iter()
+                .map(|id| TaskDescriptor::CheckPredicate {
+                    item: *id,
+                    predicate: predicate.to_owned(),
+                })
+                .collect();
+            let answers: Vec<Result<String, EngineError>> = if pack > 1 {
+                let run = engine.run_packed_outcome(tasks, pack)?;
+                for resp in &run.responses {
+                    meter.add(resp.usage, engine.cost_of_response(resp));
+                }
+                run.answers
+            } else {
+                let run = engine.run_many_outcome(tasks);
+                for (_, resp) in run.successes() {
+                    meter.add(resp.usage, engine.cost_of_response(resp));
+                }
+                run.results
+                    .into_iter()
+                    .map(|r| r.map(|resp| resp.text))
+                    .collect()
+            };
+            for (index, answer) in answers.iter().enumerate() {
+                let verdict = match answer {
+                    Ok(text) => extract::yes_no(text),
+                    Err(e) => Err(e.clone()),
+                };
+                match verdict {
+                    Ok(true) => total += 1,
+                    Ok(false) => {}
+                    Err(e) => lost.push((index, e.to_string())),
+                }
+            }
+        }
+    }
+    engine.note_salvage(OpSalvage {
+        op: "count",
+        salvaged: items.len() - lost.len(),
+        quarantined: lost,
+    });
+    Ok(meter.into_outcome(total))
 }
 
 #[cfg(test)]

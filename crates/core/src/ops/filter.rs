@@ -8,7 +8,7 @@ use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, OpSalvage};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -116,6 +116,9 @@ pub fn filter_packed(
     pack: usize,
 ) -> Result<Outcome<Vec<ItemId>>, EngineError> {
     let pack = if strategy.packable() { pack.max(1) } else { 1 };
+    if engine.degrades() {
+        return filter_degraded(engine, items, predicate, strategy, pack);
+    }
     let mut meter = CostMeter::new();
     let mut kept = Vec::new();
     match strategy {
@@ -277,6 +280,165 @@ pub fn filter_packed(
         }
     }
     Ok(meter.into_outcome(kept))
+}
+
+/// Degrade-mode filter: items whose checks stay broken after the engine's
+/// retry allowance are quarantined (dropped from the kept set) instead of
+/// failing the batch, and a salvage note is left on the engine for the
+/// plan layer. Majority voting dispatches per item in this mode so a
+/// broken vote harms only its own item; a packed single pass reuses the
+/// engine's bisecting packed dispatch.
+fn filter_degraded(
+    engine: &Engine,
+    items: &[ItemId],
+    predicate: &str,
+    strategy: FilterStrategy,
+    pack: usize,
+) -> Result<Outcome<Vec<ItemId>>, EngineError> {
+    let mut meter = CostMeter::new();
+    let mut kept = Vec::new();
+    let mut lost: Vec<(usize, String)> = Vec::new();
+    let check = |id: &ItemId| TaskDescriptor::CheckPredicate {
+        item: *id,
+        predicate: predicate.to_owned(),
+    };
+    match strategy {
+        FilterStrategy::Single => {
+            let tasks: Vec<TaskDescriptor> = items.iter().map(check).collect();
+            let answers: Vec<Result<String, EngineError>> = if pack > 1 {
+                let run = engine.run_packed_outcome(tasks, pack)?;
+                for resp in &run.responses {
+                    meter.add(resp.usage, engine.cost_of_response(resp));
+                }
+                run.answers
+            } else {
+                let run = engine.run_many_outcome(tasks);
+                for (_, resp) in run.successes() {
+                    meter.add(resp.usage, engine.cost_of_response(resp));
+                }
+                run.results
+                    .into_iter()
+                    .map(|r| r.map(|resp| resp.text))
+                    .collect()
+            };
+            for (index, (answer, id)) in answers.iter().zip(items).enumerate() {
+                let verdict = match answer {
+                    Ok(text) => extract::yes_no(text),
+                    Err(e) => Err(e.clone()),
+                };
+                match verdict {
+                    Ok(true) => kept.push(*id),
+                    Ok(false) => {}
+                    Err(e) => lost.push((index, e.to_string())),
+                }
+            }
+        }
+        FilterStrategy::ConfidenceGated {
+            min_confidence_pct,
+            votes,
+        } => {
+            let threshold = f64::from(min_confidence_pct) / 100.0;
+            let votes = votes.max(1);
+            let run = engine.run_many_outcome(items.iter().map(check).collect());
+            let mut verdict: Vec<Option<bool>> = vec![None; items.len()];
+            let mut escalate: Vec<usize> = Vec::new();
+            for (index, result) in run.results.iter().enumerate() {
+                match result {
+                    Ok(resp) => {
+                        meter.add(resp.usage, engine.cost_of_response(resp));
+                        // A confident, parseable answer settles the item;
+                        // anything else (low confidence OR garbled text)
+                        // escalates to the vote, which can still save it.
+                        match extract::yes_no(&resp.text) {
+                            Ok(answer) if resp.confidence.unwrap_or(1.0) >= threshold => {
+                                verdict[index] = Some(answer);
+                            }
+                            _ => escalate.push(index),
+                        }
+                    }
+                    Err(e) => lost.push((index, e.to_string())),
+                }
+            }
+            let specs: Vec<_> = escalate
+                .iter()
+                .flat_map(|&index| (0..votes).map(move |s| (check(&items[index]), 1.0, s)))
+                .collect();
+            let run = engine.run_sampled_many_outcome(specs);
+            for (k, &index) in escalate.iter().enumerate() {
+                let slice = &run.results[k * votes as usize..(k + 1) * votes as usize];
+                match majority_of_successes(slice, &mut meter, engine) {
+                    Ok(yes) => verdict[index] = Some(yes),
+                    Err(msg) => lost.push((index, msg)),
+                }
+            }
+            for (index, &id) in items.iter().enumerate() {
+                if verdict[index] == Some(true) {
+                    kept.push(id);
+                }
+            }
+        }
+        FilterStrategy::MajorityVote {
+            votes,
+            temperature_pct,
+        } => {
+            let votes = votes.max(1);
+            let temperature = f64::from(temperature_pct) / 100.0;
+            let specs: Vec<_> = items
+                .iter()
+                .flat_map(|id| (0..votes).map(move |s| (check(id), temperature, s)))
+                .collect();
+            let run = engine.run_sampled_many_outcome(specs);
+            for (k, &id) in items.iter().enumerate() {
+                let slice = &run.results[k * votes as usize..(k + 1) * votes as usize];
+                match majority_of_successes(slice, &mut meter, engine) {
+                    Ok(true) => kept.push(id),
+                    Ok(false) => {}
+                    Err(msg) => lost.push((k, msg)),
+                }
+            }
+        }
+    }
+    lost.sort_by_key(|(index, _)| *index);
+    engine.note_salvage(OpSalvage {
+        op: "filter",
+        salvaged: items.len() - lost.len(),
+        quarantined: lost,
+    });
+    Ok(meter.into_outcome(kept))
+}
+
+/// Decide one item from its vote slice: the majority verdict over the
+/// *successful, parseable* votes (metering each), or an error message when
+/// not a single vote survived.
+fn majority_of_successes(
+    slice: &[Result<crowdprompt_oracle::CompletionResponse, EngineError>],
+    meter: &mut CostMeter,
+    engine: &Engine,
+) -> Result<bool, String> {
+    let mut yes = 0u32;
+    let mut counted = 0u32;
+    let mut last_err: Option<String> = None;
+    for result in slice {
+        match result {
+            Ok(resp) => {
+                meter.add(resp.usage, engine.cost_of_response(resp));
+                match extract::yes_no(&resp.text) {
+                    Ok(true) => {
+                        yes += 1;
+                        counted += 1;
+                    }
+                    Ok(false) => counted += 1,
+                    Err(e) => last_err = Some(e.to_string()),
+                }
+            }
+            Err(e) => last_err = Some(e.to_string()),
+        }
+    }
+    if counted == 0 {
+        Err(last_err.unwrap_or_else(|| "no votes completed".to_owned()))
+    } else {
+        Ok(yes * 2 > counted)
+    }
 }
 
 #[cfg(test)]

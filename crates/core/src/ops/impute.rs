@@ -7,7 +7,7 @@ use crowdprompt_oracle::world::ItemId;
 
 use crate::blocking::BlockingIndex;
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, OpSalvage};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -157,6 +157,30 @@ pub fn impute_packed(
                 .map(|id| impute_task(engine, pool, *id, attribute, *shots))
                 .collect();
             let mut values = Vec::with_capacity(records.len());
+            if engine.degrades() {
+                // Quarantined records get the empty-string "no answer"
+                // placeholder (the k-NN convention) so output stays
+                // aligned; casualties land in the salvage note.
+                let mut lost: Vec<(usize, String)> = Vec::new();
+                for (index, fetched) in degraded_values(engine, tasks, pack, &mut meter)?
+                    .into_iter()
+                    .enumerate()
+                {
+                    match fetched {
+                        Ok(v) => values.push(v),
+                        Err(msg) => {
+                            lost.push((index, msg));
+                            values.push(String::new());
+                        }
+                    }
+                }
+                engine.note_salvage(OpSalvage {
+                    op: "impute",
+                    salvaged: records.len() - lost.len(),
+                    quarantined: lost,
+                });
+                return Ok(meter.into_outcome(values));
+            }
             if pack > 1 {
                 let run = engine.run_packed(tasks, pack)?;
                 for resp in &run.responses {
@@ -192,6 +216,32 @@ pub fn impute_packed(
                 .iter()
                 .map(|&i| impute_task(engine, pool, records[i], attribute, *shots))
                 .collect();
+            if engine.degrades() {
+                let mut lost: Vec<(usize, String)> = Vec::new();
+                for (fetched, &i) in degraded_values(engine, tasks, pack, &mut meter)?
+                    .into_iter()
+                    .zip(&llm_indices)
+                {
+                    match fetched {
+                        Ok(v) => values[i] = Some(v),
+                        Err(msg) => {
+                            lost.push((i, msg));
+                            values[i] = Some(String::new());
+                        }
+                    }
+                }
+                engine.note_salvage(OpSalvage {
+                    op: "impute",
+                    salvaged: records.len() - lost.len(),
+                    quarantined: lost,
+                });
+                return Ok(meter.into_outcome(
+                    values
+                        .into_iter()
+                        .map(|v| v.expect("every slot filled"))
+                        .collect(),
+                ));
+            }
             if pack > 1 {
                 let run = engine.run_packed(tasks, pack)?;
                 for resp in &run.responses {
@@ -215,6 +265,39 @@ pub fn impute_packed(
             ))
         }
     }
+}
+
+/// Degrade-mode LLM value fetch: one `Ok(value)` or `Err(display message)`
+/// per task in input order, metering every completed response.
+fn degraded_values(
+    engine: &Engine,
+    tasks: Vec<TaskDescriptor>,
+    pack: usize,
+    meter: &mut CostMeter,
+) -> Result<Vec<Result<String, String>>, EngineError> {
+    let answers: Vec<Result<String, EngineError>> = if pack > 1 {
+        let run = engine.run_packed_outcome(tasks, pack)?;
+        for resp in &run.responses {
+            meter.add(resp.usage, engine.cost_of_response(resp));
+        }
+        run.answers
+    } else {
+        let run = engine.run_many_outcome(tasks);
+        for (_, resp) in run.successes() {
+            meter.add(resp.usage, engine.cost_of_response(resp));
+        }
+        run.results
+            .into_iter()
+            .map(|r| r.map(|resp| resp.text))
+            .collect()
+    };
+    Ok(answers
+        .into_iter()
+        .map(|answer| match answer {
+            Ok(text) => extract::value(&text).map_err(|e| e.to_string()),
+            Err(e) => Err(e.to_string()),
+        })
+        .collect())
 }
 
 /// k-NN imputation: `(mode of neighbor labels, whether all neighbors agree)`.

@@ -12,7 +12,7 @@ use crowdprompt_oracle::world::ItemId;
 use crowdprompt_oracle::Usage;
 
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, OpSalvage};
 use crate::extract;
 use crate::ops;
 use crate::ops::impute::LabeledPool;
@@ -159,6 +159,7 @@ impl PlanRun {
 }
 
 fn push_report<T>(
+    engine: &Engine,
     steps: &mut Vec<StepReport>,
     name: String,
     items_in: usize,
@@ -172,11 +173,18 @@ fn push_report<T>(
         usage: out.usage,
         calls: out.calls,
         cost_usd: out.cost_usd,
+        // Under a degrade policy the operators leave salvage notes on the
+        // engine; draining them here attributes each note to the node
+        // whose operators produced it.
+        salvage: engine.take_salvage(),
     });
 }
 
 pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineError> {
     let mut items: Vec<ItemId> = plan.source.clone();
+    // Discard salvage notes a previous (direct, non-plan) operator call may
+    // have left behind, so they are not attributed to this plan's first node.
+    let _ = engine.take_salvage();
     let mut steps: Vec<StepReport> = Vec::with_capacity(plan.nodes.len());
     let mut output: Option<PlanOutput> = None;
     let last = plan.nodes.len().saturating_sub(1);
@@ -192,7 +200,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 ..
             } => {
                 let out = ops::filter::filter_packed(engine, &items, predicate, *strategy, *pack)?;
-                push_report(&mut steps, name, items_in, out.value.len(), &out);
+                push_report(engine, &mut steps, name, items_in, out.value.len(), &out);
                 items = out.value;
             }
             PhysicalNode::Sort {
@@ -200,7 +208,14 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 strategy,
             } => {
                 let out = ops::sort::sort(engine, &items, *criterion, strategy)?;
-                push_report(&mut steps, name, items_in, out.value.order.len(), &out);
+                push_report(
+                    engine,
+                    &mut steps,
+                    name,
+                    items_in,
+                    out.value.order.len(),
+                    &out,
+                );
                 if idx == last {
                     output = Some(PlanOutput::Sorted(out.value));
                 } else {
@@ -210,7 +225,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
             PhysicalNode::Take { k } => {
                 items.truncate(*k);
                 let free = Outcome::free(());
-                push_report(&mut steps, name, items_in, items.len(), &free);
+                push_report(engine, &mut steps, name, items_in, items.len(), &free);
             }
             PhysicalNode::TopK {
                 criterion,
@@ -218,18 +233,62 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 shortlist_factor,
             } => {
                 let out = ops::topk::top_k(engine, &items, *criterion, *k, *shortlist_factor)?;
-                push_report(&mut steps, name, items_in, out.value.len(), &out);
+                push_report(engine, &mut steps, name, items_in, out.value.len(), &out);
                 items = out.value;
             }
             PhysicalNode::Categorize { labels, pack } => {
                 let out = ops::categorize::categorize_packed(engine, &items, labels, *pack)?;
-                push_report(&mut steps, name, items_in, items_in, &out);
+                push_report(engine, &mut steps, name, items_in, items_in, &out);
                 output = Some(PlanOutput::Labels(out.value));
             }
             PhysicalNode::KeepLabel { labels, keep, pack } => {
                 let mut meter = CostMeter::new();
                 let mut kept = Vec::new();
-                if *pack > 1 {
+                if engine.degrades() {
+                    // Degrade mode: items whose classification stays broken
+                    // are quarantined (and therefore not kept) instead of
+                    // failing the plan.
+                    let tasks: Vec<TaskDescriptor> = items
+                        .iter()
+                        .map(|id| TaskDescriptor::Classify {
+                            item: *id,
+                            labels: labels.clone(),
+                        })
+                        .collect();
+                    let answers: Vec<Result<String, EngineError>> = if *pack > 1 {
+                        let run = engine.run_packed_outcome(tasks, *pack)?;
+                        for resp in &run.responses {
+                            meter.add(resp.usage, engine.cost_of_response(resp));
+                        }
+                        run.answers
+                    } else {
+                        let run = engine.run_many_outcome(tasks);
+                        for (_, resp) in run.successes() {
+                            meter.add(resp.usage, engine.cost_of_response(resp));
+                        }
+                        run.results
+                            .into_iter()
+                            .map(|r| r.map(|resp| resp.text))
+                            .collect()
+                    };
+                    let mut lost: Vec<(usize, String)> = Vec::new();
+                    for (index, (answer, id)) in answers.iter().zip(&items).enumerate() {
+                        let label = match answer {
+                            Ok(text) => extract::choice(text, labels),
+                            Err(e) => Err(e.clone()),
+                        };
+                        match label {
+                            Ok(label) if label == *keep => kept.push(*id),
+                            Ok(_) => {}
+                            Err(e) => lost.push((index, e.to_string())),
+                        }
+                    }
+                    engine.note_salvage(OpSalvage {
+                        op: "keep-label",
+                        salvaged: items.len() - lost.len(),
+                        quarantined: lost,
+                    });
+                } else if *pack > 1 {
                     // Packed: B classifications per prompt.
                     let run = engine.run_packed(
                         items
@@ -266,7 +325,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                     }
                 }
                 let out = meter.into_outcome(kept);
-                push_report(&mut steps, name, items_in, out.value.len(), &out);
+                push_report(engine, &mut steps, name, items_in, out.value.len(), &out);
                 items = out.value;
             }
             PhysicalNode::Count {
@@ -275,7 +334,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 pack,
             } => {
                 let out = ops::count::count_packed(engine, &items, predicate, *strategy, *pack)?;
-                push_report(&mut steps, name, items_in, 1, &out);
+                push_report(engine, &mut steps, name, items_in, 1, &out);
                 output = Some(PlanOutput::Count(out.value));
             }
             PhysicalNode::Max {
@@ -283,7 +342,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 strategy,
             } => {
                 let out = ops::max::find_max(engine, &items, *criterion, *strategy)?;
-                push_report(&mut steps, name, items_in, 1, &out);
+                push_report(engine, &mut steps, name, items_in, 1, &out);
                 output = Some(PlanOutput::Max(out.value));
             }
             PhysicalNode::Resolve {
@@ -292,7 +351,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
             } => {
                 let index = MentionIndex::build(engine, &items)?;
                 let out = ops::resolve::dedup(engine, &items, &index, *candidates, *max_distance)?;
-                push_report(&mut steps, name, items_in, out.value.len(), &out);
+                push_report(engine, &mut steps, name, items_in, out.value.len(), &out);
                 output = Some(PlanOutput::Groups(out.value));
             }
             PhysicalNode::Cluster {
@@ -303,12 +362,19 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                     Some(cap) => ops::cluster::cluster_blocked(engine, &items, *seed_size, *cap)?,
                     None => ops::cluster::cluster(engine, &items, *seed_size)?,
                 };
-                push_report(&mut steps, name, items_in, out.value.len(), &out);
+                push_report(engine, &mut steps, name, items_in, out.value.len(), &out);
                 output = Some(PlanOutput::Groups(out.value));
             }
             PhysicalNode::Join { right, strategy } => {
                 let out = ops::join::fuzzy_join(engine, &items, right, strategy)?;
-                push_report(&mut steps, name, items_in, out.value.matches.len(), &out);
+                push_report(
+                    engine,
+                    &mut steps,
+                    name,
+                    items_in,
+                    out.value.matches.len(),
+                    &out,
+                );
                 output = Some(PlanOutput::Join(out.value));
             }
             PhysicalNode::Impute {
@@ -320,7 +386,7 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                 let pool = LabeledPool::build(engine, labeled)?;
                 let out =
                     ops::impute::impute_packed(engine, &items, attribute, &pool, strategy, *pack)?;
-                push_report(&mut steps, name, items_in, items_in, &out);
+                push_report(engine, &mut steps, name, items_in, items_in, &out);
                 output = Some(PlanOutput::Values(out.value));
             }
         }

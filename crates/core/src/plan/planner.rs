@@ -29,7 +29,7 @@
 
 use crate::budget::Budget;
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, FailurePolicy};
 use crate::ops::count::CountStrategy;
 use crate::ops::filter::FilterStrategy;
 use crate::ops::join::JoinStrategy;
@@ -254,6 +254,19 @@ pub(crate) fn plan(
                 router.reference_backend_id(),
             ));
         }
+    }
+    // Execution-semantics notes: degrade mode means the plan can complete
+    // with *partial* output (quarantined items land in each step's salvage
+    // notes), and a deadline bounds wall-clock — both worth surfacing in
+    // EXPLAIN before anyone reads the row estimates as guarantees.
+    if let FailurePolicy::Degrade { max_attempts } = engine.failure_policy() {
+        notes.push(format!(
+            "failure policy: degrade (<= {max_attempts} dispatch attempts/item) — \
+             broken items quarantine into step salvage notes instead of failing the plan"
+        ));
+    }
+    if let Some(ms) = engine.deadline_ms() {
+        notes.push(format!("deadline: {ms} ms wall-clock per dispatch batch"));
     }
     let (source, ops, calibration) = query.into_parts();
     let ops = &ops;

@@ -17,7 +17,8 @@ use crowdprompt_oracle::LlmClient;
 use crate::budget::Budget;
 use crate::corpus::Corpus;
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, FailurePolicy};
+use crate::journal::RunJournal;
 use crate::ops;
 use crate::ops::impute::{ImputeStrategy, LabeledPool};
 use crate::ops::resolve::{MentionIndex, ResolveStrategy};
@@ -41,6 +42,9 @@ pub struct SessionBuilder {
     seed: u64,
     criterion_label: String,
     trace: bool,
+    failure_policy: Option<FailurePolicy>,
+    deadline_ms: Option<u64>,
+    journal_path: Option<std::path::PathBuf>,
 }
 
 impl SessionBuilder {
@@ -162,6 +166,36 @@ impl SessionBuilder {
         self
     }
 
+    /// Set the failure policy (default [`FailurePolicy::FailFast`]).
+    /// Under [`FailurePolicy::Degrade`], point-wise operators salvage
+    /// every completable item and quarantine the rest instead of failing
+    /// the whole operation; step reports and EXPLAIN notes carry the
+    /// salvage counts.
+    #[must_use]
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = Some(policy);
+        self
+    }
+
+    /// Grant each operation a wall-clock deadline in milliseconds: retries,
+    /// backoff, and hedges are clipped against it, and (in degrade mode)
+    /// work not yet dispatched when it passes is quarantined.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Journal every paid completion to the file at `path`, and replay any
+    /// completions already journaled there — attach the same path again
+    /// after a crash and the session resumes where the last one stopped,
+    /// with results and accounting bit-identical to an uninterrupted run.
+    #[must_use]
+    pub fn journal_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
     /// Build the session, surfacing configuration errors as values —
     /// the library-friendly form of [`SessionBuilder::build`].
     pub fn try_build(self) -> Result<Session, EngineError> {
@@ -205,6 +239,18 @@ impl SessionBuilder {
             .with_criterion_label(self.criterion_label);
         if let Some(target) = self.blocking_recall_target {
             engine = engine.with_blocking_recall_target(target);
+        }
+        if let Some(policy) = self.failure_policy {
+            engine = engine.with_failure_policy(policy);
+        }
+        if let Some(ms) = self.deadline_ms {
+            engine = engine.with_deadline_ms(ms);
+        }
+        if let Some(path) = self.journal_path {
+            let journal = RunJournal::open(&path).map_err(|e| {
+                EngineError::InvalidInput(format!("cannot open journal at {}: {e}", path.display()))
+            })?;
+            engine = engine.with_journal(Arc::new(journal));
         }
         let trace = if self.trace {
             let trace = Arc::new(Trace::new());
@@ -281,6 +327,9 @@ impl Session {
             seed: 0,
             criterion_label: "by the given criterion".to_owned(),
             trace: false,
+            failure_policy: None,
+            deadline_ms: None,
+            journal_path: None,
         }
     }
 

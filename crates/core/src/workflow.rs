@@ -18,7 +18,7 @@ use crowdprompt_oracle::world::ItemId;
 use crowdprompt_oracle::Usage;
 
 use crate::error::EngineError;
-use crate::exec::Engine;
+use crate::exec::{Engine, OpSalvage};
 use crate::ops::filter::FilterStrategy;
 use crate::ops::sort::SortStrategy;
 use crate::plan::{PlanOptions, PlanOutput, Query};
@@ -82,6 +82,23 @@ pub struct StepReport {
     pub calls: u64,
     /// Dollar cost of the step.
     pub cost_usd: f64,
+    /// Salvage notes left by the operators this step ran, when the engine
+    /// executed under a degrade [`crate::exec::FailurePolicy`]: how many
+    /// items each operator salvaged and exactly which it quarantined.
+    /// Empty under fail-fast.
+    pub salvage: Vec<OpSalvage>,
+}
+
+impl StepReport {
+    /// Total items quarantined across this step's salvage notes.
+    pub fn quarantined_count(&self) -> usize {
+        self.salvage.iter().map(|n| n.quarantined.len()).sum()
+    }
+
+    /// Whether the step lost any items to quarantine.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined_count() > 0
+    }
 }
 
 /// The result of running a pipeline.

@@ -97,11 +97,13 @@ pub mod prelude {
     };
     pub use crowdprompt_core::workflow::{Pipeline, PipelineResult};
     pub use crowdprompt_core::{
-        BlockingHit, BlockingIndex, Budget, Corpus, EngineError, Outcome, Session,
+        BlockingHit, BlockingIndex, Budget, Corpus, EngineError, FailurePolicy, OpSalvage, Outcome,
+        Quarantine, RunJournal, RunOutcome, Session,
     };
     pub use crowdprompt_oracle::task::SortCriterion;
     pub use crowdprompt_oracle::{
-        Backend, BackendRegistry, CompletionRequest, LanguageModel, LatencyProfile, LlmClient,
-        ModelProfile, RoutePolicy, SimBackend, SimulatedLlm,
+        Backend, BackendRegistry, CompletionRequest, FaultKind, FaultSchedule, FaultWindow,
+        LanguageModel, LatencyProfile, LlmClient, ModelProfile, RoutePolicy, SimBackend,
+        SimulatedLlm,
     };
 }

@@ -21,7 +21,7 @@
 //! the same stragglers and the same transient failures — which is what makes
 //! the routing layer's behaviour testable.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -125,6 +125,95 @@ impl LatencyProfile {
     }
 }
 
+/// The fault regime a scripted window imposes on a backend.
+///
+/// Unlike the i.i.d. per-call draws of a [`NoiseProfile`], scripted faults
+/// are *correlated*: every call inside the window suffers the same fate.
+/// That is the failure shape that actually breaks batch pipelines — a
+/// provider region going dark for minutes, a tenant-wide rate-limit storm,
+/// a congested path inflating every latency — and the shape chaos tests
+/// need to carve deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Every call in the window fails with [`LlmError::ServiceUnavailable`].
+    Outage,
+    /// Every call in the window is rejected with [`LlmError::RateLimited`]
+    /// carrying this `Retry-After` hint.
+    RateLimitStorm {
+        /// The hint each rejected call carries, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Every call in the window serves normally but with its drawn latency
+    /// multiplied (a congested path; multipliers below 1 are clamped to 1).
+    LatencySpike {
+        /// Latency multiplier applied to the profile's drawn latency.
+        mult: f64,
+    },
+}
+
+/// One scripted fault window: calls with arrival ordinal in
+/// `[from_call, to_call)` on the owning backend suffer `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// First affected call ordinal (0-based arrival count, inclusive).
+    pub from_call: u64,
+    /// First unaffected call ordinal (exclusive).
+    pub to_call: u64,
+    /// What happens to calls inside the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// A window covering call ordinals `[from_call, to_call)`.
+    pub const fn new(from_call: u64, to_call: u64, kind: FaultKind) -> Self {
+        FaultWindow {
+            from_call,
+            to_call,
+            kind,
+        }
+    }
+
+    fn contains(&self, call: u64) -> bool {
+        call >= self.from_call && call < self.to_call
+    }
+}
+
+/// A deterministic scripted fault schedule over a backend's call arrivals.
+///
+/// The backend counts arrivals (its "call ordinal"); each call is checked
+/// against the windows in order and the first match decides its fate. With
+/// serial dispatch the ordinal is exactly the arrival index, making chaos
+/// scenarios like "backend A dead for calls 100..200" fully reproducible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultSchedule {
+    /// A schedule from explicit windows (first matching window wins).
+    pub fn new(windows: Vec<FaultWindow>) -> Self {
+        FaultSchedule { windows }
+    }
+
+    /// The schedule's windows, in priority order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the schedule has no windows at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The fault (if any) governing the call with this arrival ordinal.
+    fn fault_for(&self, call: u64) -> Option<FaultKind> {
+        self.windows
+            .iter()
+            .find(|w| w.contains(call))
+            .map(|w| w.kind)
+    }
+}
+
 /// One serving backend for a model tier.
 ///
 /// Object safe; the router holds `Arc<dyn Backend>`. Implementations must
@@ -201,7 +290,9 @@ pub struct SimBackend {
     slots: usize,
     transport: NoiseProfile,
     seed: u64,
+    schedule: FaultSchedule,
     in_flight: AtomicUsize,
+    calls_seen: AtomicU64,
 }
 
 impl SimBackend {
@@ -218,7 +309,9 @@ impl SimBackend {
             slots: 0,
             transport: NoiseProfile::perfect(),
             seed: 0,
+            schedule: FaultSchedule::default(),
             in_flight: AtomicUsize::new(0),
+            calls_seen: AtomicU64::new(0),
         }
     }
 
@@ -260,6 +353,23 @@ impl SimBackend {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Set a scripted fault schedule keyed by call arrival ordinal
+    /// (builder style). Scripted windows are checked before the i.i.d.
+    /// transport draws, so a schedule composes with (and overrides inside
+    /// its windows) any configured [`NoiseProfile`].
+    #[must_use]
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Calls that have arrived at this backend so far (its fault-schedule
+    /// clock). Chaos and resume tests assert against this to prove work
+    /// did — or did not — reach the backend.
+    pub fn calls_seen(&self) -> u64 {
+        self.calls_seen.load(Ordering::Acquire)
     }
 
     fn transport_rng(&self, request: &CompletionRequest, tag: &str) -> ChaCha8Rng {
@@ -315,6 +425,9 @@ impl Backend for SimBackend {
         request: &CompletionRequest,
         cancel: &CancelToken,
     ) -> Result<CompletionResponse, LlmError> {
+        // Every arrival ticks the fault-schedule clock, including calls a
+        // full backend is about to 429 — an outage window covers *arrivals*.
+        let call = self.calls_seen.fetch_add(1, Ordering::AcqRel);
         // Slot admission: a full backend answers 429 immediately, like a
         // provider rejecting over-limit traffic at the edge.
         let concurrent = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
@@ -323,8 +436,20 @@ impl Backend for SimBackend {
             return Err(LlmError::RateLimited { retry_after_ms: 10 });
         }
 
+        // Scripted faults trump the i.i.d. transport draws inside their
+        // windows: the schedule is the experiment, the noise is background.
+        let mut latency_mult = 1.0;
+        match self.schedule.fault_for(call) {
+            Some(FaultKind::Outage) => return Err(LlmError::ServiceUnavailable),
+            Some(FaultKind::RateLimitStorm { retry_after_ms }) => {
+                return Err(LlmError::RateLimited { retry_after_ms })
+            }
+            Some(FaultKind::LatencySpike { mult }) => latency_mult = mult.max(1.0),
+            None => {}
+        }
+
         let mut rng = self.transport_rng(request, "backend-transport");
-        let latency = self.latency.draw(&mut rng);
+        let latency = self.latency.draw(&mut rng).mul_f64(latency_mult);
 
         // Timeouts hang for a full straggler duration (base × tail_mult,
         // or the drawn latency if that came out longer) before failing —
@@ -619,6 +744,61 @@ mod tests {
         assert!(first.join().unwrap().is_ok());
         // Slot released: a fresh call succeeds.
         assert!(backend.complete(&req(), &CancelToken::new()).is_ok());
+    }
+
+    #[test]
+    fn fault_schedule_windows_apply_by_call_ordinal() {
+        let backend = SimBackend::new("scripted", sim_model(2)).with_fault_schedule(
+            FaultSchedule::new(vec![FaultWindow::new(1, 3, FaultKind::Outage)]),
+        );
+        let cancel = CancelToken::new();
+        assert!(backend.complete(&req(), &cancel).is_ok(), "call 0 is clean");
+        assert!(matches!(
+            backend.complete(&req(), &cancel),
+            Err(LlmError::ServiceUnavailable)
+        ));
+        assert!(matches!(
+            backend.complete(&req(), &cancel),
+            Err(LlmError::ServiceUnavailable)
+        ));
+        assert!(
+            backend.complete(&req(), &cancel).is_ok(),
+            "call 3 is past the window"
+        );
+        assert_eq!(backend.calls_seen(), 4);
+    }
+
+    #[test]
+    fn rate_limit_storm_carries_its_hint() {
+        let backend =
+            SimBackend::new("stormy", sim_model(2)).with_fault_schedule(FaultSchedule::new(vec![
+                FaultWindow::new(0, 1, FaultKind::RateLimitStorm { retry_after_ms: 77 }),
+            ]));
+        match backend.complete(&req(), &CancelToken::new()) {
+            Err(LlmError::RateLimited { retry_after_ms }) => assert_eq!(retry_after_ms, 77),
+            other => panic!("expected storm 429, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_spike_inflates_the_drawn_latency() {
+        let backend = SimBackend::new("spiky", sim_model(2))
+            .with_latency(LatencyProfile::fixed(500))
+            .with_fault_schedule(FaultSchedule::new(vec![FaultWindow::new(
+                0,
+                1,
+                FaultKind::LatencySpike { mult: 20.0 },
+            )]));
+        let started = Instant::now();
+        backend.complete(&req(), &CancelToken::new()).unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(10),
+            "spiked call must sleep 20 x 500 us"
+        );
+        // The next call is outside the window: back to the plain 500 us.
+        let started = Instant::now();
+        backend.complete(&req(), &CancelToken::new()).unwrap();
+        assert!(started.elapsed() < Duration::from_millis(10));
     }
 
     #[test]

@@ -392,6 +392,28 @@ impl LlmClient {
         })
     }
 
+    /// Seed the temperature-0 response cache with an externally produced
+    /// response — the journal-replay path: a resumed run re-injects
+    /// completions recorded by a previous process so identical requests
+    /// are served without re-dispatch.
+    ///
+    /// No ledger or stats effect here (replay accounting is the caller's
+    /// job); a later lookup returns a copy marked
+    /// [`CompletionResponse::cached`] like any other hit. No-op when the
+    /// request is uncacheable (cache disabled, or temperature > 0).
+    pub fn seed_cache(&self, request: &CompletionRequest, response: &CompletionResponse) {
+        if !(self.cache_enabled && request.temperature == 0.0) {
+            return;
+        }
+        let key = request.fingerprint();
+        self.cache
+            .shard(key)
+            .responses
+            .lock()
+            .map
+            .insert(key, response.clone());
+    }
+
     /// Execute one request with caching, coalescing, and retries.
     ///
     /// Only temperature-0 requests are cached (they are deterministic), and
@@ -506,11 +528,32 @@ impl LlmClient {
                 Err(e) if e.is_retryable() => {
                     attempt += 1;
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
-                    if self.retry.backoff_ms > 0 {
-                        let wait = self.retry.backoff_ms.saturating_mul(u64::from(attempt));
-                        std::thread::sleep(std::time::Duration::from_millis(wait));
+                    // Shared delay policy: linear ramp floored by the
+                    // server's Retry-After hint, seeded jitter, clipped to
+                    // the request deadline ([`crate::retry::retry_delay`]).
+                    match crate::retry::retry_delay(
+                        self.retry.backoff_ms,
+                        attempt,
+                        e.retry_hint_ms(),
+                        request.fingerprint(),
+                        request.deadline,
+                        std::time::Instant::now(),
+                    ) {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            last_err = Some(e);
+                        }
+                        // Deadline passed: stop chasing this call.
+                        None => {
+                            self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                            return Err(LlmError::RetriesExhausted {
+                                attempts: attempt,
+                                last: Box::new(e),
+                            });
+                        }
                     }
-                    last_err = Some(e);
                 }
                 Err(e) => {
                     self.stats.failures.fetch_add(1, Ordering::Relaxed);
@@ -924,6 +967,37 @@ mod tests {
         }
         assert_eq!(client.stats().calls(), 8);
         assert_eq!(client.stats().cache_hits(), 16);
+    }
+
+    #[test]
+    fn seeded_cache_serves_without_backend_calls() {
+        let (world, ids) = world_and_ids(1);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm);
+        let req = check_req(ids[0]);
+        assert!(client.peek_cached(&req).is_none());
+        let canned = CompletionResponse {
+            text: "yes.".into(),
+            usage: crate::types::Usage {
+                prompt_tokens: 7,
+                completion_tokens: 2,
+            },
+            finish_reason: crate::types::FinishReason::Stop,
+            model: "sim-gpt-3.5-turbo".into(),
+            cached: false,
+            pricing: Pricing::free(),
+            confidence: None,
+        };
+        client.seed_cache(&req, &canned);
+        let hit = client.complete(&req).unwrap();
+        assert_eq!(hit.text, "yes.");
+        assert!(hit.cached, "seeded entries serve as cache hits");
+        assert_eq!(client.stats().calls(), 0, "no backend dispatch");
+        assert_eq!(client.ledger().calls(), 0, "seeding charges nothing");
+        // Uncacheable requests are ignored.
+        let hot = check_req(ids[0]).with_temperature(0.9);
+        client.seed_cache(&hot, &canned);
+        assert!(client.peek_cached(&hot).is_none());
     }
 
     #[test]

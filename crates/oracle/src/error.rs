@@ -40,6 +40,12 @@ pub enum LlmError {
     CircuitOpen {
         /// The model tier whose backends are all open.
         model: String,
+        /// Milliseconds until the *earliest* breaker admits a half-open
+        /// probe. Callers can schedule around the cooldown (sleep this
+        /// long, then retry) instead of blind-retrying into a tier that is
+        /// guaranteed to reject them. `0` when a probe is already
+        /// admissible (e.g. the half-open slot was momentarily claimed).
+        retry_in_ms: u64,
     },
     /// The request referenced an unknown model name.
     UnknownModel(String),
@@ -79,8 +85,11 @@ impl fmt::Display for LlmError {
                 write!(f, "call timed out after {elapsed_ms} ms")
             }
             LlmError::Cancelled => write!(f, "call cancelled by dispatcher"),
-            LlmError::CircuitOpen { model } => {
-                write!(f, "all backends for model '{model}' are circuit-broken")
+            LlmError::CircuitOpen { model, retry_in_ms } => {
+                write!(
+                    f,
+                    "all backends for model '{model}' are circuit-broken; earliest probe in {retry_in_ms} ms"
+                )
             }
             LlmError::UnknownModel(name) => write!(f, "unknown model: {name}"),
             LlmError::BudgetExhausted {
@@ -111,6 +120,19 @@ impl LlmError {
             LlmError::RateLimited { .. } | LlmError::ServiceUnavailable | LlmError::Timeout { .. }
         )
     }
+
+    /// The server's (or breaker's) own suggestion for when a retry could
+    /// succeed, in milliseconds: a 429's `Retry-After` or an open circuit's
+    /// earliest half-open probe time. `None` for errors that carry no
+    /// scheduling hint.
+    pub fn retry_hint_ms(&self) -> Option<u64> {
+        match self {
+            LlmError::RateLimited { retry_after_ms } => Some(*retry_after_ms),
+            LlmError::CircuitOpen { retry_in_ms, .. } => Some(*retry_in_ms),
+            LlmError::RetriesExhausted { last, .. } => last.retry_hint_ms(),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +145,11 @@ mod tests {
         assert!(LlmError::ServiceUnavailable.is_retryable());
         assert!(LlmError::Timeout { elapsed_ms: 100 }.is_retryable());
         assert!(!LlmError::Cancelled.is_retryable());
-        assert!(!LlmError::CircuitOpen { model: "m".into() }.is_retryable());
+        assert!(!LlmError::CircuitOpen {
+            model: "m".into(),
+            retry_in_ms: 5
+        }
+        .is_retryable());
         assert!(!LlmError::ContextOverflow {
             prompt_tokens: 10,
             context_window: 5
@@ -148,6 +174,32 @@ mod tests {
             last: Box::new(LlmError::ServiceUnavailable),
         };
         assert!(e.to_string().contains("3 attempts"));
+    }
+
+    #[test]
+    fn retry_hints_surface_scheduling_information() {
+        assert_eq!(
+            LlmError::RateLimited { retry_after_ms: 75 }.retry_hint_ms(),
+            Some(75)
+        );
+        assert_eq!(
+            LlmError::CircuitOpen {
+                model: "m".into(),
+                retry_in_ms: 40
+            }
+            .retry_hint_ms(),
+            Some(40)
+        );
+        // The hint tunnels through an exhaustion wrapper.
+        assert_eq!(
+            LlmError::RetriesExhausted {
+                attempts: 3,
+                last: Box::new(LlmError::RateLimited { retry_after_ms: 20 }),
+            }
+            .retry_hint_ms(),
+            Some(20)
+        );
+        assert_eq!(LlmError::ServiceUnavailable.retry_hint_ms(), None);
     }
 
     #[test]

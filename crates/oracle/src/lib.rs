@@ -30,6 +30,7 @@ pub mod error;
 pub mod hash;
 pub mod model;
 pub mod pricing;
+pub mod retry;
 pub mod route;
 pub mod sim;
 pub mod task;
@@ -37,7 +38,10 @@ pub mod tokenizer;
 pub mod types;
 pub mod world;
 
-pub use backend::{Backend, BackendRegistry, CancelToken, LatencyProfile, SimBackend};
+pub use backend::{
+    Backend, BackendRegistry, CancelToken, FaultKind, FaultSchedule, FaultWindow, LatencyProfile,
+    SimBackend,
+};
 pub use client::{ClientStats, LlmClient, RetryPolicy};
 pub use error::LlmError;
 pub use model::{ModelProfile, NoiseProfile};

@@ -20,7 +20,11 @@
 //!    and the loser is cancelled through its [`CancelToken`].
 //! 3. **Retry with backoff** — a transient failure (429 / 5xx / timeout)
 //!    marks the backend avoided for this request and retries on the next
-//!    best, up to `max_retries` extra attempts, with linear backoff.
+//!    best, up to `max_retries` extra attempts. The sleep between attempts
+//!    comes from [`crate::retry::retry_delay`]: a linear ramp floored by
+//!    the server's `Retry-After` hint, de-synchronized by deterministic
+//!    seeded jitter, and clipped to the request's deadline (an expired
+//!    deadline stops retrying outright).
 //! 4. **Circuit breaker** — consecutive transient failures open a
 //!    per-backend breaker for a cooldown; a half-open probe readmits it.
 //!
@@ -592,6 +596,25 @@ impl Router {
         unreachable!("loop returns on the second result")
     }
 
+    /// Milliseconds until the earliest breaker would admit a half-open
+    /// probe: `0` if any backend's breaker is closed or already cooled
+    /// down, else the shortest remaining cooldown. Feeds
+    /// [`LlmError::CircuitOpen::retry_in_ms`] so callers can schedule a
+    /// retry for when it can actually succeed.
+    fn earliest_probe_in_ms(&self, now: Instant) -> u64 {
+        self.states
+            .iter()
+            .map(|s| {
+                let state = s.breaker.lock().unwrap_or_else(|e| e.into_inner());
+                match state.open_until {
+                    Some(t) => t.saturating_duration_since(now).as_millis() as u64,
+                    None => 0,
+                }
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Dispatch without hedging: one inline attempt, no thread spawn.
     fn dispatch_direct(
         &self,
@@ -643,6 +666,7 @@ impl LanguageModel for Router {
                         None => {
                             return Err(LlmError::CircuitOpen {
                                 model: self.tier.clone(),
+                                retry_in_ms: self.earliest_probe_in_ms(Instant::now()),
                             })
                         }
                     }
@@ -670,10 +694,27 @@ impl LanguageModel for Router {
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     avoid[primary] = true;
-                    if self.policy.backoff_ms > 0 {
-                        std::thread::sleep(Duration::from_millis(
-                            self.policy.backoff_ms.saturating_mul(u64::from(attempt)),
-                        ));
+                    match crate::retry::retry_delay(
+                        self.policy.backoff_ms,
+                        attempt,
+                        error.retry_hint_ms(),
+                        request.fingerprint(),
+                        request.deadline,
+                        Instant::now(),
+                    ) {
+                        Some(delay) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        // Deadline passed mid-request: stop chasing this
+                        // call and report how far we got.
+                        None => {
+                            return Err(LlmError::RetriesExhausted {
+                                attempts: attempt,
+                                last: Box::new(error),
+                            })
+                        }
                     }
                 }
                 Err(error) => return Err(error),
@@ -821,6 +862,73 @@ mod tests {
                 assert!(matches!(*last, LlmError::RateLimited { .. }));
             }
             other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_sleep_honors_the_rate_limit_hint() {
+        let (model, ids) = shared_model(1, 21);
+        let backends: Vec<Arc<dyn Backend>> = vec![Arc::new(
+            SimBackend::new("throttled", model)
+                .with_transport_noise(NoiseProfile {
+                    rate_limit_prob: 1.0, // every call is a 429 with retry_after_ms = 50
+                    ..NoiseProfile::perfect()
+                })
+                .with_seed(8),
+        )];
+        let router = Router::new(
+            BackendRegistry::new(backends).unwrap(),
+            RoutePolicy {
+                max_retries: 2,
+                backoff_ms: 1, // linear ramp alone would sleep ~3 ms total
+                breaker: BreakerConfig {
+                    failure_threshold: 100,
+                    cooldown: Duration::from_millis(1),
+                },
+                ..RoutePolicy::default()
+            },
+        );
+        let started = Instant::now();
+        assert!(matches!(
+            router.complete(&check(ids[0])),
+            Err(LlmError::RetriesExhausted { .. })
+        ));
+        // Two retry sleeps, each floored by the 50 ms server hint.
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "retry sleeps must honor the Retry-After hint, elapsed {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn expired_deadline_stops_router_retries() {
+        let (model, ids) = shared_model(1, 22);
+        let backends: Vec<Arc<dyn Backend>> = vec![Arc::new(
+            SimBackend::new("down", model)
+                .with_transport_noise(NoiseProfile {
+                    unavailable_prob: 1.0,
+                    ..NoiseProfile::perfect()
+                })
+                .with_seed(9),
+        )];
+        let router = Router::new(
+            BackendRegistry::new(backends).unwrap(),
+            RoutePolicy {
+                max_retries: 5,
+                breaker: BreakerConfig {
+                    failure_threshold: 100,
+                    cooldown: Duration::from_millis(1),
+                },
+                ..RoutePolicy::default()
+            },
+        );
+        let request = check(ids[0]).with_deadline(Some(Instant::now()));
+        match router.complete(&request) {
+            Err(LlmError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(attempts, 1, "an expired deadline permits no retries");
+            }
+            other => panic!("expected deadline-capped exhaustion, got {other:?}"),
         }
     }
 
@@ -1042,8 +1150,14 @@ mod tests {
         // First call trips the breaker (first failure opens at threshold 1).
         assert!(router.complete(&check(ids[0])).is_err());
         match router.complete(&check(ids[1])) {
-            Err(LlmError::CircuitOpen { model }) => {
+            Err(LlmError::CircuitOpen { model, retry_in_ms }) => {
                 assert_eq!(model, "sim-gpt-3.5-turbo");
+                // The 1-hour cooldown just started; the probe hint must
+                // point (well) into it rather than inviting a blind retry.
+                assert!(
+                    retry_in_ms > 3_000_000,
+                    "probe hint should reflect the cooldown, got {retry_in_ms}"
+                );
             }
             other => panic!("expected circuit-open fail-fast, got {other:?}"),
         }

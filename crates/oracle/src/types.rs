@@ -66,6 +66,12 @@ pub struct CompletionRequest {
     /// Monotone sequence number used to decorrelate repeated sampling of the
     /// same prompt at temperature > 0 (e.g. self-consistency voting).
     pub sample_index: u32,
+    /// Wall-clock deadline for this call's *run*, if any. Dispatchers clip
+    /// retry backoff and hedge waits against it and stop retrying once it
+    /// passes, so a deadlined batch never overshoots chasing stragglers.
+    /// Excluded from [`CompletionRequest::fingerprint`]: a deadline changes
+    /// scheduling, never the answer, so caching is unaffected.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl CompletionRequest {
@@ -77,6 +83,7 @@ impl CompletionRequest {
             temperature: 0.0,
             max_tokens: None,
             sample_index: 0,
+            deadline: None,
         }
     }
 
@@ -99,6 +106,19 @@ impl CompletionRequest {
     pub fn with_sample_index(mut self, i: u32) -> Self {
         self.sample_index = i;
         self
+    }
+
+    /// Set (or clear) the run deadline this call must respect.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Time remaining until the deadline, if one is set. `Some(ZERO)` when
+    /// the deadline has already passed.
+    pub fn remaining(&self, now: std::time::Instant) -> Option<std::time::Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(now))
     }
 
     /// Stable fingerprint of the request content, suitable as a cache key.
@@ -203,6 +223,19 @@ mod tests {
             .with_temperature(0.7)
             .with_sample_index(1);
         assert_ne!(r1.fingerprint(), r2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_deadline() {
+        let r1 = CompletionRequest::new("p", dummy_task());
+        let r2 = CompletionRequest::new("p", dummy_task())
+            .with_deadline(Some(std::time::Instant::now()));
+        assert_eq!(r1.fingerprint(), r2.fingerprint());
+        assert_eq!(
+            r2.remaining(std::time::Instant::now()),
+            Some(std::time::Duration::ZERO)
+        );
+        assert_eq!(r1.remaining(std::time::Instant::now()), None);
     }
 
     #[test]

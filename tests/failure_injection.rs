@@ -215,6 +215,72 @@ fn max_token_truncation_reported_as_length_finish() {
 }
 
 #[test]
+fn breaker_opens_heals_and_degraded_batch_completes() {
+    // End-to-end circuit-breaker recovery: a scripted outage fails the
+    // backend's first calls, the breaker trips open, and a degrade-mode
+    // batch started mid-outage keeps re-asking — sleeping the breaker's
+    // advertised probe hints — until half-open probes heal the circuit and
+    // every item completes. Nothing may quarantine.
+    let (w, items) = flagged_world(30);
+    let llm: Arc<dyn LanguageModel> = Arc::new(SimulatedLlm::new(
+        ModelProfile::gpt35_like().with_noise(NoiseProfile::perfect()),
+        Arc::new(w.clone()),
+        11,
+    ));
+    // First 12 backend calls are an outage; everything after heals.
+    let backend = SimBackend::new("healing", llm).with_fault_schedule(FaultSchedule::new(vec![
+        FaultWindow::new(0, 12, FaultKind::Outage),
+    ]));
+    use crowdprompt::oracle::route::BreakerConfig;
+    let client = Arc::new(LlmClient::routed(
+        BackendRegistry::new(vec![Arc::new(backend) as Arc<dyn Backend>]).unwrap(),
+        RoutePolicy {
+            max_retries: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: std::time::Duration::from_millis(10),
+            },
+            ..RoutePolicy::default()
+        },
+    ));
+    let session = Session::builder()
+        .client(client)
+        .corpus(Corpus::from_world(&w, &items))
+        .criterion("by index")
+        .failure_policy(FailurePolicy::Degrade { max_attempts: 60 })
+        .build();
+
+    let run = session
+        .plan(session.query(&items).filter("keep"))
+        .unwrap()
+        .execute(&session)
+        .unwrap();
+    // Every keep-flagged item survived the outage.
+    assert_eq!(run.output.items().unwrap().len(), 15);
+    // The whole batch was salvaged: the step degraded transparently, with
+    // zero casualties recorded in its salvage notes.
+    assert_eq!(run.steps.len(), 1);
+    assert_eq!(run.steps[0].quarantined_count(), 0);
+    assert!(
+        !run.steps[0].salvage.is_empty(),
+        "degrade mode leaves a note"
+    );
+    // The breaker genuinely opened during the outage...
+    let stats = session.engine().client().router().unwrap().stats();
+    assert!(
+        stats.per_backend[0].breaker_trips >= 1,
+        "outage should trip the breaker: {stats:?}"
+    );
+    // ...and genuinely healed: it is closed now, and a fresh operation
+    // completes first-try (served from cache or a healthy backend).
+    assert!(!stats.per_backend[0].open, "breaker should have re-closed");
+    let again = session
+        .filter(&items, "keep", FilterStrategy::Single)
+        .unwrap();
+    assert_eq!(again.value.len(), 15);
+}
+
+#[test]
 fn cache_prevents_double_billing_across_repeated_operations() {
     let (session, items) = session_with(NoiseProfile::perfect(), RetryPolicy::default(), 10);
     session
