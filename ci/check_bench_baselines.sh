@@ -31,6 +31,10 @@ require() {
 require BENCH_exec.json \
   client_hot_cache/seed_mutex/8 \
   client_hot_cache/sharded/8 \
+  client_hot_cache/seed_mutex/16 \
+  client_hot_cache/sharded/16 \
+  client_hot_cache/seed_mutex/32 \
+  client_hot_cache/sharded/32 \
   client_cold_burst_16t/seed_mutex \
   client_cold_burst_16t/sharded_coalescing \
   engine_run_many_dup_heavy/adaptive_claims \
@@ -42,6 +46,7 @@ require BENCH_embed.json \
   embed_single_query_20k/seed_sort \
   embed_single_query_20k/fused_heap \
   embed_batch_blocking_20kx256/seed_per_record_loop \
+  embed_batch_blocking_20kx256/fused_sequential_loop \
   embed_batch_blocking_20kx256/batched_fused \
   embed_1m_query/exact_fused \
   embed_1m_query/ivf_sq8 \
@@ -56,7 +61,9 @@ require BENCH_pack.json \
   filter_pack_4096/backend_calls_packed_w16
 
 require BENCH_route.json \
+  route_tail/unhedged_p50_ns \
   route_tail/unhedged_p99_ns \
+  route_tail/hedged_p50_ns \
   route_tail/hedged_p99_ns \
   route_call/unhedged \
   route_call/hedged \

@@ -140,8 +140,8 @@ fn bench_hot_cache(c: &mut Criterion) {
 struct LatencyLimitedModel {
     inner: SimulatedLlm,
     latency: std::time::Duration,
-    slots: std::sync::Mutex<usize>,
-    available: std::sync::Condvar,
+    slots: parking_lot::Mutex<usize>,
+    available: parking_lot::Condvar,
 }
 
 impl LatencyLimitedModel {
@@ -149,8 +149,8 @@ impl LatencyLimitedModel {
         LatencyLimitedModel {
             inner,
             latency: std::time::Duration::from_micros(latency_us),
-            slots: std::sync::Mutex::new(max_concurrent),
-            available: std::sync::Condvar::new(),
+            slots: parking_lot::Mutex::new(max_concurrent),
+            available: parking_lot::Condvar::new(),
         }
     }
 }
@@ -166,15 +166,15 @@ impl LanguageModel for LatencyLimitedModel {
         self.inner.pricing()
     }
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse, LlmError> {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = self.slots.lock();
         while *slots == 0 {
-            slots = self.available.wait(slots).unwrap();
+            self.available.wait(&mut slots);
         }
         *slots -= 1;
         drop(slots);
         std::thread::sleep(self.latency);
         let out = self.inner.complete(request);
-        *self.slots.lock().unwrap() += 1;
+        *self.slots.lock() += 1;
         self.available.notify_one();
         out
     }

@@ -161,7 +161,7 @@ impl BlockingIndex {
                 .index
                 .nearest_rows(&[p], k)
                 .pop()
-                .expect("one row query");
+                .expect("one row query"); // lint: allow(no-unwrap)
             self.to_hits(raw)
         } else if let Some(text) = engine.corpus().text(id) {
             self.to_hits(self.index.nearest(&self.embedder.embed(text), k))
@@ -241,7 +241,7 @@ impl BlockingIndex {
         }
         drop(cache);
         out.into_iter()
-            .map(|r| r.expect("every slot answered"))
+            .map(|r| r.expect("every slot answered")) // lint: allow(no-unwrap)
             .collect()
     }
 

@@ -92,7 +92,7 @@ impl ModelCascade {
     pub fn ask(&self, task: TaskDescriptor) -> Result<Outcome<CascadeVerdict>, EngineError> {
         let out = self.ask_many(vec![task])?;
         let mut verdicts = out.value;
-        let verdict = verdicts.pop().expect("one verdict per task");
+        let verdict = verdicts.pop().expect("one verdict per task"); // lint: allow(no-unwrap)
         Ok(Outcome {
             value: verdict,
             usage: out.usage,
@@ -154,6 +154,7 @@ impl ModelCascade {
                         if !probed && retry_in_ms <= PROBE_WAIT_CAP_MS =>
                     {
                         probed = true;
+                        parking_lot::blocking_region("breaker probe wait");
                         std::thread::sleep(std::time::Duration::from_millis(retry_in_ms.max(1)));
                     }
                     other => break other,
@@ -213,7 +214,7 @@ impl ModelCascade {
         Ok(meter.into_outcome(
             verdicts
                 .into_iter()
-                .map(|v| v.expect("every task settles by the last tier"))
+                .map(|v| v.expect("every task settles by the last tier")) // lint: allow(no-unwrap)
                 .collect(),
         ))
     }

@@ -74,7 +74,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crowdprompt_oracle::error::LlmError;
@@ -83,7 +83,7 @@ use crowdprompt_oracle::tokenizer::count_tokens;
 use crowdprompt_oracle::types::{CompletionRequest, CompletionResponse};
 use crowdprompt_oracle::LlmClient;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::corpus::Corpus;
@@ -124,22 +124,22 @@ impl Default for PipelineConfig {
 
 /// A counting semaphore (std has none until `std::sync::Semaphore` lands).
 struct Semaphore {
-    permits: StdMutex<usize>,
+    permits: Mutex<usize>,
     cv: Condvar,
 }
 
 impl Semaphore {
     fn new(permits: usize) -> Self {
         Semaphore {
-            permits: StdMutex::new(permits),
+            permits: Mutex::new(permits),
             cv: Condvar::new(),
         }
     }
 
     fn acquire(&self) -> SemaphorePermit<'_> {
-        let mut permits = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        let mut permits = self.permits.lock();
         while *permits == 0 {
-            permits = self.cv.wait(permits).unwrap_or_else(|e| e.into_inner());
+            self.cv.wait(&mut permits);
         }
         *permits -= 1;
         SemaphorePermit { sem: self }
@@ -153,7 +153,7 @@ struct SemaphorePermit<'a> {
 
 impl Drop for SemaphorePermit<'_> {
     fn drop(&mut self) {
-        let mut permits = self.sem.permits.lock().unwrap_or_else(|e| e.into_inner());
+        let mut permits = self.sem.permits.lock();
         *permits += 1;
         self.sem.cv.notify_one();
     }
@@ -165,9 +165,9 @@ type GateMap = HashMap<(String, usize), Arc<Semaphore>>;
 /// Process-wide per-model gates, keyed by `(model name, limit)` so engines
 /// configured with different limits do not interfere.
 fn model_gate(model: &str, limit: usize) -> Arc<Semaphore> {
-    static GATES: OnceLock<StdMutex<GateMap>> = OnceLock::new();
-    let gates = GATES.get_or_init(|| StdMutex::new(HashMap::new()));
-    let mut gates = gates.lock().unwrap_or_else(|e| e.into_inner());
+    static GATES: OnceLock<Mutex<GateMap>> = OnceLock::new();
+    let gates = GATES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut gates = gates.lock();
     Arc::clone(
         gates
             .entry((model.to_owned(), limit))
@@ -436,7 +436,7 @@ impl Engine {
     /// This run's wall-clock deadline, anchored now.
     fn run_deadline(&self) -> Option<Instant> {
         self.deadline_ms
-            .map(|ms| Instant::now() + Duration::from_millis(ms))
+            .map(|ms| Instant::now() + Duration::from_millis(ms)) // lint: allow(clock) — run deadline anchor
     }
 
     /// Per-item dispatch attempts the engine makes in degrade mode before
@@ -779,7 +779,7 @@ impl Engine {
         Ok(PackedRun {
             answers: answers
                 .into_iter()
-                .map(|a| a.expect("every slot answered or bisected to a singleton"))
+                .map(|a| a.expect("every slot answered or bisected to a singleton")) // lint: allow(no-unwrap)
                 .collect(),
             responses,
         })
@@ -945,7 +945,7 @@ impl Engine {
                             next.push((start, chunk[..mid].to_vec()));
                             next.push((start + mid, chunk[mid..].to_vec()));
                         } else {
-                            let last = errors.last().cloned().expect("non-empty error chain");
+                            let last = errors.last().cloned().expect("non-empty error chain"); // lint: allow(no-unwrap)
                             answers[start] = Some(Err(last));
                             quarantined.push(Quarantine {
                                 index: start,
@@ -961,7 +961,7 @@ impl Engine {
         Ok(PackedOutcome {
             answers: answers
                 .into_iter()
-                .map(|a| a.expect("every slot answered, bisected, or quarantined"))
+                .map(|a| a.expect("every slot answered, bisected, or quarantined")) // lint: allow(no-unwrap)
                 .collect(),
             responses,
             quarantined,
@@ -1066,6 +1066,7 @@ impl Engine {
         let mut attempt = 0u32;
         loop {
             if let Some(d) = deadline {
+                // lint: allow(clock) — deadline check between attempts
                 if Instant::now() >= d {
                     errors.push(EngineError::DeadlineExceeded);
                     return Err(errors);
@@ -1099,9 +1100,11 @@ impl Engine {
                             .clamp(MIN_ATTEMPT_PAUSE_MS, MAX_ATTEMPT_PAUSE_MS),
                     );
                     if let Some(d) = deadline {
+                        // lint: allow(clock) — remaining-deadline clamp
                         wait = wait.min(d.saturating_duration_since(Instant::now()));
                     }
                     if !wait.is_zero() {
+                        parking_lot::blocking_region("engine retry pause");
                         std::thread::sleep(wait);
                     }
                 }
@@ -1272,7 +1275,7 @@ impl Engine {
                         if local.is_empty() {
                             break;
                         }
-                        let started = Instant::now();
+                        let started = Instant::now(); // lint: allow(clock) — dispatch latency sample
                         let mut completed = 0usize;
                         for (index, work) in local.drain(..) {
                             if stop.load(Ordering::Relaxed) {
@@ -1398,7 +1401,7 @@ impl RunOutcome {
             match item {
                 Ok(response) => results.push(Ok(response)),
                 Err(errors) => {
-                    let last = errors.last().cloned().expect("non-empty error chain");
+                    let last = errors.last().cloned().expect("non-empty error chain"); // lint: allow(no-unwrap)
                     results.push(Err(last));
                     quarantined.push(Quarantine { index, errors });
                 }

@@ -35,11 +35,11 @@
 //! first invalid or partial line, so a torn tail never poisons a resume —
 //! the affected task is simply re-run.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex as StdMutex;
 
 use crowdprompt_oracle::hash::fnv1a_str;
 use crowdprompt_oracle::pricing::Pricing;
@@ -161,7 +161,7 @@ struct JournalInner {
 /// crash-safety details.
 pub struct RunJournal {
     path: PathBuf,
-    inner: StdMutex<JournalInner>,
+    inner: Mutex<JournalInner>,
 }
 
 impl RunJournal {
@@ -190,6 +190,7 @@ impl RunJournal {
             Err(e) => {
                 let valid = e.utf8_error().valid_up_to();
                 let bytes = e.into_bytes();
+                // lint: allow(no-unwrap) — invariant: valid_up_to-checked prefix
                 contents.push_str(std::str::from_utf8(&bytes[..valid]).expect("checked prefix"));
             }
         }
@@ -229,7 +230,7 @@ impl RunJournal {
         file.seek(SeekFrom::Start(valid_end))?;
         Ok(RunJournal {
             path,
-            inner: StdMutex::new(JournalInner { file, records }),
+            inner: Mutex::new(JournalInner { file, records }),
         })
     }
 
@@ -240,11 +241,7 @@ impl RunJournal {
 
     /// Number of distinct journaled completions.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .records
-            .len()
+        self.inner.lock().records.len()
     }
 
     /// Whether the journal holds no records.
@@ -257,12 +254,7 @@ impl RunJournal {
     /// replay stands in for the *paid* call the original process made, and
     /// is charged to budget and ledger exactly as that call was.
     pub fn lookup(&self, fingerprint: u64) -> Option<CompletionResponse> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .records
-            .get(&fingerprint)
-            .cloned()
+        self.inner.lock().records.get(&fingerprint).cloned()
     }
 
     /// Append one completed call, keyed by its request fingerprint.
@@ -274,7 +266,7 @@ impl RunJournal {
     /// top of a run that must not fail because a disk hiccuped — a lost
     /// record merely costs a re-run of that task on resume.
     pub fn append(&self, fingerprint: u64, response: &CompletionResponse) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         if inner.records.contains_key(&fingerprint) {
             return;
         }

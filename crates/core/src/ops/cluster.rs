@@ -109,8 +109,8 @@ fn cluster_impl(
     for &id in &items[seed_size..] {
         let blocking = blocking
             .as_ref()
-            .expect("index built when stage 2 is non-empty");
-        // One fused dot per representative, computed once, then sorted.
+            .expect("index built when stage 2 is non-empty"); // lint: allow(no-unwrap)
+                                                              // One fused dot per representative, computed once, then sorted.
         let mut order: Vec<(f32, usize)> = groups
             .iter()
             .enumerate()

@@ -238,7 +238,7 @@ pub fn impute_packed(
                 return Ok(meter.into_outcome(
                     values
                         .into_iter()
-                        .map(|v| v.expect("every slot filled"))
+                        .map(|v| v.expect("every slot filled")) // lint: allow(no-unwrap)
                         .collect(),
                 ));
             }
@@ -260,7 +260,7 @@ pub fn impute_packed(
             Ok(meter.into_outcome(
                 values
                     .into_iter()
-                    .map(|v| v.expect("every slot filled"))
+                    .map(|v| v.expect("every slot filled")) // lint: allow(no-unwrap)
                     .collect(),
             ))
         }

@@ -523,7 +523,7 @@ pub(crate) fn plan(
                 j += 1;
             }
             if j - i >= 2 {
-                let estimator = lazy_estimator.as_ref().expect("built when reordering");
+                let estimator = lazy_estimator.as_ref().expect("built when reordering"); // lint: allow(no-unwrap)
                 let before: Vec<String> = lowered[i..j].iter().map(|l| l.node.name()).collect();
                 // Rank = per-item cost / rows removed per dollar-relevant
                 // item, i.e. cost/(1 − selectivity): the classic predicate
@@ -626,7 +626,7 @@ pub(crate) fn plan(
     let mut rows = source.len();
     for l in &lowered {
         let est = if options.estimate_costs {
-            let estimator = lazy_estimator.as_ref().expect("built when estimating");
+            let estimator = lazy_estimator.as_ref().expect("built when estimating"); // lint: allow(no-unwrap)
             estimator.node(&l.node, rows)
         } else {
             NodeEstimate {
@@ -645,7 +645,7 @@ pub(crate) fn plan(
     // Trials are memoized per candidate set: several unpinned sorts in one
     // chain share one trial run instead of re-spending on the same sample.
     if let Some(cal) = calibration.as_ref().filter(|_| options.run_calibration) {
-        let estimator = lazy_estimator.as_ref().expect("built when calibrating");
+        let estimator = lazy_estimator.as_ref().expect("built when calibrating"); // lint: allow(no-unwrap)
         let mut trials_cache: std::collections::HashMap<String, Vec<optimize::StrategyTrial>> =
             std::collections::HashMap::new();
         for idx in 0..lowered.len() {
@@ -711,7 +711,7 @@ pub(crate) fn plan(
     // node is frozen (a "cheaper" strategy class can cost more at this
     // row count, e.g. n ratings vs one chunked-merge level).
     if options.fit_budget {
-        let estimator = lazy_estimator.as_ref().expect("built when fitting");
+        let estimator = lazy_estimator.as_ref().expect("built when fitting"); // lint: allow(no-unwrap)
         let remaining = remaining_usd_equivalent(engine, estimator);
         if remaining.is_finite() {
             let mut frozen = vec![false; lowered.len()];
@@ -734,7 +734,7 @@ pub(crate) fn plan(
                     })
                     .map(|(i, _)| i);
                 let Some(idx) = candidate else { break };
-                let next = downgrade(&lowered[idx].node).expect("filtered above");
+                let next = downgrade(&lowered[idx].node).expect("filtered above"); // lint: allow(no-unwrap)
                 let next_estimate = estimator.node(&next, estimates[idx].rows_in);
                 if next_estimate.cost_usd >= estimates[idx].cost_usd {
                     frozen[idx] = true;
@@ -757,7 +757,7 @@ pub(crate) fn plan(
     // equivalent of a token cap) across nodes proportionally to their
     // estimates.
     let remaining = if options.estimate_costs {
-        let estimator = lazy_estimator.as_ref().expect("built when estimating");
+        let estimator = lazy_estimator.as_ref().expect("built when estimating"); // lint: allow(no-unwrap)
         remaining_usd_equivalent(engine, estimator)
     } else {
         f64::INFINITY

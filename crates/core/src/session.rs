@@ -433,7 +433,7 @@ impl Session {
             .execute_on(&self.engine)?;
         Ok(run.into_outcome(|out| {
             out.into_items()
-                .expect("single-node filter plan yields items")
+                .expect("single-node filter plan yields items") // lint: allow(no-unwrap)
         }))
     }
 
@@ -450,6 +450,7 @@ impl Session {
             .count_with(predicate, strategy)
             .plan_with(&self.engine, PlanOptions::wrapper())?
             .execute_on(&self.engine)?;
+        // lint: allow(no-unwrap) — invariant: single-node plan output shape
         Ok(run.into_outcome(|out| out.count().expect("single-node count plan yields a count")))
     }
 
@@ -484,6 +485,7 @@ impl Session {
             .max_with(criterion, strategy)
             .plan_with(&self.engine, PlanOptions::wrapper())?
             .execute_on(&self.engine)?;
+        // lint: allow(no-unwrap) — invariant: single-node plan output shape
         Ok(run.into_outcome(|out| out.max_item().expect("single-node max plan yields an item")))
     }
 
@@ -503,7 +505,7 @@ impl Session {
             .execute_on(&self.engine)?;
         Ok(run.into_outcome(|out| {
             out.into_items()
-                .expect("single-node top-k plan yields items")
+                .expect("single-node top-k plan yields items") // lint: allow(no-unwrap)
         }))
     }
 

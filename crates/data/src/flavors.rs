@@ -102,7 +102,7 @@ impl FlavorDataset {
 
     /// Flavor name of an item.
     pub fn name(&self, id: ItemId) -> &str {
-        self.world.text(id).expect("items come from this world")
+        self.world.text(id).expect("items come from this world") // lint: allow(no-unwrap)
     }
 }
 

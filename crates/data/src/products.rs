@@ -38,7 +38,7 @@ pub struct ProductDataset {
 impl ProductDataset {
     /// The serialized record text (target excluded) for an item.
     pub fn text(&self, id: ItemId) -> &str {
-        self.world.text(id).expect("records come from this world")
+        self.world.text(id).expect("records come from this world") // lint: allow(no-unwrap)
     }
 
     /// Gold value of the target attribute for an item.

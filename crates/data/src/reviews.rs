@@ -94,7 +94,7 @@ impl ReviewsDataset {
 
     /// The snippet text of an item.
     pub fn text(&self, id: ItemId) -> &str {
-        self.world.text(id).expect("items come from this world")
+        self.world.text(id).expect("items come from this world") // lint: allow(no-unwrap)
     }
 }
 

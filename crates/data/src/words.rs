@@ -53,7 +53,7 @@ impl WordsDataset {
 
     /// The word text of an item.
     pub fn word(&self, id: ItemId) -> &str {
-        self.world.text(id).expect("items come from this world")
+        self.world.text(id).expect("items come from this world") // lint: allow(no-unwrap)
     }
 }
 

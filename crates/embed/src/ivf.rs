@@ -406,7 +406,7 @@ fn train_centroids(
     chosen.push(sample[(splitmix(&mut rng) as usize) % sample.len()]);
     let mut min_d = vec![f64::INFINITY; sample.len()];
     while chosen.len() < nlist {
-        let last = *chosen.last().expect("non-empty") as usize;
+        let last = *chosen.last().expect("non-empty") as usize; // lint: allow(no-unwrap)
         let (last_row, last_norm) = (store.row(last), store.norm_sq(last));
         let mut total = 0.0f64;
         for (i, &s) in sample.iter().enumerate() {

@@ -253,7 +253,10 @@ impl TopK {
 
     /// Current worst kept candidate, if the heap is full.
     pub(crate) fn threshold(&self) -> Option<Candidate> {
-        (self.heap.len() == self.k).then(|| *self.heap.peek().expect("non-empty when full"))
+        self.heap
+            .peek()
+            .copied()
+            .filter(|_| self.heap.len() == self.k)
     }
 
     pub(crate) fn push(&mut self, cand: Candidate) {

@@ -26,7 +26,7 @@ where
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("partitioned worker panicked"));
+            out.extend(handle.join().expect("partitioned worker panicked")); // lint: allow(no-unwrap)
         }
     });
     out

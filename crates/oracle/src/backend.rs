@@ -250,12 +250,12 @@ const SLEEP_SLICE: Duration = Duration::from_micros(200);
 
 /// Sleep for `total`, polling `cancel`; returns `false` if cancelled early.
 fn cancellable_sleep(total: Duration, cancel: &CancelToken) -> bool {
-    let deadline = Instant::now() + total;
+    let deadline = Instant::now() + total; // lint: allow(clock) — sleep deadline anchor
     loop {
         if cancel.is_cancelled() {
             return false;
         }
-        let now = Instant::now();
+        let now = Instant::now(); // lint: allow(clock) — cancellation poll tick
         if now >= deadline {
             return true;
         }
@@ -531,6 +531,7 @@ impl BackendRegistry {
     /// calling `model` directly.
     pub fn single(model: Arc<dyn LanguageModel>) -> Self {
         let backend: Arc<dyn Backend> = Arc::new(SimBackend::new("default", model));
+        // lint: allow(no-unwrap) — invariant: one-element roster passes validation
         BackendRegistry::new(vec![backend]).expect("one transparent backend is always valid")
     }
 

@@ -33,10 +33,11 @@
 //! affects latency, spend, and failure handling only. Single-backend
 //! registries are result-identical to calling the model directly.
 
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::backend::{Backend, BackendRegistry, CancelToken};
@@ -147,8 +148,8 @@ struct BackendState {
     wins: AtomicU64,
     transient_failures: AtomicU64,
     breaker_trips: AtomicU64,
-    breaker: StdMutex<BreakerState>,
-    latencies_us: StdMutex<VecDeque<u64>>,
+    breaker: Mutex<BreakerState>,
+    latencies_us: Mutex<VecDeque<u64>>,
 }
 
 impl BackendState {
@@ -160,8 +161,8 @@ impl BackendState {
             wins: AtomicU64::new(0),
             transient_failures: AtomicU64::new(0),
             breaker_trips: AtomicU64::new(0),
-            breaker: StdMutex::new(BreakerState::default()),
-            latencies_us: StdMutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+            breaker: Mutex::new(BreakerState::default()),
+            latencies_us: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
         }
     }
 
@@ -171,7 +172,7 @@ impl BackendState {
     /// slot must still be claimed via
     /// [`BackendState::try_claim_probe`] before dispatching.
     fn eligibility(&self, now: Instant) -> Eligibility {
-        let state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let state = self.breaker.lock();
         match state.open_until {
             None => Eligibility::Closed,
             Some(t) if now < t => Eligibility::Blocked,
@@ -190,7 +191,7 @@ impl BackendState {
     /// consideration would strand `probing = true` with no call in flight
     /// to ever clear it, permanently starving the backend.
     fn try_claim_probe(&self, now: Instant) -> bool {
-        let mut state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.breaker.lock();
         match state.open_until {
             Some(t) if now >= t && !state.probing => {
                 state.probing = true;
@@ -202,12 +203,12 @@ impl BackendState {
 
     fn on_success(&self, latency: Duration) {
         {
-            let mut state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+            let mut state = self.breaker.lock();
             state.consecutive_failures = 0;
             state.open_until = None;
             state.probing = false;
         }
-        let mut window = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner());
+        let mut window = self.latencies_us.lock();
         if window.len() == LATENCY_WINDOW {
             window.pop_front();
         }
@@ -216,12 +217,12 @@ impl BackendState {
 
     fn on_transient_failure(&self, config: &BreakerConfig) {
         self.transient_failures.fetch_add(1, Ordering::Relaxed);
-        let mut state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.breaker.lock();
         state.consecutive_failures += 1;
         // A failed half-open probe re-opens immediately; otherwise open at
         // the threshold.
         if state.probing || state.consecutive_failures >= config.failure_threshold.max(1) {
-            state.open_until = Some(Instant::now() + config.cooldown);
+            state.open_until = Some(Instant::now() + config.cooldown); // lint: allow(clock) — breaker cooldown anchor
             state.probing = false;
             self.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
@@ -234,19 +235,19 @@ impl BackendState {
     /// Without this, a probe ending in any such outcome would strand
     /// `probing = true` and starve the backend forever.
     fn release_probe(&self) {
-        let mut state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.breaker.lock();
         state.probing = false;
     }
 
     fn is_open(&self, now: Instant) -> bool {
-        let state = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let state = self.breaker.lock();
         state.open_until.is_some_and(|t| now < t)
     }
 
     /// Observed latency percentile over the recent window, if enough
     /// samples have accumulated.
     fn latency_percentile(&self, percentile: f64) -> Option<Duration> {
-        let window = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner());
+        let window = self.latencies_us.lock();
         if window.len() < LATENCY_MIN_SAMPLES {
             return None;
         }
@@ -280,7 +281,7 @@ impl BackendState {
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         self.in_flight.fetch_add(1, Ordering::AcqRel);
         let _guard = AttemptGuard(self);
-        let started = Instant::now();
+        let started = Instant::now(); // lint: allow(clock) — attempt latency sample
         let result = self.backend.complete(request, cancel);
         match &result {
             Ok(_) => self.on_success(started.elapsed()),
@@ -404,7 +405,7 @@ impl Router {
 
     /// Snapshot the router's behaviour counters.
     pub fn stats(&self) -> RouterStats {
-        let now = Instant::now();
+        let now = Instant::now(); // lint: allow(clock) — stats snapshot anchor
         RouterStats {
             retries: self.retries.load(Ordering::Relaxed),
             hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
@@ -435,7 +436,7 @@ impl Router {
         // the loop terminates after at most `states.len()` rounds.
         let mut race_lost = vec![false; self.states.len()];
         loop {
-            let now = Instant::now();
+            let now = Instant::now(); // lint: allow(clock) — selection loop tick
             let mut best: Option<(f64, f64, usize, Eligibility)> = None;
             for (i, state) in self.states.iter().enumerate() {
                 if avoid[i] || race_lost[i] {
@@ -512,6 +513,9 @@ impl Router {
     ) -> Result<CompletionResponse, LlmError> {
         let (tx, rx) = mpsc::channel();
         let cancel_primary = CancelToken::new();
+        // Every wait below stalls for backend-scale time; no shim lock may
+        // span it (enforced by the lock_diagnostics build).
+        parking_lot::blocking_region("hedged dispatch wait");
         self.spawn_attempt(primary, request.clone(), tx.clone(), cancel_primary.clone());
         match rx.recv_timeout(self.hedge_delay(primary, config)) {
             Ok((index, result)) => {
@@ -605,7 +609,7 @@ impl Router {
         self.states
             .iter()
             .map(|s| {
-                let state = s.breaker.lock().unwrap_or_else(|e| e.into_inner());
+                let state = s.breaker.lock();
                 match state.open_until {
                     Some(t) => t.saturating_duration_since(now).as_millis() as u64,
                     None => 0,
@@ -666,8 +670,8 @@ impl LanguageModel for Router {
                         None => {
                             return Err(LlmError::CircuitOpen {
                                 model: self.tier.clone(),
-                                retry_in_ms: self.earliest_probe_in_ms(Instant::now()),
-                            })
+                                retry_in_ms: self.earliest_probe_in_ms(Instant::now()), // lint: allow(clock) — probe ETA estimate
+                            });
                         }
                     }
                 }
@@ -700,10 +704,11 @@ impl LanguageModel for Router {
                         error.retry_hint_ms(),
                         request.fingerprint(),
                         request.deadline,
-                        Instant::now(),
+                        Instant::now(), // lint: allow(clock) — retry backoff anchor
                     ) {
                         Some(delay) => {
                             if !delay.is_zero() {
+                                parking_lot::blocking_region("router retry backoff sleep");
                                 std::thread::sleep(delay);
                             }
                         }

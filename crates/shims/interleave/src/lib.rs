@@ -1,0 +1,956 @@
+//! Deterministic interleaving explorer — a loom-style model checker for
+//! small, closed concurrency models, built on real OS threads held in
+//! lockstep.
+//!
+//! # How it works
+//!
+//! [`explore`] runs a model closure once per *schedule*. Inside the closure,
+//! the model uses this crate's [`Mutex`], [`Condvar`], [`spawn`], [`choice`],
+//! and [`yield_now`] instead of the std equivalents. Every one of those
+//! operations is a *yield point*: the calling thread parks, and a central
+//! scheduler picks which thread runs next. Exactly one model thread is ever
+//! runnable at a time, so the interleaving is fully determined by the
+//! scheduler's decision sequence — and by nothing else.
+//!
+//! The decision sequence is the schedule. Two sources:
+//!
+//! * [`Mode::Exhaustive`] — depth-first enumeration with prefix replay:
+//!   after each run, the deepest decision with an untried alternative is
+//!   bumped and everything before it is replayed verbatim. Visits every
+//!   distinct schedule exactly once (up to `max_schedules`).
+//! * [`Mode::Random`] — per-iteration SplitMix64-seeded choices; distinct
+//!   schedules are counted by hashing the decision trace.
+//!
+//! # What it detects
+//!
+//! * **Deadlock / lost wakeup** — no runnable thread while some thread is
+//!   still blocked (a notify that raced ahead of its wait parks the waiter
+//!   forever; the scheduler sees it immediately, in the very schedule where
+//!   it happens).
+//! * **Assertion failures** — any panic in a model thread fails the run.
+//!
+//! Failures panic with the full decision trace; re-run the same model under
+//! [`replay`] with that trace to step the exact failing schedule again.
+//!
+//! # Non-goals
+//!
+//! Weak-memory effects are out of scope: shared state lives behind the
+//! virtual locks, so models check *protocol* races (ordering, wakeups,
+//! double-dispatch), not data races the borrow checker already prevents.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+// ---------------------------------------------------------------------------
+// Public configuration
+// ---------------------------------------------------------------------------
+
+/// How schedules are generated.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Depth-first enumeration of every distinct schedule.
+    Exhaustive,
+    /// `iterations` runs with pseudo-random decisions derived from `seed`.
+    Random { seed: u64, iterations: usize },
+}
+
+/// Exploration budget and strategy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub mode: Mode,
+    /// Hard cap on schedules run, whatever the mode asks for.
+    pub max_schedules: usize,
+}
+
+impl Config {
+    pub fn exhaustive(max_schedules: usize) -> Self {
+        Config {
+            mode: Mode::Exhaustive,
+            max_schedules,
+        }
+    }
+
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Config {
+            mode: Mode::Random { seed, iterations },
+            max_schedules: iterations,
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules actually run.
+    pub schedules: usize,
+    /// Distinct decision traces among them (== `schedules` for exhaustive).
+    pub distinct: usize,
+    /// Exhaustive only: the full schedule space was enumerated within the
+    /// budget. Random mode never claims completeness.
+    pub complete: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedLock(usize),
+    /// Waiting on condvar `.0`, will reacquire lock `.1` when woken.
+    Waiting(usize, usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Sched {
+    threads: Vec<TState>,
+    current: Option<usize>,
+    /// Decision values to replay before generating fresh ones.
+    prefix: Vec<u32>,
+    /// All branching decisions made this run: (options, chosen).
+    trace: Vec<(u32, u32)>,
+    /// SplitMix64 state for fresh decisions; `None` = DFS default (always 0).
+    rng: Option<u64>,
+    locks: Vec<Option<usize>>, // holder per lock
+    n_cvars: usize,
+    abort: bool,
+    failure: Option<String>,
+    all_done: bool,
+}
+
+struct SimCore {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+/// Sentinel unwind payload for tearing down parked threads after a failure.
+struct Abort;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<SimCore>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> (Arc<SimCore>, usize) {
+    CTX.with(|c| c.borrow().clone())
+        // lint: allow(no-unwrap) — usage contract: primitives panic outside a run
+        .expect("interleave primitives are only usable inside explore()/replay()")
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Sched {
+    /// Draw the next branching decision among `options` alternatives.
+    fn decide(&mut self, options: u32) -> u32 {
+        if options <= 1 {
+            return 0;
+        }
+        let idx = self.trace.len();
+        let chosen = if idx < self.prefix.len() {
+            self.prefix[idx].min(options - 1)
+        } else if let Some(state) = self.rng.as_mut() {
+            (splitmix(state) % u64::from(options)) as u32
+        } else {
+            0
+        };
+        self.trace.push((options, chosen));
+        chosen
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            let decisions: Vec<u32> = self.trace.iter().map(|&(_, c)| c).collect();
+            self.failure = Some(format!(
+                "{message}\n  schedule: {decisions:?}\n  replay with interleave::replay(&{decisions:?}, model)"
+            ));
+        }
+        self.abort = true;
+    }
+
+    /// Pick the next thread to run, or conclude the run (all finished) or
+    /// fail it (deadlock: someone is blocked and nobody is runnable).
+    fn pick_next(&mut self) {
+        let runnable: Vec<usize> = (0..self.threads.len())
+            .filter(|&i| self.threads[i] == TState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if self.threads.iter().all(|&t| t == TState::Finished) {
+                self.all_done = true;
+                self.current = None;
+            } else {
+                let states: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("t{i}={t:?}"))
+                    .collect();
+                self.fail(format!(
+                    "deadlock: no runnable thread ({})",
+                    states.join(", ")
+                ));
+            }
+            return;
+        }
+        let k = self.decide(runnable.len() as u32);
+        self.current = Some(runnable[k as usize]);
+    }
+}
+
+impl SimCore {
+    fn new(prefix: Vec<u32>, rng: Option<u64>) -> Self {
+        SimCore {
+            sched: StdMutex::new(Sched {
+                threads: Vec::new(),
+                current: None,
+                prefix,
+                trace: Vec::new(),
+                rng,
+                locks: Vec::new(),
+                n_cvars: 0,
+                abort: false,
+                failure: None,
+                all_done: false,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Yield: apply `transition` to the scheduler state, hand control to the
+    /// next chosen thread, and park until this thread is scheduled again.
+    fn pause<R>(&self, me: usize, transition: impl FnOnce(&mut Sched) -> R) -> R {
+        let mut s = self.locked();
+        let out = transition(&mut s);
+        s.pick_next();
+        self.cv.notify_all();
+        loop {
+            if s.abort {
+                drop(s);
+                panic::panic_any(Abort);
+            }
+            if s.current == Some(me) {
+                return out;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Final yield of a thread: mark it finished and hand off without
+    /// expecting to be scheduled again.
+    fn finish(&self, me: usize) {
+        let mut s = self.locked();
+        s.threads[me] = TState::Finished;
+        for t in s.threads.iter_mut() {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        s.pick_next();
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-facing primitives
+// ---------------------------------------------------------------------------
+
+/// A scheduler-visible mutex. `lock()` and guard drop are yield points; the
+/// scheduler explores every admissible acquisition order.
+pub struct Mutex<T> {
+    id: usize,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Safety: the scheduler runs exactly one model thread at a time and tracks
+// lock ownership; `data` is only reachable through a held guard.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    core: Arc<SimCore>,
+    me: usize,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Take the guard apart without running its drop (and without leaking
+    /// the `Arc`): `Condvar::wait` releases the lock itself, atomically with
+    /// entering the wait state.
+    fn dismantle(self) -> (&'a Mutex<T>, Arc<SimCore>, usize) {
+        let this = std::mem::ManuallyDrop::new(self);
+        let core = unsafe { std::ptr::read(&this.core) };
+        (this.mutex, core, this.me)
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let (core, _) = ctx();
+        let mut s = core.locked();
+        s.locks.push(None);
+        Mutex {
+            id: s.locks.len() - 1,
+            data: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (core, me) = ctx();
+        // Visible step before the acquisition attempt: others may interleave.
+        core.pause(me, |_| {});
+        loop {
+            let acquired = {
+                let mut s = core.locked();
+                if s.locks[self.id].is_none() {
+                    s.locks[self.id] = Some(me);
+                    true
+                } else {
+                    false
+                }
+            };
+            if acquired {
+                return MutexGuard {
+                    mutex: self,
+                    core,
+                    me,
+                };
+            }
+            core.pause(me, |s| s.threads[me] = TState::BlockedLock(self.id));
+        }
+    }
+}
+
+fn release_lock(s: &mut Sched, lock: usize) {
+    s.locks[lock] = None;
+    for t in s.threads.iter_mut() {
+        if *t == TState::BlockedLock(lock) {
+            *t = TState::Runnable;
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let id = self.mutex.id;
+        // Never park or reschedule during an unwind (assertion failure while
+        // holding the guard): just release the lock and keep the scheduler
+        // frozen until the wrapper records the panic — keeps the failure's
+        // decision trace deterministic for replay.
+        if std::thread::panicking() {
+            let mut s = self.core.locked();
+            release_lock(&mut s, id);
+            return;
+        }
+        self.core.pause(self.me, |s| release_lock(s, id));
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+/// A scheduler-visible condition variable. `notify_one` with several waiters
+/// is itself a branching decision: every waiter-selection is explored.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let (core, _) = ctx();
+        let mut s = core.locked();
+        s.n_cvars += 1;
+        Condvar { id: s.n_cvars - 1 }
+    }
+
+    /// Atomically release the guard's lock and wait for a notification,
+    /// reacquiring the lock before returning. No spurious wakeups: a parked
+    /// waiter runs again only after a notify — which is exactly what makes
+    /// lost-wakeup bugs visible as deadlocks.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let cv = self.id;
+        let (mutex, core, me) = guard.dismantle();
+        let lock = mutex.id;
+        core.pause(me, |s| {
+            release_lock(s, lock);
+            s.threads[me] = TState::Waiting(cv, lock);
+        });
+        // Notified and scheduled: contend for the lock again.
+        loop {
+            let acquired = {
+                let mut s = core.locked();
+                if s.locks[lock].is_none() {
+                    s.locks[lock] = Some(me);
+                    true
+                } else {
+                    false
+                }
+            };
+            if acquired {
+                return MutexGuard { mutex, core, me };
+            }
+            core.pause(me, |s| s.threads[me] = TState::BlockedLock(lock));
+        }
+    }
+
+    /// Wake one waiter (scheduler's choice among them); a notify with no
+    /// waiter is lost, exactly like the real primitive.
+    pub fn notify_one(&self) {
+        let cv = self.id;
+        let (core, me) = ctx();
+        core.pause(me, |s| {
+            let waiters: Vec<usize> = (0..s.threads.len())
+                .filter(|&i| matches!(s.threads[i], TState::Waiting(c, _) if c == cv))
+                .collect();
+            if !waiters.is_empty() {
+                let k = s.decide(waiters.len() as u32);
+                s.threads[waiters[k as usize]] = TState::Runnable;
+            }
+        });
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        let cv = self.id;
+        let (core, me) = ctx();
+        core.pause(me, |s| {
+            for t in s.threads.iter_mut() {
+                if matches!(*t, TState::Waiting(c, _) if c == cv) {
+                    *t = TState::Runnable;
+                }
+            }
+        });
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Handle to a model thread spawned with [`spawn`].
+pub struct JoinHandle {
+    id: usize,
+}
+
+impl JoinHandle {
+    /// Park until the thread finishes. Unlike `std`, a panicking child fails
+    /// the whole schedule directly, so `join` returns nothing.
+    pub fn join(self) {
+        let (core, me) = ctx();
+        let target = self.id;
+        loop {
+            let finished = {
+                let s = core.locked();
+                s.threads[target] == TState::Finished
+            };
+            if finished {
+                return;
+            }
+            core.pause(me, |s| s.threads[me] = TState::BlockedJoin(target));
+        }
+    }
+}
+
+struct OsHandles {
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static OS_HANDLES: RefCell<Option<Arc<OsHandles>>> = const { RefCell::new(None) };
+}
+
+/// Spawn a model thread. A yield point: the new thread is immediately
+/// schedulable, and the scheduler decides who runs first.
+pub fn spawn(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let (core, me) = ctx();
+    let registry = OS_HANDLES
+        .with(|h| h.borrow().clone())
+        // lint: allow(no-unwrap) — usage contract: spawn panics outside a run
+        .expect("spawn outside explore()");
+    let id = {
+        let mut s = core.locked();
+        s.threads.push(TState::Runnable);
+        s.threads.len() - 1
+    };
+    let child_core = Arc::clone(&core);
+    let child_registry = Arc::clone(&registry);
+    let os = std::thread::spawn(move || {
+        run_model_thread(child_core, child_registry, id, f);
+    });
+    registry
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(os);
+    core.pause(me, |_| {});
+    JoinHandle { id }
+}
+
+/// An explicit visible step with no state change — use to mark points where
+/// the real code does externally observable work (a backend call, an fsync).
+pub fn yield_now() {
+    let (core, me) = ctx();
+    core.pause(me, |_| {});
+}
+
+/// A model-level branching decision with `options` alternatives (crash
+/// injection, message reordering, ...). Explored like any scheduling choice.
+pub fn choice(options: u32) -> u32 {
+    let (core, me) = ctx();
+    core.pause(me, |s| s.decide(options))
+}
+
+fn run_model_thread(core: Arc<SimCore>, registry: Arc<OsHandles>, id: usize, f: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&core), id)));
+    OS_HANDLES.with(|h| *h.borrow_mut() = Some(registry));
+    // Park until scheduled for the first time (thread 0 starts scheduled).
+    {
+        let mut s = core.locked();
+        while !s.abort && s.current != Some(id) {
+            s = core.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.abort {
+            return;
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    match result {
+        Ok(()) => core.finish(id),
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_none() {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("model thread panicked");
+                let mut s = core.locked();
+                s.threads[id] = TState::Finished;
+                s.fail(format!("thread t{id} panicked: {message}"));
+                core.cv.notify_all();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Run one schedule; returns the branching trace, or the failure message.
+fn run_one(
+    prefix: Vec<u32>,
+    rng: Option<u64>,
+    f: &(impl Fn() + Send + Sync),
+) -> Result<Vec<(u32, u32)>, String> {
+    let core = Arc::new(SimCore::new(prefix, rng));
+    let registry = Arc::new(OsHandles {
+        handles: StdMutex::new(Vec::new()),
+    });
+    {
+        let mut s = core.locked();
+        s.threads.push(TState::Runnable);
+        s.current = Some(0);
+    }
+    // The model closure runs as thread 0 on a scoped thread, so `f` needs
+    // only to outlive this call, not 'static.
+    std::thread::scope(|scope| {
+        let core0 = Arc::clone(&core);
+        let registry0 = Arc::clone(&registry);
+        scope.spawn(move || run_model_thread(core0, registry0, 0, f));
+        // Wait for the run to conclude: all threads finished, or a failure.
+        {
+            let mut s = core.locked();
+            while !s.all_done && !s.abort {
+                s = core.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Release any still-parked threads so their OS threads exit.
+        core.cv.notify_all();
+        let handles =
+            std::mem::take(&mut *registry.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+    let s = core.locked();
+    match &s.failure {
+        Some(message) => Err(message.clone()),
+        None => Ok(s.trace.clone()),
+    }
+}
+
+fn trace_hash(trace: &[(u32, u32)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(options, chosen) in trace {
+        for part in [options, chosen] {
+            h ^= u64::from(part);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Explore the model's schedule space per `config`. Panics (with the
+/// decision trace of the failing schedule) on the first deadlock, lost
+/// wakeup, or model assertion failure.
+pub fn explore(config: Config, f: impl Fn() + Send + Sync) -> Report {
+    match config.mode {
+        Mode::Exhaustive => {
+            let mut prefix: Vec<u32> = Vec::new();
+            let mut schedules = 0;
+            loop {
+                if schedules >= config.max_schedules {
+                    return Report {
+                        schedules,
+                        distinct: schedules,
+                        complete: false,
+                    };
+                }
+                let trace = match run_one(prefix.clone(), None, &f) {
+                    Ok(trace) => trace,
+                    Err(message) => panic!("interleave: schedule failed\n{message}"),
+                };
+                schedules += 1;
+                // DFS backtrack: bump the deepest decision with an untried
+                // alternative; drop everything after it.
+                let Some(deepest) = trace
+                    .iter()
+                    .rposition(|&(options, chosen)| chosen + 1 < options)
+                else {
+                    return Report {
+                        schedules,
+                        distinct: schedules,
+                        complete: true,
+                    };
+                };
+                prefix = trace[..deepest].iter().map(|&(_, c)| c).collect();
+                prefix.push(trace[deepest].1 + 1);
+            }
+        }
+        Mode::Random { seed, iterations } => {
+            let mut seen = HashSet::new();
+            let mut schedules = 0;
+            for i in 0..iterations.min(config.max_schedules) {
+                let mut stream = seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                let rng = splitmix(&mut stream);
+                let trace = match run_one(Vec::new(), Some(rng), &f) {
+                    Ok(trace) => trace,
+                    Err(message) => panic!(
+                        "interleave: schedule failed (seed {seed}, iteration {i})\n{message}"
+                    ),
+                };
+                schedules += 1;
+                seen.insert(trace_hash(&trace));
+            }
+            Report {
+                schedules,
+                distinct: seen.len(),
+                complete: false,
+            }
+        }
+    }
+}
+
+/// Re-run exactly one schedule from a decision trace printed by a failure.
+/// Panics if that schedule still fails — run it under a debugger or with
+/// added logging to watch the failing interleaving step by step.
+pub fn replay(decisions: &[u32], f: impl Fn() + Send + Sync) {
+    if let Err(message) = run_one(decisions.to_vec(), None, &f) {
+        panic!("interleave: replayed schedule failed\n{message}");
+    }
+}
+
+/// True when the environment pins a smaller exploration budget (CI sets
+/// `INTERLEAVE_SCHEDULES` to keep wall time bounded).
+pub fn budget(default: usize) -> usize {
+    std::env::var("INTERLEAVE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads increment a shared counter through separate read and
+    /// write steps *without* holding the lock across them: the classic lost
+    /// update. The explorer must find a schedule where the final count is 1.
+    #[test]
+    fn exhaustive_finds_lost_update() {
+        let report = explore(Config::exhaustive(50_000), || {
+            let counter = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let counter = Arc::clone(&counter);
+                handles.push(spawn(move || {
+                    let read = *counter.lock();
+                    yield_now(); // lock dropped between read and write
+                    *counter.lock() = read + 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let count = *counter.lock();
+            assert!((1..=2).contains(&count));
+        });
+        assert!(report.complete, "small model should enumerate fully");
+        assert!(report.schedules > 10, "expected a nontrivial space");
+
+        // Assert the lost update is actually reachable: a model that
+        // insists on count == 2 must fail under exploration.
+        let result = panic::catch_unwind(|| {
+            explore(Config::exhaustive(50_000), || {
+                let counter = Arc::new(Mutex::new(0u32));
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let counter = Arc::clone(&counter);
+                    handles.push(spawn(move || {
+                        let read = *counter.lock();
+                        yield_now();
+                        *counter.lock() = read + 1;
+                    }));
+                }
+                for h in handles {
+                    h.join();
+                }
+                assert_eq!(*counter.lock(), 2, "lost update");
+            })
+        });
+        let message = match result {
+            Ok(_) => panic!("explorer missed the lost update"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+        };
+        assert!(message.contains("lost update"), "wrong failure: {message}");
+        assert!(message.contains("schedule:"), "no trace in: {message}");
+    }
+
+    /// Holding the lock across the read-modify-write closes the race: every
+    /// schedule ends at 2, and exploration completes cleanly.
+    #[test]
+    fn exhaustive_passes_correct_counter() {
+        let report = explore(Config::exhaustive(10_000), || {
+            let counter = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let counter = Arc::clone(&counter);
+                handles.push(spawn(move || {
+                    let mut guard = counter.lock();
+                    *guard += 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2);
+        });
+        assert!(report.complete);
+    }
+
+    /// notify-before-wait is a lost wakeup: the waiter parks forever and the
+    /// explorer reports a deadlock naming the waiting thread.
+    #[test]
+    fn lost_wakeup_is_reported_as_deadlock() {
+        let result = panic::catch_unwind(|| {
+            explore(Config::exhaustive(10_000), || {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let waiter = {
+                    let pair = Arc::clone(&pair);
+                    spawn(move || {
+                        let (flag, cv) = &*pair;
+                        let guard = flag.lock();
+                        // BUG: waits without checking the predicate first;
+                        // if the notify already fired, this parks forever.
+                        let guard = cv.wait(guard);
+                        assert!(*guard);
+                    })
+                };
+                let notifier = {
+                    let pair = Arc::clone(&pair);
+                    spawn(move || {
+                        let (flag, cv) = &*pair;
+                        *flag.lock() = true;
+                        cv.notify_one();
+                    })
+                };
+                notifier.join();
+                waiter.join();
+            })
+        });
+        let message = match result {
+            Ok(_) => panic!("explorer missed the lost wakeup"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+        };
+        assert!(message.contains("deadlock"), "wrong failure: {message}");
+        assert!(message.contains("Waiting"), "no waiter in: {message}");
+    }
+
+    /// The same protocol written correctly (while-loop recheck) has no lost
+    /// wakeup: exploration completes with zero failures.
+    #[test]
+    fn correct_wait_loop_has_no_lost_wakeup() {
+        let report = explore(Config::exhaustive(10_000), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiter = {
+                let pair = Arc::clone(&pair);
+                spawn(move || {
+                    let (flag, cv) = &*pair;
+                    let mut guard = flag.lock();
+                    while !*guard {
+                        guard = cv.wait(guard);
+                    }
+                })
+            };
+            let notifier = {
+                let pair = Arc::clone(&pair);
+                spawn(move || {
+                    let (flag, cv) = &*pair;
+                    *flag.lock() = true;
+                    cv.notify_one();
+                })
+            };
+            notifier.join();
+            waiter.join();
+        });
+        assert!(report.complete);
+    }
+
+    /// Random mode reaches many distinct schedules and stays within budget.
+    #[test]
+    fn random_mode_counts_distinct_schedules() {
+        let report = explore(Config::random(42, 300), || {
+            let counter = Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                let counter = Arc::clone(&counter);
+                handles.push(spawn(move || {
+                    *counter.lock() += 1;
+                    yield_now();
+                    *counter.lock() += 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 6);
+        });
+        assert_eq!(report.schedules, 300);
+        assert!(report.distinct > 50, "only {} distinct", report.distinct);
+        assert!(!report.complete);
+    }
+
+    /// `choice` folds model-level branching (e.g. crash injection) into the
+    /// explored space, and failing schedules replay deterministically.
+    #[test]
+    fn choice_branches_are_explored_and_replayable() {
+        let model = || {
+            let cell = Arc::new(Mutex::new(0u32));
+            let writer = {
+                let cell = Arc::clone(&cell);
+                spawn(move || {
+                    let crash = choice(2) == 1;
+                    if !crash {
+                        *cell.lock() = 7;
+                    }
+                })
+            };
+            writer.join();
+            let value = *cell.lock();
+            assert!(value == 0 || value == 7);
+        };
+        let report = explore(Config::exhaustive(10_000), model);
+        assert!(report.complete);
+        assert!(report.schedules >= 2, "both crash branches must run");
+
+        // Extract a failing trace, then replay it and expect the same fail.
+        let result = panic::catch_unwind(|| {
+            explore(Config::exhaustive(10_000), || {
+                let v = choice(3);
+                assert!(v != 2, "branch 2 is poison");
+            })
+        });
+        let message = match result {
+            Ok(_) => panic!("choice branch not explored"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic"),
+        };
+        let decisions = parse_schedule(&message);
+        let replayed = panic::catch_unwind(|| {
+            replay(&decisions, || {
+                let v = choice(3);
+                assert!(v != 2, "branch 2 is poison");
+            })
+        });
+        assert!(replayed.is_err(), "replay must reproduce the failure");
+    }
+
+    /// notify_one with several waiters branches on which waiter wakes.
+    #[test]
+    fn notify_one_explores_waiter_selection() {
+        let report = explore(Config::exhaustive(50_000), || {
+            let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let pair = Arc::clone(&pair);
+                handles.push(spawn(move || {
+                    let (slots, cv) = &*pair;
+                    let mut guard = slots.lock();
+                    while *guard == 0 {
+                        guard = cv.wait(guard);
+                    }
+                    *guard -= 1;
+                }));
+            }
+            let producer = {
+                let pair = Arc::clone(&pair);
+                spawn(move || {
+                    let (slots, cv) = &*pair;
+                    for _ in 0..2 {
+                        *slots.lock() += 1;
+                        cv.notify_one();
+                    }
+                })
+            };
+            producer.join();
+            for h in handles {
+                h.join();
+            }
+            let (slots, _) = &*pair;
+            assert_eq!(*slots.lock(), 0);
+        });
+        assert!(report.schedules > 100, "waiter selection space too small");
+    }
+
+    fn parse_schedule(message: &str) -> Vec<u32> {
+        let start = message.find("schedule: [").expect("trace in message") + "schedule: [".len();
+        let end = message[start..].find(']').expect("closing bracket") + start;
+        message[start..end]
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse().expect("decision"))
+            .collect()
+    }
+}

@@ -1,0 +1,418 @@
+//! Lock diagnostics, compiled only under `--cfg lock_diagnostics`.
+//!
+//! Every shim lock is tagged at construction with its creation site (via
+//! `#[track_caller]`, so the tag names the `Mutex::new` call in *user*
+//! code) and lazily assigned a process-wide numeric id on first
+//! acquisition. Acquisitions maintain:
+//!
+//! * a **per-thread held-lock stack** — which shim locks this thread holds
+//!   right now, each with the site that acquired it;
+//! * a **process-wide acquisition-order graph** — a directed edge `A → B`
+//!   the first time any thread acquires `B` while holding `A`, with the
+//!   acquiring site as witness.
+//!
+//! Detectors fire when an acquisition would create a cycle in that graph
+//! (lock-order inversion for 2-cycles, potential deadlock for longer
+//! ones), when a thread reacquires a lock it already holds, or when a
+//! thread holding any lock parks on a [`crate::Condvar`] or crosses a
+//! [`crate::blocking_region`] marker. A finding renders a `rustc`-style
+//! diagnostic and panics, so the test (or chaos schedule) that produced
+//! the ordering fails loudly; [`expect_violations`] suppresses the panic
+//! for negative tests that *prove* a detector fires.
+//!
+//! Findings are ordering-based, not occurrence-based: the inversion is
+//! reported even when this run's interleaving happened to win the race.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// What a detector found. See the [module docs](self) for the detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Two locks acquired in opposite orders on different code paths.
+    OrderInversion,
+    /// An acquisition closing a longer cycle in the order graph.
+    OrderCycle,
+    /// A thread reacquiring a lock it already holds (including
+    /// `RwLock` read-after-read, which deadlocks against a queued writer).
+    SelfReacquire,
+    /// A lock held while parking on a condvar or crossing a
+    /// [`crate::blocking_region`] boundary.
+    HeldAcrossBlocking,
+}
+
+impl FindingKind {
+    fn code(self) -> &'static str {
+        match self {
+            FindingKind::OrderInversion => "lock-order-inversion",
+            FindingKind::OrderCycle => "lock-order-cycle",
+            FindingKind::SelfReacquire => "lock-self-reacquire",
+            FindingKind::HeldAcrossBlocking => "lock-held-across-blocking",
+        }
+    }
+}
+
+/// One detector hit: the kind plus a fully rendered `rustc`-style report.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which detector fired.
+    pub kind: FindingKind,
+    /// The rendered diagnostic (multi-line, `error[code]: ... --> file:line:col`).
+    pub message: String,
+}
+
+/// Per-lock metadata: creation site plus the lazily assigned id.
+pub(crate) struct LockMeta {
+    site: &'static Location<'static>,
+    id: AtomicU32,
+}
+
+impl LockMeta {
+    #[track_caller]
+    pub(crate) const fn new() -> Self {
+        LockMeta {
+            site: Location::caller(),
+            id: AtomicU32::new(0),
+        }
+    }
+}
+
+/// How a lock is being acquired, for diagnostics text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Mutex,
+    Read,
+    Write,
+}
+
+impl Kind {
+    fn describe(self) -> &'static str {
+        match self {
+            Kind::Mutex => "mutex",
+            Kind::Read => "rwlock (read)",
+            Kind::Write => "rwlock (write)",
+        }
+    }
+}
+
+/// First-witness data for one order-graph edge `from → to`.
+struct EdgeWitness {
+    acquire_site: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Lock id (1-based) → creation site.
+    sites: Vec<&'static Location<'static>>,
+    /// Order-graph adjacency (kept acyclic: cycle-closing edges are
+    /// reported, not inserted, so traversals stay cheap).
+    adj: HashMap<u32, Vec<u32>>,
+    /// First witness per recorded edge.
+    edges: HashMap<(u32, u32), EdgeWitness>,
+    /// All findings, in discovery order (deduplicated by message).
+    findings: Vec<Finding>,
+    seen: HashSet<String>,
+}
+
+fn registry() -> &'static StdMutex<Registry> {
+    static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(Registry::default()))
+}
+
+#[derive(Clone, Copy)]
+struct Held {
+    id: u32,
+    kind: Kind,
+    site: &'static Location<'static>,
+}
+
+thread_local! {
+    /// The shim locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    /// When `Some`, findings on this thread are collected instead of
+    /// panicking (see [`expect_violations`]).
+    static EXPECTING: Cell<bool> = const { Cell::new(false) };
+    static COLLECTED: RefCell<Vec<Finding>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Everything recorded so far, across all threads.
+pub fn findings() -> Vec<Finding> {
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .findings
+        .clone()
+}
+
+/// Run `f` with findings on this thread *collected* rather than fatal,
+/// returning `f`'s result and the findings it produced. The negative-test
+/// entry point: prove a detector fires without failing the test.
+///
+/// [`FindingKind::SelfReacquire`] still panics inside the scope — carrying
+/// on would genuinely deadlock on the relock; catch the panic and inspect
+/// [`findings`] instead.
+pub fn expect_violations<R>(f: impl FnOnce() -> R) -> (R, Vec<Finding>) {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            EXPECTING.with(|e| e.set(self.0));
+        }
+    }
+    let previous = EXPECTING.with(|e| e.replace(true));
+    COLLECTED.with(|c| c.borrow_mut().clear());
+    let _reset = Reset(previous);
+    let result = f();
+    let collected = COLLECTED.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    (result, collected)
+}
+
+pub(crate) mod imp {
+    use super::*;
+    pub(crate) use super::{Kind, LockMeta};
+
+    fn lock_id(meta: &LockMeta) -> u32 {
+        match meta.id.load(Ordering::Acquire) {
+            0 => {
+                let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+                // Double-checked under the registry lock: another thread
+                // may have registered this lock while we waited.
+                let current = meta.id.load(Ordering::Acquire);
+                if current != 0 {
+                    return current;
+                }
+                reg.sites.push(meta.site);
+                let id = reg.sites.len() as u32;
+                meta.id.store(id, Ordering::Release);
+                id
+            }
+            id => id,
+        }
+    }
+
+    fn site_of(reg: &Registry, id: u32) -> &'static Location<'static> {
+        reg.sites[(id - 1) as usize]
+    }
+
+    /// Record (and act on) one finding. Panics with the rendered report
+    /// unless the thread is inside [`expect_violations`] — except
+    /// self-reacquisition, which must panic to avoid a real deadlock.
+    fn report(kind: FindingKind, message: String) {
+        let fresh = {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            let fresh = reg.seen.insert(message.clone());
+            if fresh {
+                reg.findings.push(Finding {
+                    kind,
+                    message: message.clone(),
+                });
+            }
+            fresh
+        };
+        let expecting = EXPECTING.with(|e| e.get());
+        if expecting {
+            if fresh {
+                COLLECTED.with(|c| {
+                    c.borrow_mut().push(Finding {
+                        kind,
+                        message: message.clone(),
+                    })
+                });
+            }
+            if kind != FindingKind::SelfReacquire {
+                return;
+            }
+        }
+        panic!("{message}");
+    }
+
+    /// Shortest path `from →* to` over the (acyclic) order graph, as lock
+    /// ids including both endpoints; `None` if unreachable.
+    fn path(reg: &Registry, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut queue = std::collections::VecDeque::from([from]);
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        while let Some(node) = queue.pop_front() {
+            if node == to {
+                let mut chain = vec![to];
+                let mut at = to;
+                while at != from {
+                    at = parent[&at];
+                    chain.push(at);
+                }
+                chain.reverse();
+                return Some(chain);
+            }
+            for &next in reg.adj.get(&node).into_iter().flatten() {
+                if next != from && !parent.contains_key(&next) {
+                    parent.insert(next, node);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Pre-acquisition checks for a *blocking* acquire: self-reacquisition
+    /// and order-graph cycles. Called before the underlying lock call so a
+    /// certain deadlock panics instead of hanging.
+    #[track_caller]
+    pub(crate) fn before_blocking_acquire(meta: &LockMeta, kind: Kind) {
+        let id = lock_id(meta);
+        let acquire_site = Location::caller();
+        let held: Vec<Held> = HELD.with(|h| h.borrow().clone());
+        if let Some(prior) = held.iter().find(|h| h.id == id) {
+            report(
+                FindingKind::SelfReacquire,
+                format!(
+                    "error[{code}]: thread reacquires the {what} it already holds \
+                     (created at {created}) — this deadlocks (or, for rwlock \
+                     reads, deadlocks against any queued writer)\n  \
+                     --> {site} (reacquisition)\n  \
+                     = note: first acquired as {prior_kind} at {prior_site}",
+                    code = FindingKind::SelfReacquire.code(),
+                    what = kind.describe(),
+                    created = meta.site,
+                    site = acquire_site,
+                    prior_kind = prior.kind.describe(),
+                    prior_site = prior.site,
+                ),
+            );
+        }
+        if held.is_empty() {
+            return;
+        }
+        let mut reports: Vec<(FindingKind, String)> = Vec::new();
+        {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            for h in &held {
+                if reg.edges.contains_key(&(h.id, id)) {
+                    continue;
+                }
+                // Would `h.id → id` close a cycle? Existing paths only run
+                // over previously accepted (acyclic) edges.
+                if let Some(chain) = path(&reg, id, h.id) {
+                    let kind_found = if chain.len() == 2 {
+                        FindingKind::OrderInversion
+                    } else {
+                        FindingKind::OrderCycle
+                    };
+                    let witness = reg.edges.get(&(chain[0], chain[1])).map(|e| e.acquire_site);
+                    let cycle: Vec<String> = chain
+                        .iter()
+                        .map(|&n| format!("lock@{}", site_of(&reg, n)))
+                        .collect();
+                    let mut message = format!(
+                        "error[{code}]: acquiring the {what} created at {created} \
+                         while holding the {held_kind} created at {held_site} \
+                         inverts the established order {cycle} -> back to start \
+                         — a potential deadlock\n  \
+                         --> {site} (this acquisition)\n  \
+                         = note: holder acquired its lock at {holder_at}",
+                        code = kind_found.code(),
+                        what = kind.describe(),
+                        created = meta.site,
+                        held_kind = h.kind.describe(),
+                        held_site = site_of(&reg, h.id),
+                        cycle = cycle.join(" -> "),
+                        site = acquire_site,
+                        holder_at = h.site,
+                    );
+                    if let Some(w) = witness {
+                        message
+                            .push_str(&format!("\n  = note: opposite order first observed at {w}"));
+                    }
+                    reports.push((kind_found, message));
+                } else {
+                    reg.edges.insert((h.id, id), EdgeWitness { acquire_site });
+                    reg.adj.entry(h.id).or_default().push(id);
+                }
+            }
+        }
+        for (kind_found, message) in reports {
+            report(kind_found, message);
+        }
+    }
+
+    /// Record a successful acquisition on the thread's held stack.
+    #[track_caller]
+    pub(crate) fn after_acquire(meta: &LockMeta, kind: Kind) {
+        let id = lock_id(meta);
+        let site = Location::caller();
+        HELD.with(|h| h.borrow_mut().push(Held { id, kind, site }));
+    }
+
+    /// Drop bookkeeping: remove the newest held entry for this lock.
+    /// Guards may drop in any order, so this searches from the top.
+    pub(crate) fn on_release(meta: &LockMeta) {
+        let id = meta.id.load(Ordering::Acquire);
+        if id == 0 {
+            return;
+        }
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(at) = held.iter().rposition(|e| e.id == id) {
+                held.remove(at);
+            }
+        });
+    }
+
+    /// Parking on a condvar releases the waited mutex but keeps every
+    /// other guard alive across the sleep — report those, then unwind the
+    /// waited lock from the held stack (the reacquire re-adds it).
+    #[track_caller]
+    pub(crate) fn before_condvar_wait(meta: &LockMeta) {
+        let id = lock_id(meta);
+        let wait_site = Location::caller();
+        let others: Vec<Held> =
+            HELD.with(|h| h.borrow().iter().copied().filter(|e| e.id != id).collect());
+        if !others.is_empty() {
+            let listing: Vec<String> = others
+                .iter()
+                .map(|h| format!("{} acquired at {}", h.kind.describe(), h.site))
+                .collect();
+            report(
+                FindingKind::HeldAcrossBlocking,
+                format!(
+                    "error[{code}]: Condvar::wait parks this thread while it \
+                     still holds {n} other shim lock(s) — a convoy and \
+                     lost-wakeup shape\n  \
+                     --> {site} (the wait)\n  \
+                     = note: held: {listing}",
+                    code = FindingKind::HeldAcrossBlocking.code(),
+                    n = others.len(),
+                    site = wait_site,
+                    listing = listing.join("; "),
+                ),
+            );
+        }
+        on_release(meta);
+    }
+
+    /// [`crate::blocking_region`] entry: report every held lock.
+    pub(crate) fn check_blocking_region(what: &str, site: &'static Location<'static>) {
+        let held: Vec<Held> = HELD.with(|h| h.borrow().clone());
+        if held.is_empty() {
+            return;
+        }
+        let listing: Vec<String> = held
+            .iter()
+            .map(|h| format!("{} acquired at {}", h.kind.describe(), h.site))
+            .collect();
+        report(
+            FindingKind::HeldAcrossBlocking,
+            format!(
+                "error[{code}]: entering blocking region `{what}` while \
+                 holding {n} shim lock(s) — guards must not span backend \
+                 dispatch or sleeps\n  \
+                 --> {site} (the boundary)\n  \
+                 = note: held: {listing}",
+                code = FindingKind::HeldAcrossBlocking.code(),
+                n = held.len(),
+                site = site,
+                listing = listing.join("; "),
+            ),
+        );
+    }
+}

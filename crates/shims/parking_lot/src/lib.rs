@@ -1,92 +1,471 @@
 //! Offline stand-in for the [`parking_lot`](https://crates.io/crates/parking_lot)
-//! crate: [`Mutex`] and [`RwLock`] with parking_lot's non-poisoning API,
-//! implemented as thin wrappers over `std::sync`. A poisoned std lock (a
-//! panic while held) is recovered transparently, matching parking_lot's
-//! behaviour of never poisoning.
+//! crate — and, since PR 8, the workspace's **sync facade**: every
+//! `Mutex`/`RwLock`/`Condvar` in library code goes through these wrappers
+//! (`tools/repolint` rule `sync-facade` enforces it), so one build flag
+//! instruments every lock in the process.
+//!
+//! # Two builds
+//!
+//! * **Default build** — thin non-poisoning wrappers over `std::sync`
+//!   (a poisoned std lock is recovered transparently, matching
+//!   parking_lot's behaviour of never poisoning). No bookkeeping, no
+//!   extra fields: behaviour is byte-identical to the pre-diagnostics
+//!   shim.
+//! * **`--cfg lock_diagnostics`** (set via `RUSTFLAGS`) — every lock is
+//!   tagged with its creation site, every acquisition updates a per-thread
+//!   held-lock stack and a process-wide acquisition-order graph, and four
+//!   detectors fire `rustc`-style diagnostics (then panic, so CI fails the
+//!   offending test) on:
+//!
+//!   1. **lock-order inversion** — `A` then `B` on one thread, `B` then
+//!      `A` on another (a 2-cycle in the order graph);
+//!   2. **lock-order cycle** — any longer cycle (`A → B → C → A`), the
+//!      general potential-deadlock shape;
+//!   3. **self-reacquisition** — relocking a lock the thread already
+//!      holds (including `RwLock` read-after-read, which deadlocks
+//!      against a queued writer);
+//!   4. **guard held across a blocking boundary** — holding any shim lock
+//!      while entering a region marked with [`blocking_region`] (backend
+//!      dispatch, retry sleeps, hedge waits) or while parking on
+//!      [`Condvar::wait`].
+//!
+//!   Negative tests (`tests/lock_diagnostics.rs` at the workspace root)
+//!   prove each detector fires; the full test + chaos suites run under
+//!   the flag in CI and must report zero findings.
+//!
+//! Detection is *order-graph based*, not occurrence based: an inversion is
+//! reported even when the interleaving that would actually deadlock never
+//! happens in the run — that is the point of running it in CI.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::time::Duration;
 
-/// A guard for [`Mutex::lock`]; derefs to the protected value.
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
-/// A guard for [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
-/// A guard for [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+#[cfg(lock_diagnostics)]
+pub mod diagnostics;
+
+#[cfg(lock_diagnostics)]
+use diagnostics::imp as diag;
+
+/// Marks a blocking boundary: backend dispatch, a retry/backoff sleep, a
+/// hedge wait — anywhere a thread may stall for backend-scale time.
+///
+/// Under `--cfg lock_diagnostics`, entering a blocking region while
+/// holding **any** shim lock is reported (holding a lock across a backend
+/// call serializes every peer on backend latency, and holding one across
+/// a sleep is a convoy generator). In the default build this compiles to
+/// an empty inline function — zero cost, zero behaviour change.
+#[cfg(not(lock_diagnostics))]
+#[inline(always)]
+pub fn blocking_region(_what: &str) {}
+
+/// Marks a blocking boundary (diagnostics build): reports any shim lock
+/// held by the current thread. See the default-build docs.
+#[cfg(lock_diagnostics)]
+#[track_caller]
+pub fn blocking_region(what: &str) {
+    diag::check_blocking_region(what, core::panic::Location::caller());
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
 
 /// A mutual-exclusion lock that never poisons.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(lock_diagnostics)]
+    meta: diag::LockMeta,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// A new unlocked mutex holding `value`.
+    #[cfg_attr(lock_diagnostics, track_caller)]
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(lock_diagnostics)]
+            meta: diag::LockMeta::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
+    #[cfg_attr(lock_diagnostics, track_caller)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_diagnostics)]
+        diag::before_blocking_acquire(&self.meta, diag::Kind::Mutex);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(&self.meta, diag::Kind::Mutex);
+        MutexGuard {
+            #[cfg(lock_diagnostics)]
+            meta: &self.meta,
+            inner: Some(inner),
+        }
+    }
+
+    /// Acquire the lock if it is free right now; `None` otherwise. Never
+    /// blocks, so it records no lock-order edges under diagnostics (a
+    /// `try_lock` cannot deadlock) — but a returned guard does join the
+    /// held-lock stack.
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(&self.meta, diag::Kind::Mutex);
+        Some(MutexGuard {
+            #[cfg(lock_diagnostics)]
+            meta: &self.meta,
+            inner: Some(inner),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
+/// A guard for [`Mutex::lock`]; derefs to the protected value.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(lock_diagnostics)]
+    meta: &'a diag::LockMeta,
+    // `Option` so `Condvar::wait` can move the std guard out through
+    // `&mut`; it is `None` only transiently inside `wait`.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside Condvar::wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside Condvar::wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(lock_diagnostics)]
+        diag::on_release(self.meta);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
 /// A reader-writer lock that never poisons.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(lock_diagnostics)]
+    meta: diag::LockMeta,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// A new unlocked rwlock holding `value`.
+    #[cfg_attr(lock_diagnostics, track_caller)]
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(lock_diagnostics)]
+            meta: diag::LockMeta::new(),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared read guard.
+    #[cfg_attr(lock_diagnostics, track_caller)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_diagnostics)]
+        diag::before_blocking_acquire(&self.meta, diag::Kind::Read);
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(&self.meta, diag::Kind::Read);
+        RwLockReadGuard {
+            #[cfg(lock_diagnostics)]
+            meta: &self.meta,
+            inner,
+        }
     }
 
     /// Acquire an exclusive write guard.
+    #[cfg_attr(lock_diagnostics, track_caller)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(lock_diagnostics)]
+        diag::before_blocking_acquire(&self.meta, diag::Kind::Write);
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(&self.meta, diag::Kind::Write);
+        RwLockWriteGuard {
+            #[cfg(lock_diagnostics)]
+            meta: &self.meta,
+            inner,
+        }
+    }
+
+    /// Acquire a read guard if no writer holds or is blocked on the lock;
+    /// `None` otherwise. Never blocks; records no order edges.
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(&self.meta, diag::Kind::Read);
+        Some(RwLockReadGuard {
+            #[cfg(lock_diagnostics)]
+            meta: &self.meta,
+            inner,
+        })
+    }
+
+    /// Acquire the write guard if the lock is entirely free; `None`
+    /// otherwise. Never blocks; records no order edges.
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(&self.meta, diag::Kind::Write);
+        Some(RwLockWriteGuard {
+            #[cfg(lock_diagnostics)]
+            meta: &self.meta,
+            inner,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+/// A guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(lock_diagnostics)]
+    meta: &'a diag::LockMeta,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(lock_diagnostics)]
+        diag::on_release(self.meta);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(lock_diagnostics)]
+    meta: &'a diag::LockMeta,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(lock_diagnostics)]
+        diag::on_release(self.meta);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// The outcome of a [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed (the predicate
+    /// should be re-checked rather than assumed signalled).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's guard-by-reference API: `wait`
+/// takes `&mut MutexGuard` and reacquires the same lock before returning.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wake one thread blocked in [`Condvar::wait`] on this condvar.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every thread blocked in [`Condvar::wait`] on this condvar.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically release `guard`'s mutex and park until notified, then
+    /// reacquire the mutex. Spurious wakeups are possible — wait in a
+    /// predicate loop.
+    ///
+    /// Under `--cfg lock_diagnostics`, parking while holding any *other*
+    /// shim lock is reported (sleeping with a lock held is the
+    /// lost-wakeup/convoy shape the explorer hunts), and the reacquire is
+    /// re-checked against the order graph like any acquisition.
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(lock_diagnostics)]
+        diag::before_condvar_wait(guard.meta);
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside Condvar::wait"),
+        };
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(guard.meta, diag::Kind::Mutex);
+    }
+
+    /// Like [`Condvar::wait`] with an upper bound on the park time. The
+    /// mutex is reacquired before returning in both outcomes.
+    #[cfg_attr(lock_diagnostics, track_caller)]
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        #[cfg(lock_diagnostics)]
+        diag::before_condvar_wait(guard.meta);
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard emptied outside Condvar::wait"),
+        };
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        #[cfg(lock_diagnostics)]
+        diag::after_acquire(guard.meta, diag::Kind::Mutex);
+        WaitTimeoutResult(result.timed_out())
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn mutex_roundtrip() {
@@ -122,5 +501,173 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    // -- try_lock / try_write / try_read contention semantics --------------
+
+    #[test]
+    fn try_lock_fails_while_held_and_succeeds_after_release() {
+        let m = Mutex::new(7);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none(), "held mutex must refuse try_lock");
+        }
+        let g = m.try_lock().expect("released mutex must grant try_lock");
+        assert_eq!(*g, 7);
+    }
+
+    #[test]
+    fn try_write_fails_under_any_reader_try_read_fails_under_writer() {
+        let l = RwLock::new(0u32);
+        {
+            let _r = l.read();
+            assert!(l.try_write().is_none(), "reader blocks try_write");
+            assert!(l.try_read().is_some(), "a second reader is always admitted");
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "writer blocks try_read");
+            assert!(l.try_write().is_none(), "writer blocks try_write");
+        }
+        assert!(l.try_write().is_some(), "free lock grants try_write");
+    }
+
+    #[test]
+    fn try_lock_contention_across_threads_admits_exactly_one() {
+        let m = Arc::new(Mutex::new(()));
+        let holders = Arc::new(AtomicUsize::new(0));
+        let g = m.lock();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let holders = Arc::clone(&holders);
+                std::thread::spawn(move || {
+                    if m.try_lock().is_some() {
+                        holders.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(holders.load(Ordering::SeqCst), 0, "all contenders refused");
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    // -- Condvar ------------------------------------------------------------
+
+    #[test]
+    fn condvar_wait_observes_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+                true
+            })
+        };
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_one();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_without_notification() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let started = Instant::now();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(20));
+        assert!(result.timed_out(), "no notifier: the wait must time out");
+        assert!(
+            started.elapsed() >= Duration::from_millis(15),
+            "timeout must actually elapse (allowing scheduler slop)"
+        );
+        // The guard is live again after the timeout: the mutex is held.
+        assert!(lock.try_lock().is_none());
+        drop(guard);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_for_wakes_early_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let notifier = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                *lock.lock() = true;
+                cv.notify_all();
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !*ready {
+            let result = cv.wait_for(&mut ready, Duration::from_millis(50));
+            // Tolerate spurious timeouts while the notifier races in, but
+            // never spin past the deadline.
+            assert!(
+                !result.timed_out() || Instant::now() < deadline,
+                "notification lost"
+            );
+        }
+        notifier.join().unwrap();
+    }
+
+    // -- guard-drop ordering ------------------------------------------------
+
+    #[test]
+    fn out_of_order_guard_drops_release_each_lock_once() {
+        let a = Mutex::new(1);
+        let b = Mutex::new(2);
+        let ga = a.lock();
+        let gb = b.lock();
+        // Drop in acquisition order (a first), not reverse order: each
+        // lock must be released exactly when *its* guard drops.
+        drop(ga);
+        assert!(a.try_lock().is_some(), "a released by dropping ga");
+        assert!(b.try_lock().is_none(), "b still held by gb");
+        drop(gb);
+        assert!(b.try_lock().is_some(), "b released by dropping gb");
+    }
+
+    #[test]
+    fn rwlock_read_guards_release_independently() {
+        let l = RwLock::new(0);
+        let r1 = l.read();
+        // The second guard comes via `try_read`: blocking read-after-read
+        // on one thread is exactly what the self-reacquire detector (a
+        // real deadlock against a queued writer) rejects under
+        // `--cfg lock_diagnostics`.
+        let r2 = l.try_read().expect("second reader always admitted");
+        drop(r1);
+        assert!(
+            l.try_write().is_none(),
+            "one reader remains: writer refused"
+        );
+        drop(r2);
+        assert!(l.try_write().is_some(), "all readers gone: writer admitted");
+    }
+
+    #[test]
+    fn mutex_guard_drop_wakes_blocked_locker() {
+        let m = Arc::new(Mutex::new(0));
+        let g = m.lock();
+        let blocked = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || *m.lock() + 1)
+        };
+        // Give the blocked thread time to park on the lock, then release.
+        std::thread::sleep(Duration::from_millis(10));
+        drop(g);
+        assert_eq!(blocked.join().unwrap(), 1);
     }
 }

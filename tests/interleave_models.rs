@@ -1,0 +1,339 @@
+//! Deterministic interleaving models of the repo's four hottest concurrency
+//! protocols, driven by the `interleave` explorer (see its crate docs).
+//!
+//! Each model is a *closed* re-statement of the protocol as implemented in
+//! the real code — same lock/condvar discipline, same state machine — small
+//! enough for schedule exploration. The explorer runs each through thousands
+//! of distinct schedules (seeded-random preemption; override the budget with
+//! `INTERLEAVE_SCHEDULES`), failing on any deadlock, lost wakeup, or
+//! protocol-invariant violation, and printing the decision trace of a
+//! failing schedule for `interleave::replay`.
+//!
+//! | model | mirrors |
+//! |-------|---------|
+//! | flight handoff        | `oracle::client` coalescing leader/joiner publish |
+//! | breaker half-open     | `oracle::route` probe claim vs concurrent callers |
+//! | journal torn tail     | `core::journal` append crash + truncate-at-open  |
+//! | hedged cancel         | `oracle::route` first-success vs twin cancel     |
+
+use std::sync::Arc;
+
+use interleave::{choice, spawn, Condvar, Config, Mutex};
+
+/// Per-model schedule budget; CI pins `INTERLEAVE_SCHEDULES` to bound wall
+/// time, local runs default high enough to clear the 1,000-distinct bar.
+fn iterations() -> usize {
+    interleave::budget(3000)
+}
+
+/// The distinct-schedule coverage floor scales down with a pinned budget so
+/// a quick `INTERLEAVE_SCHEDULES=50` smoke run still passes.
+fn required_distinct(iterations: usize) -> usize {
+    (iterations / 3).clamp(1, 1000)
+}
+
+/// Model 1 — coalescing flight handoff (`client.rs`): N threads race for
+/// the same cache key; the first claims the flight and dispatches the
+/// backend exactly once, publishing through `Mutex<Option<_>> + Condvar`;
+/// the rest join the flight and wait for the published result.
+///
+/// Invariants: exactly one backend call, every joiner observes the leader's
+/// result, no joiner waits forever (notify_all after publish).
+#[test]
+fn flight_handoff_coalesces_to_one_backend_call() {
+    struct Flight {
+        state: Mutex<FlightState>,
+        cv: Condvar,
+    }
+    #[derive(Default)]
+    struct FlightState {
+        claimed: bool,
+        result: Option<u32>,
+        backend_calls: u32,
+    }
+
+    let n = iterations();
+    let report = interleave::explore(Config::random(0x1eaf, n), || {
+        let flight = Arc::new(Flight {
+            state: Mutex::new(FlightState::default()),
+            cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let flight = Arc::clone(&flight);
+            handles.push(spawn(move || {
+                let mut s = flight.state.lock();
+                if !s.claimed {
+                    // Leader: claim under the lock, dispatch outside it.
+                    s.claimed = true;
+                    drop(s);
+                    interleave::yield_now(); // the backend call
+                    let mut s = flight.state.lock();
+                    s.backend_calls += 1;
+                    s.result = Some(42);
+                    drop(s);
+                    flight.cv.notify_all();
+                } else {
+                    // Joiner: wait out the flight.
+                    while s.result.is_none() {
+                        s = flight.cv.wait(s);
+                    }
+                    assert_eq!(s.result, Some(42), "joiner saw a foreign result");
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        let s = flight.state.lock();
+        assert_eq!(s.backend_calls, 1, "flight dispatched more than once");
+        assert_eq!(s.result, Some(42));
+    });
+    assert!(
+        report.distinct >= required_distinct(n),
+        "coverage too low: {report:?}"
+    );
+}
+
+/// Model 2 — circuit-breaker half-open probe (`route.rs`): the breaker is
+/// open and cooled down; three callers race. Exactly one may claim the
+/// half-open probe slot (`probing = true` under the breaker lock); its
+/// dispatch outcome (explored via `choice`) either closes the breaker or
+/// re-opens the cooldown — and the slot is released on *both* paths.
+///
+/// Invariants: at most one probe in flight at any instant, the probe slot is
+/// never stranded (`probing == false` once all callers settle), success
+/// closes the breaker, failure re-arms the cooldown.
+#[test]
+fn breaker_half_open_admits_exactly_one_probe() {
+    #[derive(Default)]
+    struct Breaker {
+        open: bool,
+        cooled: bool,
+        probing: bool,
+        probes_claimed: u32,
+        probes_in_flight: u32,
+        succeeded: bool,
+    }
+
+    let n = iterations();
+    let report = interleave::explore(Config::random(0xb4ea, n), || {
+        let breaker = Arc::new(Mutex::new(Breaker {
+            open: true,
+            cooled: true,
+            ..Breaker::default()
+        }));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let breaker = Arc::clone(&breaker);
+            handles.push(spawn(move || {
+                let mut b = breaker.lock();
+                if !b.open {
+                    return; // breaker closed by a successful probe: normal dispatch
+                }
+                if !b.cooled || b.probing {
+                    return; // open and uncooled, or probe already claimed: fail fast
+                }
+                // Claim the half-open slot — only the dispatching caller
+                // may, and only under the lock.
+                b.probing = true;
+                b.probes_claimed += 1;
+                b.probes_in_flight += 1;
+                assert_eq!(b.probes_in_flight, 1, "two probes in flight");
+                drop(b);
+                interleave::yield_now(); // the probe dispatch
+                let success = choice(2) == 0;
+                let mut b = breaker.lock();
+                b.probes_in_flight -= 1;
+                b.probing = false; // released on BOTH outcome paths
+                if success {
+                    b.open = false;
+                    b.succeeded = true;
+                } else {
+                    b.cooled = false; // fresh cooldown
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        let b = breaker.lock();
+        assert!(!b.probing, "probe slot stranded: breaker starved forever");
+        assert_eq!(b.probes_in_flight, 0);
+        assert!(
+            b.probes_claimed <= 1,
+            "cooldown admitted {} probes",
+            b.probes_claimed
+        );
+        if b.succeeded {
+            assert!(!b.open, "successful probe must close the breaker");
+        }
+    });
+    assert!(
+        report.distinct >= required_distinct(n),
+        "coverage too low: {report:?}"
+    );
+}
+
+/// Model 3 — journal append vs torn-tail truncate (`journal.rs`): appenders
+/// serialize whole-record writes (header + body) under the journal lock; a
+/// crash (explored via `choice`) can stop the *process* between the two
+/// halves, leaving a torn tail. Recovery scans the buffer and truncates at
+/// the last complete record boundary.
+///
+/// Invariants: append is atomic w.r.t. other appenders (no interleaved
+/// halves), recovery never leaves a torn record, and every record completed
+/// before the crash survives recovery.
+#[test]
+fn journal_recovery_truncates_exactly_the_torn_tail() {
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Token {
+        Header(u32),
+        Body(u32),
+    }
+    #[derive(Default)]
+    struct Journal {
+        buf: Vec<Token>,
+        crashed: bool,
+        completed: u32,
+    }
+
+    let n = iterations();
+    let report = interleave::explore(Config::random(0x70a4, n), || {
+        let journal = Arc::new(Mutex::new(Journal::default()));
+        let mut handles = Vec::new();
+        for id in 0..2u32 {
+            let journal = Arc::clone(&journal);
+            handles.push(spawn(move || {
+                let mut j = journal.lock();
+                if j.crashed {
+                    return; // process died before this append
+                }
+                j.buf.push(Token::Header(id));
+                // The lock is HELD across the yield: other appenders must
+                // not interleave their halves into this record. The yield
+                // models the buffered-write window a crash can hit.
+                interleave::yield_now();
+                if choice(2) == 1 {
+                    j.crashed = true; // torn tail: header with no body
+                    return;
+                }
+                j.buf.push(Token::Body(id));
+                j.completed += 1;
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        // Recovery at reopen: truncate after the last complete record.
+        let mut j = journal.lock();
+        let mut valid = 0;
+        while valid + 1 < j.buf.len() || (valid < j.buf.len() && valid % 2 == 1) {
+            match (j.buf.get(valid), j.buf.get(valid + 1)) {
+                (Some(Token::Header(a)), Some(Token::Body(b))) if a == b => valid += 2,
+                _ => break,
+            }
+        }
+        let completed = j.completed;
+        j.buf.truncate(valid);
+        // No torn record survives...
+        assert!(
+            j.buf.len() % 2 == 0,
+            "torn record after recovery: {:?}",
+            j.buf
+        );
+        for pair in j.buf.chunks(2) {
+            match (pair[0], pair[1]) {
+                (Token::Header(a), Token::Body(b)) => {
+                    assert_eq!(a, b, "interleaved halves: {:?}", j.buf)
+                }
+                other => panic!("corrupt pair after recovery: {other:?}"),
+            }
+        }
+        // ...and every record completed before the crash does.
+        assert_eq!(
+            j.buf.len() as u32 / 2,
+            completed,
+            "recovery dropped a completed record (or kept a torn one)"
+        );
+    });
+    assert!(
+        report.distinct >= required_distinct(n),
+        "coverage too low: {report:?}"
+    );
+}
+
+/// Model 4 — hedged dispatch, first-success vs twin cancel (`route.rs`):
+/// two attempt threads race a request; each *always* reports its outcome
+/// (explored via `choice`) into the channel, cancelled or not — the real
+/// code's guarantee that the coordinator's `recv` can never hang. The
+/// coordinator takes the first success as the winner and cancels the twin;
+/// the twin's result is discarded, never surfaced.
+///
+/// Invariants: the coordinator always collects exactly two reports (no lost
+/// wakeup), at most one winner, a surfaced winner implies its attempt
+/// really succeeded, and the loser is cancelled whenever a winner exists.
+#[test]
+fn hedged_dispatch_surfaces_exactly_one_result() {
+    struct Chan {
+        inbox: Mutex<ChanState>,
+        cv: Condvar,
+    }
+    #[derive(Default)]
+    struct ChanState {
+        messages: Vec<(usize, bool)>,
+        cancel: [bool; 2],
+    }
+
+    let n = iterations();
+    let report = interleave::explore(Config::random(0x4ed6, n), || {
+        let chan = Arc::new(Chan {
+            inbox: Mutex::new(ChanState::default()),
+            cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        for attempt in 0..2usize {
+            let chan = Arc::clone(&chan);
+            handles.push(spawn(move || {
+                interleave::yield_now(); // the backend call
+                let outcome_ok = choice(2) == 0;
+                let mut inbox = chan.inbox.lock();
+                // A cancelled attempt still reports (as a failure): dropping
+                // the report instead is the lost-wakeup bug the real code
+                // guards against by moving senders into the attempt threads.
+                let report_ok = outcome_ok && !inbox.cancel[attempt];
+                inbox.messages.push((attempt, report_ok));
+                drop(inbox);
+                chan.cv.notify_one();
+            }));
+        }
+        // Coordinator: first success wins, twin gets cancelled.
+        let mut winner: Option<usize> = None;
+        let mut received = 0;
+        while received < 2 {
+            let mut inbox = chan.inbox.lock();
+            while inbox.messages.is_empty() {
+                inbox = chan.cv.wait(inbox);
+            }
+            let (attempt, ok) = inbox.messages.remove(0);
+            received += 1;
+            if ok && winner.is_none() {
+                winner = Some(attempt);
+                inbox.cancel[1 - attempt] = true;
+            }
+        }
+        for h in handles {
+            h.join();
+        }
+        let inbox = chan.inbox.lock();
+        assert!(inbox.messages.is_empty(), "more reports than attempts");
+        if let Some(w) = winner {
+            assert!(inbox.cancel[1 - w], "winner exists but twin not cancelled");
+            assert!(!inbox.cancel[w], "the winner itself was cancelled");
+        }
+    });
+    assert!(
+        report.distinct >= required_distinct(n),
+        "coverage too low: {report:?}"
+    );
+}

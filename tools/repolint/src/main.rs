@@ -1,0 +1,908 @@
+//! Repo-invariant lint driver.
+//!
+//! A deny-by-default source scanner for invariants that rustc and clippy
+//! cannot express, because they are *repo policies*, not language rules:
+//!
+//! | rule          | invariant                                                        |
+//! |---------------|------------------------------------------------------------------|
+//! | `sync-facade` | no direct `std::sync` lock types outside the `parking_lot` shim  |
+//! | `no-unwrap`   | no `.unwrap()` / `.expect(..)` in non-test library code          |
+//! | `clock`       | no `Instant::now` / `SystemTime::now` outside approved sites     |
+//! | `money-eq`    | money-valued f64s compare via bit-pattern helpers, never `==`    |
+//! | `bench-keys`  | every `BENCH_*.json` series key is guarded by the baseline script|
+//!
+//! Pure std, no crates.io: scanning is lexical but *mask-accurate* — a small
+//! lexer blanks out comments, strings, and char literals first, so a banned
+//! token inside a doc comment or a format string never fires, and a brace
+//! tracker excludes `#[cfg(test)]` items and `tests/`/`benches/` trees from
+//! the library-only rules.
+//!
+//! Every rule is deny-by-default. The only escape hatch is an inline pragma
+//! on the same or the preceding line, which is intentionally greppable:
+//!
+//! ```text
+//! let started = Instant::now(); // lint: allow(clock) — bench harness timing
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on any finding, 2 on I/O errors.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// Lock types whose `std::sync` spelling is banned outside the shim facade.
+const FACADE_LOCKS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+];
+
+/// Vendored third-party shims: stand-ins for crates.io code, not ours to
+/// police. The `parking_lot` shim is deliberately absent — it is first-party
+/// and subject to every rule except `sync-facade` (it IS the facade).
+const VENDORED: &[&str] = &[
+    "crates/shims/rand/",
+    "crates/shims/rand_chacha/",
+    "crates/shims/proptest/",
+    "crates/shims/criterion/",
+];
+
+/// The paths allowed to name `std::sync` lock types: the facade itself, and
+/// the interleaving explorer — a *scheduler* that implements model-checked
+/// locks on top of raw primitives, necessarily below the facade.
+const FACADE_PATHS: &[&str] = &["crates/shims/parking_lot/", "crates/shims/interleave/"];
+
+const BASELINE_GUARD: &str = "ci/check_bench_baselines.sh";
+
+#[derive(Debug, Clone)]
+struct Finding {
+    rule: &'static str,
+    message: String,
+    path: String,
+    line: usize,
+    col: usize,
+    help: &'static str,
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = PathBuf::from(root);
+    match run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("repolint: clean");
+        }
+        Ok(mut findings) => {
+            findings.sort_by(|a, b| {
+                (a.path.as_str(), a.line, a.col, a.rule).cmp(&(
+                    b.path.as_str(),
+                    b.line,
+                    b.col,
+                    b.rule,
+                ))
+            });
+            for f in &findings {
+                eprintln!("error[{}]: {}", f.rule, f.message);
+                eprintln!("  --> {}:{}:{}", f.path, f.line, f.col);
+                eprintln!("  = help: {}", f.help);
+            }
+            eprintln!("repolint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("repolint: error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut rust_files = Vec::new();
+    let mut bench_jsons = Vec::new();
+    walk(root, Path::new(""), &mut rust_files, &mut bench_jsons)?;
+    rust_files.sort();
+    bench_jsons.sort();
+
+    let mut findings = Vec::new();
+    for rel in &rust_files {
+        let rel_str = unix_path(rel);
+        if VENDORED.iter().any(|v| rel_str.starts_with(v)) {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel_str}: {e}"))?;
+        findings.extend(lint_rust_source(&rel_str, &src));
+    }
+    findings.extend(lint_bench_keys(root, &bench_jsons)?);
+    Ok(findings)
+}
+
+fn unix_path(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk(
+    root: &Path,
+    rel: &Path,
+    rust: &mut Vec<PathBuf>,
+    jsons: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let sub = rel.join(&name);
+        let ftype = entry
+            .file_type()
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        if ftype.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "node_modules") {
+                continue;
+            }
+            walk(root, &sub, rust, jsons)?;
+        } else if name.ends_with(".rs") {
+            rust.push(sub);
+        } else if name.starts_with("BENCH_") && name.ends_with(".json") {
+            jsons.push(sub);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Lexical masking
+// ---------------------------------------------------------------------------
+
+/// Returns `src` with the *contents* of comments, string literals, and char
+/// literals replaced by spaces (newlines preserved, so line/col arithmetic
+/// still works). String delimiter quotes are kept; everything between them
+/// is blanked. Handles nested block comments, escapes, raw strings with any
+/// `#` count, byte strings, and the char-literal-vs-lifetime ambiguity.
+fn mask_source(src: &str) -> Vec<char> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = chars.clone();
+    let n = chars.len();
+    let mut i = 0;
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    while i < n {
+        let c = chars[i];
+        let prev_is_ident = i > 0 && is_ident(chars[i - 1]);
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out[i] = ' ';
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            out[i] = ' ';
+            out[i + 1] = ' ';
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out[i] = ' ';
+                    out[i + 1] = ' ';
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out[i] = ' ';
+                    out[i + 1] = ' ';
+                    i += 2;
+                } else {
+                    if chars[i] != '\n' {
+                        out[i] = ' ';
+                    }
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            i = mask_plain_string(&chars, &mut out, i);
+        } else if (c == 'r' || c == 'b') && !prev_is_ident {
+            if let Some(next) = try_mask_prefixed_string(&chars, &mut out, i) {
+                i = next;
+            } else {
+                i += 1;
+            }
+        } else if c == '\'' {
+            i = mask_char_or_lifetime(&chars, &mut out, i);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Masks a `"..."` string starting at the opening quote; returns the index
+/// one past the closing quote (or end of input if unterminated).
+fn mask_plain_string(chars: &[char], out: &mut [char], start: usize) -> usize {
+    let n = chars.len();
+    let mut i = start + 1;
+    while i < n {
+        match chars[i] {
+            '\\' => {
+                out[i] = ' ';
+                if i + 1 < n && chars[i + 1] != '\n' {
+                    out[i + 1] = ' ';
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => i += 1,
+            _ => {
+                out[i] = ' ';
+                i += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Handles `r"..."`, `r#"..."#` (any `#` count), `b"..."`, `br#"..."#`, and
+/// `b'x'`. Returns `None` when `start` is just an identifier beginning with
+/// `r`/`b`, leaving the caller to advance normally.
+fn try_mask_prefixed_string(chars: &[char], out: &mut [char], start: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut i = start + 1;
+    if chars[start] == 'b' {
+        if i < n && chars[i] == '\'' {
+            return Some(mask_char_or_lifetime(chars, out, i));
+        }
+        if i < n && chars[i] == '"' {
+            return Some(mask_plain_string(chars, out, i));
+        }
+        if i < n && chars[i] == 'r' {
+            i += 1;
+        } else {
+            return None;
+        }
+    }
+    // At this point we are past `r` / `br`; count `#`s then expect `"`.
+    let hashes_start = i;
+    while i < n && chars[i] == '#' {
+        i += 1;
+    }
+    let hashes = i - hashes_start;
+    if i >= n || chars[i] != '"' {
+        return None;
+    }
+    i += 1; // past opening quote
+    while i < n {
+        if chars[i] == '"'
+            && chars[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == '#')
+                .count()
+                == hashes
+        {
+            return Some(i + 1 + hashes);
+        }
+        if chars[i] != '\n' {
+            out[i] = ' ';
+        }
+        i += 1;
+    }
+    Some(n)
+}
+
+/// Distinguishes `'a'` / `'\n'` char literals from `'a` lifetimes; masks the
+/// former, leaves the latter untouched.
+fn mask_char_or_lifetime(chars: &[char], out: &mut [char], start: usize) -> usize {
+    let n = chars.len();
+    if start + 1 >= n {
+        return start + 1;
+    }
+    if chars[start + 1] == '\\' {
+        // Escaped char literal: mask through the closing quote.
+        let mut i = start + 1;
+        while i < n && chars[i] != '\'' {
+            out[i] = ' ';
+            i += 1;
+        }
+        return (i + 1).min(n);
+    }
+    if start + 2 < n && chars[start + 2] == '\'' {
+        out[start + 1] = ' ';
+        return start + 3;
+    }
+    // Lifetime: leave as-is.
+    start + 1
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas, positions, test regions
+// ---------------------------------------------------------------------------
+
+/// Inline allow pragmas: `// lint: allow(rule)` or `// lint: allow(a, b)`.
+/// Keyed by 1-indexed line; a pragma covers its own line and the next.
+fn collect_pragmas(src: &str) -> HashMap<usize, HashSet<String>> {
+    let mut map: HashMap<usize, HashSet<String>> = HashMap::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let Some(pos) = raw.find("// lint: allow(") else {
+            continue;
+        };
+        let rest = &raw[pos + "// lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { continue };
+        let rules = map.entry(idx + 1).or_default();
+        for rule in rest[..end].split(',') {
+            rules.insert(rule.trim().to_string());
+        }
+    }
+    map
+}
+
+fn allowed(pragmas: &HashMap<usize, HashSet<String>>, line: usize, rule: &str) -> bool {
+    let hit = |l: usize| pragmas.get(&l).is_some_and(|s| s.contains(rule));
+    hit(line) || (line > 1 && hit(line - 1))
+}
+
+/// Char-index → (1-indexed line, 1-indexed column).
+struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(chars: &[char]) -> Self {
+        let mut starts = vec![0];
+        for (i, &c) in chars.iter().enumerate() {
+            if c == '\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    fn locate(&self, offset: usize) -> (usize, usize) {
+        let line = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.starts[line] + 1)
+    }
+}
+
+/// Char ranges covered by `#[cfg(test)]`-gated items (attribute through the
+/// end of the following item, tracked brace-aware).
+fn test_regions(masked: &[char]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    let n = masked.len();
+    while i < n {
+        if masked[i] != '#' || i + 1 >= n || masked[i + 1] != '[' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = matching(masked, i + 1, '[', ']') else {
+            break;
+        };
+        let attr: String = masked[i + 2..attr_end].iter().collect();
+        let is_test_cfg = attr.trim_start().starts_with("cfg")
+            && attr
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .any(|w| w == "test");
+        i = attr_end + 1;
+        if !is_test_cfg {
+            continue;
+        }
+        // Skip whitespace and any further attributes, then swallow the item:
+        // it ends at the first top-level `;` or the close of its first block.
+        let mut j = i;
+        loop {
+            while j < n && masked[j].is_whitespace() {
+                j += 1;
+            }
+            if j + 1 < n && masked[j] == '#' && masked[j + 1] == '[' {
+                match matching(masked, j + 1, '[', ']') {
+                    Some(end) => j = end + 1,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let mut end = n;
+        let mut k = j;
+        while k < n {
+            match masked[k] {
+                ';' => {
+                    end = k + 1;
+                    break;
+                }
+                '{' => {
+                    end = matching(masked, k, '{', '}').map_or(n, |e| e + 1);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        regions.push((attr_start, end));
+        i = end;
+    }
+    regions
+}
+
+/// Index of the delimiter closing the `open` at `start`, honoring nesting.
+fn matching(chars: &[char], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &c) in chars.iter().enumerate().skip(start) {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+/// Whole files outside library scope for the library-only rules: test and
+/// bench trees, examples, and `src/bin/` CLI entrypoints (table-regeneration
+/// binaries fail loudly by design — `main` is the top of the call stack).
+fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/src/bin/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.ends_with("build.rs")
+}
+
+// ---------------------------------------------------------------------------
+// Rule scanners
+// ---------------------------------------------------------------------------
+
+fn lint_rust_source(rel: &str, src: &str) -> Vec<Finding> {
+    let masked = mask_source(src);
+    let index = LineIndex::new(&masked);
+    let pragmas = collect_pragmas(src);
+    let regions = test_regions(&masked);
+    let file_is_test = is_test_path(rel);
+
+    let mut findings = Vec::new();
+    let mut push = |rule: &'static str, message: String, help: &'static str, offset: usize| {
+        let (line, col) = index.locate(offset);
+        if !allowed(&pragmas, line, rule) {
+            findings.push(Finding {
+                rule,
+                message,
+                path: rel.to_string(),
+                line,
+                col,
+                help,
+            });
+        }
+    };
+    let library_code = |offset: usize| -> bool { !file_is_test && !in_regions(&regions, offset) };
+
+    if !FACADE_PATHS.iter().any(|p| rel.starts_with(p)) {
+        for (offset, name) in find_std_sync_locks(&masked) {
+            if library_code(offset) {
+                push(
+                    "sync-facade",
+                    format!("direct `std::sync::{name}` bypasses the workspace sync facade"),
+                    "import the lock from the `parking_lot` shim so lock-order diagnostics cover this site",
+                    offset,
+                );
+            }
+        }
+    }
+
+    for offset in find_method_call(&masked, "unwrap", true)
+        .into_iter()
+        .chain(find_method_call(&masked, "expect", false))
+    {
+        if library_code(offset) {
+            push(
+                "no-unwrap",
+                "`.unwrap()`/`.expect(..)` in non-test library code".to_string(),
+                "return a typed error or recover; if the invariant truly holds, justify with `// lint: allow(no-unwrap)`",
+                offset,
+            );
+        }
+    }
+
+    for needle in ["Instant::now", "SystemTime::now"] {
+        for offset in find_token(&masked, needle) {
+            if library_code(offset) {
+                push(
+                    "clock",
+                    format!("raw `{needle}` outside an approved clock site"),
+                    "thread a deadline/now parameter in from the caller, or approve the site with `// lint: allow(clock)`",
+                    offset,
+                );
+            }
+        }
+    }
+
+    for offset in find_money_eq(&masked, &index) {
+        if library_code(offset) {
+            push(
+                "money-eq",
+                "raw f64 equality on a money value".to_string(),
+                "compare via `.to_bits()` (exact identity) or an explicit tolerance, never `==` on money f64s",
+                offset,
+            );
+        }
+    }
+
+    findings
+}
+
+/// Occurrences of `std::sync::<Lock>` or a lock name inside a
+/// `use std::sync::{...}` group. Returns (offset-of-lock-name, lock-name).
+fn find_std_sync_locks(masked: &[char]) -> Vec<(usize, &'static str)> {
+    let mut hits = Vec::new();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = find_from(masked, "std::sync::", from) {
+        from = pos + 1;
+        if pos > 0 && is_ident(masked[pos - 1]) {
+            continue; // e.g. `mystd::sync::`
+        }
+        let after = pos + "std::sync::".len();
+        if after >= masked.len() {
+            break;
+        }
+        if masked[after] == '{' {
+            // Group import: flag each lock identifier inside the braces.
+            let end = matching(masked, after, '{', '}').unwrap_or(masked.len());
+            let mut i = after + 1;
+            while i < end {
+                if is_ident(masked[i]) && (i == 0 || !is_ident(masked[i - 1])) {
+                    let start = i;
+                    while i < end && is_ident(masked[i]) {
+                        i += 1;
+                    }
+                    let word: String = masked[start..i].iter().collect();
+                    if let Some(name) = FACADE_LOCKS.iter().find(|&&l| l == word) {
+                        hits.push((start, *name));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        } else {
+            let start = after;
+            let mut i = after;
+            while i < masked.len() && is_ident(masked[i]) {
+                i += 1;
+            }
+            let word: String = masked[start..i].iter().collect();
+            if let Some(name) = FACADE_LOCKS.iter().find(|&&l| l == word) {
+                hits.push((start, *name));
+            }
+        }
+    }
+    hits
+}
+
+/// Offsets of `.name()` (when `require_empty_args`) or `.name(` calls.
+/// `.unwrap_or(..)` does not match `.unwrap` because the token is
+/// boundary-checked.
+fn find_method_call(masked: &[char], name: &str, require_empty_args: bool) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let needle: Vec<char> = format!(".{name}").chars().collect();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let n = masked.len();
+    let mut from = 0;
+    while let Some(pos) = find_chars_from(masked, &needle, from) {
+        from = pos + 1;
+        let mut i = pos + needle.len();
+        if i < n && is_ident(masked[i]) {
+            continue; // `.unwrap_or`, `.expect_err`, ...
+        }
+        while i < n && masked[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= n || masked[i] != '(' {
+            continue;
+        }
+        if require_empty_args {
+            let mut j = i + 1;
+            while j < n && masked[j].is_whitespace() {
+                j += 1;
+            }
+            if j >= n || masked[j] != ')' {
+                continue;
+            }
+        }
+        hits.push(pos);
+    }
+    hits
+}
+
+/// Boundary-checked occurrences of a path token like `Instant::now`,
+/// required to be followed by a call `(`.
+fn find_token(masked: &[char], token: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let needle: Vec<char> = token.chars().collect();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let n = masked.len();
+    let mut from = 0;
+    while let Some(pos) = find_chars_from(masked, &needle, from) {
+        from = pos + 1;
+        if pos > 0 && is_ident(masked[pos - 1]) {
+            continue;
+        }
+        let mut i = pos + needle.len();
+        if i < n && is_ident(masked[i]) {
+            continue;
+        }
+        while i < n && masked[i].is_whitespace() {
+            i += 1;
+        }
+        if i < n && masked[i] == '(' {
+            hits.push(pos);
+        }
+    }
+    hits
+}
+
+/// Lines where an `==`/`!=` operator shares a line with an identifier
+/// containing `usd` and no `.to_bits(` call: money f64s must compare by bit
+/// pattern or explicit tolerance.
+fn find_money_eq(masked: &[char], index: &LineIndex) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for (li, &start) in index.starts.iter().enumerate() {
+        let end = index
+            .starts
+            .get(li + 1)
+            .map_or(masked.len(), |&next| next - 1);
+        let line: String = masked[start..end].iter().collect();
+        let has_eq = line.char_indices().any(|(i, c)| {
+            let bytes = line.as_bytes();
+            let prev = i.checked_sub(1).map(|p| bytes[p] as char);
+            let next2 = line[i..].chars().nth(2);
+            match c {
+                '=' if line[i..].starts_with("==") => {
+                    !matches!(prev, Some('=' | '!' | '<' | '>')) && next2 != Some('=')
+                }
+                '!' if line[i..].starts_with("!=") => next2 != Some('='),
+                _ => false,
+            }
+        });
+        if !has_eq || line.contains(".to_bits(") {
+            continue;
+        }
+        let mentions_money = line
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .any(|w| w.to_ascii_lowercase().contains("usd"));
+        if mentions_money {
+            // Anchor the finding at the first operator on the line.
+            let op = line.find("==").or_else(|| line.find("!=")).unwrap_or(0);
+            hits.push(start + line[..op].chars().count());
+        }
+    }
+    hits
+}
+
+fn find_from(hay: &[char], needle: &str, from: usize) -> Option<usize> {
+    let needle: Vec<char> = needle.chars().collect();
+    find_chars_from(hay, &needle, from)
+}
+
+fn find_chars_from(hay: &[char], needle: &[char], from: usize) -> Option<usize> {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return None;
+    }
+    (from..=hay.len() - needle.len()).find(|&i| hay[i..i + needle.len()] == *needle)
+}
+
+// ---------------------------------------------------------------------------
+// bench-keys
+// ---------------------------------------------------------------------------
+
+/// Every `"name": "<key>"` series in a `BENCH_*.json` baseline must appear in
+/// `ci/check_bench_baselines.sh` — otherwise a renamed or added series
+/// silently escapes the regression guard.
+fn lint_bench_keys(root: &Path, jsons: &[PathBuf]) -> Result<Vec<Finding>, String> {
+    if jsons.is_empty() {
+        return Ok(Vec::new());
+    }
+    let guard = std::fs::read_to_string(root.join(BASELINE_GUARD)).unwrap_or_default();
+    let mut findings = Vec::new();
+    for rel in jsons {
+        let rel_str = unix_path(rel);
+        let text =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel_str}: {e}"))?;
+        for (key, line, col) in bench_series_keys(&text) {
+            if guard.is_empty() {
+                findings.push(Finding {
+                    rule: "bench-keys",
+                    message: format!(
+                        "bench series `{key}` has no baseline guard ({BASELINE_GUARD} missing)"
+                    ),
+                    path: rel_str.clone(),
+                    line,
+                    col,
+                    help: "add the guard script and a `require` line for this series",
+                });
+            } else if !guard.contains(&key) {
+                findings.push(Finding {
+                    rule: "bench-keys",
+                    message: format!("bench series `{key}` is not guarded by {BASELINE_GUARD}"),
+                    path: rel_str.clone(),
+                    line,
+                    col,
+                    help: "add this series to the guard script's `require` list so regressions fail CI",
+                });
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Extracts `"name": "<key>"` values with their 1-indexed positions.
+fn bench_series_keys(text: &str) -> Vec<(String, usize, usize)> {
+    let mut keys = Vec::new();
+    for (li, line) in text.lines().enumerate() {
+        let mut rest = line;
+        let mut consumed = 0;
+        while let Some(pos) = rest.find("\"name\"") {
+            let after = &rest[pos + "\"name\"".len()..];
+            let trimmed = after.trim_start();
+            if let Some(value) = trimmed.strip_prefix(':') {
+                let value = value.trim_start();
+                if let Some(stripped) = value.strip_prefix('"') {
+                    if let Some(end) = stripped.find('"') {
+                        keys.push((stripped[..end].to_string(), li + 1, consumed + pos + 1));
+                    }
+                }
+            }
+            consumed += pos + 1;
+            rest = &rest[pos + 1..];
+        }
+    }
+    keys
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn sync_facade_flags_direct_and_grouped_imports() {
+        let src = "use std::sync::Mutex;\nuse std::sync::{Arc, RwLock};\n";
+        let f = lint_rust_source("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec!["sync-facade", "sync-facade"]);
+        assert_eq!((f[0].line, f[1].line), (1, 2));
+    }
+
+    #[test]
+    fn sync_facade_ignores_arc_mpsc_and_facade_path() {
+        let src = "use std::sync::{Arc, mpsc};\nuse std::sync::atomic::AtomicU64;\n";
+        assert!(lint_rust_source("crates/core/src/x.rs", src).is_empty());
+        let lock = "use std::sync::Mutex;\n";
+        assert!(lint_rust_source("crates/shims/parking_lot/src/lib.rs", lock).is_empty());
+    }
+
+    #[test]
+    fn no_unwrap_flags_unwrap_and_expect_but_not_unwrap_or() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\nfn h(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        let f = lint_rust_source("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec!["no-unwrap", "no-unwrap"]);
+    }
+
+    #[test]
+    fn clock_flags_raw_now_calls() {
+        let src = "fn t() { let a = Instant::now(); let b = std::time::SystemTime::now(); }\n";
+        let f = lint_rust_source("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec!["clock", "clock"]);
+    }
+
+    #[test]
+    fn money_eq_flags_raw_equality_but_not_bit_pattern() {
+        let flagged = "fn c(a: f64, spend_usd: f64) -> bool { a == spend_usd }\n";
+        assert_eq!(
+            codes(&lint_rust_source("crates/core/src/x.rs", flagged)),
+            vec!["money-eq"]
+        );
+        let ok = "fn c(a: f64, spend_usd: f64) -> bool { a.to_bits() == spend_usd.to_bits() }\n";
+        assert!(lint_rust_source("crates/core/src/x.rs", ok).is_empty());
+        let unrelated = "fn c(a: u64, b: u64) -> bool { a == b }\n";
+        assert!(lint_rust_source("crates/core/src/x.rs", unrelated).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_same_line_and_next_line() {
+        let same = "fn t() { let a = Instant::now(); } // lint: allow(clock)\n";
+        assert!(lint_rust_source("crates/core/src/x.rs", same).is_empty());
+        let next = "// lint: allow(clock) -- harness timing\nfn t() { let a = Instant::now(); }\n";
+        assert!(lint_rust_source("crates/core/src/x.rs", next).is_empty());
+        let wrong_rule = "fn t() { let a = Instant::now(); } // lint: allow(no-unwrap)\n";
+        assert_eq!(
+            codes(&lint_rust_source("crates/core/src/x.rs", wrong_rule)),
+            vec!["clock"]
+        );
+    }
+
+    #[test]
+    fn masking_hides_strings_and_comments_from_rules() {
+        let src = concat!(
+            "// std::sync::Mutex in a comment\n",
+            "/* Instant::now() in a block\n   comment */\n",
+            "fn t() -> &'static str { \".unwrap() and std::sync::Mutex\" }\n",
+            "fn r() -> &'static str { r#\"Instant::now()\"# }\n",
+        );
+        assert!(lint_rust_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_confuse_the_masker() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let n = '\\n'; q }\nfn g() { let _ = Instant::now(); }\n";
+        let f = lint_rust_source("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec!["clock"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_items_and_test_paths_are_exempt() {
+        let src = concat!(
+            "fn lib() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { Some(1).unwrap(); let _ = Instant::now(); }\n",
+            "}\n",
+        );
+        assert!(lint_rust_source("crates/core/src/x.rs", src).is_empty());
+        let bad = "fn lib(x: Option<u8>) { x.unwrap(); }\n";
+        assert!(lint_rust_source("crates/core/tests/t.rs", bad).is_empty());
+        assert!(lint_rust_source("crates/bench/benches/b.rs", bad).is_empty());
+        assert_eq!(
+            codes(&lint_rust_source("crates/core/src/lib.rs", bad)),
+            vec!["no-unwrap"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_fn_item_is_exempt_but_following_code_is_not() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            "fn lib(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        let f = lint_rust_source("crates/core/src/x.rs", src);
+        assert_eq!(codes(&f), vec!["no-unwrap"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn bench_keys_extracts_series_names() {
+        let json = "[{\"name\":\"exec_cold\",\"ns\":1},\n {\"name\": \"exec_warm\", \"ns\": 2}]\n";
+        let keys = bench_series_keys(json);
+        assert_eq!(
+            keys.iter().map(|(k, _, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["exec_cold", "exec_warm"]
+        );
+        assert_eq!(keys[0].1, 1);
+        assert_eq!(keys[1].1, 2);
+    }
+
+    #[test]
+    fn self_reacquire_of_rules_on_own_source_is_clean() {
+        // Dogfood: repolint's own main.rs must pass its own rules.
+        let src = include_str!("main.rs");
+        let f = lint_rust_source("tools/repolint/src/main.rs", src);
+        assert!(f.is_empty(), "repolint fails its own lints: {f:?}");
+    }
+}

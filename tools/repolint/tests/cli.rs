@@ -1,0 +1,132 @@
+//! End-to-end negative tests: seed a synthetic repo with one violation of
+//! every rule, run the real `repolint` binary over it, and assert each rule
+//! fires with rustc-style positions — then prove the pragma escape hatch and
+//! the clean-tree exit code. Finally, dogfood: the binary must run clean on
+//! this repository itself (that is the CI invariant this tool exists for).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+struct TempRepo {
+    root: PathBuf,
+}
+
+impl TempRepo {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("repolint-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create temp repo");
+        TempRepo { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create parent dirs");
+        }
+        std::fs::write(path, contents).expect("write fixture");
+    }
+}
+
+impl Drop for TempRepo {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_repolint(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repolint"))
+        .arg(root)
+        .output()
+        .expect("spawn repolint")
+}
+
+#[test]
+fn seeded_violations_of_every_rule_fail_with_positions() {
+    let repo = TempRepo::new("seeded");
+    repo.write(
+        "crates/core/src/bad_sync.rs",
+        "use std::sync::Mutex;\nuse std::sync::{Arc, RwLock, Condvar};\n",
+    );
+    repo.write(
+        "crates/core/src/bad_unwrap.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\npub fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n",
+    );
+    repo.write(
+        "crates/core/src/bad_clock.rs",
+        "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    repo.write(
+        "crates/core/src/bad_money.rs",
+        "pub fn same(spend_usd: f64, budget_usd: f64) -> bool { spend_usd == budget_usd }\n",
+    );
+    repo.write(
+        "BENCH_seeded.json",
+        "[{\"name\":\"group/unguarded\",\"ns\":1}]\n",
+    );
+    repo.write("ci/check_bench_baselines.sh", "# no require lines\n");
+
+    let out = run_repolint(&repo.root);
+    assert_eq!(out.status.code(), Some(1), "seeded violations must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in [
+        "error[sync-facade]",
+        "error[no-unwrap]",
+        "error[clock]",
+        "error[money-eq]",
+        "error[bench-keys]",
+        "--> crates/core/src/bad_sync.rs:1:16",
+        "--> crates/core/src/bad_clock.rs:1:47",
+        "--> BENCH_seeded.json:1:3",
+        "`group/unguarded` is not guarded",
+    ] {
+        assert!(stderr.contains(needle), "missing {needle:?} in:\n{stderr}");
+    }
+    // Three lock names across the two imports, two unwrap forms, one each of
+    // the rest: 3 + 2 + 1 + 1 + 1.
+    assert!(
+        stderr.contains("8 finding(s)"),
+        "unexpected total in:\n{stderr}"
+    );
+}
+
+#[test]
+fn pragmas_suppress_and_clean_tree_exits_zero() {
+    let repo = TempRepo::new("clean");
+    repo.write(
+        "crates/core/src/lib.rs",
+        concat!(
+            "pub fn t() -> std::time::Instant {\n",
+            "    std::time::Instant::now() // lint: allow(clock) — approved site\n",
+            "}\n",
+            "// lint: allow(no-unwrap) — invariant: caller checked\n",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn free_for_all() { None::<u8>.unwrap(); }\n",
+            "}\n",
+        ),
+    );
+    repo.write(
+        "crates/core/tests/integration.rs",
+        "fn t() { let _ = std::time::Instant::now(); Some(1).unwrap(); }\n",
+    );
+    let out = run_repolint(&repo.root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "expected clean, got:\n{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("repolint: clean"));
+}
+
+#[test]
+fn this_repository_is_clean() {
+    // The repo root is two levels above this crate's manifest dir. This is
+    // the deny-by-default contract: adding an unjustified unwrap, raw clock
+    // read, direct std::sync lock, raw money equality, or unguarded bench
+    // series anywhere in the tree fails the test suite, not just the CI
+    // lint job.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_repolint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "repolint findings:\n{stderr}");
+}
