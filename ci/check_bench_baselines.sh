@@ -78,6 +78,18 @@ require BENCH_resilience.json \
   resilience_resume/journal_write \
   resilience_resume/journal_replay
 
+require BENCH_store.json \
+  store_start/cold_empty \
+  store_start/warm_populated \
+  store_start/manual_cold_ns \
+  store_start/manual_warm_ns \
+  store_semantic/rephrased_hits_of_64 \
+  store_semantic/rephrased_mismatch \
+  store_semantic/adversarial_hits_of_64 \
+  store_semantic/adversarial_mismatch \
+  store_semantic/variant_burst_semantic \
+  store_semantic/variant_burst_backend
+
 # --- Ratio guards over the recorded numbers themselves -----------------------
 # A baseline that merely *exists* can still record a regression. The PR-6
 # acceptance numbers are pinned here: the flat-store build must stay within
@@ -136,6 +148,29 @@ if [[ -f BENCH_resilience.json ]]; then
   ratio_guard "outage salvage is total (64 of 64)" \
     "$(value_of BENCH_resilience.json resilience_outage/salvaged_of_64)" \
     64 ge 1.0
+fi
+
+# PR-9 acceptance numbers: a fresh process warm-started on a populated
+# response store must finish the cold burst at >=5x the empty-store pace
+# (the bench additionally asserts zero backend calls), the semantic tier
+# must answer every rephrased near-duplicate without changing an answer,
+# and serving a variant burst from the semantic tier must clearly beat
+# re-dispatching it to the backend.
+if [[ -f BENCH_store.json ]]; then
+  ratio_guard "warm store start <= 0.2x cold start" \
+    "$(value_of BENCH_store.json store_start/warm_populated)" \
+    "$(value_of BENCH_store.json store_start/cold_empty)" \
+    le 0.2
+  ratio_guard "rephrased burst fully served by the semantic tier" \
+    "$(value_of BENCH_store.json store_semantic/rephrased_hits_of_64)" \
+    64 ge 1.0
+  ratio_guard "rephrased semantic answers change nothing" \
+    "$(value_of BENCH_store.json store_semantic/rephrased_mismatch)" \
+    64 le 0.0
+  ratio_guard "semantic variant burst <= 0.5x backend dispatch" \
+    "$(value_of BENCH_store.json store_semantic/variant_burst_semantic)" \
+    "$(value_of BENCH_store.json store_semantic/variant_burst_backend)" \
+    le 0.5
 fi
 
 if [[ $fail -ne 0 ]]; then

@@ -20,12 +20,15 @@
 //! fingerprint  text  prompt_tok  completion_tok  finish  model  in_rate  out_rate  confidence  checksum
 //! ```
 //!
-//! `fingerprint` is the request fingerprint (hex). `text` and `model` are
-//! escaped (`\t`, `\n`, `\r`, `\\`). Rates and confidence are `f64` *bit
-//! patterns* in hex — exact round-trips, so replayed pricing math is
-//! bit-identical to the original run's. `finish` is `S`top or `L`ength;
-//! `confidence` is `-` when absent. `checksum` is FNV-1a over every
-//! preceding byte of the line.
+//! The field codec, checksum framing, and torn-tail recovery are the shared
+//! record-log discipline in [`crowdprompt_oracle::recordlog`], which the
+//! persistent response store ([`crowdprompt_oracle::store`]) also consumes —
+//! one implementation, two durable artifacts. `fingerprint` is the request
+//! fingerprint (hex). `text` and `model` are escaped (`\t`, `\n`, `\r`,
+//! `\\`). Rates and confidence are `f64` *bit patterns* in hex — exact
+//! round-trips, so replayed pricing math is bit-identical to the original
+//! run's. `finish` is `S`top or `L`ength; `confidence` is `-` when absent.
+//! `checksum` is FNV-1a over every preceding byte of the line.
 //!
 //! # Crash safety
 //!
@@ -37,122 +40,29 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use crowdprompt_oracle::hash::fnv1a_str;
-use crowdprompt_oracle::pricing::Pricing;
-use crowdprompt_oracle::types::{CompletionResponse, FinishReason, Usage};
+use crowdprompt_oracle::recordlog::{
+    decode_response_fields, encode_response_fields, LogFile, RESPONSE_FIELDS,
+};
+use crowdprompt_oracle::types::CompletionResponse;
 
 /// The journal's header line (also its format version gate).
 const HEADER: &str = "crowdprompt-journal v1";
 
-/// Escape a string for single-line storage (`\` `\t` `\n` `\r`).
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Invert [`escape`]; `None` on a malformed escape sequence.
-fn unescape(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next()? {
-            '\\' => out.push('\\'),
-            't' => out.push('\t'),
-            'n' => out.push('\n'),
-            'r' => out.push('\r'),
-            _ => return None,
-        }
-    }
-    Some(out)
-}
-
-/// Serialize one record line (including the trailing newline).
-fn encode_line(fingerprint: u64, response: &CompletionResponse) -> String {
-    let payload = format!(
-        "{:016x}\t{}\t{}\t{}\t{}\t{}\t{:016x}\t{:016x}\t{}",
-        fingerprint,
-        escape(&response.text),
-        response.usage.prompt_tokens,
-        response.usage.completion_tokens,
-        match response.finish_reason {
-            FinishReason::Stop => 'S',
-            FinishReason::Length => 'L',
-        },
-        escape(&response.model),
-        response.pricing.usd_per_1k_input.to_bits(),
-        response.pricing.usd_per_1k_output.to_bits(),
-        match response.confidence {
-            Some(c) => format!("{:016x}", c.to_bits()),
-            None => "-".to_string(),
-        },
-    );
-    format!("{payload}\t{:016x}\n", fnv1a_str(&payload))
-}
-
-/// Parse one record line (without its newline); `None` on any corruption.
-fn decode_line(line: &str) -> Option<(u64, CompletionResponse)> {
-    let (payload, checksum) = line.rsplit_once('\t')?;
-    if u64::from_str_radix(checksum, 16).ok()? != fnv1a_str(payload) {
-        return None;
-    }
+/// Parse one record payload (checksum already verified and stripped by the
+/// record-log layer); `None` on structural corruption.
+fn decode_payload(payload: &str) -> Option<(u64, CompletionResponse)> {
     let fields: Vec<&str> = payload.split('\t').collect();
-    if fields.len() != 9 {
+    if fields.len() != RESPONSE_FIELDS {
         return None;
     }
-    let fingerprint = u64::from_str_radix(fields[0], 16).ok()?;
-    let text = unescape(fields[1])?;
-    let usage = Usage {
-        prompt_tokens: fields[2].parse().ok()?,
-        completion_tokens: fields[3].parse().ok()?,
-    };
-    let finish_reason = match fields[4] {
-        "S" => FinishReason::Stop,
-        "L" => FinishReason::Length,
-        _ => return None,
-    };
-    let model = unescape(fields[5])?;
-    let pricing = Pricing::new(
-        f64::from_bits(u64::from_str_radix(fields[6], 16).ok()?),
-        f64::from_bits(u64::from_str_radix(fields[7], 16).ok()?),
-    );
-    let confidence = match fields[8] {
-        "-" => None,
-        bits => Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?)),
-    };
-    Some((
-        fingerprint,
-        CompletionResponse {
-            text,
-            usage,
-            finish_reason,
-            model,
-            cached: false,
-            pricing,
-            confidence,
-        },
-    ))
+    decode_response_fields(&fields)
 }
 
 /// Lock-protected journal internals: the append handle and the replay map.
 struct JournalInner {
-    file: File,
+    log: LogFile,
     records: HashMap<u64, CompletionResponse>,
 }
 
@@ -174,63 +84,17 @@ impl RunJournal {
     /// than silently clobbered.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<RunJournal> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let mut contents = String::new();
-        // A torn write can leave invalid UTF-8; read bytes and take the
-        // valid prefix (the cut falls inside the torn tail we drop anyway).
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
-        match String::from_utf8(bytes) {
-            Ok(s) => contents = s,
-            Err(e) => {
-                let valid = e.utf8_error().valid_up_to();
-                let bytes = e.into_bytes();
-                // lint: allow(no-unwrap) — invariant: valid_up_to-checked prefix
-                contents.push_str(std::str::from_utf8(&bytes[..valid]).expect("checked prefix"));
-            }
-        }
-
         let mut records = HashMap::new();
-        let mut valid_end: u64;
-        if contents.is_empty() {
-            let header = format!("{HEADER}\n");
-            file.write_all(header.as_bytes())?;
-            file.flush()?;
-            valid_end = header.len() as u64;
-        } else {
-            let Some(rest) = contents
-                .strip_prefix(HEADER)
-                .and_then(|r| r.strip_prefix('\n'))
-            else {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("'{}' is not a {HEADER} file", path.display()),
-                ));
+        let log = LogFile::open(&path, HEADER, |payload| {
+            let Some((fingerprint, response)) = decode_payload(payload) else {
+                return false; // field corruption: truncate here
             };
-            valid_end = (HEADER.len() + 1) as u64;
-            for line in rest.split_inclusive('\n') {
-                let Some(body) = line.strip_suffix('\n') else {
-                    break; // partial (torn) final line
-                };
-                let Some((fingerprint, response)) = decode_line(body) else {
-                    break; // checksum or field corruption
-                };
-                records.insert(fingerprint, response);
-                valid_end += line.len() as u64;
-            }
-            // Drop everything after the last valid record and position the
-            // append cursor there.
-            file.set_len(valid_end)?;
-        }
-        file.seek(SeekFrom::Start(valid_end))?;
+            records.insert(fingerprint, response);
+            true
+        })?;
         Ok(RunJournal {
             path,
-            inner: Mutex::new(JournalInner { file, records }),
+            inner: Mutex::new(JournalInner { log, records }),
         })
     }
 
@@ -270,9 +134,8 @@ impl RunJournal {
         if inner.records.contains_key(&fingerprint) {
             return;
         }
-        let line = encode_line(fingerprint, response);
-        if inner.file.write_all(line.as_bytes()).is_ok() {
-            let _ = inner.file.flush();
+        let payload = encode_response_fields(fingerprint, response);
+        if inner.log.append(&payload).is_ok() {
             inner.records.insert(fingerprint, response.clone());
         }
     }
@@ -281,6 +144,8 @@ impl RunJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crowdprompt_oracle::pricing::Pricing;
+    use crowdprompt_oracle::types::{FinishReason, Usage};
 
     fn temp_path(tag: &str) -> PathBuf {
         static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -395,14 +260,5 @@ mod tests {
         std::fs::write(&path, "not a journal\n").unwrap();
         assert!(RunJournal::open(&path).is_err());
         std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn escape_unescape_inverse() {
-        for s in ["", "plain", "a\tb\nc\rd\\e", "\\t literal", "\\"] {
-            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
-        }
-        assert!(unescape("bad \\x escape").is_none());
-        assert!(unescape("trailing \\").is_none());
     }
 }

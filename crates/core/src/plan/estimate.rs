@@ -74,8 +74,14 @@ impl<'a> Estimator<'a> {
         }
     }
 
-    /// Estimated USD for one task; render failures cost zero.
+    /// Estimated USD for one task; render failures cost zero, and so do
+    /// tasks the attached persistent response store would answer — a
+    /// store hit dispatches no backend call and charges nothing, so
+    /// sampled hits discount the per-item averages they stand in for.
     fn cost_of(&self, task: TaskDescriptor) -> f64 {
+        if self.engine.task_served_by_store(task.clone()) {
+            return 0.0;
+        }
         self.engine.estimate_task(task).map_or(0.0, |(usd, _)| usd)
     }
 

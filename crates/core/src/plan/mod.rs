@@ -615,6 +615,46 @@ mod tests {
     }
 
     #[test]
+    fn store_hits_discount_estimates_and_are_noted_in_explain() {
+        use crowdprompt_oracle::store::{ResponseStore, StoreConfig};
+        let path =
+            std::env::temp_dir().join(format!("crowdprompt-plan-store-{}.log", std::process::id()));
+        let mut lock = path.as_os_str().to_os_string();
+        lock.push(".lock");
+        let lock = std::path::PathBuf::from(lock);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&lock).ok();
+
+        let (engine, ids) = engine(12, budget::Budget::Unlimited);
+        let store = ResponseStore::open(&path, StoreConfig::default()).unwrap();
+        assert!(engine.client().attach_store(Arc::new(store)));
+
+        let cold = Query::over(&ids).filter("even").plan_on(&engine).unwrap();
+        assert!(
+            cold.notes()
+                .iter()
+                .any(|n| n.contains("persistent response store")),
+            "EXPLAIN must name the attached store: {:?}",
+            cold.notes()
+        );
+        let cold_est = cold.estimated_cost_usd();
+        assert!(cold_est > 0.0);
+        cold.execute_on(&engine).unwrap();
+
+        // Re-planning the same query now samples fingerprints that are on
+        // disk; the estimator prices those hits at $0.
+        let warm = Query::over(&ids).filter("even").plan_on(&engine).unwrap();
+        assert!(
+            warm.estimated_cost_usd() < cold_est / 2.0,
+            "warm estimate ${:.6} must discount sampled store hits vs cold ${cold_est:.6}",
+            warm.estimated_cost_usd()
+        );
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&lock).ok();
+    }
+
+    #[test]
     fn selectivity_hint_outranks_raw_cost_in_filter_order() {
         let (engine, ids) = engine(20, budget::Budget::Unlimited);
         // Same per-item cost, but "third" is hinted far more selective:

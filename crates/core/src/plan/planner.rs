@@ -254,6 +254,23 @@ pub(crate) fn plan(
                 router.reference_backend_id(),
             ));
         }
+        // Persistent-store note: with a response store attached, calls
+        // whose fingerprints are already on disk are served without a
+        // backend dispatch and charge nothing, and the estimator prices
+        // sampled store hits at $0 — EXPLAIN records the store so the
+        // discounted numbers are attributable.
+        if let Some(store) = engine.client().store() {
+            let semantic = match store.semantic_threshold() {
+                Some(t) => format!(", semantic tier at distance <= {t}"),
+                None => String::new(),
+            };
+            notes.push(format!(
+                "persistent response store '{}' ({} entries{semantic}); \
+                 estimates price sampled store hits at $0",
+                store.path().display(),
+                store.len(),
+            ));
+        }
     }
     // Execution-semantics notes: degrade mode means the plan can complete
     // with *partial* output (quarantined items land in each step's salvage

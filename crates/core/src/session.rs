@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use crowdprompt_oracle::backend::{Backend, BackendRegistry};
 use crowdprompt_oracle::route::{HedgeConfig, RoutePolicy};
+use crowdprompt_oracle::store::{ResponseStore, SemanticConfig, StoreConfig};
 use crowdprompt_oracle::task::SortCriterion;
 use crowdprompt_oracle::world::ItemId;
 use crowdprompt_oracle::LlmClient;
@@ -45,6 +46,8 @@ pub struct SessionBuilder {
     failure_policy: Option<FailurePolicy>,
     deadline_ms: Option<u64>,
     journal_path: Option<std::path::PathBuf>,
+    store_path: Option<std::path::PathBuf>,
+    semantic_threshold: Option<f32>,
 }
 
 impl SessionBuilder {
@@ -196,6 +199,38 @@ impl SessionBuilder {
         self
     }
 
+    /// Layer a persistent, crash-safe response store at `path` under the
+    /// client's in-memory cache. Temperature-0 completions paid for by
+    /// *any* process that used this store are served from disk on a miss —
+    /// zero backend calls, zero spend (hits charge exactly like in-memory
+    /// cache hits) — and fresh completions are admitted for future
+    /// processes. This session becomes the store's single writer for the
+    /// lifetime of its client; concurrent sessions on other processes can
+    /// open the same file read-only via
+    /// [`crowdprompt_oracle::store::ResponseStore::open_read_only`].
+    ///
+    /// Unlike [`SessionBuilder::journal_path`] — which replays *this run's*
+    /// paid calls with their original charges for bit-identical resume —
+    /// the store is a cross-run cache: hits are free.
+    #[must_use]
+    pub fn store_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// Opt in to the store's approximate semantic tier (requires
+    /// [`SessionBuilder::store_path`]): temperature-0 prompts within
+    /// `threshold` embedding distance (L2 over unit vectors, `0.0..=2.0`)
+    /// of a stored prompt are answered from that neighbor's response
+    /// without a backend call. Approximate by construction — the accuracy
+    /// cost is visible through the outcome meter and
+    /// [`crowdprompt_oracle::ClientStats::semantic_hits`].
+    #[must_use]
+    pub fn semantic_cache(mut self, threshold: f32) -> Self {
+        self.semantic_threshold = Some(threshold);
+        self
+    }
+
     /// Build the session, surfacing configuration errors as values —
     /// the library-friendly form of [`SessionBuilder::build`].
     pub fn try_build(self) -> Result<Session, EngineError> {
@@ -230,6 +265,38 @@ impl SessionBuilder {
                 ))
             }
         };
+        match (&self.store_path, self.semantic_threshold) {
+            (None, Some(_)) => {
+                return Err(EngineError::InvalidInput(
+                    "semantic_cache requires store_path(...)".into(),
+                ));
+            }
+            (Some(path), threshold) => {
+                if let Some(t) = threshold {
+                    if !(t.is_finite() && t > 0.0) {
+                        return Err(EngineError::InvalidInput(format!(
+                            "semantic_cache threshold must be finite and positive, got {t}"
+                        )));
+                    }
+                }
+                let config = StoreConfig {
+                    semantic: threshold.map(SemanticConfig::new),
+                    ..StoreConfig::default()
+                };
+                let store = ResponseStore::open(path, config).map_err(|e| {
+                    EngineError::InvalidInput(format!(
+                        "cannot open response store at {}: {e}",
+                        path.display()
+                    ))
+                })?;
+                if !client.attach_store(Arc::new(store)) {
+                    return Err(EngineError::InvalidInput(
+                        "client already has a response store attached".into(),
+                    ));
+                }
+            }
+            (None, None) => {}
+        }
         let mut engine = Engine::new(client, self.corpus)
             .with_budget(self.budget)
             .with_parallelism(self.parallelism)
@@ -330,6 +397,8 @@ impl Session {
             failure_policy: None,
             deadline_ms: None,
             journal_path: None,
+            store_path: None,
+            semantic_threshold: None,
         }
     }
 
@@ -689,6 +758,76 @@ mod tests {
             .try_build()
             .expect("client provided");
         assert_eq!(session.spent_usd(), 0.0);
+    }
+
+    #[test]
+    fn semantic_cache_without_store_path_is_rejected() {
+        let w = WorldModel::new();
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 1));
+        match Session::builder()
+            .client(Arc::new(LlmClient::new(llm)))
+            .semantic_cache(0.5)
+            .try_build()
+        {
+            Err(EngineError::InvalidInput(msg)) => assert!(msg.contains("store_path")),
+            Ok(_) => panic!("semantic_cache without store_path must not build"),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_path_warm_starts_a_fresh_session_without_new_calls() {
+        let path = std::env::temp_dir().join(format!(
+            "crowdprompt-session-store-{}.log",
+            std::process::id()
+        ));
+        let mut lock = path.as_os_str().to_os_string();
+        lock.push(".lock");
+        let lock = std::path::PathBuf::from(lock);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&lock).ok();
+
+        let build = || {
+            let mut w = WorldModel::new();
+            let ids: Vec<ItemId> = (0..8)
+                .map(|i| {
+                    let id = w.add_item(format!("entry {i}"));
+                    w.set_flag(id, "big", i >= 4);
+                    id
+                })
+                .collect();
+            let corpus = Corpus::from_world(&w, &ids);
+            let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 1));
+            let s = Session::builder()
+                .client(Arc::new(LlmClient::new(llm)))
+                .corpus(corpus)
+                .store_path(&path)
+                .try_build()
+                .expect("store session builds");
+            (s, ids)
+        };
+
+        let (cold, ids) = build();
+        let cold_kept = cold
+            .filter(&ids, "big", ops::filter::FilterStrategy::Single)
+            .unwrap();
+        assert!(cold.engine().client().stats().calls() > 0);
+        drop(cold); // releases the writer lock
+
+        let (warm, ids) = build();
+        let warm_kept = warm
+            .filter(&ids, "big", ops::filter::FilterStrategy::Single)
+            .unwrap();
+        assert_eq!(
+            warm.engine().client().stats().calls(),
+            0,
+            "warm session must be served entirely from the persistent store"
+        );
+        assert!(warm.engine().client().stats().store_hits() > 0);
+        assert_eq!(cold_kept.value, warm_kept.value);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&lock).ok();
     }
 
     #[test]

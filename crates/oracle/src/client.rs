@@ -39,6 +39,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::LlmError;
 use crate::pricing::CostLedger;
 use crate::route::{RoutePolicy, Router};
+use crate::store::ResponseStore;
 use crate::types::{CompletionRequest, CompletionResponse, LanguageModel};
 
 /// Default number of cache shards (must be a power of two).
@@ -79,6 +80,8 @@ pub struct ClientStats {
     coalesced: AtomicU64,
     retries: AtomicU64,
     failures: AtomicU64,
+    store_hits: AtomicU64,
+    semantic_hits: AtomicU64,
 }
 
 impl ClientStats {
@@ -103,6 +106,18 @@ impl ClientStats {
     /// Calls that ultimately failed.
     pub fn failures(&self) -> u64 {
         self.failures.load(Ordering::Relaxed)
+    }
+    /// Requests served from the persistent store's exact tier (a
+    /// [`crate::store::ResponseStore`] attached via
+    /// [`LlmClient::attach_store`]). Like cache hits, these charge nothing.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+    /// Requests answered by the store's opt-in semantic tier from a
+    /// near-duplicate prompt's stored response. Free like cache hits, but
+    /// approximate — the accuracy cost is the caller's to meter.
+    pub fn semantic_hits(&self) -> u64 {
+        self.semantic_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -142,16 +157,19 @@ impl Flight {
 /// atomic) hit counter — bumping it under the already-held lock makes hit
 /// accounting cost one L1-hot increment instead of a contended atomic RMW.
 ///
-/// Responses are stored (and cloned on hit) inline rather than behind an
-/// `Arc`: completions here are small (a short text plus a model name), and
-/// an `Arc` layer costs a refcount RMW pair per hit — measured ~4pp worse
-/// on the checked-in hot-cache bench than cloning the body under the
-/// shard lock. Same-key hit storms therefore serialize on a ~100 ns
-/// critical section within one shard; revisit the `Arc` trade if cached
-/// responses ever grow large.
+/// Responses are stored behind an `Arc`: a hit clones the `Arc` under the
+/// shard lock (a refcount bump) and materializes the body *outside* the
+/// critical section, so same-key hit storms no longer serialize on body
+/// clones inside the lock. An earlier revision stored bodies inline after
+/// the `Arc` measured ~4pp worse on the hot-cache bench; re-measured when
+/// the persistent store landed (which shares `Arc`'d bodies with this
+/// tier), the `Arc` layout is now at parity single-threaded
+/// (`client_hot_cache`, `BENCH_exec.json`) and strictly better under
+/// same-key contention, so the trade was re-taken — see the PR 9 notes in
+/// ARCHITECTURE.md.
 #[derive(Default)]
 struct ShardState {
-    map: HashMap<u64, CompletionResponse>,
+    map: HashMap<u64, Arc<CompletionResponse>>,
     hits: u64,
 }
 
@@ -174,7 +192,7 @@ impl Shard {
 /// What a thread should do after consulting the coalescing table.
 enum Claim {
     /// Result was already cached (second-chance hit under the flight lock).
-    Cached(CompletionResponse),
+    Cached(Arc<CompletionResponse>),
     /// Another thread is executing this request; wait on its flight.
     Join(Arc<Flight>),
     /// This thread is the leader and must execute the backend call.
@@ -204,10 +222,11 @@ impl ShardedCache {
     }
 
     /// Fast path: one lock acquisition does lookup *and* hit accounting.
+    /// Returns the shared body; the caller clones it outside the lock.
     #[inline]
-    fn get(&self, key: u64) -> Option<CompletionResponse> {
+    fn get(&self, key: u64) -> Option<Arc<CompletionResponse>> {
         let mut state = self.shard(key).responses.lock();
-        let hit = state.map.get(&key).cloned();
+        let hit = state.map.get(&key).map(Arc::clone);
         if hit.is_some() {
             state.hits += 1;
         }
@@ -234,7 +253,7 @@ impl ShardedCache {
         {
             let mut state = shard.responses.lock();
             if let Some(hit) = state.map.get(&key) {
-                let hit = hit.clone();
+                let hit = Arc::clone(hit);
                 state.hits += 1;
                 return Claim::Cached(hit);
             }
@@ -261,7 +280,9 @@ impl ShardedCache {
     ) {
         let shard = self.shard(key);
         if let Ok(response) = &result {
-            shard.responses.lock().map.insert(key, response.clone());
+            // The body is cloned (into its Arc) before the lock is taken.
+            let body = Arc::new(response.clone());
+            shard.responses.lock().map.insert(key, body);
         }
         shard.flights.lock().remove(&key);
         flight.publish(result);
@@ -278,6 +299,9 @@ pub struct LlmClient {
     stats: ClientStats,
     cache_enabled: bool,
     coalesce_enabled: bool,
+    /// Persistent tier below the shards; attach-once
+    /// ([`LlmClient::attach_store`]).
+    store: std::sync::OnceLock<Arc<ResponseStore>>,
 }
 
 impl LlmClient {
@@ -293,6 +317,7 @@ impl LlmClient {
             stats: ClientStats::default(),
             cache_enabled: true,
             coalesce_enabled: true,
+            store: std::sync::OnceLock::new(),
         }
     }
 
@@ -355,6 +380,36 @@ impl LlmClient {
         self
     }
 
+    /// Layer a persistent [`ResponseStore`] under the in-memory shards
+    /// (builder style). See [`LlmClient::attach_store`] for the layering
+    /// semantics.
+    #[must_use]
+    pub fn with_store(self, store: Arc<ResponseStore>) -> Self {
+        let _ = self.store.set(store);
+        self
+    }
+
+    /// Attach a persistent [`ResponseStore`] below the in-memory shards.
+    ///
+    /// Attach-once: returns `false` (and changes nothing) if a store is
+    /// already attached. Once attached, cacheable (temperature-0) misses
+    /// probe the store's exact tier — and, when the store has a semantic
+    /// tier, near-duplicate prompts — before dispatching to the backend;
+    /// hits seed the shard cache, are marked [`CompletionResponse::cached`],
+    /// charge nothing to the ledger (exactly like in-memory cache hits, so
+    /// meter == ledger == budget accounting is unchanged), and are counted
+    /// in [`ClientStats::store_hits`] / [`ClientStats::semantic_hits`].
+    /// Freshly paid backend responses are admitted to the store subject to
+    /// its capacity and cost-aware admission policy.
+    pub fn attach_store(&self, store: Arc<ResponseStore>) -> bool {
+        self.store.set(store).is_ok()
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<ResponseStore>> {
+        self.store.get()
+    }
+
     /// The wrapped model.
     pub fn model(&self) -> &Arc<dyn LanguageModel> {
         &self.model
@@ -376,20 +431,78 @@ impl LlmClient {
     }
 
     /// Fast-path cache probe: the response if this request is already
-    /// cached, `None` otherwise (including for uncacheable requests).
+    /// cached — in the in-memory shards or the attached store's exact
+    /// tier — `None` otherwise (including for uncacheable requests).
     ///
-    /// A `Some` return is a real cache hit — it is counted in
-    /// [`ClientStats::cache_hits`] and marked [`CompletionResponse::cached`]
-    /// exactly as [`LlmClient::complete`] would. Dispatchers use this to
-    /// skip concurrency gates for requests that need no backend call.
+    /// A `Some` return is a real hit — counted in
+    /// [`ClientStats::cache_hits`] (or [`ClientStats::store_hits`]) and
+    /// marked [`CompletionResponse::cached`] exactly as
+    /// [`LlmClient::complete`] would. Dispatchers use this to skip
+    /// concurrency gates for requests that need no backend call. The
+    /// semantic tier is *not* probed here (embedding a prompt is too heavy
+    /// for a peek); it is consulted on the full miss path.
     pub fn peek_cached(&self, request: &CompletionRequest) -> Option<CompletionResponse> {
         if !(self.cache_enabled && request.temperature == 0.0) {
             return None;
         }
-        self.cache.get(request.fingerprint()).map(|mut hit| {
+        let key = request.fingerprint();
+        if let Some(arc) = self.cache.get(key) {
+            let mut hit = (*arc).clone();
             hit.cached = true;
-            hit
-        })
+            return Some(hit);
+        }
+        self.probe_store_exact(key)
+    }
+
+    /// Exact-tier store probe for a cacheable miss: on a hit the shared
+    /// body is seeded into the owning shard (so repeats stay in memory) and
+    /// a copy marked [`CompletionResponse::cached`] is returned.
+    fn probe_store_exact(&self, key: u64) -> Option<CompletionResponse> {
+        let arc = self.store.get()?.lookup(key)?;
+        self.cache
+            .shard(key)
+            .responses
+            .lock()
+            .map
+            .insert(key, Arc::clone(&arc));
+        self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+        let mut hit = (*arc).clone();
+        hit.cached = true;
+        Some(hit)
+    }
+
+    /// Semantic-tier store probe: answer a temperature-0 miss from the
+    /// nearest stored near-duplicate prompt within the configured distance
+    /// threshold. The hit is seeded into the shard cache under *this*
+    /// request's key, so repeats of the same near-duplicate are in-memory
+    /// hits; the store's exact tier is never polluted with approximate
+    /// answers.
+    fn probe_store_semantic(
+        &self,
+        request: &CompletionRequest,
+        key: u64,
+    ) -> Option<CompletionResponse> {
+        let store = self.store.get()?;
+        store.semantic_threshold()?;
+        let hit = store.lookup_semantic(&request.prompt)?;
+        self.cache
+            .shard(key)
+            .responses
+            .lock()
+            .map
+            .insert(key, Arc::clone(&hit.response));
+        self.stats.semantic_hits.fetch_add(1, Ordering::Relaxed);
+        let mut response = (*hit.response).clone();
+        response.cached = true;
+        Some(response)
+    }
+
+    /// Offer a freshly paid completion to the attached store (no-op when
+    /// none is attached; the store applies its own admission policy).
+    fn admit_to_store(&self, request: &CompletionRequest, response: &CompletionResponse) {
+        if let Some(store) = self.store.get() {
+            store.admit(request, response);
+        }
     }
 
     /// Seed the temperature-0 response cache with an externally produced
@@ -406,12 +519,8 @@ impl LlmClient {
             return;
         }
         let key = request.fingerprint();
-        self.cache
-            .shard(key)
-            .responses
-            .lock()
-            .map
-            .insert(key, response.clone());
+        let body = Arc::new(response.clone());
+        self.cache.shard(key).responses.lock().map.insert(key, body);
     }
 
     /// Execute one request with caching, coalescing, and retries.
@@ -432,7 +541,8 @@ impl LlmClient {
             return self.call_backend(request);
         }
         let key = request.fingerprint();
-        if let Some(mut hit) = self.cache.get(key) {
+        if let Some(arc) = self.cache.get(key) {
+            let mut hit = (*arc).clone();
             hit.cached = true;
             return Ok(hit);
         }
@@ -449,20 +559,27 @@ impl LlmClient {
         request: &CompletionRequest,
         key: u64,
     ) -> Result<CompletionResponse, LlmError> {
+        // The persistent tier sits under the shards: an exact store hit is
+        // served (and re-seeded into its shard) before any backend or
+        // coalescing machinery runs.
+        if let Some(hit) = self.probe_store_exact(key) {
+            return Ok(hit);
+        }
         if !self.coalesce_enabled {
+            if let Some(hit) = self.probe_store_semantic(request, key) {
+                return Ok(hit);
+            }
             let result = self.call_backend(request);
             if let Ok(response) = &result {
-                self.cache
-                    .shard(key)
-                    .responses
-                    .lock()
-                    .map
-                    .insert(key, response.clone());
+                self.admit_to_store(request, response);
+                let body = Arc::new(response.clone());
+                self.cache.shard(key).responses.lock().map.insert(key, body);
             }
             return result;
         }
         match self.cache.claim(key) {
-            Claim::Cached(mut hit) => {
+            Claim::Cached(arc) => {
+                let mut hit = (*arc).clone();
                 hit.cached = true;
                 Ok(hit)
             }
@@ -501,8 +618,19 @@ impl LlmClient {
                     flight: &flight,
                     armed: true,
                 };
+                // Leader-side semantic probe: embedding the prompt is too
+                // heavy to do per-thread, so only the leader pays it, and a
+                // hit is published to joiners like any other result.
+                if let Some(hit) = self.probe_store_semantic(request, key) {
+                    guard.armed = false;
+                    self.cache.publish(key, &flight, Ok(hit.clone()));
+                    return Ok(hit);
+                }
                 let result = self.call_backend(request);
                 guard.armed = false;
+                if let Ok(response) = &result {
+                    self.admit_to_store(request, response);
+                }
                 self.cache.publish(key, &flight, result.clone());
                 result
             }
@@ -1015,5 +1143,190 @@ mod tests {
         assert!(b.cached);
         assert_eq!(client.stats().calls(), 1);
         assert_eq!(client.stats().coalesced(), 0);
+    }
+
+    fn store_temp_path(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "crowdprompt-client-store-test-{}-{tag}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    fn store_cleanup(path: &std::path::Path) {
+        std::fs::remove_file(path).ok();
+        let mut lock = path.as_os_str().to_os_string();
+        lock.push(".lock");
+        std::fs::remove_file(std::path::PathBuf::from(lock)).ok();
+    }
+
+    #[test]
+    fn store_warm_start_serves_without_backend_and_bit_identical() {
+        use crate::store::{ResponseStore, StoreConfig};
+        let path = store_temp_path("warm");
+        let (world, ids) = world_and_ids(8);
+        let requests: Vec<CompletionRequest> = ids.iter().map(|&id| check_req(id)).collect();
+
+        // Process 1: cold run populates the store through the miss path.
+        let cold_responses: Vec<CompletionResponse> = {
+            let llm = Arc::new(SimulatedLlm::new(
+                ModelProfile::perfect(),
+                Arc::clone(&world),
+                1,
+            ));
+            let client = LlmClient::new(llm).with_store(Arc::new(
+                ResponseStore::open(&path, StoreConfig::default()).unwrap(),
+            ));
+            let out: Vec<CompletionResponse> = requests
+                .iter()
+                .map(|r| client.complete(r).unwrap())
+                .collect();
+            assert_eq!(client.stats().calls(), requests.len() as u64);
+            assert_eq!(client.store().unwrap().len(), requests.len());
+            out
+        };
+
+        // Process 2 (simulated): fresh client, fresh in-memory cache, same
+        // store file — every request is a store hit, zero backend calls,
+        // zero ledger spend, results bit-identical apart from the cached
+        // marking.
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm).with_store(Arc::new(
+            ResponseStore::open(&path, StoreConfig::default()).unwrap(),
+        ));
+        for (req, cold) in requests.iter().zip(&cold_responses) {
+            let warm = client.complete(req).unwrap();
+            assert!(warm.cached, "store hits are marked cached");
+            assert_eq!(warm.text, cold.text);
+            assert_eq!(warm.usage, cold.usage);
+            assert_eq!(warm.model, cold.model);
+            assert_eq!(warm.confidence, cold.confidence);
+        }
+        assert_eq!(client.stats().calls(), 0, "warm start: no backend calls");
+        assert_eq!(client.stats().store_hits(), requests.len() as u64);
+        assert_eq!(client.ledger().calls(), 0, "store hits charge nothing");
+        assert!(client.ledger().spend_usd() < f64::EPSILON);
+        // Second pass is served by the re-seeded in-memory shards.
+        for req in &requests {
+            assert!(client.complete(req).unwrap().cached);
+        }
+        assert_eq!(client.stats().store_hits(), requests.len() as u64);
+        assert!(client.stats().cache_hits() >= requests.len() as u64);
+        store_cleanup(&path);
+    }
+
+    #[test]
+    fn peek_cached_consults_store_exact_tier() {
+        use crate::store::{ResponseStore, StoreConfig};
+        let path = store_temp_path("peek");
+        let (world, ids) = world_and_ids(1);
+        let req = check_req(ids[0]);
+        {
+            let llm = Arc::new(SimulatedLlm::new(
+                ModelProfile::perfect(),
+                Arc::clone(&world),
+                1,
+            ));
+            let client = LlmClient::new(llm).with_store(Arc::new(
+                ResponseStore::open(&path, StoreConfig::default()).unwrap(),
+            ));
+            client.complete(&req).unwrap();
+        }
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm).with_store(Arc::new(
+            ResponseStore::open(&path, StoreConfig::default()).unwrap(),
+        ));
+        let peeked = client.peek_cached(&req).expect("exact store hit via peek");
+        assert!(peeked.cached);
+        assert_eq!(client.stats().calls(), 0);
+        assert_eq!(client.stats().store_hits(), 1);
+        store_cleanup(&path);
+    }
+
+    #[test]
+    fn semantic_tier_answers_near_duplicate_prompts() {
+        use crate::store::{ResponseStore, SemanticConfig, StoreConfig};
+        let path = store_temp_path("semantic");
+        let config = StoreConfig {
+            semantic: Some(SemanticConfig::new(0.4)),
+            ..StoreConfig::default()
+        };
+        let (world, ids) = world_and_ids(1);
+        let base = check_req(ids[0]);
+        {
+            let llm = Arc::new(SimulatedLlm::new(
+                ModelProfile::perfect(),
+                Arc::clone(&world),
+                1,
+            ));
+            let client = LlmClient::new(llm).with_store(Arc::new(
+                ResponseStore::open(&path, config.clone()).unwrap(),
+            ));
+            client.complete(&base).unwrap();
+        }
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client =
+            LlmClient::new(llm).with_store(Arc::new(ResponseStore::open(&path, config).unwrap()));
+        // A near-duplicate prompt: different fingerprint, close embedding.
+        let near = CompletionRequest::new(
+            format!("Does item {} satisfy p??", ids[0].0),
+            TaskDescriptor::CheckPredicate {
+                item: ids[0],
+                predicate: "p".into(),
+            },
+        );
+        let expect = {
+            // What the exact tier stored for the base request.
+            client.store().unwrap().lookup(base.fingerprint()).unwrap()
+        };
+        let hit = client.complete(&near).unwrap();
+        assert!(hit.cached, "semantic hits serve as cache hits");
+        assert_eq!(hit.text, expect.text);
+        assert_eq!(client.stats().calls(), 0);
+        assert_eq!(client.stats().semantic_hits(), 1);
+        assert_eq!(client.ledger().calls(), 0);
+        // Repeat of the same near-duplicate is now an in-memory hit.
+        assert!(client.complete(&near).unwrap().cached);
+        assert_eq!(client.stats().semantic_hits(), 1);
+        store_cleanup(&path);
+    }
+
+    #[test]
+    fn semantic_misses_fall_through_to_backend_and_admit() {
+        use crate::store::{ResponseStore, SemanticConfig, StoreConfig};
+        let path = store_temp_path("fallthrough");
+        let config = StoreConfig {
+            semantic: Some(SemanticConfig::new(0.05)),
+            ..StoreConfig::default()
+        };
+        let (world, ids) = world_and_ids(2);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client =
+            LlmClient::new(llm).with_store(Arc::new(ResponseStore::open(&path, config).unwrap()));
+        client.complete(&check_req(ids[0])).unwrap();
+        // A clearly different prompt under a tight threshold: backend call.
+        client.complete(&check_req(ids[1])).unwrap();
+        assert_eq!(client.stats().calls(), 2);
+        assert_eq!(client.stats().semantic_hits(), 0);
+        assert_eq!(client.store().unwrap().len(), 2, "both admitted");
+        store_cleanup(&path);
+    }
+
+    #[test]
+    fn attach_store_is_attach_once() {
+        use crate::store::{ResponseStore, StoreConfig};
+        let (path_a, path_b) = (store_temp_path("once-a"), store_temp_path("once-b"));
+        let (world, _) = world_and_ids(1);
+        let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), world, 1));
+        let client = LlmClient::new(llm);
+        assert!(client.store().is_none());
+        let first = Arc::new(ResponseStore::open(&path_a, StoreConfig::default()).unwrap());
+        assert!(client.attach_store(Arc::clone(&first)));
+        let second = Arc::new(ResponseStore::open(&path_b, StoreConfig::default()).unwrap());
+        assert!(!client.attach_store(second), "second attach refused");
+        assert!(Arc::ptr_eq(client.store().unwrap(), &first));
+        store_cleanup(&path_a);
+        store_cleanup(&path_b);
     }
 }

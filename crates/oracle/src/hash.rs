@@ -40,6 +40,26 @@ pub fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Format a 64-bit value as fixed-width lowercase hex — the canonical
+/// on-disk rendering of fingerprints, checksums, and `f64` bit patterns
+/// in the record logs ([`crate::recordlog`], [`crate::store`]).
+#[inline]
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parse a [`hex64`]-formatted field: exactly 16 hex digits, nothing
+/// else. Stricter than raw `u64::from_str_radix` (no sign, no width
+/// variance), so a corrupted or truncated log field never aliases a
+/// valid one.
+#[inline]
+pub fn parse_hex64(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 /// An incremental FNV-1a hasher for fingerprinting structured values.
 #[derive(Debug, Clone)]
 pub struct Fingerprint(u64);
@@ -123,6 +143,18 @@ mod tests {
     #[test]
     fn combine_order_sensitive() {
         assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn hex64_roundtrips_and_parse_is_strict() {
+        for v in [0, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(parse_hex64(&hex64(v)), Some(v));
+        }
+        assert_eq!(hex64(0xff).len(), 16);
+        assert_eq!(parse_hex64("ff"), None); // width-variant
+        assert_eq!(parse_hex64("+00000000000000ff"), None); // signed
+        assert_eq!(parse_hex64("00000000000000fg"), None); // non-hex
+        assert_eq!(parse_hex64("00000000000000ff0"), None); // too long
     }
 
     #[test]

@@ -30,9 +30,11 @@ pub mod error;
 pub mod hash;
 pub mod model;
 pub mod pricing;
+pub mod recordlog;
 pub mod retry;
 pub mod route;
 pub mod sim;
+pub mod store;
 pub mod task;
 pub mod tokenizer;
 pub mod types;
@@ -48,6 +50,7 @@ pub use model::{ModelProfile, NoiseProfile};
 pub use pricing::{CostLedger, Pricing};
 pub use route::{BreakerConfig, HedgeConfig, RoutePolicy, Router, RouterStats};
 pub use sim::SimulatedLlm;
+pub use store::{ResponseStore, SemanticConfig, SemanticHit, StoreConfig};
 pub use task::{CountMode, SortCriterion, TaskDescriptor};
 pub use tokenizer::count_tokens;
 pub use types::{CompletionRequest, CompletionResponse, FinishReason, LanguageModel, Usage};
