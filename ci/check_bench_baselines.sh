@@ -78,6 +78,17 @@ require BENCH_resilience.json \
   resilience_resume/journal_write \
   resilience_resume/journal_replay
 
+require BENCH_serve.json \
+  serve_submit/engine_direct_64 \
+  serve_submit/server_submit_64 \
+  serve_fairness/claim_drain_64x32 \
+  serve_fairness/p99_over_median_x1000 \
+  serve_fairness/claims_to_drain_light_of_2048 \
+  serve_concurrent/tenants_64x4 \
+  serve_concurrent/completed_of_256 \
+  serve_starvation/hog_completed_of_256 \
+  serve_starvation/light_completed_of_8
+
 require BENCH_store.json \
   store_start/cold_empty \
   store_start/warm_populated \
@@ -171,6 +182,32 @@ if [[ -f BENCH_store.json ]]; then
     "$(value_of BENCH_store.json store_semantic/variant_burst_semantic)" \
     "$(value_of BENCH_store.json store_semantic/variant_burst_backend)" \
     le 0.5
+fi
+
+# PR-10 acceptance numbers: the serving front door (admission, fair feed,
+# slot leases) must stay within 2x of bare engine dispatch on the same
+# batch, the 64-tenant equal-weight p99/median claim ratio must stay <=2x,
+# a light tenant next to a 2048-item hog must drain within ~3x its own
+# backlog, and the concurrent and hog/light workloads must complete every
+# submitted task (the bench additionally asserts per-tenant
+# meter == ledger == budget and that every lease is released).
+if [[ -f BENCH_serve.json ]]; then
+  ratio_guard "server submit <= 2x direct engine dispatch" \
+    "$(value_of BENCH_serve.json serve_submit/server_submit_64)" \
+    "$(value_of BENCH_serve.json serve_submit/engine_direct_64)" \
+    le 2.0
+  ratio_guard "64-tenant p99/median claim ratio <= 2x" \
+    "$(value_of BENCH_serve.json serve_fairness/p99_over_median_x1000)" \
+    1000 le 2.0
+  ratio_guard "light tenant drains within 3x its backlog beside a hog" \
+    "$(value_of BENCH_serve.json serve_fairness/claims_to_drain_light_of_2048)" \
+    16 le 3.0
+  ratio_guard "concurrent 64-tenant workload completes (256 of 256)" \
+    "$(value_of BENCH_serve.json serve_concurrent/completed_of_256)" \
+    256 ge 1.0
+  ratio_guard "hog cannot starve the light tenant (8 of 8 complete)" \
+    "$(value_of BENCH_serve.json serve_starvation/light_completed_of_8)" \
+    8 ge 1.0
 fi
 
 if [[ $fail -ne 0 ]]; then

@@ -123,7 +123,7 @@ impl Default for PipelineConfig {
 }
 
 /// A counting semaphore (std has none until `std::sync::Semaphore` lands).
-struct Semaphore {
+pub(crate) struct Semaphore {
     permits: Mutex<usize>,
     cv: Condvar,
 }
@@ -434,7 +434,7 @@ impl Engine {
     }
 
     /// This run's wall-clock deadline, anchored now.
-    fn run_deadline(&self) -> Option<Instant> {
+    pub(crate) fn run_deadline(&self) -> Option<Instant> {
         self.deadline_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms)) // lint: allow(clock) — run deadline anchor
     }
@@ -476,7 +476,7 @@ impl Engine {
     }
 
     /// Render a task and estimate its cost, without budget admission.
-    fn render_and_estimate(
+    pub(crate) fn render_and_estimate(
         &self,
         task: TaskDescriptor,
     ) -> Result<(CompletionRequest, f64, u64), EngineError> {
@@ -525,7 +525,7 @@ impl Engine {
     /// a `Budget::Usd` cap holds even when the priciest backend serves a
     /// call estimated at the cheapest schedule. `1×` for single-backend
     /// clients — admission then equals the estimate exactly as before.
-    fn admission_usd(&self, est_usd: f64) -> f64 {
+    pub(crate) fn admission_usd(&self, est_usd: f64) -> f64 {
         est_usd * self.admission_price_factor
     }
 
@@ -985,6 +985,38 @@ impl Engine {
         })
     }
 
+    /// The unified degrade-mode batch entry point: execute `spec` and
+    /// normalize to a [`BatchOutcome`] — per-item answer strings in input
+    /// order, the responses to meter, and the quarantined remainder.
+    ///
+    /// This collapses the three historical entry points —
+    /// [`Engine::run_many_outcome`], [`Engine::run_sampled_many_outcome`],
+    /// and [`Engine::run_packed_outcome`] — behind one spec-driven call,
+    /// so operators no longer branch on pack width and sampling at every
+    /// call site. The named entry points remain supported and share the
+    /// same execution machinery; `run_outcome` is result-identical to
+    /// calling them directly.
+    ///
+    /// `Err` is reserved for the caller bug of packing incompatible tasks
+    /// (exactly as [`Engine::run_packed_outcome`]); per-item failures are
+    /// quarantined inside the outcome, never surfaced as `Err`.
+    pub fn run_outcome(&self, spec: RunSpec) -> Result<BatchOutcome, EngineError> {
+        match spec {
+            RunSpec::Many { tasks } => Ok(BatchOutcome::from_run(self.run_many_outcome(tasks))),
+            RunSpec::Sampled { specs } => {
+                Ok(BatchOutcome::from_run(self.run_sampled_many_outcome(specs)))
+            }
+            // Packed at width <= 1 *is* the per-item path (and per-item
+            // tasks need not be packable), so route it there directly.
+            RunSpec::Packed { tasks, width } if width <= 1 => {
+                Ok(BatchOutcome::from_run(self.run_many_outcome(tasks)))
+            }
+            RunSpec::Packed { tasks, width } => Ok(BatchOutcome::from_packed(
+                self.run_packed_outcome(tasks, width)?,
+            )),
+        }
+    }
+
     /// One degrade-mode round: run every spec to success or an exhausted
     /// error chain, in input order, sharing the worker pool and gate.
     fn outcome_round(
@@ -1130,7 +1162,7 @@ impl Engine {
     }
 
     /// The per-model gate for this engine's client, if configured.
-    fn gate(&self) -> Option<Arc<Semaphore>> {
+    pub(crate) fn gate(&self) -> Option<Arc<Semaphore>> {
         (self.pipeline.model_concurrency > 0)
             .then(|| model_gate(self.client.model().name(), self.pipeline.model_concurrency))
     }
@@ -1181,7 +1213,7 @@ impl Engine {
     }
 
     /// Dispatch one pre-built request and account for it (worker body).
-    fn execute_request(
+    pub(crate) fn execute_request(
         &self,
         request: &CompletionRequest,
         gate: Option<&Semaphore>,
@@ -1499,6 +1531,154 @@ impl PackedOutcome {
     }
 }
 
+/// A batch execution specification for [`Engine::run_outcome`], the
+/// unified degrade-mode entry point.
+///
+/// Construct via [`RunSpec::tasks`] (one call per task),
+/// [`RunSpec::sampled`] (explicit temperature / sample index per call), or
+/// [`RunSpec::packed`] (multi-item prompts, falling back to per-item at
+/// width ≤ 1). Operators pass the spec straight through, so the
+/// per-item-vs-packed branch that used to be duplicated at every call site
+/// lives in the engine once.
+#[derive(Debug, Clone)]
+pub enum RunSpec {
+    /// One call per task at the engine's temperature (sample 0).
+    Many {
+        /// The unit tasks, in output order.
+        tasks: Vec<TaskDescriptor>,
+    },
+    /// One call per `(task, temperature, sample_index)` spec — the voting
+    /// fan-out shape (self-consistency, cascades, escalation).
+    Sampled {
+        /// The call specs, in output order.
+        specs: Vec<(TaskDescriptor, f64, u32)>,
+    },
+    /// Packed multi-item prompts of up to `width` tasks per call. All
+    /// tasks must be packable and mutually pack-compatible when
+    /// `width > 1`; `width <= 1` runs the plain per-item path (no
+    /// packability requirement).
+    Packed {
+        /// The unit tasks, in output order.
+        tasks: Vec<TaskDescriptor>,
+        /// Maximum tasks per packed prompt.
+        width: usize,
+    },
+}
+
+impl RunSpec {
+    /// One call per task at the engine's temperature.
+    pub fn tasks(tasks: Vec<TaskDescriptor>) -> Self {
+        RunSpec::Many { tasks }
+    }
+
+    /// One call per `(task, temperature, sample_index)` spec.
+    pub fn sampled(specs: Vec<(TaskDescriptor, f64, u32)>) -> Self {
+        RunSpec::Sampled { specs }
+    }
+
+    /// Packed prompts of up to `width` tasks; per-item when `width <= 1`.
+    pub fn packed(tasks: Vec<TaskDescriptor>, width: usize) -> Self {
+        RunSpec::Packed { tasks, width }
+    }
+
+    /// Number of per-item answers the outcome will contain.
+    pub fn len(&self) -> usize {
+        match self {
+            RunSpec::Many { tasks } => tasks.len(),
+            RunSpec::Sampled { specs } => specs.len(),
+            RunSpec::Packed { tasks, .. } => tasks.len(),
+        }
+    }
+
+    /// Whether the spec contains no work.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The normalized result of [`Engine::run_outcome`]: whatever the spec
+/// shape, one answer string (or condemning error) per input item, plus the
+/// responses to meter and the quarantined remainder.
+///
+/// `responses` carries exactly the completions an operator should meter:
+/// the successful per-item responses for `Many`/`Sampled` specs, or every
+/// dispatched completion (packs, bisection retries, singleton fallbacks)
+/// for `Packed` — the same metering convention each historical entry point
+/// had, now uniform behind one field.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// One answer per input item, in input order; `Err` holds the final
+    /// error that condemned a quarantined item.
+    pub answers: Vec<Result<String, EngineError>>,
+    /// The completions to meter for cost attribution (see type docs).
+    pub responses: Vec<CompletionResponse>,
+    /// Quarantined input indices with their full error chains, in index
+    /// order.
+    pub quarantined: Vec<Quarantine>,
+}
+
+impl BatchOutcome {
+    /// Normalize a per-item outcome: answers are the response texts,
+    /// metered responses are the successes in input order.
+    fn from_run(run: RunOutcome) -> Self {
+        let mut responses = Vec::with_capacity(run.ok_count());
+        let answers = run
+            .results
+            .into_iter()
+            .map(|result| match result {
+                Ok(response) => {
+                    let text = response.text.clone();
+                    responses.push(response);
+                    Ok(text)
+                }
+                Err(e) => Err(e),
+            })
+            .collect();
+        BatchOutcome {
+            answers,
+            responses,
+            quarantined: run.quarantined,
+        }
+    }
+
+    /// Normalize a packed outcome (field-for-field — the packed shape is
+    /// already answer-oriented).
+    fn from_packed(run: PackedOutcome) -> Self {
+        BatchOutcome {
+            answers: run.answers,
+            responses: run.responses,
+            quarantined: run.quarantined,
+        }
+    }
+
+    /// Number of items that completed.
+    pub fn ok_count(&self) -> usize {
+        self.answers.len() - self.quarantined.len()
+    }
+
+    /// Whether every item completed (nothing quarantined).
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Summarize this outcome as an operator salvage note for the plan
+    /// layer (see [`Engine::note_salvage`]).
+    pub fn salvage_note(&self, op: &'static str) -> OpSalvage {
+        OpSalvage {
+            op,
+            salvaged: self.ok_count(),
+            quarantined: self
+                .quarantined
+                .iter()
+                .map(|q| {
+                    let last = q.errors.last().map(|e| e.to_string()).unwrap_or_default();
+                    (q.index, last)
+                })
+                .collect(),
+        }
+    }
+}
+
 /// A note an operator leaves for the plan layer after salvaging a
 /// degraded run: how much survived and exactly what was lost. The plan
 /// executor drains these into the step report of the node that ran.
@@ -1525,6 +1705,185 @@ enum Work {
         est_tokens: u64,
     },
     Task(TaskDescriptor, Option<Instant>),
+}
+
+// ---------------------------------------------------------------------------
+// Weighted fair-share claim ordering (PR 10 serving layer)
+// ---------------------------------------------------------------------------
+
+/// One tenant's queue and deficit counter inside a [`FairFeed`].
+#[derive(Debug)]
+struct TenantQueue<T> {
+    key: String,
+    weight: f64,
+    deficit: f64,
+    queue: std::collections::VecDeque<T>,
+}
+
+#[derive(Debug)]
+struct FeedState<T> {
+    queues: Vec<TenantQueue<T>>,
+    /// Round-robin position of the queue currently being served.
+    cursor: usize,
+    /// Whether the cursor's queue has received its arrival top-up for
+    /// this visit (deficit replenishes once per arrival, not per claim).
+    topped_up: bool,
+    /// Total queued items across all tenants.
+    len: usize,
+}
+
+/// A pull-based dispatch feed with **weighted fair-share claim ordering**.
+///
+/// The engine's single-batch feed is FIFO: workers pull claims from one
+/// iterator, which is exactly right when every task belongs to the same
+/// caller. A multi-tenant server cannot use FIFO — one tenant submitting a
+/// large batch first would monopolize every worker — so this feed keys
+/// queued work by tenant and orders claims by **deficit round robin**:
+///
+/// * each tenant carries a deficit counter (in units of work items);
+/// * a claim visits tenant queues in round-robin order; visiting a
+///   non-empty queue tops the tenant's deficit up by its *weight*;
+/// * a tenant serves items while its deficit covers them (cost 1 each),
+///   so over any sustained busy period tenants complete work in
+///   proportion to their weights;
+/// * a queue that runs empty forfeits its deficit — an idle tenant cannot
+///   bank credit and later burst past its share.
+///
+/// `claim` is non-blocking (the serving layer's workers interleave feed
+/// claims with batch-completion waits); all ordering state lives behind
+/// one mutex, held only for the queue manipulation itself.
+#[derive(Debug)]
+pub struct FairFeed<T> {
+    state: Mutex<FeedState<T>>,
+}
+
+impl<T> Default for FairFeed<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Default for FeedState<T> {
+    fn default() -> Self {
+        FeedState {
+            queues: Vec::new(),
+            cursor: 0,
+            topped_up: false,
+            len: 0,
+        }
+    }
+}
+
+impl<T> FairFeed<T> {
+    /// An empty feed with no tenants.
+    pub fn new() -> Self {
+        FairFeed {
+            state: Mutex::new(FeedState::default()),
+        }
+    }
+
+    /// Register a tenant queue with the given fair-share weight (clamped
+    /// to at least `1e-3`). Returns `false` (leaving the existing queue
+    /// untouched) if the key is already registered.
+    pub fn register(&self, key: &str, weight: f64) -> bool {
+        let mut state = self.state.lock();
+        if state.queues.iter().any(|q| q.key == key) {
+            return false;
+        }
+        state.queues.push(TenantQueue {
+            key: key.to_owned(),
+            weight: if weight.is_finite() {
+                weight.max(1e-3)
+            } else {
+                1.0
+            },
+            deficit: 0.0,
+            queue: std::collections::VecDeque::new(),
+        });
+        true
+    }
+
+    /// Queue an item for `key`. Returns `false` if the key was never
+    /// registered (the item is dropped — admission must precede push).
+    pub fn push(&self, key: &str, item: T) -> bool {
+        let mut state = self.state.lock();
+        match state.queues.iter_mut().find(|q| q.key == key) {
+            Some(q) => {
+                q.queue.push_back(item);
+                state.len += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Claim the next item in deficit-round-robin order, or `None` when
+    /// every queue is empty.
+    pub fn claim(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        if state.len == 0 {
+            return None;
+        }
+        let n = state.queues.len();
+        loop {
+            let cursor = state.cursor;
+            let topped_up = state.topped_up;
+            let claimed = {
+                let q = &mut state.queues[cursor];
+                if q.queue.is_empty() {
+                    // Forfeit unused credit: fairness is over *busy*
+                    // tenants.
+                    q.deficit = 0.0;
+                    None
+                } else {
+                    if !topped_up {
+                        // Arrival top-up, once per visit. A tiny weight may
+                        // need several round-robin passes to afford an item;
+                        // the loop terminates because every pass adds
+                        // weight > 0 to some non-empty queue.
+                        q.deficit += q.weight;
+                    }
+                    if q.deficit >= 1.0 {
+                        q.deficit -= 1.0;
+                        q.queue.pop_front()
+                    } else {
+                        None
+                    }
+                }
+            };
+            state.topped_up = true;
+            match claimed {
+                Some(item) => {
+                    state.len -= 1;
+                    return Some(item);
+                }
+                None => {
+                    state.cursor = (cursor + 1) % n;
+                    state.topped_up = false;
+                }
+            }
+        }
+    }
+
+    /// Total queued items across all tenants.
+    pub fn len(&self) -> usize {
+        self.state.lock().len
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items currently queued for `key` (0 for unknown keys).
+    pub fn queued_for(&self, key: &str) -> usize {
+        self.state
+            .lock()
+            .queues
+            .iter()
+            .find(|q| q.key == key)
+            .map_or(0, |q| q.queue.len())
+    }
 }
 
 #[cfg(test)]
@@ -1901,5 +2260,149 @@ mod tests {
             "gate must cap single-task dispatch too, saw {}",
             probe.peak.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn fair_feed_equal_weights_interleave() {
+        let feed: FairFeed<(usize, usize)> = FairFeed::new();
+        assert!(feed.register("a", 1.0));
+        assert!(feed.register("b", 1.0));
+        assert!(!feed.register("a", 2.0), "no silent re-register");
+        for i in 0..8 {
+            feed.push("a", (0, i));
+        }
+        for i in 0..8 {
+            feed.push("b", (1, i));
+        }
+        assert_eq!(feed.len(), 16);
+        // Under equal weights, any prefix of the drain order is within one
+        // item of a perfect alternation.
+        let mut counts = [0usize; 2];
+        for step in 1..=16 {
+            let (tenant, _) = feed.claim().unwrap();
+            counts[tenant] += 1;
+            let diff = counts[0].abs_diff(counts[1]);
+            assert!(
+                diff <= 1,
+                "step {step}: counts {counts:?} drifted past one item"
+            );
+        }
+        assert!(feed.claim().is_none());
+        assert!(feed.is_empty());
+    }
+
+    #[test]
+    fn fair_feed_weighted_shares_track_weights() {
+        let feed: FairFeed<usize> = FairFeed::new();
+        feed.register("heavy", 3.0);
+        feed.register("light", 1.0);
+        for i in 0..60 {
+            feed.push("heavy", i);
+            if i < 20 {
+                feed.push("light", i);
+            }
+        }
+        // Drain the first 40 claims: heavy should get ~3x light's service
+        // (measured by queue-depth deltas — 60 heavy / 20 light pushed).
+        for _ in 0..40 {
+            feed.claim().unwrap();
+        }
+        let heavy = 60 - feed.queued_for("heavy");
+        let light = 20 - feed.queued_for("light");
+        assert_eq!(heavy + light, 40);
+        assert!(
+            (28..=32).contains(&heavy),
+            "3:1 weights should serve ~30 of 40 claims to heavy, got {heavy}"
+        );
+    }
+
+    #[test]
+    fn fair_feed_idle_tenant_banks_no_credit() {
+        let feed: FairFeed<usize> = FairFeed::new();
+        feed.register("idle", 5.0);
+        feed.register("busy", 1.0);
+        // The idle tenant's queue is visited (and would top up) repeatedly
+        // while busy drains alone...
+        for i in 0..10 {
+            feed.push("busy", i);
+        }
+        for _ in 0..10 {
+            feed.claim().unwrap();
+        }
+        // ...but when idle finally shows up alongside fresh busy work, it
+        // gets its weighted share going forward, not a stored burst beyond
+        // one visit's top-up.
+        for i in 0..12 {
+            feed.push("idle", i);
+            feed.push("busy", i);
+        }
+        let mut idle_served = 0usize;
+        for _ in 0..12 {
+            feed.claim().unwrap();
+            idle_served = 12 - feed.queued_for("idle");
+        }
+        // Weight 5 vs 1 bounds idle to ~10 of the first 12 claims; banked
+        // credit from the idle period would let it take all 12.
+        assert!(
+            idle_served <= 11,
+            "idle tenant must not bank credit while empty, served {idle_served}"
+        );
+        assert!(feed.push("busy", 99));
+        assert!(!feed.push("unknown", 0), "unregistered key is refused");
+    }
+
+    #[test]
+    fn run_outcome_matches_named_entry_points() {
+        let (engine, ids) = engine_with(12, Budget::Unlimited);
+        let tasks: Vec<_> = ids.iter().map(|id| check_task(*id)).collect();
+
+        // Per-item spec vs run_many_outcome.
+        let unified = engine.run_outcome(RunSpec::tasks(tasks.clone())).unwrap();
+        let named = engine.run_many_outcome(tasks.clone());
+        assert!(unified.is_complete());
+        assert_eq!(unified.ok_count(), named.ok_count());
+        for (answer, result) in unified.answers.iter().zip(&named.results) {
+            assert_eq!(
+                answer.as_ref().unwrap(),
+                &result.as_ref().unwrap().text // lint: allow(no-unwrap)
+            );
+        }
+        // Metered responses are exactly the successes.
+        assert_eq!(unified.responses.len(), named.ok_count());
+
+        // Packed spec vs run_packed_outcome.
+        let packed = engine
+            .run_outcome(RunSpec::packed(tasks.clone(), 4))
+            .unwrap();
+        let named_packed = engine.run_packed_outcome(tasks.clone(), 4).unwrap();
+        assert_eq!(packed.answers.len(), named_packed.answers.len());
+        for (a, b) in packed.answers.iter().zip(&named_packed.answers) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap()); // lint: allow(no-unwrap)
+        }
+
+        // Width <= 1 routes through the per-item path even for tasks that
+        // could not be packed.
+        let single = engine.run_outcome(RunSpec::packed(tasks, 1)).unwrap();
+        assert_eq!(single.answers.len(), 12);
+        assert!(single.is_complete());
+
+        // Sampled spec shape.
+        let sampled = engine
+            .run_outcome(RunSpec::sampled(
+                ids.iter().map(|id| (check_task(*id), 0.0, 0)).collect(),
+            ))
+            .unwrap();
+        assert_eq!(sampled.answers.len(), 12);
+
+        // Incompatible packs stay a caller bug.
+        let mixed = vec![
+            check_task(ids[0]),
+            TaskDescriptor::Impute {
+                item: ids[1],
+                attribute: "x".into(),
+                examples: Vec::new(),
+            },
+        ];
+        assert!(engine.run_outcome(RunSpec::packed(mixed, 4)).is_err());
     }
 }

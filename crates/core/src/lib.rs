@@ -57,17 +57,22 @@ pub mod outcome;
 pub mod plan;
 pub mod proxy;
 pub mod quality;
+pub mod serve;
 pub mod session;
 pub mod template;
 pub mod trace;
 pub mod workflow;
 
 pub use blocking::{BlockingHit, BlockingIndex};
-pub use budget::{Budget, BudgetTracker};
+pub use budget::{Budget, BudgetTracker, LedgerBook, LedgerSnapshot};
 pub use corpus::Corpus;
 pub use error::EngineError;
-pub use exec::{Engine, FailurePolicy, OpSalvage, PackedOutcome, Quarantine, RunOutcome};
+pub use exec::{
+    BatchOutcome, Engine, FailurePolicy, FairFeed, OpSalvage, PackedOutcome, Quarantine,
+    RunOutcome, RunSpec,
+};
 pub use journal::RunJournal;
 pub use outcome::Outcome;
 pub use plan::{Plan, PlanOptions, PlanOutput, PlanRun, Query};
-pub use session::Session;
+pub use serve::{ServeError, Server, ServerBuilder, TenantRun, TenantSpec, TenantStats};
+pub use session::{CacheConfig, ResilienceConfig, RoutingConfig, Session, SessionBuilder};

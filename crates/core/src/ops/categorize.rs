@@ -4,7 +4,7 @@ use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
 use crate::error::EngineError;
-use crate::exec::{Engine, OpSalvage};
+use crate::exec::{Engine, OpSalvage, RunSpec};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -76,23 +76,11 @@ fn categorize_degraded(
     let mut meter = CostMeter::new();
     let mut out = Vec::with_capacity(total);
     let mut lost: Vec<(usize, String)> = Vec::new();
-    let answers: Vec<Result<String, EngineError>> = if pack > 1 {
-        let run = engine.run_packed_outcome(tasks, pack)?;
-        for resp in &run.responses {
-            meter.add(resp.usage, engine.cost_of_response(resp));
-        }
-        run.answers
-    } else {
-        let run = engine.run_many_outcome(tasks);
-        for (_, resp) in run.successes() {
-            meter.add(resp.usage, engine.cost_of_response(resp));
-        }
-        run.results
-            .into_iter()
-            .map(|r| r.map(|resp| resp.text))
-            .collect()
-    };
-    for (index, answer) in answers.iter().enumerate() {
+    let run = engine.run_outcome(RunSpec::packed(tasks, pack))?;
+    for resp in &run.responses {
+        meter.add(resp.usage, engine.cost_of_response(resp));
+    }
+    for (index, answer) in run.answers.iter().enumerate() {
         let label = match answer {
             Ok(text) => extract::choice(text, labels),
             Err(e) => Err(e.clone()),

@@ -5,7 +5,7 @@ use crowdprompt_oracle::task::{CountMode, TaskDescriptor};
 use crowdprompt_oracle::world::ItemId;
 
 use crate::error::EngineError;
-use crate::exec::{Engine, OpSalvage};
+use crate::exec::{Engine, OpSalvage, RunSpec};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -156,17 +156,17 @@ fn count_degraded(
                     mode: CountMode::Eyeball,
                 })
                 .collect();
-            let run = engine.run_many_outcome(tasks);
-            for (batch, result) in run.results.iter().enumerate() {
+            let run = engine.run_outcome(RunSpec::tasks(tasks))?;
+            for resp in &run.responses {
+                meter.add(resp.usage, engine.cost_of_response(resp));
+            }
+            for (batch, answer) in run.answers.iter().enumerate() {
                 let chunk_len = items
                     .chunks(batch_size)
                     .nth(batch)
                     .map_or(0, <[ItemId]>::len);
-                let estimate = match result {
-                    Ok(resp) => {
-                        meter.add(resp.usage, engine.cost_of_response(resp));
-                        extract::count(&resp.text).map_err(|e| e.to_string())
-                    }
+                let estimate = match answer {
+                    Ok(text) => extract::count(text).map_err(|e| e.to_string()),
                     Err(e) => Err(e.to_string()),
                 };
                 match estimate {
@@ -187,23 +187,11 @@ fn count_degraded(
                     predicate: predicate.to_owned(),
                 })
                 .collect();
-            let answers: Vec<Result<String, EngineError>> = if pack > 1 {
-                let run = engine.run_packed_outcome(tasks, pack)?;
-                for resp in &run.responses {
-                    meter.add(resp.usage, engine.cost_of_response(resp));
-                }
-                run.answers
-            } else {
-                let run = engine.run_many_outcome(tasks);
-                for (_, resp) in run.successes() {
-                    meter.add(resp.usage, engine.cost_of_response(resp));
-                }
-                run.results
-                    .into_iter()
-                    .map(|r| r.map(|resp| resp.text))
-                    .collect()
-            };
-            for (index, answer) in answers.iter().enumerate() {
+            let run = engine.run_outcome(RunSpec::packed(tasks, pack))?;
+            for resp in &run.responses {
+                meter.add(resp.usage, engine.cost_of_response(resp));
+            }
+            for (index, answer) in run.answers.iter().enumerate() {
                 let verdict = match answer {
                     Ok(text) => extract::yes_no(text),
                     Err(e) => Err(e.clone()),

@@ -8,7 +8,7 @@ use crowdprompt_oracle::task::TaskDescriptor;
 use crowdprompt_oracle::world::ItemId;
 
 use crate::error::EngineError;
-use crate::exec::{Engine, OpSalvage};
+use crate::exec::{Engine, OpSalvage, RunSpec};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -305,23 +305,11 @@ fn filter_degraded(
     match strategy {
         FilterStrategy::Single => {
             let tasks: Vec<TaskDescriptor> = items.iter().map(check).collect();
-            let answers: Vec<Result<String, EngineError>> = if pack > 1 {
-                let run = engine.run_packed_outcome(tasks, pack)?;
-                for resp in &run.responses {
-                    meter.add(resp.usage, engine.cost_of_response(resp));
-                }
-                run.answers
-            } else {
-                let run = engine.run_many_outcome(tasks);
-                for (_, resp) in run.successes() {
-                    meter.add(resp.usage, engine.cost_of_response(resp));
-                }
-                run.results
-                    .into_iter()
-                    .map(|r| r.map(|resp| resp.text))
-                    .collect()
-            };
-            for (index, (answer, id)) in answers.iter().zip(items).enumerate() {
+            let run = engine.run_outcome(RunSpec::packed(tasks, pack))?;
+            for resp in &run.responses {
+                meter.add(resp.usage, engine.cost_of_response(resp));
+            }
+            for (index, (answer, id)) in run.answers.iter().zip(items).enumerate() {
                 let verdict = match answer {
                     Ok(text) => extract::yes_no(text),
                     Err(e) => Err(e.clone()),

@@ -7,7 +7,7 @@ use crowdprompt_oracle::world::ItemId;
 
 use crate::blocking::BlockingIndex;
 use crate::error::EngineError;
-use crate::exec::{Engine, OpSalvage};
+use crate::exec::{Engine, OpSalvage, RunSpec};
 use crate::extract;
 use crate::outcome::{CostMeter, Outcome};
 
@@ -275,23 +275,12 @@ fn degraded_values(
     pack: usize,
     meter: &mut CostMeter,
 ) -> Result<Vec<Result<String, String>>, EngineError> {
-    let answers: Vec<Result<String, EngineError>> = if pack > 1 {
-        let run = engine.run_packed_outcome(tasks, pack)?;
-        for resp in &run.responses {
-            meter.add(resp.usage, engine.cost_of_response(resp));
-        }
-        run.answers
-    } else {
-        let run = engine.run_many_outcome(tasks);
-        for (_, resp) in run.successes() {
-            meter.add(resp.usage, engine.cost_of_response(resp));
-        }
-        run.results
-            .into_iter()
-            .map(|r| r.map(|resp| resp.text))
-            .collect()
-    };
-    Ok(answers
+    let run = engine.run_outcome(RunSpec::packed(tasks, pack))?;
+    for resp in &run.responses {
+        meter.add(resp.usage, engine.cost_of_response(resp));
+    }
+    Ok(run
+        .answers
         .into_iter()
         .map(|answer| match answer {
             Ok(text) => extract::value(&text).map_err(|e| e.to_string()),

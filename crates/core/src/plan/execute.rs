@@ -12,7 +12,7 @@ use crowdprompt_oracle::world::ItemId;
 use crowdprompt_oracle::Usage;
 
 use crate::error::EngineError;
-use crate::exec::{Engine, OpSalvage};
+use crate::exec::{Engine, OpSalvage, RunSpec};
 use crate::extract;
 use crate::ops;
 use crate::ops::impute::LabeledPool;
@@ -255,24 +255,12 @@ pub(crate) fn execute(engine: &Engine, plan: &Plan) -> Result<PlanRun, EngineErr
                             labels: labels.clone(),
                         })
                         .collect();
-                    let answers: Vec<Result<String, EngineError>> = if *pack > 1 {
-                        let run = engine.run_packed_outcome(tasks, *pack)?;
-                        for resp in &run.responses {
-                            meter.add(resp.usage, engine.cost_of_response(resp));
-                        }
-                        run.answers
-                    } else {
-                        let run = engine.run_many_outcome(tasks);
-                        for (_, resp) in run.successes() {
-                            meter.add(resp.usage, engine.cost_of_response(resp));
-                        }
-                        run.results
-                            .into_iter()
-                            .map(|r| r.map(|resp| resp.text))
-                            .collect()
-                    };
+                    let run = engine.run_outcome(RunSpec::packed(tasks, *pack))?;
+                    for resp in &run.responses {
+                        meter.add(resp.usage, engine.cost_of_response(resp));
+                    }
                     let mut lost: Vec<(usize, String)> = Vec::new();
-                    for (index, (answer, id)) in answers.iter().zip(&items).enumerate() {
+                    for (index, (answer, id)) in run.answers.iter().zip(&items).enumerate() {
                         let label = match answer {
                             Ok(text) => extract::choice(text, labels),
                             Err(e) => Err(e.clone()),

@@ -1,0 +1,989 @@
+//! Multi-tenant serving front end: admission control, fair-share
+//! scheduling, and leased backend-slot quotas over one shared engine.
+//!
+//! Every layer below this one optimizes a single session at a time. A
+//! [`Server`] runs many concurrent tenant workloads against one shared
+//! [`Engine`]/router stack, adding the three things a shared stack needs:
+//!
+//! 1. **Admission control** — each submit is checked against the tenant's
+//!    token-bucket rate limit and USD/token budget *before* any work is
+//!    queued. A zero-budget tenant is rejected with no backend call billed;
+//!    a bucket overdraft sheds load with [`ServeError::RetryAfter`] and a
+//!    computed hint instead of queueing unboundedly.
+//! 2. **Weighted fair-share scheduling** — admitted work is queued per
+//!    tenant in a [`FairFeed`] and claimed in deficit-round-robin order, so
+//!    tenants complete work in proportion to their [`TenantSpec::weight`]s
+//!    regardless of who submitted first or most.
+//! 3. **Leased slot quotas** — every dispatch holds a backend-slot lease
+//!    from a [`LeaseTable`]: reserve → confirm (revalidated immediately
+//!    before the call) → release, with generation-based expiry, so a
+//!    crashed or stalled dispatch can never strand a slot.
+//!
+//! # Time
+//!
+//! The server never reads a clock. Rate-limit refill and lease expiry are
+//! driven by an explicit **generation counter** ([`Server::generation`],
+//! [`Server::advance_generation`]) — the same discipline as the response
+//! store's epoch counter — so admission decisions are deterministic and
+//! testable: a test advances generations; a deployment wires the counter
+//! to whatever tick it likes.
+//!
+//! # Threading model
+//!
+//! [`Server::submit`] is the only dispatch driver: after admission it
+//! enqueues the batch and the *calling thread* joins the worker pool,
+//! claiming feed items (any tenant's — that is what makes the claim
+//! ordering fair) until its own batch completes. N concurrently submitting
+//! tenants therefore yield N cooperating workers and no detached threads.
+//!
+//! ```no_run
+//! use crowdprompt_core::serve::{ServerBuilder, TenantSpec};
+//! use crowdprompt_core::{Budget, Engine};
+//! # fn demo(engine: Engine, tasks: Vec<crowdprompt_oracle::TaskDescriptor>) {
+//! let server = ServerBuilder::new()
+//!     .engine(engine)
+//!     .tenant(
+//!         TenantSpec::new("acme")
+//!             .with_weight(2.0)
+//!             .with_budget(Budget::usd(5.0))
+//!             .with_rate_limit(64.0, 8.0),
+//!     )
+//!     .tenant(TenantSpec::new("initech"))
+//!     .try_build()
+//!     .expect("valid server config");
+//! let run = server.submit("acme", tasks).expect("admitted");
+//! assert!(run.ok_count() <= run.results.len());
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crowdprompt_oracle::route::LeaseTable;
+use crowdprompt_oracle::task::TaskDescriptor;
+use crowdprompt_oracle::types::{CompletionRequest, CompletionResponse};
+use parking_lot::{Condvar, Mutex};
+
+use crate::budget::{Budget, BudgetTracker, LedgerBook, LedgerSnapshot};
+use crate::error::EngineError;
+use crate::exec::{Engine, FairFeed, Semaphore};
+
+/// Default burst capacity of a tenant's token bucket, in requests.
+const DEFAULT_BUCKET_CAPACITY: f64 = 256.0;
+/// Default refill rate of a tenant's token bucket, in requests per
+/// generation.
+const DEFAULT_BUCKET_REFILL: f64 = 64.0;
+/// Default lease TTL, in generations.
+const DEFAULT_LEASE_TTL: u64 = 8;
+/// Default lease-table capacity when none is configured.
+const DEFAULT_SLOTS: usize = 16;
+/// Default backlog bound, as a multiple of the lease-table capacity.
+const DEFAULT_BACKLOG_FACTOR: usize = 8;
+
+/// A serving-layer error: admission refusals and configuration bugs.
+///
+/// Per-item *execution* failures never surface here — they come back as
+/// `Err` slots inside [`TenantRun::results`], exactly like the engine's
+/// degrade-mode outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The tenant id was never registered with the server.
+    UnknownTenant(String),
+    /// Load was shed: the tenant's token bucket cannot cover the batch, or
+    /// the server's backlog is at its bound. Retry after the given number
+    /// of generations — computed from the bucket's refill rate or the
+    /// earliest lease expiry, whichever applies.
+    RetryAfter {
+        /// Generations until the refused work can plausibly be admitted.
+        generations: u64,
+    },
+    /// The tenant's budget cannot cover the batch's estimated cost. A
+    /// zero-budget tenant is refused here before any backend call is made
+    /// or billed.
+    BudgetExhausted {
+        /// Estimated (admission-priced) USD the batch needs.
+        needed_usd: f64,
+        /// USD remaining in the tenant's ledger.
+        remaining_usd: f64,
+    },
+    /// Invalid configuration or a task that failed to render at admission.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTenant(id) => write!(f, "unknown tenant: {id}"),
+            ServeError::RetryAfter { generations } => {
+                write!(f, "load shed: retry after {generations} generation(s)")
+            }
+            ServeError::BudgetExhausted {
+                needed_usd,
+                remaining_usd,
+            } => write!(
+                f,
+                "tenant budget exhausted: needs ~${needed_usd:.6}, ${remaining_usd:.6} remaining"
+            ),
+            ServeError::Invalid(msg) => write!(f, "invalid serving request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-tenant serving configuration: identity, fair-share weight, budget,
+/// and token-bucket rate limit.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    id: String,
+    weight: f64,
+    budget: Budget,
+    bucket_capacity: f64,
+    refill_per_generation: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1, an unlimited budget, and a generous default
+    /// rate limit.
+    pub fn new(id: impl Into<String>) -> Self {
+        TenantSpec {
+            id: id.into(),
+            weight: 1.0,
+            budget: Budget::Unlimited,
+            bucket_capacity: DEFAULT_BUCKET_CAPACITY,
+            refill_per_generation: DEFAULT_BUCKET_REFILL,
+        }
+    }
+
+    /// Fair-share weight (relative service rate under contention; clamped
+    /// positive at build).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Budget enforced at admission against this tenant's private ledger.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Token-bucket rate limit: at most `capacity` queued requests in a
+    /// burst, refilling at `refill_per_generation` requests per generation.
+    pub fn with_rate_limit(mut self, capacity: f64, refill_per_generation: f64) -> Self {
+        self.bucket_capacity = capacity;
+        self.refill_per_generation = refill_per_generation;
+        self
+    }
+
+    /// The tenant's id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The tenant's fair-share weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The tenant's admission budget.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+}
+
+/// A generation-clocked token bucket (never reads the wall clock).
+#[derive(Debug)]
+struct TokenBucket {
+    capacity: f64,
+    refill: f64,
+    level: f64,
+    last_gen: u64,
+}
+
+impl TokenBucket {
+    fn new(capacity: f64, refill: f64) -> Self {
+        let capacity = capacity.max(1.0);
+        TokenBucket {
+            capacity,
+            refill: refill.max(1e-6),
+            level: capacity, // full bucket: a fresh tenant can burst
+            last_gen: 0,
+        }
+    }
+
+    /// Take `n` tokens at `now_gen`, refilling for the generations elapsed
+    /// since the last call. `Err` carries the number of generations after
+    /// which the same take would succeed.
+    fn try_take(&mut self, now_gen: u64, n: f64) -> Result<(), u64> {
+        let elapsed = now_gen.saturating_sub(self.last_gen);
+        self.level = (self.level + elapsed as f64 * self.refill).min(self.capacity);
+        self.last_gen = now_gen;
+        if self.level >= n {
+            self.level -= n;
+            return Ok(());
+        }
+        let deficit = (n.min(self.capacity) - self.level).max(0.0);
+        Err(((deficit / self.refill).ceil() as u64).max(1))
+    }
+}
+
+/// Server-side state for one tenant.
+#[derive(Debug)]
+struct TenantState {
+    spec: TenantSpec,
+    bucket: Mutex<TokenBucket>,
+    ledger: Arc<BudgetTracker>,
+    /// Work items completed successfully for this tenant.
+    completed: AtomicU64,
+    /// Submits refused at admission (rate limit, backlog, or budget).
+    shed: AtomicU64,
+}
+
+/// A point-in-time view of one tenant's serving counters (see
+/// [`Server::stats`]).
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// The tenant's id.
+    pub id: String,
+    /// The tenant's fair-share weight.
+    pub weight: f64,
+    /// Work items completed successfully.
+    pub completed: u64,
+    /// Submits refused at admission.
+    pub shed: u64,
+    /// The tenant's ledger: actual spend and budget.
+    pub ledger: LedgerSnapshot,
+}
+
+/// One admitted work item queued in the fair feed.
+struct WorkItem {
+    tenant: Arc<TenantState>,
+    slot: usize,
+    request: CompletionRequest,
+    batch: Arc<BatchState>,
+}
+
+/// Shared completion state for one submitted batch.
+struct BatchState {
+    inner: Mutex<BatchInner>,
+    done: Condvar,
+}
+
+struct BatchInner {
+    results: Vec<Option<Result<CompletionResponse, EngineError>>>,
+    remaining: usize,
+}
+
+impl BatchState {
+    fn new(n: usize) -> Self {
+        BatchState {
+            inner: Mutex::new(BatchInner {
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn record(&self, slot: usize, result: Result<CompletionResponse, EngineError>) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.results[slot].is_none(), "slot recorded twice");
+        inner.results[slot] = Some(result);
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.lock().remaining == 0
+    }
+
+    /// Block until every slot is recorded (in-flight items are held by
+    /// other cooperating workers, which notify on the last record).
+    fn wait_done(&self) {
+        let mut inner = self.inner.lock();
+        while inner.remaining > 0 {
+            self.done.wait(&mut inner);
+        }
+    }
+
+    fn into_results(self: Arc<Self>) -> Vec<Result<CompletionResponse, EngineError>> {
+        // Every worker has recorded and released the batch by the time the
+        // submitter collects, so the Arc is unique in the common case;
+        // fall back to cloning out of the lock otherwise.
+        match Arc::try_unwrap(self) {
+            Ok(state) => state
+                .inner
+                .into_inner()
+                .results
+                .into_iter()
+                .map(|r| r.expect("batch complete")) // lint: allow(no-unwrap)
+                .collect(),
+            Err(shared) => shared
+                .inner
+                .lock()
+                .results
+                .iter()
+                .map(|r| r.clone().expect("batch complete")) // lint: allow(no-unwrap)
+                .collect(),
+        }
+    }
+}
+
+/// The result of one admitted [`Server::submit`]: per-task results in
+/// input order. Execution failures occupy their slots as `Err`; admission
+/// failures never get this far (see [`ServeError`]).
+#[derive(Debug)]
+pub struct TenantRun {
+    /// One result per submitted task, in input order.
+    pub results: Vec<Result<CompletionResponse, EngineError>>,
+}
+
+impl TenantRun {
+    /// Number of tasks that completed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Whether every task completed.
+    pub fn is_complete(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+}
+
+/// Releases a slot lease on drop, so a panicking or early-returning
+/// dispatch can never strand roster capacity.
+struct LeaseGuard<'a> {
+    table: &'a LeaseTable,
+    lease: crowdprompt_oracle::route::SlotLease,
+}
+
+impl Drop for LeaseGuard<'_> {
+    fn drop(&mut self) {
+        self.table.release(&self.lease);
+    }
+}
+
+/// Builder for a [`Server`]. See the [module docs](self) for the flow.
+#[derive(Default)]
+pub struct ServerBuilder {
+    engine: Option<Engine>,
+    tenants: Vec<TenantSpec>,
+    lease_ttl: u64,
+    slots: Option<usize>,
+    max_backlog: Option<usize>,
+}
+
+impl ServerBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ServerBuilder {
+            engine: None,
+            tenants: Vec::new(),
+            lease_ttl: DEFAULT_LEASE_TTL,
+            slots: None,
+            max_backlog: None,
+        }
+    }
+
+    /// The shared engine every tenant's work executes on. Typically built
+    /// once via `SessionBuilder` and handed over with
+    /// [`crate::session::Session::serve`].
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Register a tenant.
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Lease TTL in generations (minimum 1; default 8): how long a
+    /// reserved or confirmed slot survives without renewal before the
+    /// table reclaims it.
+    pub fn lease_ttl(mut self, generations: u64) -> Self {
+        self.lease_ttl = generations.max(1);
+        self
+    }
+
+    /// Backend-slot quota (lease-table capacity). Default 16; size it
+    /// from `Router::total_slots()` when serving a routed roster.
+    pub fn slots(mut self, slots: usize) -> Self {
+        self.slots = Some(slots.max(1));
+        self
+    }
+
+    /// Backlog bound: admission sheds load once this many items are
+    /// queued. Default `8 × slots`.
+    pub fn max_backlog(mut self, items: usize) -> Self {
+        self.max_backlog = Some(items.max(1));
+        self
+    }
+
+    /// Validate and build the server.
+    pub fn try_build(self) -> Result<Server, ServeError> {
+        let engine = self
+            .engine
+            .ok_or_else(|| ServeError::Invalid("ServerBuilder requires an engine".into()))?;
+        if self.tenants.is_empty() {
+            return Err(ServeError::Invalid(
+                "ServerBuilder requires at least one tenant".into(),
+            ));
+        }
+        // Default the slot quota to the routed roster's advertised
+        // concurrency; unrouted (single-model) engines get a fixed default.
+        let slots = self.slots.unwrap_or_else(|| {
+            engine
+                .client()
+                .router()
+                .map_or(DEFAULT_SLOTS, |r| r.total_slots())
+        });
+        let server = Server {
+            engine: Arc::new(engine),
+            tenants: Mutex::new(Vec::new()),
+            ledgers: LedgerBook::new(),
+            feed: FairFeed::new(),
+            leases: LeaseTable::new(slots),
+            generation: AtomicU64::new(0),
+            lease_ttl: self.lease_ttl,
+            max_backlog: self
+                .max_backlog
+                .unwrap_or(slots.saturating_mul(DEFAULT_BACKLOG_FACTOR).max(1)),
+        };
+        for spec in self.tenants {
+            server.attach_tenant(spec)?;
+        }
+        Ok(server)
+    }
+}
+
+/// A multi-tenant serving front end over one shared [`Engine`].
+///
+/// Built by [`ServerBuilder`]; see the [module docs](self) for the
+/// admission → claim → lease flow and the threading model.
+pub struct Server {
+    engine: Arc<Engine>,
+    tenants: Mutex<Vec<Arc<TenantState>>>,
+    ledgers: LedgerBook,
+    feed: FairFeed<WorkItem>,
+    leases: LeaseTable,
+    generation: AtomicU64,
+    lease_ttl: u64,
+    max_backlog: usize,
+}
+
+impl Server {
+    /// Register a tenant after build (a `Session` attaching to a running
+    /// server lands here). Fails on duplicate ids or non-positive weights.
+    pub fn attach_tenant(&self, spec: TenantSpec) -> Result<(), ServeError> {
+        if spec.id.is_empty() {
+            return Err(ServeError::Invalid("tenant id must be non-empty".into()));
+        }
+        if !(spec.weight.is_finite() && spec.weight > 0.0) {
+            return Err(ServeError::Invalid(format!(
+                "tenant {:?}: weight must be positive and finite",
+                spec.id
+            )));
+        }
+        let mut tenants = self.tenants.lock();
+        if tenants.iter().any(|t| t.spec.id == spec.id) {
+            return Err(ServeError::Invalid(format!(
+                "tenant {:?} is already registered",
+                spec.id
+            )));
+        }
+        if !self.ledgers.open(&spec.id, spec.budget) {
+            return Err(ServeError::Invalid(format!(
+                "tenant {:?} already has a ledger",
+                spec.id
+            )));
+        }
+        let ledger = self.ledgers.ledger(&spec.id).expect("ledger just opened"); // lint: allow(no-unwrap)
+        self.feed.register(&spec.id, spec.weight);
+        tenants.push(Arc::new(TenantState {
+            bucket: Mutex::new(TokenBucket::new(
+                spec.bucket_capacity,
+                spec.refill_per_generation,
+            )),
+            ledger,
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            spec,
+        }));
+        Ok(())
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Advance the generation counter by `n`, refilling token buckets and
+    /// aging leases. The server never advances this itself.
+    pub fn advance_generation(&self, n: u64) -> u64 {
+        self.generation.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Backend-slot leases currently held (reserved or confirmed).
+    pub fn leases_in_use(&self) -> usize {
+        self.leases.in_use(self.generation())
+    }
+
+    /// The lease table's slot capacity.
+    pub fn slot_capacity(&self) -> usize {
+        self.leases.capacity()
+    }
+
+    /// Per-tenant serving counters and ledgers, in registration order.
+    pub fn stats(&self) -> Vec<TenantStats> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|t| TenantStats {
+                id: t.spec.id.clone(),
+                weight: t.spec.weight,
+                completed: t.completed.load(Ordering::Relaxed),
+                shed: t.shed.load(Ordering::Relaxed),
+                ledger: LedgerSnapshot {
+                    spent_usd: t.ledger.spent_usd(),
+                    spent_tokens: t.ledger.spent_tokens(),
+                    budget: t.ledger.budget(),
+                },
+            })
+            .collect()
+    }
+
+    /// One tenant's ledger (actual spend + budget), if registered.
+    pub fn ledger(&self, tenant_id: &str) -> Option<Arc<BudgetTracker>> {
+        self.ledgers.ledger(tenant_id)
+    }
+
+    fn tenant(&self, id: &str) -> Option<Arc<TenantState>> {
+        self.tenants
+            .lock()
+            .iter()
+            .find(|t| t.spec.id == id)
+            .map(Arc::clone)
+    }
+
+    /// Submit a batch for `tenant_id`: admit, enqueue, then drive the
+    /// shared feed from the calling thread until the batch completes.
+    ///
+    /// Admission is all-or-nothing per batch, in this order:
+    ///
+    /// 1. unknown tenants are refused ([`ServeError::UnknownTenant`]);
+    /// 2. tasks that fail to render are refused ([`ServeError::Invalid`])
+    ///    — nothing is billed;
+    /// 3. the server backlog bound sheds load
+    ///    ([`ServeError::RetryAfter`] hinted by the earliest lease expiry);
+    /// 4. the tenant's ledger must cover the batch's estimated cost at
+    ///    admission pricing ([`ServeError::BudgetExhausted`]);
+    /// 5. the tenant's token bucket is charged one token per task
+    ///    ([`ServeError::RetryAfter`] hinted by the bucket refill rate).
+    ///
+    /// A refused submit performs no backend call and records no spend.
+    pub fn submit(
+        &self,
+        tenant_id: &str,
+        tasks: Vec<TaskDescriptor>,
+    ) -> Result<TenantRun, ServeError> {
+        let tenant = self
+            .tenant(tenant_id)
+            .ok_or_else(|| ServeError::UnknownTenant(tenant_id.to_owned()))?;
+        let n = tasks.len();
+        if n == 0 {
+            return Ok(TenantRun {
+                results: Vec::new(),
+            });
+        }
+
+        // Render and estimate everything first: a batch with an unrenderable
+        // task is refused whole, before any quota is consumed.
+        let deadline = self.engine.run_deadline();
+        let mut rendered = Vec::with_capacity(n);
+        let (mut batch_usd, mut batch_tokens) = (0.0f64, 0u64);
+        for task in tasks {
+            let (mut request, est_usd, est_tokens) = self
+                .engine
+                .render_and_estimate(task)
+                .map_err(|e| self.shed(&tenant, ServeError::Invalid(e.to_string())))?;
+            request.deadline = deadline;
+            batch_usd += self.engine.admission_usd(est_usd);
+            batch_tokens += est_tokens;
+            rendered.push(request);
+        }
+
+        // Backlog bound: saturation sheds load instead of queueing without
+        // limit. The hint is when the earliest held lease must release.
+        if self.feed.len() + n > self.max_backlog {
+            let hint = self
+                .leases
+                .earliest_release_in(self.generation())
+                .unwrap_or(1);
+            return Err(self.shed(&tenant, ServeError::RetryAfter { generations: hint }));
+        }
+
+        // Budget admission against the tenant's private ledger, cumulative
+        // over the batch (same discipline as `Engine::run_many`).
+        if !tenant.ledger.admit(batch_usd, batch_tokens) {
+            return Err(self.shed(
+                &tenant,
+                ServeError::BudgetExhausted {
+                    needed_usd: batch_usd,
+                    remaining_usd: tenant.ledger.remaining_usd(),
+                },
+            ));
+        }
+
+        // Rate limit: one bucket token per task, refilled per generation.
+        {
+            let mut bucket = tenant.bucket.lock();
+            if let Err(generations) = bucket.try_take(self.generation(), n as f64) {
+                drop(bucket);
+                return Err(self.shed(&tenant, ServeError::RetryAfter { generations }));
+            }
+        }
+
+        // Admitted: enqueue into the fair feed and drive.
+        let batch = Arc::new(BatchState::new(n));
+        for (slot, request) in rendered.into_iter().enumerate() {
+            self.feed.push(
+                &tenant.spec.id,
+                WorkItem {
+                    tenant: Arc::clone(&tenant),
+                    slot,
+                    request,
+                    batch: Arc::clone(&batch),
+                },
+            );
+        }
+        self.drive(&batch);
+        Ok(TenantRun {
+            results: batch.into_results(),
+        })
+    }
+
+    /// Count a shed admission for the tenant and pass the error through.
+    fn shed(&self, tenant: &TenantState, error: ServeError) -> ServeError {
+        tenant.shed.fetch_add(1, Ordering::Relaxed);
+        error
+    }
+
+    /// Worker loop: claim feed items in fair-share order — any tenant's —
+    /// until `batch` completes. When the feed is momentarily empty but the
+    /// batch still has in-flight items (held by other workers), block on
+    /// the batch's condvar instead of spinning.
+    fn drive(&self, batch: &Arc<BatchState>) {
+        let gate = self.engine.gate();
+        loop {
+            if batch.is_done() {
+                return;
+            }
+            match self.feed.claim() {
+                Some(item) => self.execute_item(item, gate.as_deref()),
+                None => {
+                    batch.wait_done();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Execute one claimed item under a slot lease and record the result.
+    fn execute_item(&self, item: WorkItem, gate: Option<&Semaphore>) {
+        let result = self.dispatch_leased(&item.request, gate);
+        if let Ok(response) = &result {
+            // Charge the tenant's private ledger with the actual serving
+            // cost; cache and store hits are free, as everywhere else.
+            if !response.cached {
+                item.tenant.ledger.record(
+                    self.engine.cost_of_response(response),
+                    u64::from(response.usage.total()),
+                );
+            }
+            item.tenant.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        item.batch.record(item.slot, result);
+    }
+
+    /// Reserve → confirm → dispatch → release. The lease is held through a
+    /// guard, so every exit path (success, error, panic) releases the
+    /// slot; a worker that stalls past the TTL loses the lease to the
+    /// table's expiry sweep instead of stranding it.
+    fn dispatch_leased(
+        &self,
+        request: &CompletionRequest,
+        gate: Option<&Semaphore>,
+    ) -> Result<CompletionResponse, EngineError> {
+        loop {
+            let now = self.generation();
+            let Some(lease) = self.leases.reserve(now, self.lease_ttl) else {
+                // Every slot is validly held by an in-flight dispatch.
+                // Admitted work is never dropped: yield until a worker
+                // releases (or a stalled lease expires).
+                parking_lot::blocking_region("serve: waiting for a slot lease");
+                std::thread::yield_now();
+                continue;
+            };
+            let guard = LeaseGuard {
+                table: &self.leases,
+                lease,
+            };
+            // Revalidate right before dispatch: if the reservation sat so
+            // long it expired (and may have been reclaimed), re-reserve
+            // instead of dispatching on someone else's slot.
+            if !self
+                .leases
+                .confirm(&guard.lease, self.generation(), self.lease_ttl)
+            {
+                continue;
+            }
+            return self.engine.execute_request(request, gate);
+            // `guard` drops here, releasing the slot.
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("tenants", &self.tenants.lock().len())
+            .field("slots", &self.leases.capacity())
+            .field("lease_ttl", &self.lease_ttl)
+            .field("max_backlog", &self.max_backlog)
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+    use crowdprompt_oracle::model::ModelProfile;
+    use crowdprompt_oracle::sim::SimulatedLlm;
+    use crowdprompt_oracle::world::WorldModel;
+    use crowdprompt_oracle::{ItemId, LlmClient};
+
+    fn engine(n: usize) -> (Engine, Vec<ItemId>) {
+        let mut w = WorldModel::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let id = w.add_item(format!("serve item {i}"));
+                w.set_flag(id, "p", i % 2 == 0);
+                id
+            })
+            .collect();
+        let corpus = Corpus::from_world(&w, &ids);
+        let llm = Arc::new(SimulatedLlm::new(
+            ModelProfile::gpt35_like(),
+            Arc::new(w),
+            7,
+        ));
+        let client = Arc::new(LlmClient::new(llm));
+        (Engine::new(client, corpus).with_parallelism(4), ids)
+    }
+
+    fn check(id: ItemId) -> TaskDescriptor {
+        TaskDescriptor::CheckPredicate {
+            item: id,
+            predicate: "p".into(),
+        }
+    }
+
+    fn distinct_checks(ids: &[ItemId]) -> Vec<TaskDescriptor> {
+        ids.iter().map(|id| check(*id)).collect()
+    }
+
+    #[test]
+    fn builder_requires_engine_and_tenants() {
+        match ServerBuilder::new().try_build() {
+            Err(ServeError::Invalid(msg)) => assert!(msg.contains("engine"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        let (eng, _) = engine(2);
+        match ServerBuilder::new().engine(eng).try_build() {
+            Err(ServeError::Invalid(msg)) => assert!(msg.contains("tenant"), "{msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_executes_and_bills_the_tenant() {
+        let (eng, ids) = engine(8);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("a").with_budget(Budget::usd(1.0)))
+            .try_build()
+            .unwrap();
+        let run = server.submit("a", distinct_checks(&ids)).unwrap();
+        assert!(run.is_complete());
+        assert_eq!(run.results.len(), 8);
+        let meter: f64 = run
+            .results
+            .iter()
+            .map(|r| {
+                let resp = r.as_ref().unwrap(); // lint: allow(no-unwrap)
+                if resp.cached {
+                    0.0
+                } else {
+                    server.engine().cost_of_response(resp)
+                }
+            })
+            .sum();
+        let ledger = server.ledger("a").unwrap();
+        assert!(meter > 0.0);
+        assert!((meter - ledger.spent_usd()).abs() < 1e-9, "meter == ledger");
+        let stats = server.stats();
+        assert_eq!(stats[0].completed, 8);
+        assert_eq!(stats[0].shed, 0);
+        assert!((stats[0].ledger.spent_usd - meter).abs() < 1e-9);
+        assert_eq!(server.leases_in_use(), 0, "no lease outlives its dispatch");
+    }
+
+    #[test]
+    fn unknown_tenant_is_refused() {
+        let (eng, ids) = engine(2);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("a"))
+            .try_build()
+            .unwrap();
+        match server.submit("ghost", distinct_checks(&ids)) {
+            Err(ServeError::UnknownTenant(id)) => assert_eq!(id, "ghost"),
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_tenant_is_refused_before_any_call() {
+        let (eng, ids) = engine(4);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("broke").with_budget(Budget::usd(0.0)))
+            .try_build()
+            .unwrap();
+        let calls_before = server.engine().client().stats().calls();
+        match server.submit("broke", distinct_checks(&ids)) {
+            Err(ServeError::BudgetExhausted { needed_usd, .. }) => assert!(needed_usd > 0.0),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(
+            server.engine().client().stats().calls(),
+            calls_before,
+            "a refused submit must not reach the backend"
+        );
+        let ledger = server.ledger("broke").unwrap();
+        assert_eq!(ledger.spent_usd(), 0.0);
+        assert_eq!(server.stats()[0].shed, 1);
+    }
+
+    #[test]
+    fn bucket_overdraft_sheds_with_retry_hint() {
+        let (eng, ids) = engine(8);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("bursty").with_rate_limit(4.0, 2.0))
+            .try_build()
+            .unwrap();
+        // First 4 fit the burst capacity.
+        let run = server.submit("bursty", distinct_checks(&ids[..4])).unwrap();
+        assert!(run.is_complete());
+        // The bucket is now empty; 4 more must shed with a computed hint:
+        // 4 tokens at 2/generation = 2 generations.
+        match server.submit("bursty", distinct_checks(&ids[4..])) {
+            Err(ServeError::RetryAfter { generations }) => assert_eq!(generations, 2),
+            other => panic!("expected RetryAfter, got {other:?}"),
+        }
+        // Advancing the generation refills the bucket and the same batch
+        // is admitted.
+        server.advance_generation(2);
+        let run = server.submit("bursty", distinct_checks(&ids[4..])).unwrap();
+        assert!(run.is_complete());
+    }
+
+    #[test]
+    fn backlog_bound_sheds_load() {
+        let (eng, ids) = engine(4);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("a"))
+            .slots(1)
+            .max_backlog(2)
+            .try_build()
+            .unwrap();
+        match server.submit("a", distinct_checks(&ids)) {
+            Err(ServeError::RetryAfter { generations }) => assert!(generations >= 1),
+            other => panic!("expected RetryAfter, got {other:?}"),
+        }
+        // A batch within the bound is served.
+        let run = server.submit("a", distinct_checks(&ids[..2])).unwrap();
+        assert!(run.is_complete());
+    }
+
+    #[test]
+    fn concurrent_tenants_all_complete_and_bill_separately() {
+        let (eng, ids) = engine(32);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("t0").with_weight(1.0))
+            .tenant(TenantSpec::new("t1").with_weight(2.0))
+            .tenant(TenantSpec::new("t2").with_weight(4.0))
+            .slots(4)
+            .try_build()
+            .unwrap();
+        let server = &server;
+        std::thread::scope(|scope| {
+            for (t, chunk) in ids.chunks(8).take(3).enumerate() {
+                scope.spawn(move || {
+                    let run = server
+                        .submit(&format!("t{t}"), distinct_checks(chunk))
+                        .unwrap();
+                    assert!(run.is_complete());
+                });
+            }
+        });
+        let stats = server.stats();
+        for s in &stats {
+            assert_eq!(s.completed, 8, "tenant {} completed", s.id);
+            assert!(s.ledger.spent_usd > 0.0);
+        }
+        // Distinct items per tenant: every tenant paid for its own work.
+        let client_total = server.engine().client().ledger().spend_usd();
+        let tenant_total: f64 = stats.iter().map(|s| s.ledger.spent_usd).sum();
+        assert!(
+            (client_total - tenant_total).abs() < 1e-9,
+            "sum of tenant ledgers ({tenant_total}) == client ledger ({client_total})"
+        );
+        assert_eq!(server.leases_in_use(), 0);
+    }
+
+    #[test]
+    fn attach_tenant_rejects_duplicates_and_bad_weights() {
+        let (eng, _) = engine(2);
+        let server = ServerBuilder::new()
+            .engine(eng)
+            .tenant(TenantSpec::new("a"))
+            .try_build()
+            .unwrap();
+        assert!(matches!(
+            server.attach_tenant(TenantSpec::new("a")),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(matches!(
+            server.attach_tenant(TenantSpec::new("b").with_weight(0.0)),
+            Err(ServeError::Invalid(_))
+        ));
+        assert!(server.attach_tenant(TenantSpec::new("b")).is_ok());
+        assert_eq!(server.stats().len(), 2);
+    }
+}

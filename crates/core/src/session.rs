@@ -28,42 +28,52 @@ use crate::outcome::Outcome;
 use crate::plan::{Plan, PlanOptions, PlanOutput, Query};
 use crate::trace::Trace;
 
-/// Builder for [`Session`].
-pub struct SessionBuilder {
-    client: Option<Arc<LlmClient>>,
+/// Routing-layer configuration: which backends serve the session and how
+/// aggressively the router retries and hedges across them.
+///
+/// Pass to [`SessionBuilder::routing`]. The group is self-consistent by
+/// construction — hedging and retry knobs live next to the backend roster
+/// they require, and `try_build` reports violations under the `routing:`
+/// prefix.
+///
+/// ```
+/// use crowdprompt_core::session::RoutingConfig;
+/// use std::time::Duration;
+///
+/// let routing = RoutingConfig::new()
+///     .hedge_after(Duration::from_millis(5))
+///     .max_retries(3);
+/// # let _ = routing;
+/// ```
+#[derive(Clone, Default)]
+pub struct RoutingConfig {
     backends: Vec<Arc<dyn Backend>>,
     hedge_after: Option<Duration>,
     max_retries: Option<u32>,
-    corpus: Corpus,
-    budget: Budget,
-    parallelism: usize,
-    pack_width: usize,
-    blocking_recall_target: Option<f32>,
-    temperature: f64,
-    seed: u64,
-    criterion_label: String,
-    trace: bool,
-    failure_policy: Option<FailurePolicy>,
-    deadline_ms: Option<u64>,
-    journal_path: Option<std::path::PathBuf>,
-    store_path: Option<std::path::PathBuf>,
-    semantic_threshold: Option<f32>,
 }
 
-impl SessionBuilder {
-    /// Set the model client (required unless [`SessionBuilder::backends`]
-    /// is used instead).
+impl std::fmt::Debug for RoutingConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutingConfig")
+            .field("backends", &self.backends.len())
+            .field("hedge_after", &self.hedge_after)
+            .field("max_retries", &self.max_retries)
+            .finish()
+    }
+}
+
+impl RoutingConfig {
+    /// An empty routing group: no backends, no hedging, default retries.
     #[must_use]
-    pub fn client(mut self, client: Arc<LlmClient>) -> Self {
-        self.client = Some(client);
-        self
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Route the session across a set of heterogeneous backends serving one
     /// model tier, instead of a single client. The session builds a routed
     /// [`LlmClient`] over them: least-loaded/cheapest-eligible selection,
     /// retry-with-backoff across backends, a per-backend circuit breaker,
-    /// and (with [`SessionBuilder::hedge_after`]) hedged requests. A
+    /// and (with [`RoutingConfig::hedge_after`]) hedged requests. A
     /// registry of exactly one transparent backend is result-identical to
     /// passing the model as a plain client.
     ///
@@ -78,7 +88,7 @@ impl SessionBuilder {
     /// `max(delay, observed p90 of the serving backend)` is duplicated onto
     /// the next-best backend; the first success wins and the loser is
     /// cancelled without being charged. Requires
-    /// [`SessionBuilder::backends`].
+    /// [`RoutingConfig::backends`].
     #[must_use]
     pub fn hedge_after(mut self, delay: Duration) -> Self {
         self.hedge_after = Some(delay);
@@ -87,10 +97,214 @@ impl SessionBuilder {
 
     /// Set how many extra attempts the routing layer makes on transient
     /// failure (each retry prefers a backend that has not failed this
-    /// request yet). Requires [`SessionBuilder::backends`].
+    /// request yet). Requires [`RoutingConfig::backends`].
     #[must_use]
     pub fn max_retries(mut self, retries: u32) -> Self {
         self.max_retries = Some(retries);
+        self
+    }
+
+    fn is_configured(&self) -> bool {
+        self.hedge_after.is_some() || self.max_retries.is_some()
+    }
+}
+
+/// Resilience configuration: what happens when calls fail or run long.
+///
+/// Pass to [`SessionBuilder::resilience`]. Violations surface from
+/// `try_build` under the `resilience:` prefix.
+///
+/// ```
+/// use crowdprompt_core::session::ResilienceConfig;
+/// use crowdprompt_core::FailurePolicy;
+///
+/// let resilience = ResilienceConfig::new()
+///     .failure_policy(FailurePolicy::Degrade { max_attempts: 40 })
+///     .deadline_ms(2_000);
+/// # let _ = resilience;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    failure_policy: Option<FailurePolicy>,
+    deadline_ms: Option<u64>,
+    journal_path: Option<std::path::PathBuf>,
+}
+
+impl ResilienceConfig {
+    /// An empty resilience group: fail-fast, no deadline, no journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the failure policy (default [`FailurePolicy::FailFast`]).
+    /// Under [`FailurePolicy::Degrade`], point-wise operators salvage
+    /// every completable item and quarantine the rest instead of failing
+    /// the whole operation; step reports and EXPLAIN notes carry the
+    /// salvage counts.
+    #[must_use]
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = Some(policy);
+        self
+    }
+
+    /// Grant each operation a wall-clock deadline in milliseconds: retries,
+    /// backoff, and hedges are clipped against it, and (in degrade mode)
+    /// work not yet dispatched when it passes is quarantined.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Journal every paid completion to the file at `path`, and replay any
+    /// completions already journaled there — attach the same path again
+    /// after a crash and the session resumes where the last one stopped,
+    /// with results and accounting bit-identical to an uninterrupted run.
+    #[must_use]
+    pub fn journal_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+}
+
+/// Cache configuration: the persistent response store and its optional
+/// approximate semantic tier.
+///
+/// Pass to [`SessionBuilder::cache`]. The semantic tier requires a store
+/// path; `try_build` reports violations under the `cache:` prefix.
+///
+/// ```
+/// use crowdprompt_core::session::CacheConfig;
+///
+/// let cache = CacheConfig::new()
+///     .store_path("/tmp/responses.log")
+///     .semantic_cache(0.15);
+/// # let _ = cache;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    store_path: Option<std::path::PathBuf>,
+    semantic_threshold: Option<f32>,
+}
+
+impl CacheConfig {
+    /// An empty cache group: in-memory client cache only.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Layer a persistent, crash-safe response store at `path` under the
+    /// client's in-memory cache. Temperature-0 completions paid for by
+    /// *any* process that used this store are served from disk on a miss —
+    /// zero backend calls, zero spend (hits charge exactly like in-memory
+    /// cache hits) — and fresh completions are admitted for future
+    /// processes. The session becomes the store's single writer for the
+    /// lifetime of its client; concurrent sessions on other processes can
+    /// open the same file read-only via
+    /// [`crowdprompt_oracle::store::ResponseStore::open_read_only`].
+    ///
+    /// Unlike [`ResilienceConfig::journal_path`] — which replays *this
+    /// run's* paid calls with their original charges for bit-identical
+    /// resume — the store is a cross-run cache: hits are free.
+    #[must_use]
+    pub fn store_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// Opt in to the store's approximate semantic tier (requires
+    /// [`CacheConfig::store_path`]): temperature-0 prompts within
+    /// `threshold` embedding distance (L2 over unit vectors, `0.0..=2.0`)
+    /// of a stored prompt are answered from that neighbor's response
+    /// without a backend call. Approximate by construction — the accuracy
+    /// cost is visible through the outcome meter and
+    /// [`crowdprompt_oracle::ClientStats::semantic_hits`].
+    #[must_use]
+    pub fn semantic_cache(mut self, threshold: f32) -> Self {
+        self.semantic_threshold = Some(threshold);
+        self
+    }
+}
+
+/// Builder for [`Session`].
+///
+/// Cross-cutting concerns are grouped: routing ([`SessionBuilder::routing`]),
+/// resilience ([`SessionBuilder::resilience`]), and caching
+/// ([`SessionBuilder::cache`]) each take a small config struct, so related
+/// knobs are set — and validated — together. The pre-grouping per-knob
+/// setters remain as deprecated delegating shims.
+pub struct SessionBuilder {
+    client: Option<Arc<LlmClient>>,
+    routing: RoutingConfig,
+    corpus: Corpus,
+    budget: Budget,
+    parallelism: usize,
+    pack_width: usize,
+    blocking_recall_target: Option<f32>,
+    temperature: f64,
+    seed: u64,
+    criterion_label: String,
+    trace: bool,
+    resilience: ResilienceConfig,
+    cache: CacheConfig,
+}
+
+impl SessionBuilder {
+    /// Set the model client (required unless a backend roster is supplied
+    /// via [`SessionBuilder::routing`] instead).
+    #[must_use]
+    pub fn client(mut self, client: Arc<LlmClient>) -> Self {
+        self.client = Some(client);
+        self
+    }
+
+    /// Set the routing group: backend roster, hedging, retry policy.
+    /// Replaces any previously set routing group.
+    #[must_use]
+    pub fn routing(mut self, config: RoutingConfig) -> Self {
+        self.routing = config;
+        self
+    }
+
+    /// Set the resilience group: failure policy, operation deadline, crash
+    /// journal. Replaces any previously set resilience group.
+    #[must_use]
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = config;
+        self
+    }
+
+    /// Set the cache group: persistent response store and semantic tier.
+    /// Replaces any previously set cache group.
+    #[must_use]
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = config;
+        self
+    }
+
+    /// Deprecated shim for [`RoutingConfig::backends`].
+    #[deprecated(note = "use SessionBuilder::routing(RoutingConfig::new().backends(...))")]
+    #[must_use]
+    pub fn backends(mut self, backends: Vec<Arc<dyn Backend>>) -> Self {
+        self.routing.backends = backends;
+        self
+    }
+
+    /// Deprecated shim for [`RoutingConfig::hedge_after`].
+    #[deprecated(note = "use SessionBuilder::routing(RoutingConfig::new().hedge_after(...))")]
+    #[must_use]
+    pub fn hedge_after(mut self, delay: Duration) -> Self {
+        self.routing.hedge_after = Some(delay);
+        self
+    }
+
+    /// Deprecated shim for [`RoutingConfig::max_retries`].
+    #[deprecated(note = "use SessionBuilder::routing(RoutingConfig::new().max_retries(...))")]
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.routing.max_retries = Some(retries);
         self
     }
 
@@ -169,81 +383,63 @@ impl SessionBuilder {
         self
     }
 
-    /// Set the failure policy (default [`FailurePolicy::FailFast`]).
-    /// Under [`FailurePolicy::Degrade`], point-wise operators salvage
-    /// every completable item and quarantine the rest instead of failing
-    /// the whole operation; step reports and EXPLAIN notes carry the
-    /// salvage counts.
+    /// Deprecated shim for [`ResilienceConfig::failure_policy`].
+    #[deprecated(
+        note = "use SessionBuilder::resilience(ResilienceConfig::new().failure_policy(...))"
+    )]
     #[must_use]
     pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
-        self.failure_policy = Some(policy);
+        self.resilience.failure_policy = Some(policy);
         self
     }
 
-    /// Grant each operation a wall-clock deadline in milliseconds: retries,
-    /// backoff, and hedges are clipped against it, and (in degrade mode)
-    /// work not yet dispatched when it passes is quarantined.
+    /// Deprecated shim for [`ResilienceConfig::deadline_ms`].
+    #[deprecated(note = "use SessionBuilder::resilience(ResilienceConfig::new().deadline_ms(...))")]
     #[must_use]
     pub fn deadline_ms(mut self, ms: u64) -> Self {
-        self.deadline_ms = Some(ms);
+        self.resilience.deadline_ms = Some(ms);
         self
     }
 
-    /// Journal every paid completion to the file at `path`, and replay any
-    /// completions already journaled there — attach the same path again
-    /// after a crash and the session resumes where the last one stopped,
-    /// with results and accounting bit-identical to an uninterrupted run.
+    /// Deprecated shim for [`ResilienceConfig::journal_path`].
+    #[deprecated(
+        note = "use SessionBuilder::resilience(ResilienceConfig::new().journal_path(...))"
+    )]
     #[must_use]
     pub fn journal_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
-        self.journal_path = Some(path.into());
+        self.resilience.journal_path = Some(path.into());
         self
     }
 
-    /// Layer a persistent, crash-safe response store at `path` under the
-    /// client's in-memory cache. Temperature-0 completions paid for by
-    /// *any* process that used this store are served from disk on a miss —
-    /// zero backend calls, zero spend (hits charge exactly like in-memory
-    /// cache hits) — and fresh completions are admitted for future
-    /// processes. This session becomes the store's single writer for the
-    /// lifetime of its client; concurrent sessions on other processes can
-    /// open the same file read-only via
-    /// [`crowdprompt_oracle::store::ResponseStore::open_read_only`].
-    ///
-    /// Unlike [`SessionBuilder::journal_path`] — which replays *this run's*
-    /// paid calls with their original charges for bit-identical resume —
-    /// the store is a cross-run cache: hits are free.
+    /// Deprecated shim for [`CacheConfig::store_path`].
+    #[deprecated(note = "use SessionBuilder::cache(CacheConfig::new().store_path(...))")]
     #[must_use]
     pub fn store_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
-        self.store_path = Some(path.into());
+        self.cache.store_path = Some(path.into());
         self
     }
 
-    /// Opt in to the store's approximate semantic tier (requires
-    /// [`SessionBuilder::store_path`]): temperature-0 prompts within
-    /// `threshold` embedding distance (L2 over unit vectors, `0.0..=2.0`)
-    /// of a stored prompt are answered from that neighbor's response
-    /// without a backend call. Approximate by construction — the accuracy
-    /// cost is visible through the outcome meter and
-    /// [`crowdprompt_oracle::ClientStats::semantic_hits`].
+    /// Deprecated shim for [`CacheConfig::semantic_cache`].
+    #[deprecated(note = "use SessionBuilder::cache(CacheConfig::new().semantic_cache(...))")]
     #[must_use]
     pub fn semantic_cache(mut self, threshold: f32) -> Self {
-        self.semantic_threshold = Some(threshold);
+        self.cache.semantic_threshold = Some(threshold);
         self
     }
 
     /// Build the session, surfacing configuration errors as values —
     /// the library-friendly form of [`SessionBuilder::build`].
     pub fn try_build(self) -> Result<Session, EngineError> {
-        let client = match (self.client, self.backends.is_empty()) {
+        let client = match (self.client, self.routing.backends.is_empty()) {
             (Some(_), false) => {
                 return Err(EngineError::InvalidInput(
-                    "SessionBuilder takes either a client or backends, not both".into(),
+                    "routing: SessionBuilder takes either a client or backends, not both".into(),
                 ))
             }
             (Some(client), true) => {
-                if self.hedge_after.is_some() || self.max_retries.is_some() {
+                if self.routing.is_configured() {
                     return Err(EngineError::InvalidInput(
-                        "hedge_after/max_retries configure the routing layer; \
+                        "routing: hedge_after/max_retries configure the routing layer; \
                          they require backends(...)"
                             .into(),
                     ));
@@ -251,31 +447,31 @@ impl SessionBuilder {
                 client
             }
             (None, false) => {
-                let registry = BackendRegistry::new(self.backends)?;
+                let registry = BackendRegistry::new(self.routing.backends)?;
                 let policy = RoutePolicy {
-                    max_retries: self.max_retries.unwrap_or(3),
-                    hedge: self.hedge_after.map(HedgeConfig::after),
+                    max_retries: self.routing.max_retries.unwrap_or(3),
+                    hedge: self.routing.hedge_after.map(HedgeConfig::after),
                     ..RoutePolicy::default()
                 };
                 Arc::new(LlmClient::routed(registry, policy))
             }
             (None, true) => {
                 return Err(EngineError::InvalidInput(
-                    "SessionBuilder requires a client".into(),
+                    "routing: SessionBuilder requires a client (or backends)".into(),
                 ))
             }
         };
-        match (&self.store_path, self.semantic_threshold) {
+        match (&self.cache.store_path, self.cache.semantic_threshold) {
             (None, Some(_)) => {
                 return Err(EngineError::InvalidInput(
-                    "semantic_cache requires store_path(...)".into(),
+                    "cache: semantic_cache requires store_path(...)".into(),
                 ));
             }
             (Some(path), threshold) => {
                 if let Some(t) = threshold {
                     if !(t.is_finite() && t > 0.0) {
                         return Err(EngineError::InvalidInput(format!(
-                            "semantic_cache threshold must be finite and positive, got {t}"
+                            "cache: semantic_cache threshold must be finite and positive, got {t}"
                         )));
                     }
                 }
@@ -285,13 +481,13 @@ impl SessionBuilder {
                 };
                 let store = ResponseStore::open(path, config).map_err(|e| {
                     EngineError::InvalidInput(format!(
-                        "cannot open response store at {}: {e}",
+                        "cache: cannot open response store at {}: {e}",
                         path.display()
                     ))
                 })?;
                 if !client.attach_store(Arc::new(store)) {
                     return Err(EngineError::InvalidInput(
-                        "client already has a response store attached".into(),
+                        "cache: client already has a response store attached".into(),
                     ));
                 }
             }
@@ -307,15 +503,18 @@ impl SessionBuilder {
         if let Some(target) = self.blocking_recall_target {
             engine = engine.with_blocking_recall_target(target);
         }
-        if let Some(policy) = self.failure_policy {
+        if let Some(policy) = self.resilience.failure_policy {
             engine = engine.with_failure_policy(policy);
         }
-        if let Some(ms) = self.deadline_ms {
+        if let Some(ms) = self.resilience.deadline_ms {
             engine = engine.with_deadline_ms(ms);
         }
-        if let Some(path) = self.journal_path {
+        if let Some(path) = self.resilience.journal_path {
             let journal = RunJournal::open(&path).map_err(|e| {
-                EngineError::InvalidInput(format!("cannot open journal at {}: {e}", path.display()))
+                EngineError::InvalidInput(format!(
+                    "resilience: cannot open journal at {}: {e}",
+                    path.display()
+                ))
             })?;
             engine = engine.with_journal(Arc::new(journal));
         }
@@ -382,9 +581,7 @@ impl Session {
     pub fn builder() -> SessionBuilder {
         SessionBuilder {
             client: None,
-            backends: Vec::new(),
-            hedge_after: None,
-            max_retries: None,
+            routing: RoutingConfig::default(),
             corpus: Corpus::new(),
             budget: Budget::Unlimited,
             parallelism: 8,
@@ -394,12 +591,21 @@ impl Session {
             seed: 0,
             criterion_label: "by the given criterion".to_owned(),
             trace: false,
-            failure_policy: None,
-            deadline_ms: None,
-            journal_path: None,
-            store_path: None,
-            semantic_threshold: None,
+            resilience: ResilienceConfig::default(),
+            cache: CacheConfig::default(),
         }
+    }
+
+    /// Promote this session into a multi-tenant server: the session's
+    /// configured engine — client, corpus, budget, pack width, failure
+    /// policy, everything — becomes the shared serving stack, and tenants
+    /// are attached on the returned [`crate::serve::ServerBuilder`].
+    ///
+    /// Consumes the session: once serving, all access goes through
+    /// admission control, so the single-user front door must close.
+    #[must_use]
+    pub fn serve(self) -> crate::serve::ServerBuilder {
+        crate::serve::ServerBuilder::new().engine(self.engine)
     }
 
     /// The underlying engine (for advanced composition).
@@ -659,6 +865,7 @@ impl Session {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // several tests deliberately exercise the pre-group shims
 mod tests {
     use super::*;
     use crowdprompt_oracle::model::ModelProfile;
@@ -773,6 +980,98 @@ mod tests {
             Ok(_) => panic!("semantic_cache without store_path must not build"),
             Err(other) => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn config_group_errors_name_the_group() {
+        let mk_client = || {
+            let w = WorldModel::new();
+            let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 1));
+            Arc::new(LlmClient::new(llm))
+        };
+        match Session::builder()
+            .client(mk_client())
+            .cache(CacheConfig::new().semantic_cache(0.5))
+            .try_build()
+        {
+            Err(EngineError::InvalidInput(msg)) => {
+                assert!(msg.starts_with("cache:"), "group not named in: {msg}");
+            }
+            Ok(_) => panic!("semantic tier without a store must not build"),
+            Err(other) => panic!("expected cache group error, got {other:?}"),
+        }
+        match Session::builder()
+            .client(mk_client())
+            .routing(RoutingConfig::new().max_retries(2))
+            .try_build()
+        {
+            Err(EngineError::InvalidInput(msg)) => {
+                assert!(msg.starts_with("routing:"), "group not named in: {msg}");
+            }
+            Ok(_) => panic!("retry knob without backends must not build"),
+            Err(other) => panic!("expected routing group error, got {other:?}"),
+        }
+        match Session::builder().try_build() {
+            Err(EngineError::InvalidInput(msg)) => {
+                assert!(msg.starts_with("routing:"), "group not named in: {msg}");
+            }
+            Ok(_) => panic!("clientless builder must not build"),
+            Err(other) => panic!("expected routing group error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deprecated_shims_and_config_groups_configure_identically() {
+        // The old per-knob surface must keep steering the same state the
+        // groups do: configure resilience both ways, observe via the engine.
+        let mk_client = || {
+            let w = WorldModel::new();
+            let llm = Arc::new(SimulatedLlm::new(ModelProfile::perfect(), Arc::new(w), 1));
+            Arc::new(LlmClient::new(llm))
+        };
+        let via_shims = Session::builder()
+            .client(mk_client())
+            .failure_policy(FailurePolicy::Degrade { max_attempts: 7 })
+            .deadline_ms(1234)
+            .try_build()
+            .expect("shim-configured session builds");
+        let via_groups = Session::builder()
+            .client(mk_client())
+            .resilience(
+                ResilienceConfig::new()
+                    .failure_policy(FailurePolicy::Degrade { max_attempts: 7 })
+                    .deadline_ms(1234),
+            )
+            .try_build()
+            .expect("group-configured session builds");
+        assert_eq!(
+            via_shims.engine().failure_policy(),
+            via_groups.engine().failure_policy()
+        );
+        assert_eq!(
+            via_shims.engine().deadline_ms(),
+            via_groups.engine().deadline_ms()
+        );
+    }
+
+    #[test]
+    fn session_serve_promotes_the_engine_into_a_server() {
+        let (s, ids) = session();
+        let server = s
+            .serve()
+            .tenant(crate::serve::TenantSpec::new("alice"))
+            .try_build()
+            .expect("session promotes to a server");
+        let run = server
+            .submit(
+                "alice",
+                vec![crowdprompt_oracle::TaskDescriptor::CheckPredicate {
+                    item: ids[7],
+                    predicate: "big".into(),
+                }],
+            )
+            .expect("tenant batch runs on the session's engine");
+        assert!(run.is_complete());
     }
 
     #[test]

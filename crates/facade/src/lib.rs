@@ -97,8 +97,10 @@ pub mod prelude {
     };
     pub use crowdprompt_core::workflow::{Pipeline, PipelineResult};
     pub use crowdprompt_core::{
-        BlockingHit, BlockingIndex, Budget, Corpus, EngineError, FailurePolicy, OpSalvage, Outcome,
-        Quarantine, RunJournal, RunOutcome, Session,
+        BatchOutcome, BlockingHit, BlockingIndex, Budget, CacheConfig, Corpus, EngineError,
+        FailurePolicy, OpSalvage, Outcome, Quarantine, ResilienceConfig, RoutingConfig, RunJournal,
+        RunOutcome, RunSpec, ServeError, Server, ServerBuilder, Session, SessionBuilder, TenantRun,
+        TenantSpec, TenantStats,
     };
     pub use crowdprompt_oracle::task::SortCriterion;
     pub use crowdprompt_oracle::{

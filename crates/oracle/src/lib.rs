@@ -48,7 +48,9 @@ pub use client::{ClientStats, LlmClient, RetryPolicy};
 pub use error::LlmError;
 pub use model::{ModelProfile, NoiseProfile};
 pub use pricing::{CostLedger, Pricing};
-pub use route::{BreakerConfig, HedgeConfig, RoutePolicy, Router, RouterStats};
+pub use route::{
+    BreakerConfig, HedgeConfig, LeaseTable, RoutePolicy, Router, RouterStats, SlotLease,
+};
 pub use sim::SimulatedLlm;
 pub use store::{ResponseStore, SemanticConfig, SemanticHit, StoreConfig};
 pub use task::{CountMode, SortCriterion, TaskDescriptor};

@@ -728,6 +728,211 @@ impl LanguageModel for Router {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Quota leases on backend slots (PR 10 serving layer)
+// ---------------------------------------------------------------------------
+
+/// A reserved backend slot, handed out by [`LeaseTable::reserve`].
+///
+/// A lease moves through three stages, mirroring the reserve/confirm/release
+/// discipline of a contended resource pool:
+///
+/// 1. **Reserved** — the slot is held tentatively, with a generation-based
+///    expiry. An unconfirmed reservation that outlives its TTL is reclaimed
+///    by the next [`LeaseTable::reserve`] sweep, so a tenant that crashes
+///    between admission and dispatch never strands capacity.
+/// 2. **Confirmed** — [`LeaseTable::confirm`] re-validates the lease right
+///    before dispatch and renews its expiry; a lease that was already
+///    reclaimed fails confirmation instead of double-occupying the slot.
+/// 3. **Released** — [`LeaseTable::release`] frees the slot explicitly. A
+///    confirmed lease that is never released (stalled dispatch) still falls
+///    back to expiry-based reclamation.
+///
+/// The "time source" is a caller-supplied generation counter, never the wall
+/// clock, so expiry is deterministic and testable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotLease {
+    /// Index of the slot this lease occupies.
+    slot: usize,
+    /// Monotonic token distinguishing this grant from later grants of the
+    /// same slot (an expired lease's token no longer matches the table).
+    token: u64,
+}
+
+impl SlotLease {
+    /// The slot index this lease occupies (stable across confirm/renew).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+/// Per-slot bookkeeping inside a [`LeaseTable`].
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    Free,
+    /// Held by the lease with this token; reclaimable once `expires_gen` is
+    /// in the past. `confirmed` only affects accounting (a confirmed lease
+    /// represents real in-flight work, a reservation is merely a promise).
+    Held {
+        token: u64,
+        expires_gen: u64,
+        confirmed: bool,
+    },
+}
+
+/// A fixed-capacity table of backend-slot leases with generation-based
+/// expiry.
+///
+/// The serving layer sizes one of these from the roster's advertised
+/// concurrency (see [`Router::total_slots`]) and makes every dispatch pass
+/// through reserve → confirm → release. `reserve` returning `None` is the
+/// load-shedding signal: the roster is saturated and the caller should
+/// surface a retry-after hint instead of queueing unboundedly.
+///
+/// All operations take the current generation as an argument; the table
+/// itself never reads a clock.
+#[derive(Debug)]
+pub struct LeaseTable {
+    slots: Mutex<Vec<SlotState>>,
+    next_token: AtomicU64,
+}
+
+impl LeaseTable {
+    /// Build a table with `capacity` slots (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LeaseTable {
+            slots: Mutex::new(vec![SlotState::Free; capacity.max(1)]),
+            next_token: AtomicU64::new(1),
+        }
+    }
+
+    /// Total number of slots (free or held).
+    pub fn capacity(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Reserve a slot, expiring at `now_gen + ttl_generations` unless
+    /// confirmed or renewed first. Expired leases (unconfirmed *or*
+    /// confirmed) are swept and reused before reporting saturation.
+    /// Returns `None` when every slot is validly held — the caller should
+    /// shed load rather than wait.
+    pub fn reserve(&self, now_gen: u64, ttl_generations: u64) -> Option<SlotLease> {
+        let mut slots = self.slots.lock();
+        let index = slots.iter().position(|s| match s {
+            SlotState::Free => true,
+            SlotState::Held { expires_gen, .. } => *expires_gen <= now_gen,
+        })?;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        slots[index] = SlotState::Held {
+            token,
+            expires_gen: now_gen.saturating_add(ttl_generations.max(1)),
+            confirmed: false,
+        };
+        Some(SlotLease { slot: index, token })
+    }
+
+    /// Confirm a reservation immediately before dispatch, renewing its
+    /// expiry to `now_gen + ttl_generations`. Returns `false` if the lease
+    /// already expired and was (or may be) reclaimed — the caller must
+    /// re-reserve rather than dispatch on a slot someone else now holds.
+    pub fn confirm(&self, lease: &SlotLease, now_gen: u64, ttl_generations: u64) -> bool {
+        let mut slots = self.slots.lock();
+        match slots.get_mut(lease.slot) {
+            Some(SlotState::Held {
+                token,
+                expires_gen,
+                confirmed,
+            }) if *token == lease.token && *expires_gen > now_gen => {
+                *expires_gen = now_gen.saturating_add(ttl_generations.max(1));
+                *confirmed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Release a lease, freeing its slot. Releasing an expired or already
+    /// reclaimed lease is a harmless no-op (the slot belongs to its next
+    /// holder), so release is safe to call from cleanup paths
+    /// unconditionally.
+    pub fn release(&self, lease: &SlotLease) {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get_mut(lease.slot) {
+            if matches!(slot, SlotState::Held { token, .. } if *token == lease.token) {
+                *slot = SlotState::Free;
+            }
+        }
+    }
+
+    /// Number of slots validly held (reserved or confirmed) at `now_gen`.
+    pub fn in_use(&self, now_gen: u64) -> usize {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|s| matches!(s, SlotState::Held { expires_gen, .. } if *expires_gen > now_gen))
+            .count()
+    }
+
+    /// Generations until the earliest currently-held lease expires, or
+    /// `None` when no slot is validly held. A saturated caller can use
+    /// this as a retry-after hint: by then at least one slot is
+    /// reclaimable even if its holder crashed.
+    pub fn earliest_release_in(&self, now_gen: u64) -> Option<u64> {
+        self.slots
+            .lock()
+            .iter()
+            .filter_map(|s| match s {
+                SlotState::Held { expires_gen, .. } if *expires_gen > now_gen => {
+                    Some(*expires_gen - now_gen)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Number of slots holding *confirmed* (dispatch-backed) leases at
+    /// `now_gen`.
+    pub fn confirmed_in_use(&self, now_gen: u64) -> usize {
+        self.slots
+            .lock()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    SlotState::Held {
+                        expires_gen,
+                        confirmed: true,
+                        ..
+                    } if *expires_gen > now_gen
+                )
+            })
+            .count()
+    }
+}
+
+impl Router {
+    /// Total advertised concurrency across the roster: the sum of every
+    /// backend's [`Backend::slots`]. Backends advertising `0` (unbounded)
+    /// contribute a nominal 16 slots so the serving layer's lease table
+    /// stays finite. Minimum 1.
+    pub fn total_slots(&self) -> usize {
+        let total: usize = self
+            .registry
+            .backends()
+            .iter()
+            .map(|b| {
+                let slots = b.slots();
+                if slots == 0 {
+                    16
+                } else {
+                    slots
+                }
+            })
+            .sum();
+        total.max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1286,5 +1491,76 @@ mod tests {
             router.hedge_delay(0, &floor) >= Duration::from_millis(2),
             "observed p90 must override the floor"
         );
+    }
+
+    #[test]
+    fn lease_reserve_to_capacity_then_shed() {
+        let table = LeaseTable::new(2);
+        let a = table.reserve(0, 10).unwrap();
+        let b = table.reserve(0, 10).unwrap();
+        assert_ne!(a.slot(), b.slot());
+        assert!(table.reserve(0, 10).is_none(), "saturated table must shed");
+        assert_eq!(table.in_use(0), 2);
+        table.release(&a);
+        assert!(table.reserve(0, 10).is_some());
+    }
+
+    #[test]
+    fn lease_unconfirmed_reservation_expires_and_is_reclaimed() {
+        let table = LeaseTable::new(1);
+        let stale = table.reserve(0, 5).unwrap();
+        // Generation 5: the reservation's TTL has elapsed without a confirm.
+        let fresh = table.reserve(5, 5).unwrap();
+        assert_eq!(stale.slot(), fresh.slot(), "expired slot is reused");
+        assert!(
+            !table.confirm(&stale, 5, 5),
+            "a reclaimed lease must fail confirmation"
+        );
+        assert!(table.confirm(&fresh, 5, 5));
+        // Releasing the stale lease must not free the fresh holder's slot.
+        table.release(&stale);
+        assert_eq!(table.in_use(5), 1);
+    }
+
+    #[test]
+    fn lease_confirm_renews_expiry() {
+        let table = LeaseTable::new(1);
+        let lease = table.reserve(0, 5).unwrap();
+        assert!(table.confirm(&lease, 4, 5), "confirm within TTL succeeds");
+        // Without the renewal the lease would expire at gen 5; confirm at
+        // gen 4 pushed expiry to gen 9.
+        assert_eq!(table.in_use(8), 1);
+        assert!(table.reserve(8, 5).is_none());
+        // A confirmed-but-stalled lease still expires eventually.
+        assert_eq!(table.in_use(9), 0);
+        assert!(table.reserve(9, 5).is_some());
+    }
+
+    #[test]
+    fn lease_release_is_idempotent() {
+        let table = LeaseTable::new(1);
+        let lease = table.reserve(0, 5).unwrap();
+        table.release(&lease);
+        table.release(&lease);
+        assert_eq!(table.in_use(0), 0);
+        let next = table.reserve(0, 5).unwrap();
+        table.release(&lease); // stale double-release must not evict `next`
+        assert!(table.confirm(&next, 0, 5));
+        assert_eq!(table.confirmed_in_use(0), 1);
+    }
+
+    #[test]
+    fn router_total_slots_sums_roster() {
+        let (model, _) = shared_model(4, 77);
+        let backends: Vec<Arc<dyn Backend>> = vec![
+            Arc::new(SimBackend::new("a", Arc::clone(&model)).with_slots(4)),
+            Arc::new(SimBackend::new("b", Arc::clone(&model)).with_slots(2)),
+            Arc::new(SimBackend::new("c", model)), // unbounded -> nominal 16
+        ];
+        let router = Router::new(
+            BackendRegistry::new(backends).unwrap(),
+            RoutePolicy::default(),
+        );
+        assert_eq!(router.total_slots(), 22);
     }
 }

@@ -39,16 +39,18 @@ fn build_session(
             .with_latency(LatencyProfile::fixed(9_000))
             .with_seed(2),
     );
-    let mut builder = Session::builder()
+    let mut routing = RoutingConfig::new()
         .backends(vec![fast, slow])
-        .max_retries(3)
+        .max_retries(3);
+    if hedged {
+        routing = routing.hedge_after(Duration::from_millis(3));
+    }
+    Session::builder()
+        .routing(routing)
         .corpus(Corpus::from_world(world, items))
         .budget(Budget::usd(0.50))
-        .criterion("by urgency");
-    if hedged {
-        builder = builder.hedge_after(Duration::from_millis(3));
-    }
-    builder.build()
+        .criterion("by urgency")
+        .build()
 }
 
 fn main() {

@@ -18,6 +18,10 @@
 //! quarantine under a given schedule depends on scheduling races, and
 //! pinning it would make the tests flaky rather than strong.
 
+// The pre-PR10 per-knob builder methods stay exercised here on purpose:
+// they are deprecated delegating shims and must keep working unchanged.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use crowdprompt::oracle::model::NoiseProfile;

@@ -2,6 +2,10 @@
 //! responses, context overflows, and extraction hazards exercised through
 //! the full stack.
 
+// The pre-PR10 per-knob builder methods stay exercised here on purpose:
+// they are deprecated delegating shims and must keep working unchanged.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use crowdprompt::core::ops::filter::FilterStrategy;

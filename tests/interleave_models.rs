@@ -1,4 +1,4 @@
-//! Deterministic interleaving models of the repo's four hottest concurrency
+//! Deterministic interleaving models of the repo's five hottest concurrency
 //! protocols, driven by the `interleave` explorer (see its crate docs).
 //!
 //! Each model is a *closed* re-statement of the protocol as implemented in
@@ -15,6 +15,7 @@
 //! | breaker half-open     | `oracle::route` probe claim vs concurrent callers |
 //! | journal torn tail     | `core::journal` append crash + truncate-at-open  |
 //! | hedged cancel         | `oracle::route` first-success vs twin cancel     |
+//! | lease quota           | `oracle::route` reserve/confirm/release + expiry |
 
 use std::sync::Arc;
 
@@ -330,6 +331,163 @@ fn hedged_dispatch_surfaces_exactly_one_result() {
         if let Some(w) = winner {
             assert!(inbox.cancel[1 - w], "winner exists but twin not cancelled");
             assert!(!inbox.cancel[w], "the winner itself was cancelled");
+        }
+    });
+    assert!(
+        report.distinct >= required_distinct(n),
+        "coverage too low: {report:?}"
+    );
+}
+
+/// Model 5 — backend-slot quota lease (`route.rs` [`LeaseTable`], driven by
+/// `core::serve`): workers race a 2-slot table through the full
+/// reserve → confirm → dispatch → release protocol while a clock thread
+/// advances the generation counter; `choice` lets any worker crash between
+/// reserve and confirm, abandoning its reservation with no release.
+///
+/// Invariants, mirroring the real table's guarantees:
+/// * a slot is only re-granted after its current lease's expiry generation
+///   has passed (the reserve-time sweep) — so two dispatchers can overlap
+///   on one slot *only* across an expiry, never within a live lease;
+/// * release is token-checked: a holder whose lease was swept and
+///   re-granted mid-dispatch must not free the new holder's slot;
+/// * nothing is stranded: once the clock passes every expiry, every slot
+///   is reclaimable even though crashed workers never released.
+#[test]
+fn lease_quota_regrants_only_across_expiry_and_strands_nothing() {
+    const CAPACITY: usize = 2;
+    const TTL: u64 = 2;
+
+    #[derive(Clone, Copy)]
+    enum Slot {
+        Free,
+        Held {
+            token: u64,
+            expires: u64,
+            confirmed: bool,
+        },
+    }
+    struct Table {
+        slots: Vec<Slot>,
+        next_token: u64,
+        gen: u64,
+        /// Dispatchers currently inside the leased region, per slot.
+        occupancy: Vec<u32>,
+        /// The previous confirmed holder's expiry, per slot.
+        prev_expires: Vec<u64>,
+    }
+
+    let n = iterations();
+    let report = interleave::explore(Config::random(0x1ea5e, n), || {
+        let table = Arc::new(Mutex::new(Table {
+            slots: vec![Slot::Free; CAPACITY],
+            next_token: 1,
+            gen: 0,
+            occupancy: vec![0; CAPACITY],
+            prev_expires: vec![0; CAPACITY],
+        }));
+        let mut handles = Vec::new();
+        // The clock: generations advance concurrently with the protocol,
+        // exactly as `Server::advance_generation` races in-flight batches.
+        {
+            let table = Arc::clone(&table);
+            handles.push(spawn(move || {
+                for _ in 0..2 {
+                    interleave::yield_now();
+                    table.lock().gen += 1;
+                }
+            }));
+        }
+        for _ in 0..3 {
+            let table = Arc::clone(&table);
+            handles.push(spawn(move || {
+                // Reserve: sweep expired leases, else take a free slot.
+                let mut t = table.lock();
+                let now = t.gen;
+                let Some(slot) = t.slots.iter().position(|s| match s {
+                    Slot::Free => true,
+                    Slot::Held { expires, .. } => *expires <= now,
+                }) else {
+                    return; // saturated: shed, never wait under the lock
+                };
+                let token = t.next_token;
+                t.next_token += 1;
+                t.slots[slot] = Slot::Held {
+                    token,
+                    expires: now + TTL,
+                    confirmed: false,
+                };
+                drop(t);
+
+                interleave::yield_now(); // admission work before dispatch
+                if choice(2) == 1 {
+                    return; // crash: reservation abandoned, no release
+                }
+
+                // Confirm: revalidate token + liveness, renew the expiry.
+                let mut t = table.lock();
+                let now = t.gen;
+                match &mut t.slots[slot] {
+                    Slot::Held {
+                        token: held,
+                        expires,
+                        confirmed,
+                    } if *held == token && *expires > now => {
+                        *expires = now + TTL;
+                        *confirmed = true;
+                    }
+                    _ => return, // reclaimed while we dawdled: shed
+                }
+                if t.occupancy[slot] > 0 {
+                    // The only legal overlap: our reserve swept a lease
+                    // whose expiry had already passed.
+                    assert!(
+                        t.prev_expires[slot] <= now,
+                        "slot re-granted inside a live lease"
+                    );
+                }
+                t.occupancy[slot] += 1;
+                t.prev_expires[slot] = now + TTL;
+                drop(t);
+
+                interleave::yield_now(); // the dispatch itself
+
+                // Release: token-checked, harmless when stale.
+                let mut t = table.lock();
+                t.occupancy[slot] -= 1;
+                match t.slots[slot] {
+                    Slot::Held { token: held, .. } if held == token => {
+                        t.slots[slot] = Slot::Free;
+                    }
+                    Slot::Held { .. } => {
+                        // Swept and re-granted mid-dispatch: the new
+                        // holder's lease must survive our cleanup.
+                    }
+                    Slot::Free => panic!("release found a foreign free: double-free"),
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+
+        let mut t = table.lock();
+        assert!(
+            t.occupancy.iter().all(|&o| o == 0),
+            "dispatcher left inside the leased region"
+        );
+        // Crashed workers never released — but nothing may be stranded:
+        // past every expiry, each slot is free or sweepable.
+        t.gen += TTL + 1;
+        let now = t.gen;
+        for (index, slot) in t.slots.iter().enumerate() {
+            match slot {
+                Slot::Free => {}
+                Slot::Held { expires, .. } => assert!(
+                    *expires <= now,
+                    "slot {index} stranded beyond every holder's TTL"
+                ),
+            }
         }
     });
     assert!(

@@ -17,6 +17,10 @@
 //!   pure function of the request, so a re-dispatched gap task returns the
 //!   same bytes the lost original did.
 
+// The pre-PR10 per-knob builder methods stay exercised here on purpose:
+// they are deprecated delegating shims and must keep working unchanged.
+#![allow(deprecated)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 

@@ -3,6 +3,10 @@
 //! circuit breaking through the session API, and cascade escalation over a
 //! dead tier.
 
+// The pre-PR10 per-knob builder methods stay exercised here on purpose:
+// they are deprecated delegating shims and must keep working unchanged.
+#![allow(deprecated)]
+
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,0 +1,203 @@
+//! Property tests for the multi-tenant serving layer (PR 10).
+//!
+//! Two contracts under test, over randomized tenants and workloads:
+//!
+//! * **Fair shares converge to weights.** The deficit-round-robin feed's
+//!   claim ordering, drained while every tenant stays backlogged, hands
+//!   each tenant a share of service proportional to its weight — exact per
+//!   complete round with integer weights, within one round's quantum at
+//!   any cut point.
+//! * **Admission protects the ledgers.** A zero-budget tenant is refused
+//!   at admission: no backend call is made, nothing is billed to any
+//!   ledger. Admitted work bills exactly the tenant that submitted it, and
+//!   the per-tenant ledgers partition the shared client ledger to the
+//!   cent: meter == ledger == budget.
+
+use std::sync::Arc;
+
+use crowdprompt::core::{Budget, Corpus, FairFeed, ServeError, Session, TenantSpec};
+use crowdprompt::oracle::model::NoiseProfile;
+use crowdprompt::oracle::task::TaskDescriptor;
+use crowdprompt::oracle::world::{ItemId, WorldModel};
+use crowdprompt::oracle::{LlmClient, ModelProfile, SimulatedLlm};
+use proptest::prelude::*;
+
+fn flag_world(n: usize) -> (WorldModel, Vec<ItemId>) {
+    let mut w = WorldModel::new();
+    let items = (0..n)
+        .map(|i| {
+            let id = w.add_item(format!("serving record {i}"));
+            w.set_flag(id, "hot", i % 2 == 0);
+            id
+        })
+        .collect();
+    (w, items)
+}
+
+/// A server over a *priced* simulated model (so admission estimates are
+/// non-zero and budget refusals have teeth) with perfect noise (so every
+/// admitted task completes).
+fn server_over(
+    w: &WorldModel,
+    items: &[ItemId],
+    seed: u64,
+    tenants: Vec<TenantSpec>,
+) -> crowdprompt::core::Server {
+    let llm = SimulatedLlm::new(
+        ModelProfile::gpt35_like().with_noise(NoiseProfile::perfect()),
+        Arc::new(w.clone()),
+        seed,
+    );
+    let mut builder = Session::builder()
+        .client(Arc::new(LlmClient::new(Arc::new(llm))))
+        .corpus(Corpus::from_world(w, items))
+        .build()
+        .serve();
+    for spec in tenants {
+        builder = builder.tenant(spec);
+    }
+    builder.try_build().expect("serving stack must build")
+}
+
+fn check_tasks(items: &[ItemId]) -> Vec<TaskDescriptor> {
+    items
+        .iter()
+        .map(|id| TaskDescriptor::CheckPredicate {
+            item: *id,
+            predicate: "hot".to_owned(),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Random integer weight vectors; every tenant's queue stays backlogged
+    /// through the measured window. Claims over whole DRR rounds split
+    /// *exactly* proportionally to weight; at an arbitrary cut point each
+    /// tenant is within one round's quantum (its own weight) of its
+    /// proportional share.
+    #[test]
+    fn fair_share_claims_converge_to_weights(
+        weights in prop::collection::vec(1u32..9, 2..6),
+        rounds in 2u32..8,
+    ) {
+        let feed: FairFeed<usize> = FairFeed::new();
+        let total_weight: u32 = weights.iter().sum();
+        for (tenant, &w) in weights.iter().enumerate() {
+            prop_assert!(feed.register(&format!("t{tenant}"), f64::from(w)));
+        }
+        // Backlog everyone past what the window can drain.
+        let window = (rounds * total_weight) as usize;
+        for (tenant, _) in weights.iter().enumerate() {
+            for item in 0..window {
+                prop_assert!(feed.push(&format!("t{tenant}"), tenant * window + item));
+            }
+        }
+
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..window {
+            let item = feed.claim().expect("backlogged feed has work");
+            counts[item / window] += 1;
+        }
+
+        for (tenant, &w) in weights.iter().enumerate() {
+            let exact = (rounds * w) as usize; // whole rounds: exact share
+            prop_assert!(
+                counts[tenant].abs_diff(exact) <= w as usize,
+                "tenant {tenant} (weight {w}) claimed {} of {window}, expected ~{exact} \
+                 (weights {weights:?})",
+                counts[tenant],
+            );
+        }
+        // Shares over the window sum to the window: nothing lost, nothing
+        // double-claimed.
+        prop_assert_eq!(counts.iter().sum::<usize>(), window);
+    }
+
+    /// A zero-budget tenant is refused at admission: the shared client
+    /// never dispatches, no ledger is touched, and the refusal is
+    /// `BudgetExhausted` (not a rate-limit shed). A solvent tenant on the
+    /// same server is unaffected before and after the refusal.
+    #[test]
+    fn zero_budget_tenant_is_refused_with_nothing_billed(
+        n in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let (w, items) = flag_world(n);
+        let server = server_over(
+            &w,
+            &items,
+            seed,
+            vec![
+                TenantSpec::new("broke").with_budget(Budget::usd(0.0)),
+                TenantSpec::new("solvent"),
+            ],
+        );
+
+        match server.submit("broke", check_tasks(&items)) {
+            Err(ServeError::BudgetExhausted { needed_usd, remaining_usd }) => {
+                prop_assert!(needed_usd > 0.0, "a priced batch must estimate > $0");
+                prop_assert!(remaining_usd <= 0.0 + f64::EPSILON);
+            }
+            other => prop_assert!(false, "expected BudgetExhausted, got {other:?}"),
+        }
+        let client = server.engine().client();
+        prop_assert_eq!(client.stats().calls(), 0, "refusal must precede any backend call");
+        let broke = server.ledger("broke").expect("registered tenant");
+        prop_assert_eq!(broke.spent_usd(), 0.0);
+        prop_assert_eq!(broke.spent_tokens(), 0);
+
+        // The refusal leaves the server fully serviceable for others.
+        let run = server
+            .submit("solvent", check_tasks(&items))
+            .expect("solvent tenant admitted");
+        prop_assert!(run.is_complete());
+        prop_assert_eq!(run.results.len(), n);
+        prop_assert_eq!(broke.spent_usd(), 0.0, "another tenant's work billed to broke");
+
+        let stats = server.stats();
+        let broke_stats = stats.iter().find(|s| s.id == "broke").expect("broke listed");
+        prop_assert_eq!(broke_stats.completed, 0);
+        prop_assert_eq!(broke_stats.shed, 1);
+    }
+
+    /// Sequential batches from random tenants: every paid completion lands
+    /// on exactly the submitting tenant's ledger, and the tenant ledgers
+    /// partition the shared client ledger — meter == ledger == budget.
+    #[test]
+    fn tenant_ledgers_partition_the_client_ledger(
+        batches in prop::collection::vec((0usize..3, 1usize..10), 1..8),
+        seed in 0u64..1_000_000,
+    ) {
+        let (w, items) = flag_world(12);
+        let ids = ["a", "b", "c"];
+        let server = server_over(
+            &w,
+            &items,
+            seed,
+            ids.iter().map(|id| TenantSpec::new(*id)).collect(),
+        );
+
+        for (round, &(tenant, len)) in batches.iter().enumerate() {
+            // Distinct items per round so the shared cache cannot collapse
+            // later batches into free hits (free hits are fine, but paid
+            // work exercises the billing invariant harder).
+            let slice: Vec<ItemId> = (0..len).map(|k| items[(round + k) % items.len()]).collect();
+            let run = server
+                .submit(ids[tenant], check_tasks(&slice))
+                .expect("unlimited tenants admit");
+            prop_assert!(run.is_complete());
+        }
+
+        let client = server.engine().client();
+        let tenant_total: f64 = ids
+            .iter()
+            .map(|id| server.ledger(id).expect("registered").spent_usd())
+            .sum();
+        let client_total = client.ledger().spend_usd();
+        prop_assert!(
+            (tenant_total - client_total).abs() < 1e-9,
+            "tenant ledgers ({tenant_total}) must partition the client ledger ({client_total})"
+        );
+        prop_assert_eq!(server.leases_in_use(), 0, "every lease released after drain");
+    }
+}

@@ -14,6 +14,10 @@
 //! read-only handles snapshot freely, and the writer lock is released on
 //! drop.
 
+// The pre-PR10 per-knob builder methods stay exercised here on purpose:
+// they are deprecated delegating shims and must keep working unchanged.
+#![allow(deprecated)]
+
 use std::path::PathBuf;
 use std::sync::Arc;
 
